@@ -1,0 +1,51 @@
+//! Benchmarks regenerating the paper's figures (6, 7 and 8) at a reduced
+//! workload size.  Each iteration re-runs the full pipeline — profiling,
+//! scheduling under every model, VLIW execution and golden-model checking
+//! — so these double as end-to-end throughput benchmarks of the
+//! reproduction.  The printed numbers of record come from
+//! `cargo run --release -p psb-eval --bin repro`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psb_eval::{fig6, fig7, fig8, EvalParams};
+use std::hint::black_box;
+
+fn quick() -> EvalParams {
+    EvalParams {
+        size: 128,
+        ..EvalParams::default()
+    }
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let params = quick();
+    c.bench_function("fig6_restricted_models", |b| {
+        b.iter(|| black_box(fig6(black_box(&params))))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let params = quick();
+    c.bench_function("fig7_predicating_models", |b| {
+        b.iter(|| black_box(fig7(black_box(&params))))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let params = EvalParams {
+        size: 64,
+        ..EvalParams::default()
+    };
+    let mut g = c.benchmark_group("fig8_full_issue_sweep");
+    g.sample_size(10);
+    g.bench_function("width2_4_8_x_depth1_2_4_8", |b| {
+        b.iter(|| black_box(fig8(black_box(&params))))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6, bench_fig7, bench_fig8
+}
+criterion_main!(figures);

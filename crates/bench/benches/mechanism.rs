@@ -1,0 +1,108 @@
+//! Microbenchmarks of the predicating mechanism itself: the hardware
+//! primitives the paper argues are cheap (Section 4.2.1's "three-gate
+//! delay" match operation), plus simulator throughput on real kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psb_core::{EventLog, MachineConfig, PredicatedRegFile, ShadowMode, VliwMachine};
+use psb_isa::{Ccr, CondReg, Predicate, Reg};
+use psb_scalar::{ScalarConfig, ScalarMachine};
+use psb_sched::{schedule, Model, SchedConfig};
+use std::hint::black_box;
+
+fn bench_predicate_eval(c: &mut Criterion) {
+    let p = Predicate::always()
+        .and_pos(CondReg::new(0))
+        .and_neg(CondReg::new(1))
+        .and_pos(CondReg::new(3));
+    let mut ccr = Ccr::new(4);
+    ccr.set(CondReg::new(0), true);
+    ccr.set(CondReg::new(1), false);
+    c.bench_function("predicate_masked_match", |b| {
+        b.iter(|| black_box(black_box(&p).eval(black_box(&ccr))))
+    });
+}
+
+fn bench_regfile_commit(c: &mut Criterion) {
+    c.bench_function("regfile_tick_commit_squash", |b| {
+        b.iter(|| {
+            let mut rf = PredicatedRegFile::new(64, ShadowMode::Single);
+            for i in 1..32 {
+                let pred = if i % 2 == 0 {
+                    Predicate::always().and_pos(CondReg::new(0))
+                } else {
+                    Predicate::always().and_neg(CondReg::new(0))
+                };
+                rf.write_spec(Reg::new(i), i as i64, pred, false).unwrap();
+            }
+            let mut ccr = Ccr::new(4);
+            ccr.set(CondReg::new(0), true);
+            let mut log = EventLog::new(false);
+            rf.tick(&ccr, 1, &mut log);
+            black_box(rf)
+        })
+    });
+}
+
+fn machine_throughput(c: &mut Criterion, name: &'static str) {
+    let w = psb_workloads::by_name(name, 3, 512).unwrap();
+    let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
+        .run()
+        .unwrap()
+        .edge_profile;
+    let vliw = schedule(&w.program, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
+    c.bench_function(&format!("machine_throughput_{name}"), |b| {
+        b.iter(|| {
+            black_box(VliwMachine::run_program(
+                black_box(&vliw),
+                MachineConfig::default(),
+            ))
+        })
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    machine_throughput(c, "grep");
+    machine_throughput(c, "li");
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let w = psb_workloads::by_name("espresso", 3, 512).unwrap();
+    let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
+        .run()
+        .unwrap()
+        .edge_profile;
+    let cfg = SchedConfig::new(Model::RegionPred);
+    c.bench_function("scheduler_region_pred_espresso", |b| {
+        b.iter(|| black_box(schedule(black_box(&w.program), &profile, &cfg).unwrap()))
+    });
+}
+
+fn bench_scheduler_scaling(c: &mut Criterion) {
+    // Compiler throughput vs region size: unrolling multiplies the blocks
+    // a single region must cover.
+    let w = psb_workloads::by_name("espresso", 3, 256).unwrap();
+    let mut g = c.benchmark_group("scheduler_scaling_by_unroll");
+    for factor in [1usize, 2, 4, 8] {
+        let prog = psb_ir::unroll_loops(&w.program, factor);
+        let profile = ScalarMachine::new(&prog, ScalarConfig::default())
+            .run()
+            .unwrap()
+            .edge_profile;
+        let mut cfg = SchedConfig::new(Model::RegionPred);
+        cfg.num_conds = 8;
+        cfg.depth = 8;
+        cfg.max_blocks = 64;
+        g.bench_function(format!("unroll_{factor}"), |b| {
+            b.iter(|| black_box(schedule(black_box(&prog), &profile, &cfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = mechanism;
+    config = Criterion::default().sample_size(20);
+    targets = bench_predicate_eval, bench_regfile_commit, bench_machine, bench_scheduler,
+        bench_scheduler_scaling
+}
+criterion_main!(mechanism);

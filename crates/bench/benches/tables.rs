@@ -1,0 +1,131 @@
+//! Benchmarks regenerating the paper's tables.
+//!
+//! * Table 1: the Section 3.4 machine-state-transition example — a
+//!   microbenchmark of the predicating machine on the paper's own
+//!   schedule.
+//! * Table 2: the benchmark inventory (scalar baseline runs).
+//! * Table 3: successive-branch prediction accuracy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psb_core::{MachineConfig, VliwMachine};
+use psb_eval::{table2, table3, EvalParams};
+use psb_isa::{
+    AluOp, CmpOp, CondReg, MemImage, MemTag, MultiOp, Op, Predicate, Reg, Slot, SlotOp, Src,
+    VliwProgram,
+};
+use std::hint::black_box;
+
+/// The Figure 4 schedule driving Table 1 (see `examples/paper_walkthrough`).
+fn figure4() -> VliwProgram {
+    let r = Reg::new;
+    let c = CondReg::new;
+    let p = Predicate::always;
+    let c0c1 = p().and_pos(c(0)).and_pos(c(1));
+    let alu = |op, rd, a, b| SlotOp::Op(Op::Alu { op, rd, a, b });
+    let load = |rd, base, off| {
+        SlotOp::Op(Op::Load {
+            rd,
+            base,
+            offset: off,
+            tag: MemTag::ANY,
+        })
+    };
+    let store = |base, off, v| {
+        SlotOp::Op(Op::Store {
+            base,
+            offset: off,
+            value: v,
+            tag: MemTag::ANY,
+        })
+    };
+    let setc = |cr, cmp, a, b| SlotOp::Op(Op::SetCond { c: cr, cmp, a, b });
+    let words = vec![
+        MultiOp::new(vec![
+            Slot::alw(load(r(1), Src::reg(r(2)), 0)),
+            Slot::new(c0c1, alu(AluOp::Sub, r(2), Src::reg(r(2)), Src::imm(1))),
+        ]),
+        MultiOp::new(vec![
+            Slot::new(p().and_neg(c(0)), load(r(5), Src::imm(6), 0)),
+            Slot::new(c0c1, store(Src::reg(r(7)), 0, Src::reg(r(5)))),
+        ]),
+        MultiOp::new(vec![
+            Slot::alw(alu(AluOp::Add, r(3), Src::reg(r(1)), Src::imm(1))),
+            Slot::new(c0c1, alu(AluOp::Sll, r(7), Src::shadow(r(2)), Src::imm(1))),
+        ]),
+        MultiOp::new(vec![
+            Slot::new(p().and_pos(c(0)), load(r(6), Src::reg(r(3)), 0)),
+            Slot::alw(setc(c(0), CmpOp::Lt, Src::reg(r(3)), Src::reg(r(4)))),
+        ]),
+        MultiOp::new(vec![Slot::alw(setc(
+            c(2),
+            CmpOp::Lt,
+            Src::reg(r(2)),
+            Src::imm(0),
+        ))]),
+        MultiOp::new(vec![
+            Slot::alw(setc(c(1), CmpOp::Lt, Src::reg(r(5)), Src::reg(r(6)))),
+            Slot::new(p().and_neg(c(0)).and_pos(c(2)), SlotOp::Jump { target: 8 }),
+        ]),
+        MultiOp::new(vec![
+            Slot::new(p().and_pos(c(0)).and_neg(c(1)), SlotOp::Jump { target: 8 }),
+            Slot::new(c0c1, SlotOp::Jump { target: 8 }),
+        ]),
+        MultiOp::new(vec![Slot::new(
+            p().and_neg(c(0)).and_neg(c(2)),
+            SlotOp::Jump { target: 8 },
+        )]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+    ];
+    let mut memory = MemImage::zeroed(64);
+    memory.set(4, 10);
+    memory.set(11, 50);
+    memory.set(6, 77);
+    VliwProgram {
+        name: "figure4".into(),
+        words,
+        region_starts: vec![0, 8],
+        num_conds: 4,
+        init_regs: vec![(r(2), 4), (r(4), 100), (r(5), 5), (r(7), 20)],
+        memory,
+        live_out: vec![r(2), r(7)],
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let prog = figure4();
+    c.bench_function("table1_state_transition", |b| {
+        b.iter(|| {
+            let res =
+                VliwMachine::run_program(black_box(&prog), MachineConfig::two_issue()).unwrap();
+            assert_eq!(res.cycles, 8);
+            black_box(res)
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let params = EvalParams {
+        size: 256,
+        ..EvalParams::default()
+    };
+    c.bench_function("table2_benchmark_inventory", |b| {
+        b.iter(|| black_box(table2(black_box(&params))))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let params = EvalParams {
+        size: 256,
+        ..EvalParams::default()
+    };
+    c.bench_function("table3_successive_prediction", |b| {
+        b.iter(|| black_box(table3(black_box(&params))))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2, bench_table3
+}
+criterion_main!(tables);

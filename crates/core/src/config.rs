@@ -1,0 +1,136 @@
+//! Machine configuration.
+
+use psb_isa::Resources;
+use std::collections::BTreeSet;
+
+/// How many speculative values one register can buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ShadowMode {
+    /// One shadow register per sequential register — the paper's
+    /// cost-reduced design (Section 3.2).  A second in-flight speculative
+    /// write with a different predicate is a scheduler error.
+    #[default]
+    Single,
+    /// Unbounded shadow storage per register — the idealised model of the
+    /// paper's footnote 1, used by the `ablation-shadow` experiment.
+    Infinite,
+}
+
+/// Full configuration of the predicating machine.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MachineConfig {
+    /// Maximum slots per word.
+    pub issue_width: usize,
+    /// Function-unit counts.
+    pub resources: Resources,
+    /// Load latency in cycles (the paper uses 2; all other ops take 1).
+    pub load_latency: u64,
+    /// Shadow-register provisioning.
+    pub shadow_mode: ShadowMode,
+    /// Store buffer capacity in entries.
+    pub store_buffer_size: usize,
+    /// Store-buffer retires to the D-cache per cycle.
+    pub retire_per_cycle: usize,
+    /// Penalty cycles for a taken region-exit jump.  The paper assumes
+    /// BTB-predictable branches impose no penalty, so the default is 0.
+    pub taken_jump_penalty: u64,
+    /// Pipeline refill cycles charged when recovery rolls back to the RPC.
+    pub rollback_penalty: u64,
+    /// Addresses whose first access raises a non-fatal fault (handled at
+    /// [`MachineConfig::fault_penalty`] cost); mirrors
+    /// `ScalarConfig::fault_once_addrs`.
+    pub fault_once_addrs: BTreeSet<i64>,
+    /// Handler cost of a non-fatal fault.
+    pub fault_penalty: u64,
+    /// Safety limit; exceeding it aborts the run.
+    pub max_cycles: u64,
+    /// Record the per-cycle event log (Table 1 reproduction / debugging).
+    pub record_events: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            issue_width: 4,
+            resources: Resources::paper_base(),
+            load_latency: 2,
+            shadow_mode: ShadowMode::Single,
+            store_buffer_size: 16,
+            retire_per_cycle: 1,
+            taken_jump_penalty: 0,
+            rollback_penalty: 2,
+            fault_once_addrs: BTreeSet::new(),
+            fault_penalty: 50,
+            max_cycles: 200_000_000,
+            record_events: false,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The paper's base 4-issue machine with event recording enabled.
+    pub fn with_events(mut self) -> MachineConfig {
+        self.record_events = true;
+        self
+    }
+
+    /// A 2-issue configuration as in the paper's Section 3.4 example.
+    pub fn two_issue() -> MachineConfig {
+        MachineConfig {
+            issue_width: 2,
+            resources: Resources {
+                alu: 2,
+                branch: 2,
+                load: 1,
+                store: 1,
+            },
+            ..MachineConfig::default()
+        }
+    }
+
+    /// A full-issue machine of width `w` (Figure 8).
+    pub fn full_issue(w: usize) -> MachineConfig {
+        MachineConfig {
+            issue_width: w,
+            resources: Resources::full_issue(w),
+            ..MachineConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_base() {
+        let c = MachineConfig::default();
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(
+            c.resources,
+            Resources {
+                alu: 4,
+                branch: 4,
+                load: 2,
+                store: 1
+            }
+        );
+        assert_eq!(c.load_latency, 2);
+        assert_eq!(c.shadow_mode, ShadowMode::Single);
+    }
+
+    #[test]
+    fn full_issue_duplicates_everything() {
+        let c = MachineConfig::full_issue(8);
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(
+            c.resources,
+            Resources {
+                alu: 8,
+                branch: 8,
+                load: 8,
+                store: 8
+            }
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Dynamic audit of machine event logs.
+//!
+//! [`audit_events`] replays a recorded event log and checks the temporal
+//! invariants of the predicated state-buffering discipline — the runtime
+//! counterpart of `psb-sched`'s static verifier.  Tests run it over every
+//! event-recorded execution; it is also handy when debugging hand-written
+//! schedules (`psbsim --events`).
+
+use crate::event::{Event, StateLoc};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One violation of the event-log discipline.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AuditViolation {
+    /// A commit or squash arrived for a location with no outstanding
+    /// speculative write.
+    ResolutionWithoutWrite {
+        /// Cycle of the spurious resolution.
+        cycle: u64,
+        /// The location.
+        loc: String,
+    },
+    /// A speculative write was overwritten... by a second speculative
+    /// write to the same location in the same region window without an
+    /// intervening resolution under a *different* predicate (a shadow
+    /// conflict the machine should have rejected).
+    ConflictingSpecWrite {
+        /// Cycle of the conflicting write.
+        cycle: u64,
+        /// The location.
+        loc: String,
+    },
+    /// A region boundary (or the end of the run) passed while a
+    /// speculative value was still unresolved — buffered state leaked
+    /// across a region, violating Section 3.3's closure property.
+    UnresolvedAtRegionEnd {
+        /// Cycle of the boundary.
+        cycle: u64,
+        /// The location still holding speculative state.
+        loc: String,
+    },
+    /// A recovery started with no preceding speculative-exception write
+    /// since the last region entry.
+    RecoveryWithoutException {
+        /// Cycle recovery started.
+        cycle: u64,
+    },
+    /// A recovery start without a matching end before the next region
+    /// entry or the end of the log.
+    UnfinishedRecovery {
+        /// Cycle recovery started.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditViolation::ResolutionWithoutWrite { cycle, loc } => {
+                write!(
+                    f,
+                    "[{cycle}] {loc} resolved without an outstanding speculative write"
+                )
+            }
+            AuditViolation::ConflictingSpecWrite { cycle, loc } => {
+                write!(f, "[{cycle}] conflicting speculative write to {loc}")
+            }
+            AuditViolation::UnresolvedAtRegionEnd { cycle, loc } => {
+                write!(f, "[{cycle}] {loc} speculative across a region boundary")
+            }
+            AuditViolation::RecoveryWithoutException { cycle } => {
+                write!(f, "[{cycle}] recovery without a buffered exception")
+            }
+            AuditViolation::UnfinishedRecovery { cycle } => {
+                write!(f, "[{cycle}] recovery never completed")
+            }
+        }
+    }
+}
+
+/// Replays `events` and returns every violated invariant (empty =
+/// audited clean).
+///
+/// The audit understands the machine's timing: a region-entry event
+/// squashes outstanding speculation in the same cycle, and the final
+/// region's leftovers are squashed by the halt (which emits squash events
+/// itself), so anything left at the end of the log is a leak.
+pub fn audit_events(events: &[Event]) -> Vec<AuditViolation> {
+    let mut out = Vec::new();
+    // Outstanding speculative writes: loc -> predicate string.
+    let mut spec: HashMap<String, String> = HashMap::new();
+    let mut exception_pending = false;
+    let mut in_recovery: Option<u64> = None;
+
+    for e in events {
+        match e {
+            Event::SpecWrite {
+                cycle,
+                loc,
+                pred,
+                exc,
+            } => {
+                let key = loc.to_string();
+                let pred = pred.to_string();
+                if let Some(prev) = spec.get(&key) {
+                    // Same-predicate rewrites model WAW on one path; a
+                    // different predicate on a *register* is the
+                    // single-shadow storage conflict (store-buffer entries
+                    // are distinct locations and never conflict).  Logs
+                    // from the infinite-shadow configuration legitimately
+                    // interleave predicates and should not be audited with
+                    // this single-shadow checker.
+                    if prev != &pred && !matches!(loc, StateLoc::Sb(_)) {
+                        out.push(AuditViolation::ConflictingSpecWrite {
+                            cycle: *cycle,
+                            loc: key.clone(),
+                        });
+                    }
+                }
+                spec.insert(key, pred);
+                if *exc {
+                    exception_pending = true;
+                }
+            }
+            Event::Commit { cycle, loc } | Event::Squash { cycle, loc } => {
+                if spec.remove(&loc.to_string()).is_none() {
+                    out.push(AuditViolation::ResolutionWithoutWrite {
+                        cycle: *cycle,
+                        loc: loc.to_string(),
+                    });
+                }
+            }
+            Event::RegionEnter { cycle, .. } => {
+                for loc in spec.drain().map(|(k, _)| k) {
+                    out.push(AuditViolation::UnresolvedAtRegionEnd { cycle: *cycle, loc });
+                }
+                exception_pending = false;
+                if let Some(start) = in_recovery.take() {
+                    out.push(AuditViolation::UnfinishedRecovery { cycle: start });
+                }
+            }
+            Event::RecoveryStart { cycle, .. } => {
+                if !exception_pending {
+                    out.push(AuditViolation::RecoveryWithoutException { cycle: *cycle });
+                }
+                // Recovery invalidates all speculative state — but the
+                // machine logs an explicit squash for every invalidated
+                // entry, so the ordinary resolution accounting covers it.
+                in_recovery = Some(*cycle);
+            }
+            Event::RecoveryEnd { .. } => {
+                in_recovery = None;
+                exception_pending = false;
+            }
+            Event::SeqWrite { .. }
+            | Event::SeqStore { .. }
+            | Event::CondSet { .. }
+            | Event::FaultHandled { .. } => {}
+        }
+    }
+    for (loc, _) in spec {
+        out.push(AuditViolation::UnresolvedAtRegionEnd {
+            cycle: u64::MAX,
+            loc,
+        });
+    }
+    if let Some(start) = in_recovery {
+        out.push(AuditViolation::UnfinishedRecovery { cycle: start });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_isa::{CondReg, Predicate, Reg};
+
+    fn spec(cycle: u64, reg: usize, exc: bool) -> Event {
+        Event::SpecWrite {
+            cycle,
+            loc: StateLoc::Reg(Reg::new(reg)),
+            pred: Predicate::always().and_pos(CondReg::new(0)),
+            exc,
+        }
+    }
+
+    fn commit(cycle: u64, reg: usize) -> Event {
+        Event::Commit {
+            cycle,
+            loc: StateLoc::Reg(Reg::new(reg)),
+        }
+    }
+
+    #[test]
+    fn clean_log_audits_clean() {
+        let log = vec![spec(1, 1, false), commit(3, 1)];
+        assert!(audit_events(&log).is_empty());
+    }
+
+    #[test]
+    fn detects_spurious_resolution() {
+        let log = vec![commit(2, 1)];
+        let v = audit_events(&log);
+        assert!(matches!(
+            v[0],
+            AuditViolation::ResolutionWithoutWrite { cycle: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn detects_leak_across_region() {
+        let log = vec![spec(1, 1, false), Event::RegionEnter { cycle: 2, addr: 4 }];
+        let v = audit_events(&log);
+        assert!(matches!(
+            v[0],
+            AuditViolation::UnresolvedAtRegionEnd { cycle: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn detects_leak_at_end() {
+        let log = vec![spec(1, 1, false)];
+        let v = audit_events(&log);
+        assert!(matches!(v[0], AuditViolation::UnresolvedAtRegionEnd { .. }));
+    }
+
+    #[test]
+    fn detects_recovery_without_exception() {
+        let log = vec![Event::RecoveryStart {
+            cycle: 5,
+            epc: 3,
+            rpc: 0,
+        }];
+        let v = audit_events(&log);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, AuditViolation::RecoveryWithoutException { .. })));
+    }
+
+    #[test]
+    fn accepts_full_recovery_narrative() {
+        let log = vec![
+            spec(1, 3, true),
+            Event::RecoveryStart {
+                cycle: 4,
+                epc: 2,
+                rpc: 0,
+            },
+            // The machine squashes the invalidated entry explicitly.
+            Event::Squash {
+                cycle: 4,
+                loc: StateLoc::Reg(Reg::new(3)),
+            },
+            spec(6, 3, false),
+            Event::RecoveryEnd { cycle: 8 },
+            commit(9, 3),
+        ];
+        assert!(audit_events(&log).is_empty());
+    }
+
+    #[test]
+    fn detects_unfinished_recovery() {
+        let log = vec![
+            spec(1, 3, true),
+            Event::RecoveryStart {
+                cycle: 4,
+                epc: 2,
+                rpc: 0,
+            },
+        ];
+        let v = audit_events(&log);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, AuditViolation::UnfinishedRecovery { cycle: 4 })));
+    }
+}

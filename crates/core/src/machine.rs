@@ -1,0 +1,956 @@
+//! The in-order predicating pipeline.
+//!
+//! # Cycle structure
+//!
+//! Each simulated cycle runs:
+//!
+//! 1. **commit pass** — the per-entry predicate hardware of the register
+//!    file and store buffer evaluates against the CCR (as updated at the
+//!    end of the previous cycle), committing and squashing buffered state;
+//! 2. **store retire** — valid non-speculative head entries go to the
+//!    D-cache;
+//! 3. **recovery exit check** — if recovery has reached the EPC, the future
+//!    condition is copied into the CCR and normal mode resumes;
+//! 4. **issue** — the word at PC issues unless stalled (operand in flight,
+//!    jump with unspecified predicate, store buffer full, fault handler
+//!    busy);
+//! 5. **end of cycle** — single-cycle results and matured loads write back
+//!    (destination chosen by the predicate *at writeback*, so a result can
+//!    commit during execution as in Table 1), stores append, condition-set
+//!    results form the CCR *candidate*; if a buffered speculative exception
+//!    would commit under the candidate, the CCR update is suppressed, the
+//!    candidate is saved as the future CCR, all speculative state is
+//!    invalidated, and the machine rolls back to the RPC in recovery mode;
+//!    otherwise the candidate becomes the CCR and control advances.
+
+use crate::config::MachineConfig;
+use crate::event::{Event, EventLog, StateLoc};
+use crate::regfile::PredicatedRegFile;
+use crate::storebuf::PredicatedStoreBuffer;
+use psb_isa::{
+    Ccr, Cond, CondReg, FuClass, MemFault, Memory, MultiOp, Op, Predicate, Reg, SlotOp, Src,
+    VliwProgram, NUM_REGS,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A failed VLIW run.
+#[derive(Clone, PartialEq, Debug)]
+pub enum VliwError {
+    /// A fatal memory fault was committed (non-speculative access, or a
+    /// speculative exception whose predicate committed and whose recovery
+    /// re-raised a fatal fault).
+    Fault {
+        /// The faulting word address.
+        word: usize,
+        /// The fault.
+        fault: MemFault,
+    },
+    /// The configured cycle limit was exceeded.
+    CycleLimit(u64),
+    /// Two speculative values with different predicates collided in one
+    /// shadow register under [`ShadowMode::Single`](crate::ShadowMode::Single) —
+    /// a scheduler bug.
+    ShadowConflict {
+        /// The conflicted register.
+        reg: Reg,
+        /// The cycle of the conflicting write.
+        cycle: u64,
+    },
+    /// The program violated a machine invariant (e.g. a word wider than the
+    /// issue width, too few function units, execution fell off the end, or
+    /// an impossible predicate state during recovery).
+    Malformed(String),
+}
+
+impl fmt::Display for VliwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VliwError::Fault { word, fault } => write!(f, "fatal {fault} committed at W{word}"),
+            VliwError::CycleLimit(n) => write!(f, "cycle limit {n} exceeded"),
+            VliwError::ShadowConflict { reg, cycle } => {
+                write!(f, "shadow storage conflict on {reg} at cycle {cycle}")
+            }
+            VliwError::Malformed(m) => write!(f, "malformed program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VliwError {}
+
+/// The result of a completed VLIW run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct VliwResult {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Words issued (excluding stall cycles).
+    pub words_issued: u64,
+    /// Slot operations executed (predicate true or unspecified at issue).
+    pub ops_executed: u64,
+    /// Slot operations squashed at issue (predicate false).
+    pub ops_squashed: u64,
+    /// Stall cycles waiting on operands still in flight.
+    pub stall_operand: u64,
+    /// Stall cycles waiting for store-buffer space.
+    pub stall_sb_full: u64,
+    /// Stall cycles in fault handlers and pipeline refill.
+    pub stall_busy: u64,
+    /// Speculative-exception recoveries taken.
+    pub recoveries: u64,
+    /// Non-fatal faults handled.
+    pub faults_handled: u64,
+    /// Region transfers (taken exits plus fall-through entries).
+    pub region_transfers: u64,
+    /// Final sequential register values.
+    pub regs: Vec<i64>,
+    /// Final memory.
+    pub memory: Memory,
+    /// The event log (empty unless recording was enabled).
+    pub events: Vec<Event>,
+}
+
+impl VliwResult {
+    /// The observable architectural result: `live_out` register values plus
+    /// final memory cells — directly comparable with
+    /// `psb_scalar::RunResult::observable`.
+    pub fn observable(&self, live_out: &[Reg]) -> (Vec<i64>, Vec<i64>) {
+        (
+            live_out.iter().map(|r| self.regs[r.index()]).collect(),
+            self.memory.cells().to_vec(),
+        )
+    }
+}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Mode {
+    Normal,
+    Recovery { epc: usize, future: Ccr },
+}
+
+/// A register write still in the pipeline (a load's two-cycle latency).
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct InFlight {
+    /// End-of-cycle time at which the write lands.
+    ready_end: u64,
+    /// The word that issued it (for rollback bookkeeping).
+    word: usize,
+    dest: Reg,
+    value: i64,
+    pred: Predicate,
+    exc: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct PendingWrite {
+    dest: Reg,
+    value: i64,
+    pred: Predicate,
+    /// Predicate value observed at issue (`True` → sequential write).
+    nonspec: bool,
+    exc: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct PendingStore {
+    addr: i64,
+    value: i64,
+    pred: Predicate,
+    spec: bool,
+    exc: bool,
+}
+
+/// The predicating VLIW machine.
+#[derive(Clone, Debug)]
+pub struct VliwMachine<'p> {
+    prog: &'p VliwProgram,
+    cfg: MachineConfig,
+    regs: PredicatedRegFile,
+    sb: PredicatedStoreBuffer,
+    memory: Memory,
+    ccr: Ccr,
+    pc: usize,
+    rpc: usize,
+    mode: Mode,
+    cycle: u64,
+    busy_until: u64,
+    inflight: Vec<InFlight>,
+    touched_faults: BTreeSet<i64>,
+    log: EventLog,
+    stats: Stats,
+}
+
+#[derive(Clone, Default, Debug)]
+struct Stats {
+    words_issued: u64,
+    ops_executed: u64,
+    ops_squashed: u64,
+    stall_operand: u64,
+    stall_sb_full: u64,
+    stall_busy: u64,
+    recoveries: u64,
+    faults_handled: u64,
+    region_transfers: u64,
+}
+
+/// What `issue` decided for the end of the cycle.
+#[derive(Clone, Debug, Default)]
+struct CycleOut {
+    writes: Vec<PendingWrite>,
+    stores: Vec<PendingStore>,
+    conds: Vec<(CondReg, bool)>,
+    jump: Option<usize>,
+    halt: bool,
+}
+
+impl<'p> VliwMachine<'p> {
+    /// Creates a machine over `prog`.
+    ///
+    /// # Errors
+    ///
+    /// [`VliwError::Malformed`] if the program fails validation or exceeds
+    /// the configured issue width or function-unit counts.
+    pub fn new(prog: &'p VliwProgram, cfg: MachineConfig) -> Result<VliwMachine<'p>, VliwError> {
+        prog.validate().map_err(VliwError::Malformed)?;
+        for (addr, word) in prog.words.iter().enumerate() {
+            if word.slots.len() > cfg.issue_width {
+                return Err(VliwError::Malformed(format!(
+                    "word {addr} has {} slots, issue width is {}",
+                    word.slots.len(),
+                    cfg.issue_width
+                )));
+            }
+            let count = |c: FuClass| word.slots.iter().filter(|s| s.op.fu_class() == c).count();
+            let r = cfg.resources;
+            if count(FuClass::Alu) > r.alu
+                || count(FuClass::Branch) > r.branch
+                || count(FuClass::Load) > r.load
+                || count(FuClass::Store) > r.store
+            {
+                return Err(VliwError::Malformed(format!(
+                    "word {addr} exceeds function-unit resources"
+                )));
+            }
+        }
+        let mut regs = PredicatedRegFile::new(NUM_REGS, cfg.shadow_mode);
+        for &(r, v) in &prog.init_regs {
+            regs.init(r, v);
+        }
+        Ok(VliwMachine {
+            regs,
+            sb: PredicatedStoreBuffer::new(cfg.store_buffer_size),
+            memory: Memory::from_image(&prog.memory),
+            ccr: Ccr::new(prog.num_conds),
+            pc: 0,
+            rpc: 0,
+            mode: Mode::Normal,
+            cycle: 1,
+            busy_until: 0,
+            inflight: Vec::new(),
+            touched_faults: BTreeSet::new(),
+            log: EventLog::new(cfg.record_events),
+            cfg,
+            prog,
+            stats: Stats::default(),
+        })
+    }
+
+    /// Creates a machine and runs the program to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`VliwMachine::run`].
+    pub fn run_program(prog: &VliwProgram, cfg: MachineConfig) -> Result<VliwResult, VliwError> {
+        VliwMachine::new(prog, cfg)?.run()
+    }
+
+    fn read_src(&self, s: Src, reader_pred: &Predicate) -> i64 {
+        match s {
+            Src::Imm(v) => v,
+            Src::Reg { reg, shadow: false } => self.regs.read_seq(reg),
+            Src::Reg { reg, shadow: true } => self.regs.read_shadow(reg, reader_pred),
+        }
+    }
+
+    /// Classifies an access: `Ok(())` = fine, `Err(Some(fault))` = fatal,
+    /// `Err(None)` = untouched fault-once page.
+    fn classify_access(&self, addr: i64) -> Result<(), Option<MemFault>> {
+        if let Err(f) = self.memory.check(addr) {
+            return Err(Some(f));
+        }
+        if self.cfg.fault_once_addrs.contains(&addr) && !self.touched_faults.contains(&addr) {
+            return Err(None);
+        }
+        Ok(())
+    }
+
+    /// Handles a non-fatal fault inline: touch the page and stall.
+    fn handle_fault(&mut self, addr: i64) {
+        self.touched_faults.insert(addr);
+        self.busy_until = self.busy_until.max(self.cycle) + self.cfg.fault_penalty;
+        self.stats.faults_handled += 1;
+        let cycle = self.cycle;
+        self.log.push(|| Event::FaultHandled { cycle, addr });
+    }
+
+    /// A load's data: store-buffer forwarding first, then the D-cache.
+    fn load_value(&self, addr: i64, pred: &Predicate) -> i64 {
+        self.sb
+            .forward(addr, pred)
+            .unwrap_or_else(|| self.memory.read(addr).expect("address classified valid"))
+    }
+
+    /// Whether any in-flight write targets a register read by a live slot
+    /// of this word.
+    fn operand_in_flight(&self, word: &MultiOp) -> bool {
+        if self.inflight.is_empty() {
+            return false;
+        }
+        for slot in &word.slots {
+            if slot.pred.eval(&self.ccr) == Cond::False {
+                continue;
+            }
+            for s in slot.op.srcs() {
+                if let Some(r) = s.as_reg() {
+                    if self.inflight.iter().any(|f| f.dest == r) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Region transfer bookkeeping: close the old region's speculative
+    /// state, reset the CCR, and record the new RPC.
+    fn enter_region(&mut self, target: usize) {
+        let cycle = self.cycle;
+        self.regs.squash_spec(cycle, &mut self.log);
+        self.sb.squash_spec(cycle, &mut self.log);
+        // Resolve in-flight writes against the old region's conditions:
+        // a specified-true pred will still land sequentially; everything
+        // else is dead on this exit path.
+        self.inflight.retain_mut(|f| match f.pred.eval(&self.ccr) {
+            Cond::True => {
+                f.pred = Predicate::always();
+                true
+            }
+            _ => false,
+        });
+        self.ccr.reset();
+        self.pc = target;
+        self.rpc = target;
+        self.stats.region_transfers += 1;
+        self.log.push(|| Event::RegionEnter {
+            cycle,
+            addr: target,
+        });
+    }
+
+    /// End-of-cycle writeback of matured in-flight loads; the destination
+    /// is chosen by the predicate *now* (commit during execution).  Runs
+    /// every cycle, including stall cycles.
+    fn writeback_inflight(&mut self) -> Result<(), VliwError> {
+        let cycle = self.cycle;
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].ready_end > cycle {
+                i += 1;
+                continue;
+            }
+            let f = self.inflight.swap_remove(i);
+            match f.pred.eval(&self.ccr) {
+                Cond::True => {
+                    assert!(!f.exc, "exception commit missed by the detection scan");
+                    self.regs.write_seq(f.dest, f.value);
+                    self.log.push(|| Event::SeqWrite { cycle, reg: f.dest });
+                }
+                Cond::False => {}
+                Cond::Unspecified => {
+                    self.regs
+                        .write_spec(f.dest, f.value, f.pred, f.exc)
+                        .map_err(|c| VliwError::ShadowConflict { reg: c.reg, cycle })?;
+                    self.log.push(|| Event::SpecWrite {
+                        cycle,
+                        loc: StateLoc::Reg(f.dest),
+                        pred: f.pred,
+                        exc: f.exc,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_writes(&mut self, writes: &[PendingWrite]) -> Result<(), VliwError> {
+        let cycle = self.cycle;
+        for w in writes {
+            if w.nonspec {
+                self.regs.write_seq(w.dest, w.value);
+                self.log.push(|| Event::SeqWrite { cycle, reg: w.dest });
+            } else {
+                self.regs
+                    .write_spec(w.dest, w.value, w.pred, w.exc)
+                    .map_err(|c| VliwError::ShadowConflict { reg: c.reg, cycle })?;
+                self.log.push(|| Event::SpecWrite {
+                    cycle,
+                    loc: StateLoc::Reg(w.dest),
+                    pred: w.pred,
+                    exc: w.exc,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a buffered or in-flight speculative exception would commit
+    /// under `candidate`.
+    fn exception_would_commit(&self, candidate: &Ccr) -> bool {
+        self.regs.has_exception_commit(candidate)
+            || self.sb.has_exception_commit(candidate)
+            || self
+                .inflight
+                .iter()
+                .any(|f| f.exc && f.pred.eval(candidate) == Cond::True)
+    }
+
+    /// Enters recovery mode: suppress the CCR update (the candidate becomes
+    /// the future CCR), invalidate all speculative state, force-complete
+    /// the pipeline, and roll back to the region top.
+    fn enter_recovery(&mut self, issued_word: usize, candidate: Ccr) {
+        let cycle = self.cycle;
+        let rpc = self.rpc;
+        self.log.push(|| Event::RecoveryStart {
+            cycle,
+            epc: issued_word,
+            rpc,
+        });
+        // Force-complete in-flight writes from earlier words; the rolled
+        // back word's own effects are discarded entirely (it re-executes).
+        let ccr = self.ccr.clone();
+        let mut landed = Vec::new();
+        self.inflight.retain(|f| {
+            if f.word == issued_word {
+                return false;
+            }
+            if f.pred.eval(&ccr) == Cond::True {
+                landed.push((f.dest, f.value, f.exc));
+            }
+            false
+        });
+        for (dest, value, exc) in landed {
+            assert!(
+                !exc,
+                "true-predicate exception must have been detected earlier"
+            );
+            self.regs.write_seq(dest, value);
+            self.log.push(|| Event::SeqWrite { cycle, reg: dest });
+        }
+        self.regs.squash_spec(cycle, &mut self.log);
+        self.sb.squash_spec(cycle, &mut self.log);
+        self.mode = Mode::Recovery {
+            epc: issued_word,
+            future: candidate,
+        };
+        self.pc = self.rpc;
+        self.busy_until = self.busy_until.max(self.cycle) + self.cfg.rollback_penalty;
+        self.stats.recoveries += 1;
+    }
+
+    /// Issues the word at PC in normal mode.  Returns `None` if stalled.
+    fn issue_normal(&mut self) -> Result<Option<CycleOut>, VliwError> {
+        let word = self.prog.words[self.pc].clone();
+        // Stall checks.
+        if self.operand_in_flight(&word) {
+            self.stats.stall_operand += 1;
+            return Ok(None);
+        }
+        let mut store_count = 0;
+        for slot in &word.slots {
+            let v = slot.pred.eval(&self.ccr);
+            match slot.op {
+                SlotOp::Jump { .. } | SlotOp::Halt | SlotOp::CmpBr { .. }
+                    if v == Cond::Unspecified =>
+                {
+                    // In an in-order machine no later word can specify the
+                    // condition, so this can never resolve: the scheduler
+                    // must place condition-sets strictly before dependent
+                    // control transfers.
+                    return Err(VliwError::Malformed(format!(
+                        "word {}: control-transfer predicate {} unspecified at issue",
+                        self.pc, slot.pred
+                    )));
+                }
+                SlotOp::Op(Op::Store { .. }) if v != Cond::False => store_count += 1,
+                _ => {}
+            }
+        }
+        if self.sb.would_overflow(store_count) {
+            self.stats.stall_sb_full += 1;
+            return Ok(None);
+        }
+
+        let mut out = CycleOut::default();
+        self.stats.words_issued += 1;
+        for slot in &word.slots {
+            let pv = slot.pred.eval(&self.ccr);
+            if pv == Cond::False {
+                self.stats.ops_squashed += 1;
+                continue;
+            }
+            let nonspec = pv == Cond::True;
+            match slot.op {
+                SlotOp::Op(Op::Nop) => {}
+                SlotOp::Op(Op::Alu { op, rd, a, b }) => {
+                    let v = op.apply(self.read_src(a, &slot.pred), self.read_src(b, &slot.pred));
+                    out.writes.push(PendingWrite {
+                        dest: rd,
+                        value: v,
+                        pred: slot.pred,
+                        nonspec,
+                        exc: false,
+                    });
+                    self.stats.ops_executed += 1;
+                }
+                SlotOp::Op(Op::Copy { rd, src }) => {
+                    let v = self.read_src(src, &slot.pred);
+                    out.writes.push(PendingWrite {
+                        dest: rd,
+                        value: v,
+                        pred: slot.pred,
+                        nonspec,
+                        exc: false,
+                    });
+                    self.stats.ops_executed += 1;
+                }
+                SlotOp::Op(Op::SetCond { c, cmp, a, b }) => {
+                    let v = cmp.apply(self.read_src(a, &slot.pred), self.read_src(b, &slot.pred));
+                    out.conds.push((c, v));
+                    self.stats.ops_executed += 1;
+                }
+                SlotOp::Op(Op::Load {
+                    rd, base, offset, ..
+                }) => {
+                    let addr = self.read_src(base, &slot.pred).wrapping_add(offset);
+                    let (value, exc) = match self.classify_access(addr) {
+                        Ok(()) => (self.load_value(addr, &slot.pred), false),
+                        Err(fault) if nonspec => match fault {
+                            Some(f) => {
+                                return Err(VliwError::Fault {
+                                    word: self.pc,
+                                    fault: f,
+                                })
+                            }
+                            None => {
+                                self.handle_fault(addr);
+                                (self.load_value(addr, &slot.pred), false)
+                            }
+                        },
+                        Err(_) => (0, true), // buffer the speculative exception
+                    };
+                    self.inflight.push(InFlight {
+                        ready_end: self.cycle + self.cfg.load_latency - 1,
+                        word: self.pc,
+                        dest: rd,
+                        value,
+                        pred: slot.pred,
+                        exc,
+                    });
+                    self.stats.ops_executed += 1;
+                }
+                SlotOp::Op(Op::Store {
+                    base,
+                    offset,
+                    value,
+                    ..
+                }) => {
+                    let addr = self.read_src(base, &slot.pred).wrapping_add(offset);
+                    let v = self.read_src(value, &slot.pred);
+                    let exc = match self.classify_access(addr) {
+                        Ok(()) => false,
+                        Err(fault) if nonspec => match fault {
+                            Some(f) => {
+                                return Err(VliwError::Fault {
+                                    word: self.pc,
+                                    fault: f,
+                                })
+                            }
+                            None => {
+                                self.handle_fault(addr);
+                                false
+                            }
+                        },
+                        Err(_) => true,
+                    };
+                    out.stores.push(PendingStore {
+                        addr,
+                        value: v,
+                        pred: slot.pred,
+                        spec: !nonspec,
+                        exc,
+                    });
+                    self.stats.ops_executed += 1;
+                }
+                SlotOp::Jump { target } => {
+                    if nonspec {
+                        if out.jump.is_some() {
+                            return Err(VliwError::Malformed(format!(
+                                "word {}: two taken jumps in one word",
+                                self.pc
+                            )));
+                        }
+                        out.jump = Some(target);
+                    }
+                    self.stats.ops_executed += 1;
+                }
+                SlotOp::CmpBr {
+                    c,
+                    cmp,
+                    a,
+                    b,
+                    target,
+                } => {
+                    let v = cmp.apply(self.read_src(a, &slot.pred), self.read_src(b, &slot.pred));
+                    if let Some(c) = c {
+                        out.conds.push((c, v));
+                    }
+                    if v {
+                        if out.jump.is_some() {
+                            return Err(VliwError::Malformed(format!(
+                                "word {}: two taken jumps in one word",
+                                self.pc
+                            )));
+                        }
+                        out.jump = Some(target);
+                    }
+                    self.stats.ops_executed += 1;
+                }
+                SlotOp::Halt => {
+                    out.halt = true;
+                    self.stats.ops_executed += 1;
+                }
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// Issues the word at PC in recovery mode (Section 3.5): instructions
+    /// whose predicate is specified under the current condition are
+    /// squashed; unspecified ones re-execute speculatively, and a re-raised
+    /// exception is judged against the *future* condition.
+    fn issue_recovery(&mut self, future: &Ccr) -> Result<Option<CycleOut>, VliwError> {
+        let word = self.prog.words[self.pc].clone();
+        if self.operand_in_flight(&word) {
+            self.stats.stall_operand += 1;
+            return Ok(None);
+        }
+        let mut store_count = 0;
+        for slot in &word.slots {
+            if slot.pred.eval(&self.ccr) == Cond::Unspecified {
+                if let SlotOp::Op(Op::Store { .. }) = slot.op {
+                    store_count += 1;
+                }
+            }
+        }
+        if self.sb.would_overflow(store_count) {
+            self.stats.stall_sb_full += 1;
+            return Ok(None);
+        }
+
+        let mut out = CycleOut::default();
+        self.stats.words_issued += 1;
+        for slot in &word.slots {
+            if slot.pred.eval(&self.ccr) != Cond::Unspecified {
+                // Category 1: already updated the sequential state, or must
+                // not update any state.  Jumps and halts here always carry
+                // specified-false predicates (a true one would have left
+                // the region originally).
+                if matches!(slot.op, SlotOp::Jump { .. } | SlotOp::Halt)
+                    && slot.pred.eval(&self.ccr) == Cond::True
+                {
+                    return Err(VliwError::Malformed(format!(
+                        "word {}: jump predicate true under the current condition \
+                         during recovery",
+                        self.pc
+                    )));
+                }
+                self.stats.ops_squashed += 1;
+                continue;
+            }
+            match slot.op {
+                SlotOp::Jump { .. } | SlotOp::Halt => {
+                    return Err(VliwError::Malformed(format!(
+                        "word {}: unspecified jump predicate during recovery",
+                        self.pc
+                    )));
+                }
+                SlotOp::CmpBr { .. } | SlotOp::Op(Op::SetCond { .. }) => {
+                    // Condition-sets carry `alw` predicates, so they can
+                    // never be unspecified; validated at load time.
+                    return Err(VliwError::Malformed(format!(
+                        "word {}: predicated condition-set during recovery",
+                        self.pc
+                    )));
+                }
+                SlotOp::Op(Op::Nop) => {}
+                SlotOp::Op(Op::Alu { op, rd, a, b }) => {
+                    let v = op.apply(self.read_src(a, &slot.pred), self.read_src(b, &slot.pred));
+                    out.writes.push(PendingWrite {
+                        dest: rd,
+                        value: v,
+                        pred: slot.pred,
+                        nonspec: false,
+                        exc: false,
+                    });
+                    self.stats.ops_executed += 1;
+                }
+                SlotOp::Op(Op::Copy { rd, src }) => {
+                    let v = self.read_src(src, &slot.pred);
+                    out.writes.push(PendingWrite {
+                        dest: rd,
+                        value: v,
+                        pred: slot.pred,
+                        nonspec: false,
+                        exc: false,
+                    });
+                    self.stats.ops_executed += 1;
+                }
+                SlotOp::Op(Op::Load {
+                    rd, base, offset, ..
+                }) => {
+                    let addr = self.read_src(base, &slot.pred).wrapping_add(offset);
+                    let (value, exc) = match self.classify_access(addr) {
+                        Ok(()) => (self.load_value(addr, &slot.pred), false),
+                        Err(fault) => match slot.pred.eval(future) {
+                            Cond::True => match fault {
+                                Some(f) => {
+                                    return Err(VliwError::Fault {
+                                        word: self.pc,
+                                        fault: f,
+                                    })
+                                }
+                                None => {
+                                    // The original exception: handle it.
+                                    self.handle_fault(addr);
+                                    (self.load_value(addr, &slot.pred), false)
+                                }
+                            },
+                            Cond::False => (0, false), // ignored exception
+                            Cond::Unspecified => (0, true), // re-buffered
+                        },
+                    };
+                    self.inflight.push(InFlight {
+                        ready_end: self.cycle + self.cfg.load_latency - 1,
+                        word: self.pc,
+                        dest: rd,
+                        value,
+                        pred: slot.pred,
+                        exc,
+                    });
+                    self.stats.ops_executed += 1;
+                }
+                SlotOp::Op(Op::Store {
+                    base,
+                    offset,
+                    value,
+                    ..
+                }) => {
+                    let addr = self.read_src(base, &slot.pred).wrapping_add(offset);
+                    let v = self.read_src(value, &slot.pred);
+                    let exc = match self.classify_access(addr) {
+                        Ok(()) => false,
+                        Err(fault) => match slot.pred.eval(future) {
+                            Cond::True => match fault {
+                                Some(f) => {
+                                    return Err(VliwError::Fault {
+                                        word: self.pc,
+                                        fault: f,
+                                    })
+                                }
+                                None => {
+                                    self.handle_fault(addr);
+                                    false
+                                }
+                            },
+                            Cond::False => false,
+                            Cond::Unspecified => true,
+                        },
+                    };
+                    out.stores.push(PendingStore {
+                        addr,
+                        value: v,
+                        pred: slot.pred,
+                        spec: true,
+                        exc,
+                    });
+                    self.stats.ops_executed += 1;
+                }
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// Runs the program to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`VliwError::Fault`] when a fatal memory fault commits;
+    /// [`VliwError::CycleLimit`] past the configured limit;
+    /// [`VliwError::ShadowConflict`] on a single-shadow collision;
+    /// [`VliwError::Malformed`] on an invariant violation.
+    pub fn run(mut self) -> Result<VliwResult, VliwError> {
+        loop {
+            if self.cycle > self.cfg.max_cycles {
+                return Err(VliwError::CycleLimit(self.cfg.max_cycles));
+            }
+            // 1. Commit pass.
+            let ccr = self.ccr.clone();
+            self.regs.tick(&ccr, self.cycle, &mut self.log);
+            self.sb.tick(&ccr, self.cycle, &mut self.log);
+            // 2. Store retire.
+            self.sb.retire(&mut self.memory, self.cfg.retire_per_cycle);
+            // 3. Recovery exit.
+            if let Mode::Recovery { epc, ref future } = self.mode {
+                if self.pc == epc {
+                    self.ccr = future.clone();
+                    self.mode = Mode::Normal;
+                    let cycle = self.cycle;
+                    self.log.push(|| Event::RecoveryEnd { cycle });
+                    // Newly-true predicates commit at the next cycle's
+                    // commit pass, exactly as after a normal CCR update.
+                }
+            }
+            // 4. Issue.
+            let mut issued: Option<CycleOut> = None;
+            let issued_word = self.pc;
+            if self.busy_until >= self.cycle {
+                self.stats.stall_busy += 1;
+            } else {
+                if self.pc >= self.prog.words.len() {
+                    return Err(VliwError::Malformed(
+                        "execution fell off the program end".into(),
+                    ));
+                }
+                issued = match self.mode {
+                    Mode::Normal => self.issue_normal()?,
+                    Mode::Recovery { ref future, .. } => {
+                        let future = future.clone();
+                        self.issue_recovery(&future)?
+                    }
+                };
+            }
+            // 5. End of cycle: writebacks run unconditionally (loads mature
+            // during stalls too); then this word's effects.
+            self.writeback_inflight()?;
+            let Some(out) = issued else {
+                self.cycle += 1;
+                continue;
+            };
+            if !out.conds.is_empty() {
+                let mut candidate = self.ccr.clone();
+                for &(c, v) in &out.conds {
+                    candidate.set(c, v);
+                }
+                let store_exc = out
+                    .stores
+                    .iter()
+                    .any(|s| s.exc && s.pred.eval(&candidate) == Cond::True);
+                if store_exc || self.exception_would_commit(&candidate) {
+                    // Suppress the CCR update; discard this entire word
+                    // (writes, stores and control) — it will fully
+                    // re-execute at the EPC after recovery.
+                    self.enter_recovery(issued_word, candidate);
+                    self.cycle += 1;
+                    continue;
+                }
+                for &(c, v) in &out.conds {
+                    self.ccr.set(c, v);
+                    let cycle = self.cycle;
+                    self.log.push(|| Event::CondSet {
+                        cycle,
+                        c,
+                        value: Cond::from_bool(v),
+                    });
+                }
+            }
+            self.apply_writes(&out.writes)?;
+            for s in &out.stores {
+                self.sb.append(
+                    s.addr,
+                    s.value,
+                    s.pred,
+                    s.spec,
+                    s.exc,
+                    self.cycle,
+                    &mut self.log,
+                );
+            }
+            if out.halt {
+                return self.drain();
+            }
+            if let Some(target) = out.jump {
+                self.enter_region(target);
+                self.busy_until = self.busy_until.max(self.cycle) + self.cfg.taken_jump_penalty;
+            } else {
+                let next = self.pc + 1;
+                if next < self.prog.words.len()
+                    && self.prog.region_starts.binary_search(&next).is_ok()
+                {
+                    self.enter_region(next);
+                } else {
+                    self.pc = next;
+                }
+            }
+            self.cycle += 1;
+        }
+    }
+
+    /// Halt: close the final region and drain the pipeline and store
+    /// buffer, charging one cycle per D-cache write beyond the halt cycle.
+    fn drain(mut self) -> Result<VliwResult, VliwError> {
+        let cycle = self.cycle;
+        self.regs.squash_spec(cycle, &mut self.log);
+        self.sb.squash_spec(cycle, &mut self.log);
+        // Resolve in-flight writes (same rule as a region exit).
+        let ccr = self.ccr.clone();
+        let mut landed = Vec::new();
+        for f in self.inflight.drain(..) {
+            if f.pred.eval(&ccr) == Cond::True {
+                landed.push((f.dest, f.value));
+            }
+        }
+        for (dest, value) in landed {
+            self.regs.write_seq(dest, value);
+            self.log.push(|| Event::SeqWrite { cycle, reg: dest });
+        }
+        let mut cycles = self.cycle;
+        while !self.sb.is_empty() {
+            let n = self.sb.retire(&mut self.memory, self.cfg.retire_per_cycle);
+            if n > 0 {
+                cycles += 1;
+            } else if !self.sb.is_empty() {
+                return Err(VliwError::Malformed(
+                    "unresolved speculative store left in the buffer at halt".into(),
+                ));
+            }
+        }
+        let s = self.stats;
+        Ok(VliwResult {
+            cycles,
+            words_issued: s.words_issued,
+            ops_executed: s.ops_executed,
+            ops_squashed: s.ops_squashed,
+            stall_operand: s.stall_operand,
+            stall_sb_full: s.stall_sb_full,
+            stall_busy: s.stall_busy,
+            recoveries: s.recoveries,
+            faults_handled: s.faults_handled,
+            region_transfers: s.region_transfers,
+            regs: self.regs.seq_values(),
+            memory: self.memory,
+            events: self.log.into_events(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,372 @@
+//! The predicated register file (Figure 2 of the paper).
+//!
+//! Every entry has two data storages (sequential + shadow), a stored
+//! predicate, and the W/V/E flags.  We model the W/V flags implicitly: the
+//! `spec` slots hold valid speculative data (V set), the `seq` field is the
+//! committed storage, and a commit copies shadow → sequential (the
+//! hardware's W flip) and clears V.
+
+use crate::config::ShadowMode;
+use crate::event::{Event, EventLog, StateLoc};
+use psb_isa::{Ccr, Cond, Predicate, Reg};
+
+/// One buffered speculative value (a shadow-register occupancy).
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct SpecSlot {
+    value: i64,
+    pred: Predicate,
+    /// The E flag: this result is an outstanding speculative exception.
+    exc: bool,
+}
+
+#[derive(Clone, PartialEq, Debug, Default)]
+struct RegEntry {
+    seq: i64,
+    /// Valid speculative slots, oldest first.  Length ≤ 1 in
+    /// [`ShadowMode::Single`].
+    spec: Vec<SpecSlot>,
+}
+
+/// The write-conflict error of the single-shadow design: a second
+/// speculative write with a *different* predicate while one is buffered.
+///
+/// The schedulers serialise such writes (Section 3.2 notes the conflict is
+/// rare), so hitting this at run time indicates a scheduling bug.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShadowConflict {
+    /// The conflicted register.
+    pub reg: Reg,
+}
+
+/// The predicated register file.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PredicatedRegFile {
+    entries: Vec<RegEntry>,
+    mode: ShadowMode,
+}
+
+impl PredicatedRegFile {
+    /// Creates a file of `num_regs` registers, all zero.
+    pub fn new(num_regs: usize, mode: ShadowMode) -> PredicatedRegFile {
+        PredicatedRegFile {
+            entries: vec![RegEntry::default(); num_regs],
+            mode,
+        }
+    }
+
+    /// Writes an initial (sequential) value.
+    pub fn init(&mut self, r: Reg, value: i64) {
+        if !r.is_zero() {
+            self.entries[r.index()].seq = value;
+        }
+    }
+
+    /// Reads the sequential state.
+    #[inline]
+    pub fn read_seq(&self, r: Reg) -> i64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.entries[r.index()].seq
+        }
+    }
+
+    /// Reads the speculative state, as selected by an instruction source
+    /// with the shadow bit set.
+    ///
+    /// When no compatible valid shadow entry exists the sequential storage
+    /// is returned instead — the one-gate operand-fetch fallback of
+    /// Section 3.5 (the wanted value was committed or squashed earlier).
+    /// `reader_pred` disambiguates between multiple buffered values in
+    /// [`ShadowMode::Infinite`]; the newest non-disjoint entry wins.
+    pub fn read_shadow(&self, r: Reg, reader_pred: &Predicate) -> i64 {
+        if r.is_zero() {
+            return 0;
+        }
+        let e = &self.entries[r.index()];
+        e.spec
+            .iter()
+            .rev()
+            .find(|s| !s.pred.disjoint(reader_pred))
+            .map_or(e.seq, |s| s.value)
+    }
+
+    /// Writes the sequential state (a non-speculative result).
+    pub fn write_seq(&mut self, r: Reg, value: i64) {
+        if !r.is_zero() {
+            self.entries[r.index()].seq = value;
+        }
+    }
+
+    /// Buffers a speculative result with its predicate; `exc` sets the E
+    /// flag (the result is an outstanding speculative exception).
+    ///
+    /// # Errors
+    ///
+    /// In [`ShadowMode::Single`], returns [`ShadowConflict`] if a
+    /// speculative value with a different predicate is already buffered.
+    pub fn write_spec(
+        &mut self,
+        r: Reg,
+        value: i64,
+        pred: Predicate,
+        exc: bool,
+    ) -> Result<(), ShadowConflict> {
+        if r.is_zero() {
+            return Ok(());
+        }
+        let e = &mut self.entries[r.index()];
+        match self.mode {
+            ShadowMode::Single => {
+                if let Some(slot) = e.spec.first_mut() {
+                    if slot.pred != pred {
+                        return Err(ShadowConflict { reg: r });
+                    }
+                    *slot = SpecSlot { value, pred, exc };
+                } else {
+                    e.spec.push(SpecSlot { value, pred, exc });
+                }
+            }
+            ShadowMode::Infinite => {
+                // A same-predicate rewrite replaces (WAW on one path);
+                // otherwise buffer an additional value.
+                if let Some(slot) = e.spec.iter_mut().rev().find(|s| s.pred == pred) {
+                    *slot = SpecSlot { value, pred, exc };
+                } else {
+                    e.spec.push(SpecSlot { value, pred, exc });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-cycle commit hardware: evaluates every buffered predicate
+    /// against the CCR, committing on true and squashing on false.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry with the E flag commits — the machine must detect
+    /// exception commits at CCR-update time (`has_exception_commit`) and
+    /// enter recovery before this pass runs; reaching one here is a
+    /// simulator bug.
+    pub fn tick(&mut self, ccr: &Ccr, cycle: u64, log: &mut EventLog) {
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if e.spec.is_empty() {
+                continue;
+            }
+            let mut kept = Vec::with_capacity(e.spec.len());
+            for slot in e.spec.drain(..) {
+                match slot.pred.eval(ccr) {
+                    Cond::True => {
+                        assert!(
+                            !slot.exc,
+                            "outstanding speculative exception on r{i} committed outside \
+                             the detection path"
+                        );
+                        e.seq = slot.value;
+                        log.push(|| Event::Commit {
+                            cycle,
+                            loc: StateLoc::Reg(Reg::new(i)),
+                        });
+                    }
+                    Cond::False => {
+                        log.push(|| Event::Squash {
+                            cycle,
+                            loc: StateLoc::Reg(Reg::new(i)),
+                        });
+                    }
+                    Cond::Unspecified => kept.push(slot),
+                }
+            }
+            e.spec = kept;
+        }
+    }
+
+    /// Whether any buffered entry with the E flag would commit under
+    /// `candidate` — the exception-detection signal checked when the CCR is
+    /// about to be updated (Section 3.5).
+    pub fn has_exception_commit(&self, candidate: &Ccr) -> bool {
+        self.entries.iter().any(|e| {
+            e.spec
+                .iter()
+                .any(|s| s.exc && s.pred.eval(candidate) == Cond::True)
+        })
+    }
+
+    /// Discards all speculative state (entering recovery, or region exit).
+    pub fn squash_spec(&mut self, cycle: u64, log: &mut EventLog) {
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if !e.spec.is_empty() {
+                e.spec.clear();
+                log.push(|| Event::Squash {
+                    cycle,
+                    loc: StateLoc::Reg(Reg::new(i)),
+                });
+            }
+        }
+    }
+
+    /// The newest buffered speculative value of `r`, if any, as
+    /// `(value, predicate, e_flag)` — for tests and debugging.
+    pub fn shadow_entry(&self, r: Reg) -> Option<(i64, Predicate, bool)> {
+        self.entries[r.index()]
+            .spec
+            .last()
+            .map(|s| (s.value, s.pred, s.exc))
+    }
+
+    /// Number of buffered speculative values across all registers.
+    pub fn spec_count(&self) -> usize {
+        self.entries.iter().map(|e| e.spec.len()).sum()
+    }
+
+    /// The final sequential register values.
+    pub fn seq_values(&self) -> Vec<i64> {
+        self.entries.iter().map(|e| e.seq).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_isa::CondReg;
+
+    fn pred(c: usize) -> Predicate {
+        Predicate::always().and_pos(CondReg::new(c))
+    }
+
+    fn log() -> EventLog {
+        EventLog::new(true)
+    }
+
+    #[test]
+    fn commit_flips_into_sequential() {
+        let mut rf = PredicatedRegFile::new(8, ShadowMode::Single);
+        rf.write_seq(Reg::new(1), 10);
+        rf.write_spec(Reg::new(1), 99, pred(0), false).unwrap();
+        assert_eq!(rf.read_seq(Reg::new(1)), 10);
+        assert_eq!(rf.read_shadow(Reg::new(1), &pred(0)), 99);
+
+        let mut ccr = Ccr::new(2);
+        ccr.set(CondReg::new(0), true);
+        let mut l = log();
+        rf.tick(&ccr, 5, &mut l);
+        assert_eq!(rf.read_seq(Reg::new(1)), 99);
+        assert_eq!(rf.spec_count(), 0);
+        assert!(matches!(l.events()[0], Event::Commit { cycle: 5, .. }));
+    }
+
+    #[test]
+    fn squash_keeps_sequential() {
+        let mut rf = PredicatedRegFile::new(8, ShadowMode::Single);
+        rf.write_seq(Reg::new(1), 10);
+        rf.write_spec(Reg::new(1), 99, pred(0), false).unwrap();
+        let mut ccr = Ccr::new(2);
+        ccr.set(CondReg::new(0), false);
+        rf.tick(&ccr, 1, &mut log());
+        assert_eq!(rf.read_seq(Reg::new(1)), 10);
+        assert_eq!(rf.spec_count(), 0);
+    }
+
+    #[test]
+    fn unspecified_predicate_holds_value() {
+        let mut rf = PredicatedRegFile::new(8, ShadowMode::Single);
+        rf.write_spec(Reg::new(1), 99, pred(0), false).unwrap();
+        rf.tick(&Ccr::new(2), 1, &mut log());
+        assert_eq!(rf.shadow_entry(Reg::new(1)), Some((99, pred(0), false)));
+    }
+
+    #[test]
+    fn shadow_read_falls_back_to_sequential() {
+        let mut rf = PredicatedRegFile::new(8, ShadowMode::Single);
+        rf.write_seq(Reg::new(2), 7);
+        // No shadow entry: operand fetch falls back (Section 3.5).
+        assert_eq!(rf.read_shadow(Reg::new(2), &Predicate::always()), 7);
+    }
+
+    #[test]
+    fn single_mode_conflict_detected() {
+        let mut rf = PredicatedRegFile::new(8, ShadowMode::Single);
+        rf.write_spec(Reg::new(1), 1, pred(0), false).unwrap();
+        // Same predicate: overwrite is fine (WAW on one path).
+        rf.write_spec(Reg::new(1), 2, pred(0), false).unwrap();
+        assert_eq!(rf.shadow_entry(Reg::new(1)).unwrap().0, 2);
+        // Different predicate: conflict.
+        let err = rf.write_spec(Reg::new(1), 3, pred(1), false).unwrap_err();
+        assert_eq!(err.reg, Reg::new(1));
+    }
+
+    #[test]
+    fn infinite_mode_buffers_multiple() {
+        let mut rf = PredicatedRegFile::new(8, ShadowMode::Infinite);
+        rf.write_spec(Reg::new(1), 1, pred(0), false).unwrap();
+        rf.write_spec(Reg::new(1), 2, pred(1), false).unwrap();
+        assert_eq!(rf.spec_count(), 2);
+        // Reader on c1's path sees the newest compatible value.
+        assert_eq!(rf.read_shadow(Reg::new(1), &pred(1)), 2);
+        // A reader whose predicate is disjoint with c1 (requires !c1) sees
+        // the older value.
+        let not1 = Predicate::always()
+            .and_neg(CondReg::new(1))
+            .and_pos(CondReg::new(0));
+        assert_eq!(rf.read_shadow(Reg::new(1), &not1), 1);
+    }
+
+    #[test]
+    fn infinite_mode_commit_order_is_append_order() {
+        // Two commits in one cycle apply oldest-first so the newest wins.
+        let mut rf = PredicatedRegFile::new(8, ShadowMode::Infinite);
+        let p01 = pred(0);
+        let p01b = pred(0).and_pos(CondReg::new(1));
+        rf.write_spec(Reg::new(1), 10, p01, false).unwrap();
+        rf.write_spec(Reg::new(1), 20, p01b, false).unwrap();
+        let mut ccr = Ccr::new(2);
+        ccr.set(CondReg::new(0), true);
+        ccr.set(CondReg::new(1), true);
+        rf.tick(&ccr, 1, &mut log());
+        assert_eq!(rf.read_seq(Reg::new(1)), 20);
+    }
+
+    #[test]
+    fn exception_detection_under_candidate() {
+        let mut rf = PredicatedRegFile::new(8, ShadowMode::Single);
+        rf.write_spec(Reg::new(3), 0, pred(1), true).unwrap();
+        let mut candidate = Ccr::new(2);
+        assert!(!rf.has_exception_commit(&candidate));
+        candidate.set(CondReg::new(1), true);
+        assert!(rf.has_exception_commit(&candidate));
+        candidate.set(CondReg::new(1), false);
+        assert!(!rf.has_exception_commit(&candidate));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the detection path")]
+    fn committing_exception_in_tick_panics() {
+        let mut rf = PredicatedRegFile::new(8, ShadowMode::Single);
+        rf.write_spec(Reg::new(3), 0, pred(1), true).unwrap();
+        let mut ccr = Ccr::new(2);
+        ccr.set(CondReg::new(1), true);
+        rf.tick(&ccr, 1, &mut log());
+    }
+
+    #[test]
+    fn squash_spec_clears_everything() {
+        let mut rf = PredicatedRegFile::new(8, ShadowMode::Infinite);
+        rf.write_spec(Reg::new(1), 1, pred(0), false).unwrap();
+        rf.write_spec(Reg::new(2), 2, pred(1), true).unwrap();
+        let mut l = log();
+        rf.squash_spec(9, &mut l);
+        assert_eq!(rf.spec_count(), 0);
+        assert_eq!(l.events().len(), 2);
+    }
+
+    #[test]
+    fn zero_register_is_inert() {
+        let mut rf = PredicatedRegFile::new(8, ShadowMode::Single);
+        rf.write_seq(Reg::ZERO, 5);
+        rf.write_spec(Reg::ZERO, 5, pred(0), false).unwrap();
+        assert_eq!(rf.read_seq(Reg::ZERO), 0);
+        assert_eq!(rf.read_shadow(Reg::ZERO, &Predicate::always()), 0);
+        assert_eq!(rf.spec_count(), 0);
+    }
+}

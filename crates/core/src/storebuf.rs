@@ -1,0 +1,346 @@
+//! The predicated store buffer (Section 3.2).
+//!
+//! A FIFO in which both speculative and non-speculative stores wait before
+//! the D-cache write.  Each entry carries the data, its predicate, and the
+//! W (speculative), V (valid) and E (outstanding exception) flags; per-entry
+//! hardware evaluates the predicate every cycle.  Only a valid,
+//! non-speculative head entry may be written to the D-cache.
+
+use crate::event::{Event, EventLog, StateLoc};
+use psb_isa::{Ccr, Cond, Memory, Predicate};
+use std::collections::VecDeque;
+
+/// One store-buffer entry.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SbEntry {
+    /// Target address.
+    pub addr: i64,
+    /// The value to store.
+    pub value: i64,
+    /// Commit condition of the store.
+    pub pred: Predicate,
+    /// W flag: the data is speculative.
+    pub spec: bool,
+    /// V flag: the data is valid (not squashed).
+    pub valid: bool,
+    /// E flag: the store is an outstanding speculative exception (its
+    /// address translation faulted).
+    pub exc: bool,
+    /// Append sequence number within the run (1-based; `sb1` in Table 1).
+    pub id: u64,
+}
+
+/// The predicated store buffer.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PredicatedStoreBuffer {
+    entries: VecDeque<SbEntry>,
+    capacity: usize,
+    appended: u64,
+}
+
+impl PredicatedStoreBuffer {
+    /// Creates a buffer with room for `capacity` entries.
+    pub fn new(capacity: usize) -> PredicatedStoreBuffer {
+        PredicatedStoreBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            appended: 0,
+        }
+    }
+
+    /// Current occupancy (squashed entries occupy space until they reach
+    /// the head, as in hardware).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether appending `n` more entries would overflow.
+    pub fn would_overflow(&self, n: usize) -> bool {
+        self.entries.len() + n > self.capacity
+    }
+
+    /// Appends a store at the tail.
+    ///
+    /// `spec` is the W flag (predicate unspecified at issue); `exc` is the
+    /// E flag (speculative address fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow — the machine checks
+    /// [`PredicatedStoreBuffer::would_overflow`] and stalls instead.
+    #[allow(clippy::too_many_arguments)] // mirrors the hardware port list
+    pub fn append(
+        &mut self,
+        addr: i64,
+        value: i64,
+        pred: Predicate,
+        spec: bool,
+        exc: bool,
+        cycle: u64,
+        log: &mut EventLog,
+    ) {
+        assert!(
+            !self.would_overflow(1),
+            "store buffer overflow (machine must stall)"
+        );
+        self.appended += 1;
+        let id = self.appended;
+        self.entries.push_back(SbEntry {
+            addr,
+            value,
+            pred,
+            spec,
+            valid: true,
+            exc,
+            id,
+        });
+        if spec {
+            log.push(|| Event::SpecWrite {
+                cycle,
+                loc: StateLoc::Sb(id),
+                pred,
+                exc,
+            });
+        } else {
+            log.push(|| Event::SeqStore {
+                cycle,
+                loc: StateLoc::Sb(id),
+            });
+        }
+    }
+
+    /// The per-cycle commit hardware: evaluates each speculative entry's
+    /// predicate, committing (clear W) on true and squashing (clear V) on
+    /// false.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry with the E flag commits — detection must happen
+    /// at CCR-update time via
+    /// [`PredicatedStoreBuffer::has_exception_commit`].
+    pub fn tick(&mut self, ccr: &Ccr, cycle: u64, log: &mut EventLog) {
+        for e in &mut self.entries {
+            if !e.valid || !e.spec {
+                continue;
+            }
+            match e.pred.eval(ccr) {
+                Cond::True => {
+                    assert!(
+                        !e.exc,
+                        "outstanding speculative exception in store buffer committed \
+                         outside the detection path"
+                    );
+                    e.spec = false;
+                    e.pred = Predicate::always();
+                    let id = e.id;
+                    log.push(|| Event::Commit {
+                        cycle,
+                        loc: StateLoc::Sb(id),
+                    });
+                }
+                Cond::False => {
+                    e.valid = false;
+                    let id = e.id;
+                    log.push(|| Event::Squash {
+                        cycle,
+                        loc: StateLoc::Sb(id),
+                    });
+                }
+                Cond::Unspecified => {}
+            }
+        }
+    }
+
+    /// Retires up to `budget` valid non-speculative head entries to the
+    /// D-cache; squashed heads are discarded for free.  Returns the number
+    /// of D-cache writes performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a retiring store faults — non-speculative store addresses
+    /// are checked at execute time, so a fault here is a simulator bug.
+    pub fn retire(&mut self, memory: &mut Memory, budget: usize) -> usize {
+        let mut written = 0;
+        while let Some(head) = self.entries.front() {
+            if !head.valid {
+                self.entries.pop_front();
+                continue;
+            }
+            if head.spec || written >= budget {
+                break;
+            }
+            let head = self.entries.pop_front().expect("head exists");
+            memory
+                .write(head.addr, head.value)
+                .expect("non-speculative store faulted at retire (checked at execute)");
+            written += 1;
+        }
+        written
+    }
+
+    /// Store-to-load forwarding: the newest valid entry matching `addr`
+    /// whose predicate is not disjoint with the reading load's predicate.
+    pub fn forward(&self, addr: i64, reader_pred: &Predicate) -> Option<i64> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.valid && !e.exc && e.addr == addr && !e.pred.disjoint(reader_pred))
+            .map(|e| e.value)
+    }
+
+    /// Whether any valid E-flagged entry would commit under `candidate`.
+    pub fn has_exception_commit(&self, candidate: &Ccr) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.valid && e.spec && e.exc && e.pred.eval(candidate) == Cond::True)
+    }
+
+    /// Squashes all valid speculative entries (recovery entry, region
+    /// exit).
+    pub fn squash_spec(&mut self, cycle: u64, log: &mut EventLog) {
+        for e in &mut self.entries {
+            if e.valid && e.spec {
+                e.valid = false;
+                let id = e.id;
+                log.push(|| Event::Squash {
+                    cycle,
+                    loc: StateLoc::Sb(id),
+                });
+            }
+        }
+    }
+
+    /// Whether all remaining entries are invalid (nothing left to retire
+    /// or resolve) — the halt-drain condition together with `is_empty`.
+    pub fn drained(&self) -> bool {
+        self.entries.iter().all(|e| !e.valid)
+    }
+
+    /// The entries, head first (for tests and debugging).
+    pub fn entries(&self) -> impl Iterator<Item = &SbEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_isa::{CondReg, MemImage};
+
+    fn pred(c: usize) -> Predicate {
+        Predicate::always().and_pos(CondReg::new(c))
+    }
+
+    fn log() -> EventLog {
+        EventLog::new(true)
+    }
+
+    fn mem() -> Memory {
+        Memory::from_image(&MemImage::zeroed(32))
+    }
+
+    #[test]
+    fn nonspec_store_retires_fifo() {
+        let mut sb = PredicatedStoreBuffer::new(4);
+        let mut m = mem();
+        sb.append(4, 11, Predicate::always(), false, false, 1, &mut log());
+        sb.append(5, 22, Predicate::always(), false, false, 1, &mut log());
+        assert_eq!(sb.retire(&mut m, 1), 1);
+        assert_eq!(m.read(4).unwrap(), 11);
+        assert_eq!(m.read(5).unwrap(), 0);
+        assert_eq!(sb.retire(&mut m, 1), 1);
+        assert_eq!(m.read(5).unwrap(), 22);
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn speculative_head_blocks_retirement() {
+        let mut sb = PredicatedStoreBuffer::new(4);
+        let mut m = mem();
+        sb.append(4, 11, pred(0), true, false, 1, &mut log());
+        sb.append(5, 22, Predicate::always(), false, false, 1, &mut log());
+        assert_eq!(sb.retire(&mut m, 2), 0); // spec head blocks
+
+        let mut ccr = Ccr::new(2);
+        ccr.set(CondReg::new(0), true);
+        sb.tick(&ccr, 2, &mut log());
+        assert_eq!(sb.retire(&mut m, 2), 2); // committed, both retire in order
+        assert_eq!(m.read(4).unwrap(), 11);
+        assert_eq!(m.read(5).unwrap(), 22);
+    }
+
+    #[test]
+    fn squashed_entries_never_reach_memory() {
+        let mut sb = PredicatedStoreBuffer::new(4);
+        let mut m = mem();
+        sb.append(4, 11, pred(0), true, false, 1, &mut log());
+        let mut ccr = Ccr::new(2);
+        ccr.set(CondReg::new(0), false);
+        sb.tick(&ccr, 2, &mut log());
+        assert_eq!(sb.retire(&mut m, 4), 0);
+        assert!(sb.is_empty()); // squashed head discarded for free
+        assert_eq!(m.read(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn forwarding_prefers_newest_compatible() {
+        let mut sb = PredicatedStoreBuffer::new(4);
+        sb.append(4, 1, Predicate::always(), false, false, 1, &mut log());
+        sb.append(4, 2, pred(0), true, false, 2, &mut log());
+        // Reader on c0's path: newest wins.
+        assert_eq!(sb.forward(4, &pred(0)), Some(2));
+        // Reader on the !c0 path: the speculative store is disjoint.
+        let not0 = Predicate::always().and_neg(CondReg::new(0));
+        assert_eq!(sb.forward(4, &not0), Some(1));
+        // Other address: nothing.
+        assert_eq!(sb.forward(5, &Predicate::always()), None);
+    }
+
+    #[test]
+    fn forwarding_skips_squashed() {
+        let mut sb = PredicatedStoreBuffer::new(4);
+        sb.append(4, 9, pred(0), true, false, 1, &mut log());
+        let mut ccr = Ccr::new(2);
+        ccr.set(CondReg::new(0), false);
+        sb.tick(&ccr, 2, &mut log());
+        assert_eq!(sb.forward(4, &Predicate::always()), None);
+    }
+
+    #[test]
+    fn exception_commit_detection() {
+        let mut sb = PredicatedStoreBuffer::new(4);
+        sb.append(-3, 0, pred(1), true, true, 1, &mut log());
+        let mut candidate = Ccr::new(2);
+        assert!(!sb.has_exception_commit(&candidate));
+        candidate.set(CondReg::new(1), true);
+        assert!(sb.has_exception_commit(&candidate));
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut sb = PredicatedStoreBuffer::new(2);
+        assert!(!sb.would_overflow(2));
+        assert!(sb.would_overflow(3));
+        sb.append(4, 1, Predicate::always(), false, false, 1, &mut log());
+        assert!(sb.would_overflow(2));
+    }
+
+    #[test]
+    fn squash_spec_only_touches_speculative() {
+        let mut sb = PredicatedStoreBuffer::new(4);
+        sb.append(4, 1, Predicate::always(), false, false, 1, &mut log());
+        sb.append(5, 2, pred(0), true, false, 1, &mut log());
+        sb.squash_spec(3, &mut log());
+        let flags: Vec<bool> = sb.entries().map(|e| e.valid).collect();
+        assert_eq!(flags, vec![true, false]);
+        assert!(!sb.drained());
+        let mut m = mem();
+        sb.retire(&mut m, 4);
+        assert!(sb.is_empty() && sb.drained());
+    }
+}

@@ -1,0 +1,143 @@
+//! Robustness fuzz: the machine must never panic on *any* program that
+//! passes static validation — adversarial code may earn a `VliwError`,
+//! but the simulator's internal invariants (exception-detection coverage,
+//! retire-time fault freedom, writeback assertions) must hold for every
+//! input, not just scheduler output.
+
+use proptest::prelude::*;
+use psb_core::{MachineConfig, ShadowMode, VliwMachine};
+use psb_isa::{
+    AluOp, CmpOp, CondReg, MemImage, MemTag, MultiOp, Op, PredTerm, Predicate, Reg, Slot, SlotOp,
+    Src, VliwProgram,
+};
+
+const K: usize = 3;
+
+fn pred_strategy() -> impl Strategy<Value = Predicate> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => Just(PredTerm::DontCare),
+            1 => Just(PredTerm::Pos),
+            1 => Just(PredTerm::Neg),
+        ],
+        K,
+    )
+    .prop_map(|terms| {
+        let mut p = Predicate::always();
+        for (i, t) in terms.into_iter().enumerate() {
+            p = p.with_term(CondReg::new(i), t);
+        }
+        p
+    })
+}
+
+fn src_strategy() -> impl Strategy<Value = Src> {
+    prop_oneof![
+        (1usize..8, any::<bool>()).prop_map(|(r, sh)| Src::Reg {
+            reg: Reg::new(r),
+            shadow: sh
+        }),
+        (-4i64..40).prop_map(Src::imm),
+    ]
+}
+
+/// Ops reference conditions < K and words stay within 2 slots; targets
+/// are patched to valid region starts afterwards.
+fn op_strategy() -> impl Strategy<Value = SlotOp> {
+    prop_oneof![
+        4 => (0usize..8, src_strategy(), src_strategy()).prop_map(|(rd, a, b)| {
+            SlotOp::Op(Op::Alu { op: AluOp::Add, rd: Reg::new(rd), a, b })
+        }),
+        2 => (0usize..8, src_strategy(), -4i64..44).prop_map(|(rd, base, off)| {
+            SlotOp::Op(Op::Load { rd: Reg::new(rd), base, offset: off, tag: MemTag::ANY })
+        }),
+        2 => (src_strategy(), -4i64..44, src_strategy()).prop_map(|(base, off, v)| {
+            SlotOp::Op(Op::Store { base, offset: off, value: v, tag: MemTag::ANY })
+        }),
+        2 => (0..K, src_strategy(), src_strategy()).prop_map(|(c, a, b)| {
+            SlotOp::Op(Op::SetCond { c: CondReg::new(c), cmp: CmpOp::Lt, a, b })
+        }),
+        1 => Just(SlotOp::Jump { target: 0 }),
+        1 => Just(SlotOp::Halt),
+    ]
+}
+
+prop_compose! {
+    fn program_strategy()(
+        raw in proptest::collection::vec(
+            proptest::collection::vec((pred_strategy(), op_strategy()), 1..3),
+            2..12,
+        ),
+        region_picks in proptest::collection::vec(any::<u8>(), 4),
+        fault_page in proptest::option::of(1i64..44),
+    ) -> (VliwProgram, Option<i64>) {
+        let n = raw.len();
+        // Region starts: word 0 plus a few random picks.
+        let mut starts: Vec<usize> = vec![0];
+        for p in region_picks {
+            starts.push(p as usize % n);
+        }
+        starts.sort_unstable();
+        starts.dedup();
+        let mut words: Vec<MultiOp> = raw
+            .into_iter()
+            .map(|slots| {
+                MultiOp::new(
+                    slots
+                        .into_iter()
+                        .map(|(pred, op)| {
+                            // Condition-sets must be `alw` (validated).
+                            let pred = if matches!(op, SlotOp::Op(Op::SetCond { .. })) {
+                                Predicate::always()
+                            } else {
+                                pred
+                            };
+                            Slot::new(pred, op)
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        // Patch jump targets onto real region starts and guarantee the
+        // last word halts so runs can end.
+        for (i, w) in words.iter_mut().enumerate() {
+            for s in &mut w.slots {
+                if let SlotOp::Jump { target } = &mut s.op {
+                    *target = starts[(i + *target) % starts.len()];
+                }
+            }
+        }
+        words.push(MultiOp::new(vec![Slot::alw(SlotOp::Halt)]));
+        let prog = VliwProgram {
+            name: "fuzz".into(),
+            words,
+            region_starts: starts,
+            num_conds: K,
+            init_regs: vec![(Reg::new(1), 7), (Reg::new(2), 20)],
+            memory: MemImage::zeroed(48),
+            live_out: vec![],
+        };
+        (prog, fault_page)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn machine_never_panics_on_validated_programs(
+        (prog, fault_page) in program_strategy(),
+        infinite in any::<bool>(),
+    ) {
+        prop_assume!(prog.validate().is_ok());
+        let mut cfg = MachineConfig::two_issue();
+        cfg.max_cycles = 2_000;
+        cfg.shadow_mode = if infinite { ShadowMode::Infinite } else { ShadowMode::Single };
+        if let Some(p) = fault_page {
+            cfg.fault_once_addrs.insert(p);
+            cfg.fault_penalty = 3;
+        }
+        // Ok or a structured error — never a panic, never a hang.
+        let _ = VliwMachine::run_program(&prog, cfg);
+    }
+}

@@ -1,0 +1,252 @@
+//! A battery of speculative-exception recovery scenarios beyond the
+//! paper's Figure 5, each probing one corner of the Section 3.5
+//! mechanism.
+
+use psb_core::{Event, MachineConfig, VliwMachine};
+use psb_isa::{
+    AluOp, CmpOp, CondReg, MemImage, MemTag, MultiOp, Op, Predicate, Reg, Slot, SlotOp, Src,
+    VliwProgram,
+};
+
+fn r(i: usize) -> Reg {
+    Reg::new(i)
+}
+
+fn c(i: usize) -> CondReg {
+    CondReg::new(i)
+}
+
+fn p() -> Predicate {
+    Predicate::always()
+}
+
+fn load(rd: Reg, base: i64) -> SlotOp {
+    SlotOp::Op(Op::Load {
+        rd,
+        base: Src::imm(base),
+        offset: 0,
+        tag: MemTag::ANY,
+    })
+}
+
+fn setc_true(cr: CondReg) -> SlotOp {
+    SlotOp::Op(Op::SetCond {
+        c: cr,
+        cmp: CmpOp::Eq,
+        a: Src::imm(0),
+        b: Src::imm(0),
+    })
+}
+
+fn setc_false(cr: CondReg) -> SlotOp {
+    SlotOp::Op(Op::SetCond {
+        c: cr,
+        cmp: CmpOp::Eq,
+        a: Src::imm(0),
+        b: Src::imm(1),
+    })
+}
+
+fn prog(words: Vec<MultiOp>) -> VliwProgram {
+    VliwProgram {
+        name: "recovery".into(),
+        words,
+        region_starts: vec![0],
+        num_conds: 4,
+        init_regs: vec![],
+        memory: MemImage::zeroed(64),
+        live_out: vec![],
+    }
+}
+
+fn faulting_config(addrs: &[i64]) -> MachineConfig {
+    let mut cfg = MachineConfig::two_issue().with_events();
+    for &a in addrs {
+        cfg.fault_once_addrs.insert(a);
+    }
+    cfg.fault_penalty = 4;
+    cfg
+}
+
+/// Two buffered exceptions under the *same* predicate commit together:
+/// one recovery pass must handle both.
+#[test]
+fn two_exceptions_commit_together() {
+    let mut words = vec![
+        MultiOp::new(vec![Slot::new(p().and_pos(c(0)), load(r(1), 4))]),
+        MultiOp::new(vec![Slot::new(p().and_pos(c(0)), load(r(2), 5))]),
+        MultiOp::new(vec![Slot::alw(setc_true(c(0)))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Op(Op::Nop))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+    ];
+    let pr = {
+        let mut pr = prog(std::mem::take(&mut words));
+        pr.memory.set(4, 11);
+        pr.memory.set(5, 22);
+        pr
+    };
+    let res = VliwMachine::run_program(&pr, faulting_config(&[4, 5])).unwrap();
+    assert_eq!(res.recoveries, 1, "one commit point, one recovery");
+    assert_eq!(
+        res.faults_handled, 2,
+        "both exceptions handled during re-execution"
+    );
+    assert_eq!(res.regs[1], 11);
+    assert_eq!(res.regs[2], 22);
+}
+
+/// A dependent chain through a faulting load: the consumer re-executes
+/// during recovery and sees the recovered value (the paper's i3'/i4'
+/// example from Section 2.1).
+#[test]
+fn dependent_chain_regenerated() {
+    let mut pr = prog(vec![
+        MultiOp::new(vec![Slot::new(p().and_pos(c(0)), load(r(1), 4))]),
+        MultiOp::new(vec![Slot::new(
+            p().and_pos(c(0)),
+            SlotOp::Op(Op::Alu {
+                op: AluOp::Add,
+                rd: r(2),
+                a: Src::shadow(r(1)),
+                b: Src::imm(5),
+            }),
+        )]),
+        MultiOp::new(vec![Slot::new(
+            p().and_pos(c(0)),
+            SlotOp::Op(Op::Alu {
+                op: AluOp::And,
+                rd: r(3),
+                a: Src::shadow(r(2)),
+                b: Src::imm(1),
+            }),
+        )]),
+        MultiOp::new(vec![Slot::alw(setc_true(c(0)))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Op(Op::Nop))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+    ]);
+    pr.memory.set(4, 40);
+    let res = VliwMachine::run_program(&pr, faulting_config(&[4])).unwrap();
+    assert_eq!(res.recoveries, 1);
+    assert_eq!(res.regs[1], 40);
+    assert_eq!(res.regs[2], 45, "i3' re-executed with the real operand");
+    assert_eq!(
+        res.regs[3], 1,
+        "i4' re-executed with the regenerated operand"
+    );
+}
+
+/// A *non-speculative* instruction between the region top and the commit
+/// point must not be re-executed (the paper's i2: re-execution would
+/// destroy its semantics).
+#[test]
+fn non_speculative_work_not_reexecuted() {
+    // r5 = r5 + 1 (alw) runs exactly once even though a recovery replays
+    // the region around it.
+    let mut pr = prog(vec![
+        MultiOp::new(vec![Slot::new(p().and_pos(c(0)), load(r(1), 4))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Op(Op::Alu {
+            op: AluOp::Add,
+            rd: r(5),
+            a: Src::reg(r(5)),
+            b: Src::imm(1),
+        }))]),
+        MultiOp::new(vec![Slot::alw(setc_true(c(0)))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Op(Op::Nop))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+    ]);
+    pr.memory.set(4, 7);
+    let res = VliwMachine::run_program(&pr, faulting_config(&[4])).unwrap();
+    assert_eq!(res.recoveries, 1);
+    assert_eq!(res.regs[5], 1, "the increment must run exactly once");
+    assert_eq!(res.regs[1], 7);
+}
+
+/// An exception whose predicate resolves *false* before any commit point
+/// never triggers recovery and costs nothing.
+#[test]
+fn squashed_exception_is_free() {
+    let pr = prog(vec![
+        MultiOp::new(vec![Slot::new(p().and_pos(c(0)), load(r(1), 4))]),
+        MultiOp::new(vec![Slot::alw(setc_false(c(0)))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Op(Op::Nop))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+    ]);
+    let mut cfg = faulting_config(&[4]);
+    cfg.fault_penalty = 1000;
+    let res = VliwMachine::run_program(&pr, cfg).unwrap();
+    assert_eq!(res.recoveries, 0);
+    assert_eq!(res.faults_handled, 0);
+    assert!(res.cycles < 20);
+}
+
+/// During recovery, an instruction with an *unspecified* predicate under
+/// the future condition is re-buffered (category 3) and resolves on a
+/// later commit.
+#[test]
+fn category3_rebuffered_exception() {
+    let mut pr = prog(vec![
+        // Faulting spec load under c0 (commits first).
+        MultiOp::new(vec![Slot::new(p().and_pos(c(0)), load(r(1), 4))]),
+        // Faulting spec load under c1 (still open at the first commit).
+        MultiOp::new(vec![Slot::new(p().and_pos(c(1)), load(r(2), 5))]),
+        MultiOp::new(vec![Slot::alw(setc_true(c(0)))]),
+        // c1 resolves later.
+        MultiOp::new(vec![Slot::alw(setc_true(c(1)))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Op(Op::Nop))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+    ]);
+    pr.memory.set(4, 1);
+    pr.memory.set(5, 2);
+    let res = VliwMachine::run_program(&pr, faulting_config(&[4, 5])).unwrap();
+    // First recovery handles c0's fault; c1's is re-buffered during that
+    // recovery (unspecified under the future condition) and commits later,
+    // triggering a second recovery.
+    assert_eq!(res.recoveries, 2);
+    assert_eq!(res.faults_handled, 2);
+    assert_eq!(res.regs[1], 1);
+    assert_eq!(res.regs[2], 2);
+}
+
+/// The event log records the full recovery narrative in order.
+#[test]
+fn recovery_event_ordering() {
+    let mut pr = prog(vec![
+        MultiOp::new(vec![Slot::new(p().and_pos(c(0)), load(r(1), 4))]),
+        MultiOp::new(vec![Slot::alw(setc_true(c(0)))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Op(Op::Nop))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+    ]);
+    pr.memory.set(4, 9);
+    let res = VliwMachine::run_program(&pr, faulting_config(&[4])).unwrap();
+    let pos = |pred: &dyn Fn(&Event) -> bool| res.events.iter().position(pred);
+    let spec = pos(&|e| matches!(e, Event::SpecWrite { exc: true, .. })).expect("E buffered");
+    let start = pos(&|e| matches!(e, Event::RecoveryStart { .. })).expect("recovery starts");
+    let fault = pos(&|e| matches!(e, Event::FaultHandled { .. })).expect("fault handled");
+    let end = pos(&|e| matches!(e, Event::RecoveryEnd { .. })).expect("recovery ends");
+    // The re-executed load's predicate is already true under the future
+    // condition by its writeback, so the recovered value lands as a
+    // sequential write (commit during execution) after the recovery.
+    let landed = res
+        .events
+        .iter()
+        .rposition(|e| {
+            matches!(e, Event::Commit { .. })
+                || matches!(e, Event::SeqWrite { reg, .. } if *reg == r(1))
+        })
+        .expect("recovered value reaches the sequential state");
+    assert!(spec < start && start < fault && fault < end && end < landed);
+}
+
+/// Fatal NULL dereference buffered and *committed*: the recovery re-raises
+/// it and the machine reports a precise fault instead of completing.
+#[test]
+fn committed_fatal_fault_is_reported() {
+    let pr = prog(vec![
+        MultiOp::new(vec![Slot::new(p().and_pos(c(0)), load(r(1), 0))]),
+        MultiOp::new(vec![Slot::alw(setc_true(c(0)))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Op(Op::Nop))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+    ]);
+    let err = VliwMachine::run_program(&pr, MachineConfig::two_issue()).unwrap_err();
+    assert!(matches!(err, psb_core::VliwError::Fault { .. }));
+}

@@ -1,0 +1,202 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|all]
+//!       [--size N] [--quick] [--json]
+//! ```
+
+use psb_eval::{
+    ablation_counter, ablation_shadow, ablation_unroll, code_size, fig6, fig7, fig8, interaction,
+    mix, render_ablation, render_code_size, render_fig8, render_figure, render_interaction,
+    render_mix, render_sensitivity, render_table2, render_table3, sensitivity, summary, table2,
+    table3, EvalParams,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut what = "all".to_string();
+    let mut params = EvalParams::default();
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                params = EvalParams {
+                    size: params.size.min(512),
+                    ..params
+                }
+            }
+            "--json" => json = true,
+            "--size" => {
+                i += 1;
+                params.size = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--size needs a number"));
+            }
+            "--train-seed" => {
+                i += 1;
+                params.train_seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--train-seed needs a number"));
+            }
+            "--eval-seed" => {
+                i += 1;
+                params.eval_seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--eval-seed needs a number"));
+            }
+            w if !w.starts_with('-') => what = w.to_string(),
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let run = |name: &str| {
+        match name {
+            "table2" => {
+                let t = table2(&params);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&t).unwrap());
+                } else {
+                    print!("{}", render_table2(&t));
+                }
+            }
+            "table3" => {
+                let t = table3(&params);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&t).unwrap());
+                } else {
+                    print!("{}", render_table3(&t));
+                }
+            }
+            "fig6" => {
+                let f = fig6(&params);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&f).unwrap());
+                } else {
+                    print!("{}", render_figure("Figure 6 (restricted speculation)", &f));
+                }
+            }
+            "fig7" => {
+                let f = fig7(&params);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&f).unwrap());
+                } else {
+                    print!(
+                        "{}",
+                        render_figure("Figure 7 (predicating vs conventional)", &f)
+                    );
+                }
+            }
+            "fig8" => {
+                let f = fig8(&params);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&f).unwrap());
+                } else {
+                    print!("{}", render_fig8(&f));
+                }
+            }
+            "ablation-shadow" => {
+                let a = ablation_shadow(&params);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&a).unwrap());
+                } else {
+                    print!("{}", render_ablation(&a));
+                }
+            }
+            "ablation-counter" => {
+                let a = ablation_counter(&params);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&a).unwrap());
+                } else {
+                    print!("{}", render_ablation(&a));
+                }
+            }
+            "interaction" => {
+                let r = interaction(&params);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                } else {
+                    print!("{}", render_interaction(&r));
+                }
+            }
+            "summary" => {
+                let f = summary(&params);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&f).unwrap());
+                } else {
+                    print!("{}", render_figure("Summary (all seven models)", &f));
+                }
+            }
+            "mix" => {
+                let t = mix(&params);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&t).unwrap());
+                } else {
+                    print!("{}", render_mix(&t));
+                }
+            }
+            "sensitivity" => {
+                let t = sensitivity(&params);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&t).unwrap());
+                } else {
+                    print!("{}", render_sensitivity(&t));
+                }
+            }
+            "codesize" => {
+                let t = code_size(&params);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&t).unwrap());
+                } else {
+                    let names: Vec<&str> = psb_sched::Model::ALL.iter().map(|m| m.name()).collect();
+                    print!("{}", render_code_size(&t, &names));
+                }
+            }
+            "ablation-unroll" => {
+                let a = ablation_unroll(&params);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&a).unwrap());
+                } else {
+                    print!("{}", render_ablation(&a));
+                }
+            }
+            other => die(&format!("unknown experiment {other}")),
+        }
+        println!();
+    };
+
+    if what == "all" {
+        for name in [
+            "table2",
+            "table3",
+            "fig6",
+            "fig7",
+            "fig8",
+            "summary",
+            "interaction",
+            "mix",
+            "codesize",
+            "sensitivity",
+            "ablation-shadow",
+            "ablation-counter",
+            "ablation-unroll",
+        ] {
+            run(name);
+        }
+    } else {
+        run(&what);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!(
+        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|all] \
+         [--size N] [--quick] [--json] [--train-seed S] [--eval-seed S]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,507 @@
+//! The named experiments: one function per table/figure of the paper.
+
+use crate::runner::{
+    geometric_mean, run_scalar, run_workload, BenchResult, EvalParams, BENCHMARKS,
+};
+use psb_isa::Resources;
+use psb_scalar::successive_accuracy;
+use psb_sched::Model;
+use serde::Serialize;
+
+/// One row of the Table 2 reproduction.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// What the kernel models.
+    pub description: String,
+    /// Static instruction count (the paper reports source lines; we report
+    /// kernel instructions).
+    pub static_len: usize,
+    /// Scalar baseline cycles on the evaluation input.
+    pub scalar_cycles: u64,
+}
+
+/// Table 2: the benchmark inventory with scalar baseline cycles.
+pub fn table2(params: &EvalParams) -> Vec<Table2Row> {
+    BENCHMARKS
+        .iter()
+        .map(|name| {
+            let w = psb_workloads::by_name(name, params.eval_seed, params.size).expect("known");
+            let res = run_scalar(&w);
+            Table2Row {
+                name: w.name.to_string(),
+                description: w.description.to_string(),
+                static_len: w.program.static_len(),
+                scalar_cycles: res.cycles,
+            }
+        })
+        .collect()
+}
+
+/// One row of the Table 3 reproduction: prediction accuracy for 1..=8
+/// successive branches.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// `accuracy[n-1]` = probability that `n` successive branches all
+    /// follow their static prediction.
+    pub accuracy: Vec<f64>,
+}
+
+/// Table 3: static prediction accuracy of successive branches, with the
+/// prediction trained on the training input and measured on the
+/// evaluation input.
+pub fn table3(params: &EvalParams) -> Vec<Table3Row> {
+    BENCHMARKS
+        .iter()
+        .map(|name| {
+            let train = psb_workloads::by_name(name, params.train_seed, params.size).unwrap();
+            let eval = psb_workloads::by_name(name, params.eval_seed, params.size).unwrap();
+            let profile = run_scalar(&train).edge_profile;
+            let trace = run_scalar(&eval).branch_trace;
+            let accuracy = successive_accuracy(&trace, |b| profile.predict_taken(b), 8);
+            Table3Row {
+                name: name.to_string(),
+                accuracy,
+            }
+        })
+        .collect()
+}
+
+/// A figure-style result: per-benchmark speedups for a set of models plus
+/// geometric means.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct FigureResult {
+    /// The figure's models, in presentation order.
+    pub models: Vec<String>,
+    /// Per-benchmark results.
+    pub benches: Vec<BenchResult>,
+    /// Geometric-mean speedup per model, aligned with `models`.
+    pub geomeans: Vec<f64>,
+}
+
+fn figure(models: &[Model], params: &EvalParams) -> FigureResult {
+    let benches: Vec<BenchResult> = BENCHMARKS
+        .iter()
+        .map(|n| run_workload(n, models, params))
+        .collect();
+    let geomeans = models
+        .iter()
+        .map(|&m| {
+            let sp: Vec<f64> = benches.iter().filter_map(|b| b.speedup_of(m)).collect();
+            geometric_mean(&sp)
+        })
+        .collect();
+    FigureResult {
+        models: models.iter().map(|m| m.name().to_string()).collect(),
+        benches,
+        geomeans,
+    }
+}
+
+/// Figure 6: the restricted speculative-execution models (no predicated
+/// state buffering): global, squashing, trace, region scheduling.
+pub fn fig6(params: &EvalParams) -> FigureResult {
+    figure(
+        &[
+            Model::Global,
+            Model::Squash,
+            Model::Trace,
+            Model::RegionSquash,
+        ],
+        params,
+    )
+}
+
+/// Figure 7: the predicating models against the conventional ones:
+/// global, boosting, trace predicating, region predicating.
+pub fn fig7(params: &EvalParams) -> FigureResult {
+    figure(
+        &[
+            Model::Global,
+            Model::Boost,
+            Model::TracePred,
+            Model::RegionPred,
+        ],
+        params,
+    )
+}
+
+/// One cell of the Figure 8 sweep.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct Fig8Cell {
+    /// Issue width of the full-issue machine.
+    pub width: usize,
+    /// Allowed speculation depth (conditions).
+    pub depth: usize,
+    /// Geometric-mean speedup of region predicating.
+    pub geomean: f64,
+    /// Per-benchmark speedups in [`BENCHMARKS`](crate::BENCHMARKS) order.
+    pub speedups: Vec<f64>,
+}
+
+/// The Figure 8 sweep result.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct Fig8Result {
+    /// All cells, ordered by width then depth.
+    pub cells: Vec<Fig8Cell>,
+}
+
+/// Figure 8: full-issue machines (2/4/8-issue, fully duplicated
+/// resources) under speculation depths 1, 2, 4 and 8 conditions, using
+/// the region-predicating model with an 8-entry CCR.
+pub fn fig8(params: &EvalParams) -> Fig8Result {
+    let mut cells = Vec::new();
+    for width in [2usize, 4, 8] {
+        for depth in [1usize, 2, 4, 8] {
+            let p = EvalParams {
+                issue_width: width,
+                resources: Resources::full_issue(width),
+                num_conds: 8,
+                depth,
+                ..params.clone()
+            };
+            let benches: Vec<BenchResult> = BENCHMARKS
+                .iter()
+                .map(|n| run_workload(n, &[Model::RegionPred], &p))
+                .collect();
+            let speedups: Vec<f64> = benches.iter().map(|b| b.models[0].speedup).collect();
+            cells.push(Fig8Cell {
+                width,
+                depth,
+                geomean: geometric_mean(&speedups),
+                speedups,
+            });
+        }
+    }
+    Fig8Result { cells }
+}
+
+/// An A/B ablation result.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct AblationResult {
+    /// What is being compared.
+    pub label: String,
+    /// Benchmark names.
+    pub benches: Vec<String>,
+    /// Speedups under the paper's design.
+    pub base: Vec<f64>,
+    /// Speedups under the alternative.
+    pub variant: Vec<f64>,
+    /// Geometric means (base, variant).
+    pub geomeans: (f64, f64),
+}
+
+fn ablation(
+    label: &str,
+    model: Model,
+    params: &EvalParams,
+    variant: impl Fn(&mut EvalParams),
+) -> AblationResult {
+    let mut vparams = params.clone();
+    variant(&mut vparams);
+    let mut base = Vec::new();
+    let mut var = Vec::new();
+    for n in BENCHMARKS {
+        base.push(run_workload(n, &[model], params).models[0].speedup);
+        var.push(run_workload(n, &[model], &vparams).models[0].speedup);
+    }
+    AblationResult {
+        label: label.to_string(),
+        benches: BENCHMARKS.iter().map(|s| s.to_string()).collect(),
+        geomeans: (geometric_mean(&base), geometric_mean(&var)),
+        base,
+        variant: var,
+    }
+}
+
+/// Footnote 1 ablation: single shadow register per sequential register
+/// (the paper's cost-reduced design) versus unbounded shadow storage.
+/// The paper reports the single-shadow model costs only 0–1%.
+pub fn ablation_shadow(params: &EvalParams) -> AblationResult {
+    ablation(
+        "single vs infinite shadow registers (region-pred)",
+        Model::RegionPred,
+        params,
+        |p| p.infinite_shadow = true,
+    )
+}
+
+/// Section 4.2.1 ablation: vector-form predicates (condition-sets may be
+/// reordered) versus counter-form predicates (condition-sets execute
+/// sequentially), under trace predicating where the paper discusses it.
+pub fn ablation_counter(params: &EvalParams) -> AblationResult {
+    ablation(
+        "vector-form vs counter-form predicates (trace-pred)",
+        Model::TracePred,
+        params,
+        |p| p.ordered_cond_sets = true,
+    )
+}
+
+/// The scope × hardware interaction (Section 4.1's closing observation).
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct InteractionResult {
+    /// Geomean speedup of trace scheduling (trace scope, squash hardware).
+    pub trace_squash: f64,
+    /// Geomean of region scheduling (region scope, squash hardware).
+    pub region_squash: f64,
+    /// Geomean of trace predicating (trace scope, buffering hardware).
+    pub trace_buffered: f64,
+    /// Geomean of region predicating (region scope, buffering hardware).
+    pub region_buffered: f64,
+}
+
+impl InteractionResult {
+    /// What the wider scope buys under each hardware model.
+    pub fn scope_gain(&self) -> (f64, f64) {
+        (
+            self.region_squash / self.trace_squash,
+            self.region_buffered / self.trace_buffered,
+        )
+    }
+
+    /// What the buffering hardware buys under each scope.
+    pub fn hardware_gain(&self) -> (f64, f64) {
+        (
+            self.trace_buffered / self.trace_squash,
+            self.region_buffered / self.region_squash,
+        )
+    }
+}
+
+/// The paper's central argument as a 2×2: scheduling scope (trace vs
+/// region) crossed with side-effect hardware (pipeline squashing vs
+/// predicated state buffering).  Section 4.1: "the additional scheduling
+/// ability is not beneficial" with squashing hardware only — the win
+/// appears when unconstrained motion and buffering are combined.
+pub fn interaction(params: &EvalParams) -> InteractionResult {
+    let geo = |model: Model| {
+        let sp: Vec<f64> = BENCHMARKS
+            .iter()
+            .map(|n| run_workload(n, &[model], params).models[0].speedup)
+            .collect();
+        geometric_mean(&sp)
+    };
+    InteractionResult {
+        trace_squash: geo(Model::Trace),
+        region_squash: geo(Model::RegionSquash),
+        trace_buffered: geo(Model::TracePred),
+        region_buffered: geo(Model::RegionPred),
+    }
+}
+
+/// One row of the dynamic instruction-mix report.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct MixRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Fraction of dynamic instructions that are loads.
+    pub loads: f64,
+    /// Fraction that are stores.
+    pub stores: f64,
+    /// Fraction that are conditional branches.
+    pub branches: f64,
+    /// Fraction that are unconditional jumps.
+    pub jumps: f64,
+}
+
+/// Dynamic instruction mix of the kernels — the realism check behind the
+/// Table 2 substitution: integer codes of the paper's era run roughly
+/// 15–30% loads, 5–15% stores and 10–20% branches.
+pub fn mix(params: &EvalParams) -> Vec<MixRow> {
+    BENCHMARKS
+        .iter()
+        .map(|name| {
+            let w = psb_workloads::by_name(name, params.eval_seed, params.size).unwrap();
+            let r = run_scalar(&w);
+            let total = r.dyn_instrs.max(1) as f64;
+            MixRow {
+                name: name.to_string(),
+                loads: r.dyn_loads as f64 / total,
+                stores: r.dyn_stores as f64 / total,
+                branches: r.dyn_branches as f64 / total,
+                jumps: r.dyn_jumps as f64 / total,
+            }
+        })
+        .collect()
+}
+
+/// The one-table summary: every model's speedup on every benchmark
+/// (Figures 6 and 7 combined).
+pub fn summary(params: &EvalParams) -> FigureResult {
+    figure(&Model::ALL, params)
+}
+
+/// One row of the timing-sensitivity sweep.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct SensitivityRow {
+    /// What was varied (e.g. `jump penalty = 2`).
+    pub setting: String,
+    /// Geomean speedups for (trace-pred, region-pred).
+    pub trace_pred: f64,
+    /// Region-predicating geomean.
+    pub region_pred: f64,
+}
+
+/// Robustness of the headline conclusion to the timing assumptions the
+/// paper leaves open: taken-jump penalty (the BTB assumption) and the
+/// store-buffer capacity.  The orderings of Figure 7 survive every
+/// setting — both predicating models degrade with the jump penalty (it
+/// taxes every region transfer) and neither is store-buffer bound at the
+/// paper's 16 entries.
+pub fn sensitivity(params: &EvalParams) -> Vec<SensitivityRow> {
+    let mut rows = Vec::new();
+    let mut measure = |setting: String, p: &EvalParams| {
+        let geo = |model: Model| {
+            let sp: Vec<f64> = BENCHMARKS
+                .iter()
+                .map(|n| run_workload(n, &[model], p).models[0].speedup)
+                .collect();
+            geometric_mean(&sp)
+        };
+        rows.push(SensitivityRow {
+            setting,
+            trace_pred: geo(Model::TracePred),
+            region_pred: geo(Model::RegionPred),
+        });
+    };
+    for penalty in [0u64, 1, 2] {
+        let p = EvalParams {
+            jump_penalty: penalty,
+            ..params.clone()
+        };
+        measure(format!("taken-jump penalty = {penalty}"), &p);
+    }
+    for buf in [2usize, 4, 16] {
+        let p = EvalParams {
+            store_buffer: buf,
+            ..params.clone()
+        };
+        measure(format!("store buffer = {buf} entries"), &p);
+    }
+    rows
+}
+
+/// One row of the code-size report.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct CodeSizeRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Scalar static instruction count.
+    pub scalar_ops: usize,
+    /// Static VLIW operations per model, in [`Model::ALL`] order.
+    pub per_model: Vec<usize>,
+    /// Expansion ratio per model.
+    pub expansion: Vec<f64>,
+}
+
+/// Static code size per model — the cost side of the paper's trade-offs:
+/// renaming copies (linear models), condition-sets and duplicated join
+/// blocks (predicated models), and boosting's extra branches.
+pub fn code_size(params: &EvalParams) -> Vec<CodeSizeRow> {
+    use psb_scalar::{ScalarConfig, ScalarMachine};
+    use psb_sched::{schedule, SchedConfig, ScheduleStats};
+    BENCHMARKS
+        .iter()
+        .map(|name| {
+            let train = psb_workloads::by_name(name, params.train_seed, params.size).unwrap();
+            let eval = psb_workloads::by_name(name, params.eval_seed, params.size).unwrap();
+            let profile = ScalarMachine::new(&train.program, ScalarConfig::default())
+                .run()
+                .unwrap()
+                .edge_profile;
+            let mut per_model = Vec::new();
+            let mut expansion = Vec::new();
+            for model in Model::ALL {
+                let mut cfg = SchedConfig::new(model);
+                cfg.issue_width = params.issue_width;
+                cfg.resources = params.resources;
+                cfg.num_conds = params.num_conds;
+                cfg.depth = params.depth.min(params.num_conds);
+                let v = schedule(&eval.program, &profile, &cfg).unwrap();
+                let s = ScheduleStats::analyze(&v);
+                per_model.push(s.ops);
+                expansion.push(s.expansion_over(&eval.program));
+            }
+            CodeSizeRow {
+                name: name.to_string(),
+                scalar_ops: eval.program.static_len(),
+                per_model,
+                expansion,
+            }
+        })
+        .collect()
+}
+
+/// The paper's closing remark on Figure 8: resources beyond four issue
+/// slots lie idle without "other compilation techniques which expose more
+/// parallelism (e.g. loop unrolling)".  This experiment probes exactly
+/// that: region predicating on an 8-issue full-issue machine with K = 8,
+/// with the kernels' innermost loops unrolled 3x, letting one region span
+/// several former iterations.
+pub fn ablation_unroll(params: &EvalParams) -> AblationResult {
+    use psb_core::{MachineConfig, VliwMachine};
+    use psb_ir::unroll_loops;
+    use psb_scalar::{ScalarConfig, ScalarMachine};
+    use psb_sched::{schedule, SchedConfig};
+
+    let wide = EvalParams {
+        issue_width: 8,
+        resources: Resources::full_issue(8),
+        num_conds: 8,
+        depth: 8,
+        ..params.clone()
+    };
+    let mut base = Vec::new();
+    let mut variant = Vec::new();
+    for name in BENCHMARKS {
+        base.push(run_workload(name, &[Model::RegionPred], &wide).models[0].speedup);
+
+        // The unrolled variant: transform both training and evaluation
+        // programs before profiling and scheduling.
+        let train = psb_workloads::by_name(name, wide.train_seed, wide.size).expect("known");
+        let eval = psb_workloads::by_name(name, wide.eval_seed, wide.size).expect("known");
+        let train_u = unroll_loops(&train.program, 3);
+        let eval_u = unroll_loops(&eval.program, 3);
+        let profile = ScalarMachine::new(&train_u, ScalarConfig::default())
+            .run()
+            .unwrap()
+            .edge_profile;
+        let scalar = ScalarMachine::new(&eval_u, ScalarConfig::default())
+            .run()
+            .unwrap();
+        let mut cfg = SchedConfig::new(Model::RegionPred);
+        cfg.issue_width = 8;
+        cfg.resources = Resources::full_issue(8);
+        cfg.num_conds = 8;
+        cfg.depth = 8;
+        cfg.max_blocks = 32;
+        let vliw =
+            schedule(&eval_u, &profile, &cfg).unwrap_or_else(|e| panic!("{name}/unrolled: {e}"));
+        let mut mc = MachineConfig::full_issue(8);
+        mc.store_buffer_size = 32;
+        let res =
+            VliwMachine::run_program(&vliw, mc).unwrap_or_else(|e| panic!("{name}/unrolled: {e}"));
+        assert_eq!(
+            res.observable(&eval_u.live_out),
+            scalar.observable(&eval_u.live_out),
+            "{name}/unrolled diverged"
+        );
+        // The baseline is still the *original* scalar program's cycles: we
+        // measure what unrolling buys the 8-issue machine end to end.
+        let orig_scalar = ScalarMachine::new(&eval.program, ScalarConfig::default())
+            .run()
+            .unwrap();
+        variant.push(orig_scalar.cycles as f64 / res.cycles as f64);
+    }
+    AblationResult {
+        label: "8-issue region-pred: rolled vs 3x-unrolled loops (Fig. 8 remark)".to_string(),
+        benches: BENCHMARKS.iter().map(|s| s.to_string()).collect(),
+        geomeans: (geometric_mean(&base), geometric_mean(&variant)),
+        base,
+        variant,
+    }
+}

@@ -1,0 +1,262 @@
+//! Plain-text renderers producing tables shaped like the paper's.
+
+use crate::experiments::{
+    AblationResult, CodeSizeRow, Fig8Result, FigureResult, InteractionResult, MixRow,
+    SensitivityRow, Table2Row, Table3Row,
+};
+use psb_core::Event;
+use std::fmt::Write;
+
+/// Renders a machine event log as the paper's Table 1: one row per cycle
+/// with sequential-state writes, speculative-state writes (with their
+/// predicates), commits, squashes, and CCR transitions.
+pub fn render_table1(events: &[Event]) -> String {
+    let last = events.iter().map(Event::cycle).max().unwrap_or(0);
+    let mut s = String::new();
+    writeln!(s, "Machine state transition (Table 1 format)").unwrap();
+    writeln!(
+        s,
+        "{:<6} {:<12} {:<24} {:<14} {:<12} CCR",
+        "cycle", "seq write", "spec write (pred)", "commit", "squash"
+    )
+    .unwrap();
+    for cycle in 1..=last {
+        let mut seqw = Vec::new();
+        let mut specw = Vec::new();
+        let mut commits = Vec::new();
+        let mut squashes = Vec::new();
+        let mut conds = Vec::new();
+        for e in events.iter().filter(|e| e.cycle() == cycle) {
+            match e {
+                Event::SeqWrite { reg, .. } => seqw.push(reg.to_string()),
+                Event::SeqStore { loc, .. } => seqw.push(loc.to_string()),
+                Event::SpecWrite { loc, pred, .. } => specw.push(format!("{pred} {loc}")),
+                Event::Commit { loc, .. } => commits.push(loc.to_string()),
+                Event::Squash { loc, .. } => squashes.push(loc.to_string()),
+                Event::CondSet { c, value, .. } => conds.push(format!("{c}={value}")),
+                _ => {}
+            }
+        }
+        writeln!(
+            s,
+            "{:<6} {:<12} {:<24} {:<14} {:<12} {}",
+            cycle,
+            seqw.join(","),
+            specw.join(", "),
+            commits.join(","),
+            squashes.join(","),
+            conds.join(",")
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Renders the Table 2 reproduction.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut s = String::new();
+    writeln!(s, "Table 2: benchmark programs (scalar baseline)").unwrap();
+    writeln!(
+        s,
+        "{:<10} {:>8} {:>12}  remarks",
+        "program", "instrs", "cycles"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            s,
+            "{:<10} {:>8} {:>12}  {}",
+            r.name, r.static_len, r.scalar_cycles, r.description
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Renders the Table 3 reproduction.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut s = String::new();
+    writeln!(s, "Table 3: prediction accuracy of successive branches").unwrap();
+    write!(s, "{:<10}", "#branches").unwrap();
+    for n in 1..=8 {
+        write!(s, " {n:>5}").unwrap();
+    }
+    writeln!(s).unwrap();
+    for r in rows {
+        write!(s, "{:<10}", r.name).unwrap();
+        for a in &r.accuracy {
+            write!(s, " {a:>5.2}").unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    s
+}
+
+/// Renders a Figure 6/7-style per-benchmark speedup table.
+pub fn render_figure(title: &str, fig: &FigureResult) -> String {
+    let mut s = String::new();
+    writeln!(s, "{title}: speedup over the scalar machine").unwrap();
+    write!(s, "{:<10}", "program").unwrap();
+    for m in &fig.models {
+        write!(s, " {m:>14}").unwrap();
+    }
+    writeln!(s).unwrap();
+    for b in &fig.benches {
+        write!(s, "{:<10}", b.name).unwrap();
+        for m in &b.models {
+            write!(s, " {:>14.2}", m.speedup).unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    write!(s, "{:<10}", "geomean").unwrap();
+    for g in &fig.geomeans {
+        write!(s, " {g:>14.2}").unwrap();
+    }
+    writeln!(s).unwrap();
+    s
+}
+
+/// Renders the Figure 8 sweep.
+pub fn render_fig8(fig: &Fig8Result) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Figure 8: full-issue machines, region predicating, geomean speedup"
+    )
+    .unwrap();
+    writeln!(s, "{:<8} {:>8} {:>10}", "width", "depth", "geomean").unwrap();
+    for c in &fig.cells {
+        writeln!(s, "{:<8} {:>8} {:>10.2}", c.width, c.depth, c.geomean).unwrap();
+    }
+    s
+}
+
+/// Renders an A/B ablation.
+pub fn render_ablation(ab: &AblationResult) -> String {
+    let mut s = String::new();
+    writeln!(s, "Ablation: {}", ab.label).unwrap();
+    writeln!(
+        s,
+        "{:<10} {:>10} {:>10} {:>8}",
+        "program", "base", "variant", "delta"
+    )
+    .unwrap();
+    for i in 0..ab.benches.len() {
+        let delta = (ab.variant[i] / ab.base[i] - 1.0) * 100.0;
+        writeln!(
+            s,
+            "{:<10} {:>10.3} {:>10.3} {:>7.2}%",
+            ab.benches[i], ab.base[i], ab.variant[i], delta
+        )
+        .unwrap();
+    }
+    let gd = (ab.geomeans.1 / ab.geomeans.0 - 1.0) * 100.0;
+    writeln!(
+        s,
+        "{:<10} {:>10.3} {:>10.3} {:>7.2}%",
+        "geomean", ab.geomeans.0, ab.geomeans.1, gd
+    )
+    .unwrap();
+    s
+}
+
+/// Renders the static code-size report.
+pub fn render_code_size(rows: &[CodeSizeRow], models: &[&str]) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Static code size (VLIW ops; expansion over the scalar kernel)"
+    )
+    .unwrap();
+    write!(s, "{:<10} {:>7}", "program", "scalar").unwrap();
+    for m in models {
+        write!(s, " {m:>14}").unwrap();
+    }
+    writeln!(s).unwrap();
+    for r in rows {
+        write!(s, "{:<10} {:>7}", r.name, r.scalar_ops).unwrap();
+        for (ops, exp) in r.per_model.iter().zip(&r.expansion) {
+            write!(s, " {:>8} ({:.1}x)", ops, exp).unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    s
+}
+
+/// Renders the timing-sensitivity sweep.
+pub fn render_sensitivity(rows: &[SensitivityRow]) -> String {
+    let mut s = String::new();
+    writeln!(s, "Timing-model sensitivity (geomean speedups)").unwrap();
+    writeln!(
+        s,
+        "{:<30} {:>12} {:>12}",
+        "setting", "trace-pred", "region-pred"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            s,
+            "{:<30} {:>12.2} {:>12.2}",
+            r.setting, r.trace_pred, r.region_pred
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Renders the dynamic instruction-mix report.
+pub fn render_mix(rows: &[MixRow]) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Dynamic instruction mix (fractions of executed instructions)"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<10} {:>8} {:>8} {:>10} {:>8}",
+        "program", "loads", "stores", "branches", "jumps"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            s,
+            "{:<10} {:>7.1}% {:>7.1}% {:>9.1}% {:>7.1}%",
+            r.name,
+            r.loads * 100.0,
+            r.stores * 100.0,
+            r.branches * 100.0,
+            r.jumps * 100.0
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Renders the scope × hardware interaction quadrant.
+pub fn render_interaction(r: &InteractionResult) -> String {
+    let mut s = String::new();
+    writeln!(s, "Scope x hardware interaction (geomean speedups)").unwrap();
+    writeln!(s, "{:<18} {:>12} {:>12}", "", "squashing", "buffering").unwrap();
+    writeln!(s, "{:<18} {:>12.2} {:>12.2}", "trace scope", r.trace_squash, r.trace_buffered)
+        .unwrap();
+    writeln!(s, "{:<18} {:>12.2} {:>12.2}", "region scope", r.region_squash, r.region_buffered)
+        .unwrap();
+    let (s_sq, s_buf) = r.scope_gain();
+    writeln!(
+        s,
+        "region over trace: {:+.1}% with squashing, {:+.1}% with buffering",
+        (s_sq - 1.0) * 100.0,
+        (s_buf - 1.0) * 100.0
+    )
+    .unwrap();
+    let (h_tr, h_re) = r.hardware_gain();
+    writeln!(
+        s,
+        "buffering over squashing: {:+.1}% in traces, {:+.1}% in regions",
+        (h_tr - 1.0) * 100.0,
+        (h_re - 1.0) * 100.0
+    )
+    .unwrap();
+    s
+}

@@ -1,0 +1,241 @@
+//! Core measurement machinery: run one workload under one model and
+//! collect cycle counts, with golden-model cross-checking.
+
+use psb_core::{MachineConfig, ShadowMode, VliwMachine, VliwResult};
+use psb_isa::Resources;
+use psb_scalar::{RunResult, ScalarConfig, ScalarMachine};
+use psb_sched::{schedule, Model, SchedConfig};
+use psb_workloads::Workload;
+use serde::Serialize;
+
+/// Parameters shared by a whole experiment.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct EvalParams {
+    /// Seed for the training input (profile generation).
+    pub train_seed: u64,
+    /// Seed for the evaluation input (measurement).
+    pub eval_seed: u64,
+    /// Workload size (input elements).
+    pub size: usize,
+    /// Machine issue width.
+    pub issue_width: usize,
+    /// Function-unit counts.
+    #[serde(skip)]
+    pub resources: Resources,
+    /// CCR entries (`K`).
+    pub num_conds: usize,
+    /// Allowed unresolved conditions at issue (`D`).
+    pub depth: usize,
+    /// Infinite-shadow ablation flag.
+    pub infinite_shadow: bool,
+    /// Counter-form predicate ablation flag.
+    pub ordered_cond_sets: bool,
+    /// Penalty cycles for taken region-exit jumps (the paper's BTB
+    /// assumption makes this 0; the sensitivity sweep varies it).
+    pub jump_penalty: u64,
+    /// Store-buffer capacity.
+    pub store_buffer: usize,
+}
+
+impl Default for EvalParams {
+    fn default() -> EvalParams {
+        EvalParams {
+            train_seed: 11,
+            eval_seed: 1234,
+            size: 2048,
+            issue_width: 4,
+            resources: Resources::paper_base(),
+            num_conds: 4,
+            depth: 4,
+            infinite_shadow: false,
+            ordered_cond_sets: false,
+            jump_penalty: 0,
+            store_buffer: 16,
+        }
+    }
+}
+
+impl EvalParams {
+    /// A smaller configuration for fast tests and benches.
+    pub fn quick() -> EvalParams {
+        EvalParams {
+            size: 384,
+            ..EvalParams::default()
+        }
+    }
+
+    fn sched_config(&self, model: Model) -> SchedConfig {
+        SchedConfig {
+            model,
+            issue_width: self.issue_width,
+            resources: self.resources,
+            num_conds: self.num_conds,
+            depth: self.depth.min(self.num_conds),
+            max_blocks: 16,
+            single_shadow: !self.infinite_shadow,
+            ordered_cond_sets: self.ordered_cond_sets,
+        }
+    }
+
+    fn machine_config(&self) -> MachineConfig {
+        MachineConfig {
+            issue_width: self.issue_width,
+            resources: self.resources,
+            shadow_mode: if self.infinite_shadow {
+                ShadowMode::Infinite
+            } else {
+                ShadowMode::Single
+            },
+            taken_jump_penalty: self.jump_penalty,
+            store_buffer_size: self.store_buffer,
+            ..MachineConfig::default()
+        }
+    }
+}
+
+/// Result of one (workload, model) measurement.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct ModelResult {
+    /// Model name.
+    pub model: String,
+    /// VLIW cycles on the evaluation input.
+    pub vliw_cycles: u64,
+    /// Speedup over the scalar machine.
+    pub speedup: f64,
+    /// Static VLIW code size in operations.
+    pub static_ops: usize,
+    /// Operations squashed at issue (predicate false).
+    pub squashed_ops: u64,
+    /// Speculative-exception recoveries taken.
+    pub recoveries: u64,
+}
+
+/// Result of one workload across several models.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct BenchResult {
+    /// Workload name.
+    pub name: String,
+    /// Static scalar instruction count (Table 2's "lines" analogue).
+    pub static_len: usize,
+    /// Scalar cycles on the evaluation input (the baseline).
+    pub scalar_cycles: u64,
+    /// Per-model measurements.
+    pub models: Vec<ModelResult>,
+}
+
+impl BenchResult {
+    /// The speedup of `model`, if measured.
+    pub fn speedup_of(&self, model: Model) -> Option<f64> {
+        self.models
+            .iter()
+            .find(|m| m.model == model.name())
+            .map(|m| m.speedup)
+    }
+}
+
+/// Runs the scalar machine on a workload and returns the run result.
+///
+/// # Panics
+///
+/// Panics if the kernel faults or exceeds the cycle limit — workload
+/// kernels are fault-free by construction.
+pub fn run_scalar(w: &Workload) -> RunResult {
+    ScalarMachine::new(&w.program, ScalarConfig::default())
+        .run()
+        .unwrap_or_else(|e| panic!("{}: scalar run failed: {e}", w.name))
+}
+
+/// Schedules and runs one model over a workload pair, cross-checking the
+/// observable state against `scalar` (the golden run on the same
+/// evaluation input).
+///
+/// # Panics
+///
+/// Panics if scheduling fails, the machine faults, or the result diverges
+/// from the golden model — all indicate bugs, not measurement noise.
+pub fn run_model(
+    train: &Workload,
+    eval: &Workload,
+    scalar: &RunResult,
+    model: Model,
+    params: &EvalParams,
+) -> (ModelResult, VliwResult) {
+    let profile = run_scalar(train).edge_profile;
+    let cfg = params.sched_config(model);
+    let vliw = schedule(&eval.program, &profile, &cfg)
+        .unwrap_or_else(|e| panic!("{}/{model}: scheduling failed: {e}", eval.name));
+    let res = VliwMachine::run_program(&vliw, params.machine_config())
+        .unwrap_or_else(|e| panic!("{}/{model}: machine error: {e}", eval.name));
+    assert_eq!(
+        res.observable(&eval.program.live_out),
+        scalar.observable(&eval.program.live_out),
+        "{}/{model}: diverged from the scalar golden model",
+        eval.name
+    );
+    let speedup = scalar.cycles as f64 / res.cycles as f64;
+    (
+        ModelResult {
+            model: model.name().to_string(),
+            vliw_cycles: res.cycles,
+            speedup,
+            static_ops: vliw.static_ops(),
+            squashed_ops: res.ops_squashed,
+            recoveries: res.recoveries,
+        },
+        res,
+    )
+}
+
+/// Runs `models` over one named workload (training and evaluation inputs
+/// from the two seeds).
+pub fn run_workload(name: &str, models: &[Model], params: &EvalParams) -> BenchResult {
+    let train = psb_workloads::by_name(name, params.train_seed, params.size)
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let eval = psb_workloads::by_name(name, params.eval_seed, params.size)
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let scalar = run_scalar(&eval);
+    let models = models
+        .iter()
+        .map(|&m| run_model(&train, &eval, &scalar, m, params).0)
+        .collect();
+    BenchResult {
+        name: name.to_string(),
+        static_len: eval.program.static_len(),
+        scalar_cycles: scalar.cycles,
+        models,
+    }
+}
+
+/// The paper's six benchmark names in Table 2 order.
+pub const BENCHMARKS: [&str; 6] = ["compress", "eqntott", "espresso", "grep", "li", "nroff"];
+
+/// Geometric mean of a slice (1.0 for an empty slice).
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 1.0);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_one_model_produces_speedup() {
+        let params = EvalParams::quick();
+        let res = run_workload("grep", &[Model::RegionPred], &params);
+        assert_eq!(res.models.len(), 1);
+        assert!(
+            res.models[0].speedup > 1.0,
+            "region predicating must beat scalar"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Control-flow graph structure over a scalar program.
+
+use psb_isa::{BlockId, ScalarProgram};
+
+/// Predecessor/successor structure and traversal orders for a program.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<usize>,
+    entry: BlockId,
+}
+
+impl Cfg {
+    /// Builds the CFG of `prog`.
+    pub fn new(prog: &ScalarProgram) -> Cfg {
+        let n = prog.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, b) in prog.blocks.iter().enumerate() {
+            let id = BlockId(i as u32);
+            for s in b.term.successors() {
+                succs[i].push(s);
+                preds[s.index()].push(id);
+            }
+        }
+        // Post-order DFS from the entry; unreachable blocks are excluded
+        // from the orders but keep (empty or partial) pred/succ entries.
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(prog.entry, 0)];
+        visited[prog.entry.index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < succs[b.index()].len() {
+                let s = succs[b.index()][*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+            entry: prog.entry,
+        }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the program has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successors of `b`, taken edge first.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b`, in block order.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Reverse post-order over reachable blocks (entry first).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in reverse post-order, or `None` if unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        let i = self.rpo_index[b.index()];
+        (i != usize::MAX).then_some(i)
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index(b).is_some()
+    }
+
+    /// Whether edge `from → to` is a retreating edge in reverse post-order
+    /// (for reducible CFGs: a loop back edge).
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        match (self.rpo_index(from), self.rpo_index(to)) {
+            (Some(f), Some(t)) => t <= f,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_isa::{CmpOp, ProgramBuilder, Reg};
+
+    /// entry → loop(head → body → head) → exit, plus an unreachable block.
+    fn build() -> (ScalarProgram, BlockId, BlockId, BlockId, BlockId) {
+        let mut pb = ProgramBuilder::new("cfg");
+        let entry = pb.new_block();
+        let head = pb.new_block();
+        let body = pb.new_block();
+        let exit = pb.new_block();
+        let dead = pb.new_block();
+        pb.block_mut(entry).jump(head);
+        pb.block_mut(head)
+            .branch(CmpOp::Lt, Reg::new(1), 10, body, exit);
+        pb.block_mut(body).jump(head);
+        pb.block_mut(exit).halt();
+        pb.block_mut(dead).halt();
+        pb.set_entry(entry);
+        (pb.finish().unwrap(), entry, head, body, exit)
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let (p, entry, head, body, exit) = build();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.succs(head), &[body, exit]);
+        assert_eq!(cfg.preds(head), &[entry, body]);
+        assert_eq!(cfg.preds(entry), &[] as &[BlockId]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let (p, entry, head, ..) = build();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.rpo()[0], entry);
+        assert!(cfg.rpo_index(entry).unwrap() < cfg.rpo_index(head).unwrap());
+        assert_eq!(cfg.rpo().len(), 4); // dead block excluded
+    }
+
+    #[test]
+    fn unreachable_detected() {
+        let (p, ..) = build();
+        let cfg = Cfg::new(&p);
+        assert!(!cfg.is_reachable(BlockId(4)));
+        assert!(cfg.is_reachable(BlockId(0)));
+    }
+
+    #[test]
+    fn back_edge_detected() {
+        let (p, _, head, body, exit) = build();
+        let cfg = Cfg::new(&p);
+        assert!(cfg.is_back_edge(body, head));
+        assert!(!cfg.is_back_edge(head, body));
+        assert!(!cfg.is_back_edge(head, exit));
+    }
+}

@@ -1,0 +1,289 @@
+//! Dominator computation (Cooper–Harvey–Kennedy).
+
+use crate::cfg::Cfg;
+use psb_isa::BlockId;
+
+/// The dominator tree of a CFG, computed with the Cooper–Harvey–Kennedy
+/// iterative algorithm over reverse post-order.
+///
+/// Used to validate scheduling regions: a region's header must dominate
+/// every block in the region (Section 3.3 of the paper), which guarantees
+/// each block's path condition is expressible as the ANDed predicate form.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Dominators {
+    /// Immediate dominator per block (`idom[entry] == entry`); `None` for
+    /// unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators for `cfg`.
+    pub fn new(cfg: &Cfg) -> Dominators {
+        let n = cfg.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[cfg.entry().index()] = Some(cfg.entry());
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo() {
+                if b == cfg.entry() {
+                    continue;
+                }
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(cfg, &idom, p, cur),
+                    });
+                }
+                if new_idom != idom[b.index()] {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators {
+            idom,
+            entry: cfg.entry(),
+        }
+    }
+
+    /// The immediate dominator of `b` (`b` itself for the entry), or `None`
+    /// if `b` is unreachable.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).  Unreachable blocks dominate
+    /// nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(cfg: &Cfg, idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId) -> BlockId {
+    let rpo = |x: BlockId| cfg.rpo_index(x).expect("reachable");
+    while a != b {
+        while rpo(a) > rpo(b) {
+            a = idom[a.index()].expect("processed");
+        }
+        while rpo(b) > rpo(a) {
+            b = idom[b.index()].expect("processed");
+        }
+    }
+    a
+}
+
+/// The post-dominator relation, computed on the reverse CFG with a
+/// virtual exit joining every `Halt` block.
+///
+/// Together with [`Dominators`] this gives the paper's *equivalent block*
+/// test in its original form (Section 3.3, footnote 2): block `X` is
+/// equivalent to block `Y` if `X` dominates `Y` and `Y` post-dominates
+/// `X` — exactly when a join can keep its ANDed predicate without
+/// duplication.  The scheduler's path-condition merge implements the same
+/// relation algebraically; this structure exists for analyses and tests
+/// that want the classic formulation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PostDominators {
+    /// Immediate post-dominator per block; `None` for blocks that cannot
+    /// reach an exit (or are unreachable) and for exit blocks themselves
+    /// (whose ipdom is the virtual exit).
+    ipdom: Vec<Option<BlockId>>,
+    exits: Vec<BlockId>,
+}
+
+impl PostDominators {
+    /// Computes post-dominators for `prog`.
+    pub fn new(prog: &psb_isa::ScalarProgram, cfg: &Cfg) -> PostDominators {
+        let n = cfg.len();
+        let exits: Vec<BlockId> = (0..n)
+            .map(|i| BlockId(i as u32))
+            .filter(|&b| cfg.is_reachable(b) && cfg.succs(b).is_empty())
+            .collect();
+        let _ = prog;
+        // Reverse post-order on the reverse graph = order blocks by
+        // decreasing forward RPO works for reducible graphs; iterate to a
+        // fixed point regardless.
+        let order: Vec<BlockId> = {
+            let mut v: Vec<BlockId> = cfg.rpo().to_vec();
+            v.reverse();
+            v
+        };
+        let mut ipdom: Vec<Option<BlockId>> = vec![None; n];
+        // Exit blocks post-dominate themselves (ipdom = virtual exit,
+        // modelled as self).
+        for &e in &exits {
+            ipdom[e.index()] = Some(e);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                if exits.contains(&b) {
+                    continue;
+                }
+                let mut new: Option<BlockId> = None;
+                for &s in cfg.succs(b) {
+                    if ipdom[s.index()].is_none() {
+                        continue;
+                    }
+                    new = Some(match new {
+                        None => s,
+                        Some(cur) => Self::meet(cfg, &ipdom, &exits, s, cur),
+                    });
+                }
+                if new != ipdom[b.index()] {
+                    ipdom[b.index()] = new;
+                    changed = true;
+                }
+            }
+        }
+        PostDominators { ipdom, exits }
+    }
+
+    fn meet(
+        cfg: &Cfg,
+        ipdom: &[Option<BlockId>],
+        exits: &[BlockId],
+        mut a: BlockId,
+        mut b: BlockId,
+    ) -> BlockId {
+        // Walk both chains toward the virtual exit; order by *reverse*
+        // forward-RPO (later blocks first on the reverse graph).
+        let key = |x: BlockId| cfg.rpo_index(x).unwrap_or(usize::MAX);
+        loop {
+            if a == b {
+                return a;
+            }
+            // Two distinct exit blocks meet only at the virtual exit;
+            // represent that by whichever comes later (a canonical pick).
+            let a_exit = exits.contains(&a);
+            let b_exit = exits.contains(&b);
+            if a_exit && b_exit {
+                return if key(a) > key(b) { a } else { b };
+            }
+            if !a_exit && key(a) < key(b) {
+                a = ipdom[a.index()].expect("processed");
+            } else if !b_exit && key(b) < key(a) {
+                b = ipdom[b.index()].expect("processed");
+            } else if !a_exit {
+                a = ipdom[a.index()].expect("processed");
+            } else {
+                b = ipdom[b.index()].expect("processed");
+            }
+        }
+    }
+
+    /// Whether `a` post-dominates `b` (reflexive): every path from `b` to
+    /// an exit passes through `a`.
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.ipdom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The immediate post-dominator of `b` (itself for exit blocks).
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        self.ipdom[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_isa::{CmpOp, ProgramBuilder, Reg, ScalarProgram};
+
+    /// Diamond with a loop:
+    /// entry → head; head → {left, right}; left/right → join; join → head | exit.
+    fn build() -> (ScalarProgram, Vec<BlockId>) {
+        let mut pb = ProgramBuilder::new("dom");
+        let ids: Vec<BlockId> = (0..6).map(|_| pb.new_block()).collect();
+        let (entry, head, left, right, join, exit) =
+            (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        let r = Reg::new(1);
+        pb.block_mut(entry).jump(head);
+        pb.block_mut(head).branch(CmpOp::Lt, r, 0, left, right);
+        pb.block_mut(left).jump(join);
+        pb.block_mut(right).jump(join);
+        pb.block_mut(join).branch(CmpOp::Lt, r, 10, head, exit);
+        pb.block_mut(exit).halt();
+        pb.set_entry(entry);
+        (pb.finish().unwrap(), ids)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (p, ids) = build();
+        let cfg = Cfg::new(&p);
+        let dom = Dominators::new(&cfg);
+        let (entry, head, left, right, join, exit) =
+            (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        assert_eq!(dom.idom(head), Some(entry));
+        assert_eq!(dom.idom(left), Some(head));
+        assert_eq!(dom.idom(right), Some(head));
+        assert_eq!(dom.idom(join), Some(head)); // not left or right
+        assert_eq!(dom.idom(exit), Some(join));
+        assert!(dom.dominates(head, exit));
+        assert!(dom.dominates(head, head));
+        assert!(!dom.dominates(left, join));
+        assert!(!dom.dominates(exit, head));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let (p, ids) = build();
+        let cfg = Cfg::new(&p);
+        let pdom = PostDominators::new(&p, &cfg);
+        let (entry, head, left, right, join, exit) =
+            (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        assert!(pdom.post_dominates(join, head));
+        assert!(pdom.post_dominates(join, left));
+        assert!(pdom.post_dominates(exit, entry));
+        assert!(!pdom.post_dominates(left, head));
+        assert!(!pdom.post_dominates(head, join));
+        // The paper's equivalent-block relation: head ~ join.
+        let dom = Dominators::new(&cfg);
+        assert!(dom.dominates(head, join) && pdom.post_dominates(join, head));
+        assert!(
+            !dom.dominates(left, join),
+            "an arm is not equivalent to the join"
+        );
+        assert_eq!(pdom.ipdom(left), Some(join));
+        assert_eq!(pdom.ipdom(right), Some(join));
+    }
+
+    #[test]
+    fn unreachable_has_no_idom() {
+        let mut pb = ProgramBuilder::new("u");
+        let a = pb.new_block();
+        let dead = pb.new_block();
+        pb.block_mut(a).halt();
+        pb.block_mut(dead).halt();
+        pb.set_entry(a);
+        let p = pb.finish().unwrap();
+        let dom = Dominators::new(&Cfg::new(&p));
+        assert_eq!(dom.idom(dead), None);
+        assert!(!dom.dominates(a, dead));
+    }
+}

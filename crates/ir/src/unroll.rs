@@ -1,0 +1,288 @@
+//! Loop unrolling — the compilation technique the paper names as the way
+//! to feed machines wider than four issue slots (Section 4.2.2: "other
+//! compilation techniques which expose more parallelism (e.g. loop
+//! unrolling) may be required").
+//!
+//! Unrolling duplicates a natural loop's body `factor − 1` times and
+//! chains the copies: the back edge of copy *k* targets the header of
+//! copy *k+1*, and only the last copy branches back to the original
+//! header.  Each copy keeps its own exit branches, so any trip count
+//! remains correct (no strip-mining or prologue is needed).  The payoff
+//! for the predicating architecture is structural: scheduling scopes can
+//! never follow a back edge, so an unrolled body lets one *region* span
+//! several former iterations.
+
+use crate::cfg::Cfg;
+use crate::dom::Dominators;
+use psb_isa::{BlockId, ScalarProgram};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A natural loop: its header and its body blocks (header included).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NaturalLoop {
+    /// The loop header (the back edges' target, dominating the body).
+    pub header: BlockId,
+    /// All blocks of the loop, header included.
+    pub body: BTreeSet<BlockId>,
+}
+
+/// Finds the natural loops of `prog` (one per header; multiple back edges
+/// to one header merge into one loop).  Irreducible retreating edges —
+/// where the target does not dominate the source — are skipped.
+pub fn find_loops(prog: &ScalarProgram, cfg: &Cfg, dom: &Dominators) -> Vec<NaturalLoop> {
+    let mut by_header: HashMap<BlockId, BTreeSet<BlockId>> = HashMap::new();
+    for &b in cfg.rpo() {
+        for &s in cfg.succs(b) {
+            if dom.dominates(s, b) {
+                // Back edge b -> s: collect the natural loop of (b, s).
+                let body = by_header.entry(s).or_default();
+                body.insert(s);
+                let mut work = VecDeque::new();
+                if body.insert(b) {
+                    work.push_back(b);
+                }
+                while let Some(x) = work.pop_front() {
+                    for &p in cfg.preds(x) {
+                        if p != s && body.insert(p) {
+                            work.push_back(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut loops: Vec<NaturalLoop> = by_header
+        .into_iter()
+        .map(|(header, body)| NaturalLoop { header, body })
+        .collect();
+    loops.sort_by_key(|l| l.header);
+    let _ = prog;
+    loops
+}
+
+impl NaturalLoop {
+    /// Whether this loop contains another loop's header (i.e. is not
+    /// innermost).
+    pub fn contains_other(&self, loops: &[NaturalLoop]) -> bool {
+        loops
+            .iter()
+            .any(|l| l.header != self.header && self.body.contains(&l.header))
+    }
+}
+
+/// Unrolls every innermost natural loop of `prog` by `factor` (a factor
+/// of 1 returns the program unchanged).  The transform is purely
+/// structural — dynamic semantics are identical — so the scalar golden
+/// model of the unrolled program equals the original's.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn unroll_loops(prog: &ScalarProgram, factor: usize) -> ScalarProgram {
+    assert!(factor >= 1, "unroll factor must be at least 1");
+    if factor == 1 {
+        return prog.clone();
+    }
+    let cfg = Cfg::new(prog);
+    let dom = Dominators::new(&cfg);
+    let loops = find_loops(prog, &cfg, &dom);
+    let innermost: Vec<&NaturalLoop> = loops.iter().filter(|l| !l.contains_other(&loops)).collect();
+
+    let mut out = prog.clone();
+    for l in innermost {
+        unroll_one(&mut out, l, factor);
+    }
+    out.validate()
+        .expect("unrolling preserves structural validity");
+    out
+}
+
+fn unroll_one(prog: &mut ScalarProgram, l: &NaturalLoop, factor: usize) {
+    // Map each body block to its copy id per unroll step.
+    let body: Vec<BlockId> = l.body.iter().copied().collect();
+    let mut copies: Vec<HashMap<BlockId, BlockId>> = Vec::with_capacity(factor - 1);
+    for _ in 1..factor {
+        let mut map = HashMap::new();
+        for &b in &body {
+            let new_id = BlockId(prog.blocks.len() as u32);
+            prog.blocks.push(prog.blocks[b.index()].clone());
+            map.insert(b, new_id);
+        }
+        copies.push(map);
+    }
+    // Rewire each copy: internal edges stay inside the copy; the back
+    // edge (an edge to the header) advances to the next copy's header —
+    // the last copy returns to the original header.  Exits are untouched.
+    for (k, map) in copies.iter().enumerate() {
+        let next_header = if k + 1 < copies.len() {
+            copies[k + 1][&l.header]
+        } else {
+            l.header
+        };
+        for &orig in &body {
+            let copy_id = map[&orig];
+            let term = prog.blocks[copy_id.index()].term;
+            prog.blocks[copy_id.index()].term = term.map_targets(|t| {
+                if t == l.header {
+                    next_header
+                } else if let Some(&c) = map.get(&t) {
+                    c
+                } else {
+                    t
+                }
+            });
+        }
+    }
+    // The original body's back edges now enter copy 1.
+    let first_header = copies[0][&l.header];
+    for &orig in &body {
+        let term = prog.blocks[orig.index()].term;
+        prog.blocks[orig.index()].term = term.map_targets(|t| {
+            if t == l.header && orig != l.header {
+                // Only edges *from inside the loop* are back edges; the
+                // header's own self-targeting edge (a one-block loop) also
+                // advances.
+                first_header
+            } else {
+                t
+            }
+        });
+    }
+    // One-block loops: the header's edge to itself is the back edge.
+    let term = prog.blocks[l.header.index()].term;
+    prog.blocks[l.header.index()].term =
+        term.map_targets(|t| if t == l.header { first_header } else { t });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Liveness;
+    use psb_isa::{AluOp, CmpOp, MemTag, ProgramBuilder, Reg};
+
+    fn r(i: usize) -> Reg {
+        Reg::new(i)
+    }
+
+    /// sum += mem[16+i] for i in 0..n, with an if inside the body.
+    fn loop_prog(n: i64) -> ScalarProgram {
+        let mut pb = ProgramBuilder::new("unroll-me");
+        pb.memory_size(128);
+        for k in 0..64 {
+            pb.mem_cell(16 + k, k * 3 % 17);
+        }
+        pb.init_reg(r(8), n);
+        let entry = pb.new_block();
+        let head = pb.new_block();
+        let odd = pb.new_block();
+        let even = pb.new_block();
+        let latch = pb.new_block();
+        let done = pb.new_block();
+        pb.block_mut(entry).copy(r(1), 0).copy(r(2), 0).jump(head);
+        pb.block_mut(head)
+            .load(r(3), r(1), 16, MemTag(1))
+            .alu(AluOp::And, r(4), r(3), 1)
+            .branch(CmpOp::Eq, r(4), 1, odd, even);
+        pb.block_mut(odd)
+            .alu(AluOp::Add, r(2), r(2), r(3))
+            .jump(latch);
+        pb.block_mut(even)
+            .alu(AluOp::Sub, r(2), r(2), r(3))
+            .jump(latch);
+        pb.block_mut(latch).alu(AluOp::Add, r(1), r(1), 1).branch(
+            CmpOp::Lt,
+            r(1),
+            r(8),
+            head,
+            done,
+        );
+        pb.block_mut(done).halt();
+        pb.set_entry(entry);
+        pb.live_out([r(2)]);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn finds_the_loop() {
+        let p = loop_prog(10);
+        let cfg = Cfg::new(&p);
+        let dom = Dominators::new(&cfg);
+        let loops = find_loops(&p, &cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, BlockId(1));
+        assert_eq!(loops[0].body.len(), 4); // head, odd, even, latch
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let p = loop_prog(10);
+        assert_eq!(unroll_loops(&p, 1), p);
+    }
+
+    #[test]
+    fn unrolled_program_grows_and_validates() {
+        let p = loop_prog(10);
+        let u = unroll_loops(&p, 4);
+        assert_eq!(u.blocks.len(), p.blocks.len() + 3 * 4);
+        u.validate().unwrap();
+        // Liveness and CFG still computable on the transformed program.
+        let cfg = Cfg::new(&u);
+        let _ = Liveness::new(&u, &cfg);
+    }
+
+    #[test]
+    fn semantics_preserved_for_any_trip_count() {
+        use psb_scalar::ScalarMachine;
+        for n in [0i64, 1, 2, 3, 7, 10, 33] {
+            let p = loop_prog(n.max(1)); // trip counts below 1 do-while once
+            let base = ScalarMachine::run_to_completion(&p).unwrap();
+            for factor in [2usize, 3, 4] {
+                let u = unroll_loops(&p, factor);
+                let got = ScalarMachine::run_to_completion(&u).unwrap();
+                assert_eq!(
+                    got.observable(&u.live_out),
+                    base.observable(&p.live_out),
+                    "n={n} factor={factor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_loop_has_fewer_back_edge_traversals() {
+        use psb_scalar::ScalarMachine;
+        let p = loop_prog(32);
+        let u = unroll_loops(&p, 4);
+        let base = ScalarMachine::run_to_completion(&p).unwrap();
+        let got = ScalarMachine::run_to_completion(&u).unwrap();
+        // Same dynamic instruction count (pure duplication)...
+        assert_eq!(base.dyn_instrs, got.dyn_instrs);
+        // ...but the branch to the *original* header runs 4x less often.
+        let (t_orig, _) = base.edge_profile.counts(BlockId(4));
+        let (t_unrolled, _) = got.edge_profile.counts(BlockId(4));
+        assert_eq!(t_orig, 31);
+        assert_eq!(t_unrolled, 8); // original latch runs every 4th iteration
+    }
+
+    #[test]
+    fn one_block_self_loop_unrolls() {
+        let mut pb = ProgramBuilder::new("self");
+        let entry = pb.new_block();
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block_mut(entry).copy(r(1), 0).jump(body);
+        pb.block_mut(body)
+            .alu(AluOp::Add, r(1), r(1), 1)
+            .branch(CmpOp::Lt, r(1), 9, body, done);
+        pb.block_mut(done).halt();
+        pb.set_entry(entry);
+        pb.live_out([r(1)]);
+        let p = pb.finish().unwrap();
+        let u = unroll_loops(&p, 3);
+        use psb_scalar::ScalarMachine;
+        let a = ScalarMachine::run_to_completion(&p).unwrap();
+        let b = ScalarMachine::run_to_completion(&u).unwrap();
+        assert_eq!(a.regs[1], b.regs[1]);
+        assert!(u.blocks.len() > p.blocks.len());
+    }
+}

@@ -1,0 +1,238 @@
+//! A fluent builder for scalar programs, used by the workload generators,
+//! examples and tests.
+
+use crate::op::{AluOp, CmpOp, MemTag, Op, Src};
+use crate::reg::Reg;
+use crate::scalar::{Block, BlockId, MemImage, ScalarProgram, Terminator};
+
+/// Builds a [`ScalarProgram`] incrementally.
+///
+/// # Example
+///
+/// ```
+/// use psb_isa::{AluOp, CmpOp, ProgramBuilder, Reg};
+///
+/// let r1 = Reg::new(1);
+/// let mut pb = ProgramBuilder::new("count-to-ten");
+/// let loop_b = pb.new_block();
+/// let done = pb.new_block();
+/// pb.block_mut(loop_b)
+///     .alu(AluOp::Add, r1, r1, 1)
+///     .branch(CmpOp::Lt, r1, 10, loop_b, done);
+/// pb.block_mut(done).halt();
+/// pb.set_entry(loop_b);
+/// pb.live_out([r1]);
+/// let prog = pb.finish().unwrap();
+/// assert_eq!(prog.blocks.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    prog: ScalarProgram,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program with the given name and an empty 1 KiW memory.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            prog: ScalarProgram {
+                name: name.into(),
+                memory: MemImage::zeroed(1024),
+                ..ScalarProgram::default()
+            },
+        }
+    }
+
+    /// Appends a new empty block (terminated by `Halt` until changed) and
+    /// returns its id.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.prog.blocks.len() as u32);
+        self.prog.blocks.push(Block::default());
+        id
+    }
+
+    /// A builder positioned at block `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`ProgramBuilder::new_block`].
+    pub fn block_mut(&mut self, id: BlockId) -> BlockBuilder<'_> {
+        BlockBuilder {
+            block: &mut self.prog.blocks[id.index()],
+        }
+    }
+
+    /// Sets the entry block.
+    pub fn set_entry(&mut self, id: BlockId) {
+        self.prog.entry = id;
+    }
+
+    /// Sets an initial register value.
+    pub fn init_reg(&mut self, r: Reg, value: i64) {
+        self.prog.init_regs.push((r, value));
+    }
+
+    /// Resizes memory to `size` words.
+    pub fn memory_size(&mut self, size: i64) {
+        self.prog.memory.size = size;
+    }
+
+    /// Sets an initial memory cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside `1..size`.
+    pub fn mem_cell(&mut self, addr: i64, value: i64) {
+        self.prog.memory.set(addr, value);
+    }
+
+    /// Declares the observable output registers.
+    pub fn live_out(&mut self, regs: impl IntoIterator<Item = Reg>) {
+        self.prog.live_out.extend(regs);
+    }
+
+    /// Finishes and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error from [`ScalarProgram::validate`].
+    pub fn finish(self) -> Result<ScalarProgram, String> {
+        self.prog.validate()?;
+        Ok(self.prog)
+    }
+}
+
+/// Appends instructions to one block.  All methods chain.
+#[derive(Debug)]
+pub struct BlockBuilder<'a> {
+    block: &'a mut Block,
+}
+
+impl<'a> BlockBuilder<'a> {
+    /// Appends `rd = a <op> b`.
+    #[must_use]
+    pub fn alu(self, op: AluOp, rd: Reg, a: impl Into<Src>, b: impl Into<Src>) -> Self {
+        self.block.instrs.push(Op::Alu {
+            op,
+            rd,
+            a: a.into(),
+            b: b.into(),
+        });
+        self
+    }
+
+    /// Appends `rd = src`.
+    #[must_use]
+    pub fn copy(self, rd: Reg, src: impl Into<Src>) -> Self {
+        self.block.instrs.push(Op::Copy {
+            rd,
+            src: src.into(),
+        });
+        self
+    }
+
+    /// Appends `rd = load(base + offset)` with aliasing tag `tag`.
+    #[must_use]
+    pub fn load(self, rd: Reg, base: impl Into<Src>, offset: i64, tag: MemTag) -> Self {
+        self.block.instrs.push(Op::Load {
+            rd,
+            base: base.into(),
+            offset,
+            tag,
+        });
+        self
+    }
+
+    /// Appends `store(base + offset) = value` with aliasing tag `tag`.
+    #[must_use]
+    pub fn store(
+        self,
+        base: impl Into<Src>,
+        offset: i64,
+        value: impl Into<Src>,
+        tag: MemTag,
+    ) -> Self {
+        self.block.instrs.push(Op::Store {
+            base: base.into(),
+            offset,
+            value: value.into(),
+            tag,
+        });
+        self
+    }
+
+    /// Appends a raw op.
+    #[must_use]
+    pub fn push(self, op: Op) -> Self {
+        self.block.instrs.push(op);
+        self
+    }
+
+    /// Terminates the block with an unconditional jump.
+    pub fn jump(self, target: BlockId) {
+        self.block.term = Terminator::Jump(target);
+    }
+
+    /// Terminates the block with a conditional branch.
+    pub fn branch(
+        self,
+        cmp: CmpOp,
+        a: impl Into<Src>,
+        b: impl Into<Src>,
+        taken: BlockId,
+        not_taken: BlockId,
+    ) {
+        self.block.term = Terminator::Branch {
+            cmp,
+            a: a.into(),
+            b: b.into(),
+            taken,
+            not_taken,
+        };
+    }
+
+    /// Terminates the block with program end.
+    pub fn halt(self) {
+        self.block.term = Terminator::Halt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_diamond() {
+        let r = Reg::new;
+        let mut pb = ProgramBuilder::new("diamond");
+        let top = pb.new_block();
+        let left = pb.new_block();
+        let right = pb.new_block();
+        let join = pb.new_block();
+        pb.block_mut(top).branch(CmpOp::Lt, r(1), 0, left, right);
+        pb.block_mut(left).alu(AluOp::Add, r(2), r(2), 1).jump(join);
+        pb.block_mut(right)
+            .alu(AluOp::Sub, r(2), r(2), 1)
+            .jump(join);
+        pb.block_mut(join).halt();
+        pb.set_entry(top);
+        pb.init_reg(r(1), -3);
+        pb.live_out([r(2)]);
+        let p = pb.finish().unwrap();
+        assert_eq!(p.successors(BlockId(0)), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(p.live_out, vec![r(2)]);
+        assert_eq!(p.init_regs, vec![(r(1), -3)]);
+    }
+
+    #[test]
+    fn memory_helpers() {
+        let mut pb = ProgramBuilder::new("mem");
+        pb.memory_size(32);
+        pb.mem_cell(5, 99);
+        let b = pb.new_block();
+        pb.block_mut(b).halt();
+        pb.set_entry(b);
+        let p = pb.finish().unwrap();
+        assert_eq!(p.memory.size, 32);
+        assert_eq!(p.memory.cells, vec![(5, 99)]);
+    }
+}

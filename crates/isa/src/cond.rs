@@ -1,0 +1,219 @@
+//! Three-valued branch conditions and the condition code register (CCR).
+
+use crate::reg::{CondReg, MAX_CONDS};
+use std::fmt;
+
+/// A three-valued branch condition: the value of one CCR entry, or the
+/// result of evaluating a [`Predicate`](crate::Predicate).
+///
+/// All CCR entries start out `Unspecified`; a condition-set instruction
+/// specifies an entry to `True` or `False`; entering a new region resets
+/// every entry to `Unspecified` (Section 3.3: the speculative state is
+/// *closed* in a region).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Cond {
+    /// No condition-set instruction has executed for this entry yet.
+    #[default]
+    Unspecified,
+    /// The condition is known to hold.
+    True,
+    /// The condition is known not to hold.
+    False,
+}
+
+impl Cond {
+    /// Converts a boolean into a specified condition.
+    #[inline]
+    pub fn from_bool(b: bool) -> Cond {
+        if b {
+            Cond::True
+        } else {
+            Cond::False
+        }
+    }
+
+    /// Whether the condition has been specified (is not `Unspecified`).
+    #[inline]
+    pub fn is_specified(self) -> bool {
+        !matches!(self, Cond::Unspecified)
+    }
+
+    /// Three-valued logical AND (Kleene logic).
+    #[inline]
+    pub fn and(self, other: Cond) -> Cond {
+        match (self, other) {
+            (Cond::False, _) | (_, Cond::False) => Cond::False,
+            (Cond::True, Cond::True) => Cond::True,
+            _ => Cond::Unspecified,
+        }
+    }
+
+    /// Three-valued logical negation.
+    ///
+    /// Deliberately an inherent method (not `std::ops::Not`): `Cond` is a
+    /// three-valued logic and `!cond` syntax would suggest boolean
+    /// semantics.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn not(self) -> Cond {
+        match self {
+            Cond::True => Cond::False,
+            Cond::False => Cond::True,
+            Cond::Unspecified => Cond::Unspecified,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::True => "T",
+            Cond::False => "F",
+            Cond::Unspecified => "U",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The condition code register: `K` three-valued entries, `c0 .. c{K-1}`.
+///
+/// One CCR instance holds the *current condition*; the machine keeps a
+/// second instance (the *future CCR*) during speculative-exception recovery
+/// (Section 3.5).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ccr {
+    vals: [Cond; MAX_CONDS],
+    len: usize,
+}
+
+impl Ccr {
+    /// Creates a CCR with `k` entries, all `Unspecified`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds [`MAX_CONDS`].
+    pub fn new(k: usize) -> Ccr {
+        assert!((1..=MAX_CONDS).contains(&k), "CCR size {k} out of range");
+        Ccr {
+            vals: [Cond::Unspecified; MAX_CONDS],
+            len: k,
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the CCR has zero entries (never true; kept for API symmetry).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads one entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside this CCR's `0..len` range.
+    #[inline]
+    pub fn get(&self, c: CondReg) -> Cond {
+        assert!(
+            c.index() < self.len,
+            "condition {c} outside CCR of size {}",
+            self.len
+        );
+        self.vals[c.index()]
+    }
+
+    /// Specifies one entry to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside this CCR's range.
+    #[inline]
+    pub fn set(&mut self, c: CondReg, value: bool) {
+        assert!(
+            c.index() < self.len,
+            "condition {c} outside CCR of size {}",
+            self.len
+        );
+        self.vals[c.index()] = Cond::from_bool(value);
+    }
+
+    /// Resets every entry to `Unspecified` (performed by hardware on every
+    /// region exit).
+    pub fn reset(&mut self) {
+        self.vals = [Cond::Unspecified; MAX_CONDS];
+    }
+
+    /// Iterates over `(name, value)` pairs for all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (CondReg, Cond)> + '_ {
+        (0..self.len).map(move |i| (CondReg::new(i), self.vals[i]))
+    }
+}
+
+impl fmt::Display for Ccr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for i in 0..self.len {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", self.vals[i])?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kleene_and_truth_table() {
+        use Cond::*;
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(False.and(Unspecified), False);
+        assert_eq!(Unspecified.and(False), False);
+        assert_eq!(True.and(Unspecified), Unspecified);
+        assert_eq!(Unspecified.and(Unspecified), Unspecified);
+    }
+
+    #[test]
+    fn kleene_not() {
+        assert_eq!(Cond::True.not(), Cond::False);
+        assert_eq!(Cond::False.not(), Cond::True);
+        assert_eq!(Cond::Unspecified.not(), Cond::Unspecified);
+    }
+
+    #[test]
+    fn ccr_set_get_reset() {
+        let mut ccr = Ccr::new(3);
+        assert_eq!(ccr.get(CondReg::new(1)), Cond::Unspecified);
+        ccr.set(CondReg::new(1), true);
+        ccr.set(CondReg::new(2), false);
+        assert_eq!(ccr.get(CondReg::new(1)), Cond::True);
+        assert_eq!(ccr.get(CondReg::new(2)), Cond::False);
+        ccr.reset();
+        assert_eq!(ccr.get(CondReg::new(1)), Cond::Unspecified);
+        assert_eq!(ccr.get(CondReg::new(2)), Cond::Unspecified);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside CCR")]
+    fn ccr_out_of_range() {
+        let ccr = Ccr::new(2);
+        let _ = ccr.get(CondReg::new(3));
+    }
+
+    #[test]
+    fn ccr_display() {
+        let mut ccr = Ccr::new(3);
+        ccr.set(CondReg::new(0), true);
+        ccr.set(CondReg::new(2), false);
+        assert_eq!(ccr.to_string(), "{T,U,F}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Disassembly: `Display` implementations mirroring the paper's notation
+//! (e.g. `c0&c1 ? r2.s = r2 - 1`).
+
+use crate::op::{AluOp, CmpOp, Op, Src};
+use crate::scalar::{ScalarProgram, Terminator};
+use crate::vliw::{MultiOp, Slot, SlotOp, VliwProgram};
+use std::fmt;
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "+",
+            AluOp::Sub => "-",
+            AluOp::And => "&",
+            AluOp::Or => "|",
+            AluOp::Xor => "^",
+            AluOp::Sll => "<<",
+            AluOp::Srl => ">>u",
+            AluOp::Sra => ">>",
+            AluOp::Slt => "<?",
+            AluOp::Mul => "*",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::Reg { reg, shadow: false } => write!(f, "{reg}"),
+            Src::Reg { reg, shadow: true } => write!(f, "{reg}.s"),
+            Src::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Alu { op, rd, a, b } => write!(f, "{rd} = {a} {op} {b}"),
+            Op::Copy { rd, src } => write!(f, "{rd} = {src}"),
+            Op::Load {
+                rd, base, offset, ..
+            } => match offset {
+                0 => write!(f, "{rd} = load({base})"),
+                o if *o > 0 => write!(f, "{rd} = load({base}+{o})"),
+                o => write!(f, "{rd} = load({base}{o})"),
+            },
+            Op::Store {
+                base,
+                offset,
+                value,
+                ..
+            } => match offset {
+                0 => write!(f, "store({base}) = {value}"),
+                o if *o > 0 => write!(f, "store({base}+{o}) = {value}"),
+                o => write!(f, "store({base}{o}) = {value}"),
+            },
+            Op::SetCond { c, cmp, a, b } => write!(f, "{c} = {a} {cmp} {b}"),
+            Op::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(t) => write!(f, "j {t}"),
+            Terminator::Branch {
+                cmp,
+                a,
+                b,
+                taken,
+                not_taken,
+            } => {
+                write!(f, "br ({a} {cmp} {b}) {taken} else {not_taken}")
+            }
+            Terminator::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl fmt::Display for SlotOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlotOp::Op(op) => write!(f, "{op}"),
+            SlotOp::Jump { target } => write!(f, "j W{target}"),
+            SlotOp::CmpBr {
+                c,
+                cmp,
+                a,
+                b,
+                target,
+            } => {
+                if let Some(c) = c {
+                    write!(f, "{c}=br ({a} {cmp} {b}) W{target}")
+                } else {
+                    write!(f, "br ({a} {cmp} {b}) W{target}")
+                }
+            }
+            SlotOp::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>9} ? {}", self.pred.to_string(), self.op)
+    }
+}
+
+impl fmt::Display for MultiOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for s in &self.slots {
+            if !first {
+                write!(f, " ;  ")?;
+            }
+            first = false;
+            write!(f, "{s}")?;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for VliwProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; vliw program `{}` (K={})", self.name, self.num_conds)?;
+        for (addr, word) in self.words.iter().enumerate() {
+            if self.region_starts.binary_search(&addr).is_ok() {
+                writeln!(f, "R{addr}:")?;
+            }
+            writeln!(f, "  W{addr:<4} {word}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ScalarProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; scalar program `{}` entry {}", self.name, self.entry)?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "B{i}:")?;
+            for op in &b.instrs {
+                writeln!(f, "  {op}")?;
+            }
+            writeln!(f, "  {}", b.term)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::MemTag;
+    use crate::pred::Predicate;
+    use crate::reg::{CondReg, Reg};
+
+    #[test]
+    fn paper_notation() {
+        let r = Reg::new;
+        let op = Op::Alu {
+            op: AluOp::Sub,
+            rd: r(2),
+            a: Src::reg(r(2)),
+            b: Src::imm(1),
+        };
+        assert_eq!(op.to_string(), "r2 = r2 - 1");
+        let ld = Op::Load {
+            rd: r(5),
+            base: Src::reg(r(3)),
+            offset: 0,
+            tag: MemTag::ANY,
+        };
+        assert_eq!(ld.to_string(), "r5 = load(r3)");
+        let slot = Slot::new(
+            Predicate::always()
+                .and_pos(CondReg::new(0))
+                .and_pos(CondReg::new(1)),
+            SlotOp::Op(Op::Alu {
+                op: AluOp::Sub,
+                rd: r(2),
+                a: Src::reg(r(2)),
+                b: Src::imm(1),
+            }),
+        );
+        assert!(slot.to_string().contains("c0&c1 ? r2 = r2 - 1"));
+    }
+
+    #[test]
+    fn shadow_suffix() {
+        assert_eq!(Src::shadow(Reg::new(7)).to_string(), "r7.s");
+    }
+
+    #[test]
+    fn setcond_display() {
+        let op = Op::SetCond {
+            c: CondReg::new(0),
+            cmp: CmpOp::Lt,
+            a: Src::reg(Reg::new(3)),
+            b: Src::reg(Reg::new(4)),
+        };
+        assert_eq!(op.to_string(), "c0 = r3 < r4");
+    }
+}

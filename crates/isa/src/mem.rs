@@ -1,0 +1,135 @@
+//! Word-addressed data memory shared by both machines.
+
+use crate::scalar::MemImage;
+use std::fmt;
+
+/// A memory access fault.
+///
+/// Address `0` is the NULL page; negative and past-the-end addresses are
+/// unmapped.  Dereferencing any of them faults — this is the exception
+/// source the paper's speculative-exception machinery is built around
+/// (e.g. the NULL dereference in the last iteration of a linked-list
+/// traversal, Section 2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemFault {
+    /// Access to address 0.
+    Null,
+    /// Access outside `1..size`.
+    OutOfRange(i64),
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::Null => write!(f, "NULL dereference"),
+            MemFault::OutOfRange(a) => write!(f, "access to unmapped address {a}"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Flat word-addressed memory: each address holds one `i64`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Memory {
+    cells: Vec<i64>,
+}
+
+impl Memory {
+    /// Builds memory from an initial image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an image cell is out of range (images built through
+    /// [`MemImage::set`](crate::MemImage::set) never are).
+    pub fn from_image(image: &MemImage) -> Memory {
+        let mut cells = vec![0; image.size.max(0) as usize];
+        for &(addr, value) in &image.cells {
+            cells[addr as usize] = value;
+        }
+        Memory { cells }
+    }
+
+    /// Number of addressable words (valid addresses are `1..size`).
+    #[inline]
+    pub fn size(&self) -> i64 {
+        self.cells.len() as i64
+    }
+
+    /// Validates an address.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::Null`] for address 0, [`MemFault::OutOfRange`] outside
+    /// `1..size`.
+    #[inline]
+    pub fn check(&self, addr: i64) -> Result<(), MemFault> {
+        if addr == 0 {
+            Err(MemFault::Null)
+        } else if addr < 0 || addr >= self.size() {
+            Err(MemFault::OutOfRange(addr))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one word.
+    ///
+    /// # Errors
+    ///
+    /// Faults as in [`Memory::check`].
+    #[inline]
+    pub fn read(&self, addr: i64) -> Result<i64, MemFault> {
+        self.check(addr)?;
+        Ok(self.cells[addr as usize])
+    }
+
+    /// Writes one word.
+    ///
+    /// # Errors
+    ///
+    /// Faults as in [`Memory::check`].
+    #[inline]
+    pub fn write(&mut self, addr: i64, value: i64) -> Result<(), MemFault> {
+        self.check(addr)?;
+        self.cells[addr as usize] = value;
+        Ok(())
+    }
+
+    /// The raw cells (for final-state comparison in tests).
+    pub fn cells(&self) -> &[i64] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_roundtrip() {
+        let mut img = MemImage::zeroed(8);
+        img.set(3, 42);
+        let m = Memory::from_image(&img);
+        assert_eq!(m.read(3), Ok(42));
+        assert_eq!(m.read(4), Ok(0));
+        assert_eq!(m.size(), 8);
+    }
+
+    #[test]
+    fn faults() {
+        let m = Memory::from_image(&MemImage::zeroed(8));
+        assert_eq!(m.read(0), Err(MemFault::Null));
+        assert_eq!(m.read(-1), Err(MemFault::OutOfRange(-1)));
+        assert_eq!(m.read(8), Err(MemFault::OutOfRange(8)));
+        assert_eq!(m.read(7), Ok(0));
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = Memory::from_image(&MemImage::zeroed(8));
+        m.write(5, -7).unwrap();
+        assert_eq!(m.read(5), Ok(-7));
+        assert_eq!(m.write(0, 1), Err(MemFault::Null));
+    }
+}

@@ -1,0 +1,327 @@
+//! Predicates: ANDed vectors of possibly negated branch conditions.
+//!
+//! The paper restricts predicate expressions to an ANDed operation with
+//! negation (Section 3.2): `c1 & !c2 & c3` is representable, `c1 | c2` is
+//! not.  A predicate is encoded as a vector with one entry per CCR slot,
+//! each entry being *positive*, *negated* or *don't care*; evaluation
+//! against the CCR is a masked match operation.
+
+use crate::cond::{Ccr, Cond};
+use crate::reg::{CondReg, MAX_CONDS};
+use std::fmt;
+
+/// One entry of an encoded predicate vector.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PredTerm {
+    /// This CCR entry does not participate in the predicate (`X`).
+    #[default]
+    DontCare,
+    /// The predicate requires this condition to be true (`1`).
+    Pos,
+    /// The predicate requires this condition to be false (`0`).
+    Neg,
+}
+
+/// A predicate: the commit condition of an instruction or of a buffered
+/// speculative result.
+///
+/// A predicate with all terms [`PredTerm::DontCare`] is the always-true
+/// predicate, printed `alw` as in the paper's figures.
+///
+/// # Example
+///
+/// ```
+/// use psb_isa::{Ccr, Cond, CondReg, Predicate};
+///
+/// let p = Predicate::always().and_pos(CondReg::new(0)).and_neg(CondReg::new(2));
+/// assert_eq!(p.to_string(), "c0&!c2");
+/// let mut ccr = Ccr::new(4);
+/// ccr.set(CondReg::new(0), true);
+/// ccr.set(CondReg::new(2), false);
+/// assert_eq!(p.eval(&ccr), Cond::True);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Predicate {
+    terms: [PredTerm; MAX_CONDS],
+}
+
+impl Predicate {
+    /// The always-true predicate (`alw`): every term is don't-care.
+    #[inline]
+    pub fn always() -> Predicate {
+        Predicate::default()
+    }
+
+    /// Returns a copy of this predicate additionally requiring `c` to be
+    /// true, replacing any previous term for `c`.
+    #[must_use]
+    pub fn and_pos(mut self, c: CondReg) -> Predicate {
+        self.terms[c.index()] = PredTerm::Pos;
+        self
+    }
+
+    /// Returns a copy of this predicate additionally requiring `c` to be
+    /// false, replacing any previous term for `c`.
+    #[must_use]
+    pub fn and_neg(mut self, c: CondReg) -> Predicate {
+        self.terms[c.index()] = PredTerm::Neg;
+        self
+    }
+
+    /// Returns a copy with the term for `c` set to `term`.
+    #[must_use]
+    pub fn with_term(mut self, c: CondReg, term: PredTerm) -> Predicate {
+        self.terms[c.index()] = term;
+        self
+    }
+
+    /// Returns a copy with the term for `c` removed (set to don't-care).
+    #[must_use]
+    pub fn without(mut self, c: CondReg) -> Predicate {
+        self.terms[c.index()] = PredTerm::DontCare;
+        self
+    }
+
+    /// The term for condition `c`.
+    #[inline]
+    pub fn term(&self, c: CondReg) -> PredTerm {
+        self.terms[c.index()]
+    }
+
+    /// Whether this is the always-true predicate.
+    pub fn is_always(&self) -> bool {
+        self.terms.iter().all(|t| *t == PredTerm::DontCare)
+    }
+
+    /// Number of conditions the predicate depends on (its *speculation
+    /// depth* — the quantity swept in Figure 8 of the paper).
+    pub fn depth(&self) -> usize {
+        self.terms
+            .iter()
+            .filter(|t| **t != PredTerm::DontCare)
+            .count()
+    }
+
+    /// Iterates over the `(condition, term)` pairs that are not don't-care.
+    pub fn terms(&self) -> impl Iterator<Item = (CondReg, PredTerm)> + '_ {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t != PredTerm::DontCare)
+            .map(|(i, t)| (CondReg::new(i), *t))
+    }
+
+    /// Evaluates the predicate against a CCR: the masked match operation of
+    /// Section 3.2.
+    ///
+    /// Returns [`Cond::Unspecified`] if any participating condition is
+    /// unspecified and no participating condition already mismatches;
+    /// [`Cond::False`] as soon as one specified condition mismatches;
+    /// [`Cond::True`] when every participating condition matches.
+    pub fn eval(&self, ccr: &Ccr) -> Cond {
+        let mut acc = Cond::True;
+        for (c, term) in self.terms() {
+            let v = ccr.get(c);
+            let want = match term {
+                PredTerm::Pos => v,
+                PredTerm::Neg => v.not(),
+                PredTerm::DontCare => unreachable!(),
+            };
+            acc = acc.and(want);
+            if acc == Cond::False {
+                return Cond::False;
+            }
+        }
+        acc
+    }
+
+    /// Logical conjunction of two predicates.
+    ///
+    /// Returns `None` if they conflict (one requires `c`, the other `!c`);
+    /// the conjunction is then unsatisfiable.
+    pub fn conjoin(&self, other: &Predicate) -> Option<Predicate> {
+        let mut out = *self;
+        for i in 0..MAX_CONDS {
+            match (self.terms[i], other.terms[i]) {
+                (PredTerm::DontCare, t) => out.terms[i] = t,
+                (t, PredTerm::DontCare) => out.terms[i] = t,
+                (a, b) if a == b => out.terms[i] = a,
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// Whether `self` implies `other`: every environment satisfying `self`
+    /// satisfies `other`.  For ANDed predicates this holds exactly when
+    /// `other`'s terms are a subset of `self`'s terms.
+    pub fn implies(&self, other: &Predicate) -> bool {
+        (0..MAX_CONDS).all(|i| match other.terms[i] {
+            PredTerm::DontCare => true,
+            t => self.terms[i] == t,
+        })
+    }
+
+    /// Whether `self` and `other` are *disjoint*: no assignment of
+    /// conditions satisfies both.  For ANDed predicates this holds exactly
+    /// when some condition appears positively in one and negated in the
+    /// other.
+    pub fn disjoint(&self, other: &Predicate) -> bool {
+        (0..MAX_CONDS).any(|i| {
+            matches!(
+                (self.terms[i], other.terms[i]),
+                (PredTerm::Pos, PredTerm::Neg) | (PredTerm::Neg, PredTerm::Pos)
+            )
+        })
+    }
+
+    /// The greatest CCR entry index used, if any (used to size machine CCRs).
+    pub fn max_cond_index(&self) -> Option<usize> {
+        (0..MAX_CONDS)
+            .rev()
+            .find(|&i| self.terms[i] != PredTerm::DontCare)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_always() {
+            return f.write_str("alw");
+        }
+        let mut first = true;
+        for (c, term) in self.terms() {
+            if !first {
+                f.write_str("&")?;
+            }
+            first = false;
+            match term {
+                PredTerm::Pos => write!(f, "{c}")?,
+                PredTerm::Neg => write!(f, "!{c}")?,
+                PredTerm::DontCare => unreachable!(),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: usize) -> CondReg {
+        CondReg::new(i)
+    }
+
+    #[test]
+    fn always_predicate() {
+        let p = Predicate::always();
+        assert!(p.is_always());
+        assert_eq!(p.depth(), 0);
+        assert_eq!(p.eval(&Ccr::new(4)), Cond::True);
+        assert_eq!(p.to_string(), "alw");
+    }
+
+    #[test]
+    fn eval_paper_example() {
+        // Paper Section 3.2: CCR holds {1,0,1}; predicate c1&!c2&c3 in the
+        // paper's 1-based naming is c0&!c1&c2 here.
+        let p = Predicate::always()
+            .and_pos(c(0))
+            .and_neg(c(1))
+            .and_pos(c(2));
+        let mut ccr = Ccr::new(3);
+        ccr.set(c(0), true);
+        ccr.set(c(1), false);
+        ccr.set(c(2), true);
+        assert_eq!(p.eval(&ccr), Cond::True);
+    }
+
+    #[test]
+    fn eval_dont_care_masks() {
+        // c0&c2 with CCR {1,0,1}: c1 is masked, so it evaluates true.
+        let p = Predicate::always().and_pos(c(0)).and_pos(c(2));
+        let mut ccr = Ccr::new(3);
+        ccr.set(c(0), true);
+        ccr.set(c(1), false);
+        ccr.set(c(2), true);
+        assert_eq!(p.eval(&ccr), Cond::True);
+    }
+
+    #[test]
+    fn eval_unspecified_unless_mismatch() {
+        let p = Predicate::always().and_pos(c(0)).and_pos(c(1));
+        let mut ccr = Ccr::new(2);
+        assert_eq!(p.eval(&ccr), Cond::Unspecified);
+        ccr.set(c(0), true);
+        assert_eq!(p.eval(&ccr), Cond::Unspecified);
+        // A single specified mismatch makes the predicate false even while
+        // another condition is still unspecified.
+        let mut ccr2 = Ccr::new(2);
+        ccr2.set(c(0), false);
+        assert_eq!(p.eval(&ccr2), Cond::False);
+    }
+
+    #[test]
+    fn negated_terms() {
+        let p = Predicate::always().and_neg(c(1));
+        let mut ccr = Ccr::new(2);
+        ccr.set(c(1), false);
+        assert_eq!(p.eval(&ccr), Cond::True);
+        ccr.set(c(1), true);
+        assert_eq!(p.eval(&ccr), Cond::False);
+    }
+
+    #[test]
+    fn conjoin_merges_and_detects_conflict() {
+        let a = Predicate::always().and_pos(c(0));
+        let b = Predicate::always().and_neg(c(1));
+        let ab = a.conjoin(&b).unwrap();
+        assert_eq!(ab.to_string(), "c0&!c1");
+        let conflict = Predicate::always().and_neg(c(0));
+        assert!(a.conjoin(&conflict).is_none());
+    }
+
+    #[test]
+    fn implication() {
+        let strong = Predicate::always().and_pos(c(0)).and_pos(c(1));
+        let weak = Predicate::always().and_pos(c(0));
+        assert!(strong.implies(&weak));
+        assert!(!weak.implies(&strong));
+        assert!(strong.implies(&strong));
+        assert!(strong.implies(&Predicate::always()));
+        assert!(!Predicate::always().implies(&weak));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = Predicate::always().and_pos(c(0));
+        let b = Predicate::always().and_neg(c(0));
+        let cc = Predicate::always().and_pos(c(1));
+        assert!(a.disjoint(&b));
+        assert!(!a.disjoint(&cc));
+        assert!(!a.disjoint(&a));
+    }
+
+    #[test]
+    fn depth_and_max_index() {
+        let p = Predicate::always().and_pos(c(1)).and_neg(c(4));
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.max_cond_index(), Some(4));
+        assert_eq!(Predicate::always().max_cond_index(), None);
+    }
+
+    #[test]
+    fn without_removes_term() {
+        let p = Predicate::always()
+            .and_pos(c(0))
+            .and_pos(c(1))
+            .without(c(0));
+        assert_eq!(p.to_string(), "c1");
+    }
+
+    #[test]
+    fn display_format() {
+        let p = Predicate::always().and_pos(c(0)).and_neg(c(1));
+        assert_eq!(p.to_string(), "c0&!c1");
+    }
+}

@@ -1,0 +1,136 @@
+//! Register names: general registers and condition (CCR entry) names.
+
+use std::fmt;
+
+/// Number of general registers in the architecture.
+///
+/// The paper's machine has 32 architectural registers; we provision twice
+/// that so the register-renaming transformations of `psb-sched` always find
+/// a free register without spilling (the paper's compiler had the same
+/// freedom because its benchmarks left plenty of MIPS registers unused).
+pub const NUM_REGS: usize = 64;
+
+/// Maximum number of CCR entries (branch conditions) any machine
+/// configuration may define.  The paper evaluates K = 1..8 (Figure 8).
+pub const MAX_CONDS: usize = 8;
+
+/// A general-purpose register name, `r0` .. `r{NUM_REGS-1}`.
+///
+/// `r0` is hardwired to zero, as on MIPS: writes to it are discarded and
+/// reads always return 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_REGS`.
+    #[inline]
+    pub fn new(index: usize) -> Reg {
+        assert!(index < NUM_REGS, "register index {index} out of range");
+        Reg(index as u8)
+    }
+
+    /// The register's index, `0..NUM_REGS`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register `r0`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A condition register name, `c0` .. `c{MAX_CONDS-1}`: one entry of the
+/// condition code register (CCR).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CondReg(u8);
+
+impl CondReg {
+    /// Creates a condition register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_CONDS`.
+    #[inline]
+    pub fn new(index: usize) -> CondReg {
+        assert!(index < MAX_CONDS, "condition index {index} out of range");
+        CondReg(index as u8)
+    }
+
+    /// The condition's CCR entry index, `0..MAX_CONDS`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all condition registers `c0..cK`.
+    pub fn all(k: usize) -> impl Iterator<Item = CondReg> {
+        assert!(k <= MAX_CONDS);
+        (0..k).map(CondReg::new)
+    }
+}
+
+impl fmt::Display for CondReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for i in 0..NUM_REGS {
+            assert_eq!(Reg::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert_eq!(Reg::ZERO, Reg::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range() {
+        let _ = Reg::new(NUM_REGS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cond_out_of_range() {
+        let _ = CondReg::new(MAX_CONDS);
+    }
+
+    #[test]
+    fn cond_all() {
+        let v: Vec<CondReg> = CondReg::all(4).collect();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[3].index(), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::new(5).to_string(), "r5");
+        assert_eq!(CondReg::new(2).to_string(), "c2");
+    }
+}

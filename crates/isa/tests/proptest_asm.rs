@@ -1,0 +1,144 @@
+//! Property test: every structurally valid program round-trips through
+//! the assembly text format.
+
+use proptest::prelude::*;
+use psb_isa::{
+    parse_program, AluOp, Block, BlockId, CmpOp, MemImage, MemTag, Op, Reg, ScalarProgram, Src,
+    Terminator,
+};
+
+fn src_strategy() -> impl Strategy<Value = Src> {
+    prop_oneof![
+        (1usize..16).prop_map(|r| Src::reg(Reg::new(r))),
+        (-100i64..100).prop_map(Src::imm),
+    ]
+}
+
+fn alu_strategy() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Mul),
+    ]
+}
+
+fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (alu_strategy(), 1usize..16, src_strategy(), src_strategy()).prop_map(|(op, rd, a, b)| {
+            Op::Alu {
+                op,
+                rd: Reg::new(rd),
+                a,
+                b,
+            }
+        }),
+        (1usize..16, src_strategy()).prop_map(|(rd, src)| Op::Copy {
+            rd: Reg::new(rd),
+            src
+        }),
+        (1usize..16, src_strategy(), -8i64..8, 0u16..4).prop_map(|(rd, base, offset, tag)| {
+            Op::Load {
+                rd: Reg::new(rd),
+                base,
+                offset,
+                tag: MemTag(tag),
+            }
+        }),
+        (src_strategy(), -8i64..8, src_strategy(), 0u16..4).prop_map(
+            |(base, offset, value, tag)| Op::Store {
+                base,
+                offset,
+                value,
+                tag: MemTag(tag)
+            }
+        ),
+        Just(Op::Nop),
+    ]
+}
+
+prop_compose! {
+    fn program_strategy()(
+        nblocks in 1usize..6,
+    )(
+        blocks in proptest::collection::vec(
+            (proptest::collection::vec(op_strategy(), 0..5), 0..3u8),
+            nblocks,
+        ),
+        term_data in proptest::collection::vec(
+            (cmp_strategy(), src_strategy(), src_strategy(), 0usize..6, 0usize..6),
+            nblocks,
+        ),
+        entry in 0usize..nblocks,
+        init in proptest::collection::vec((1usize..16, -50i64..50), 0..4),
+        cells in proptest::collection::vec((1i64..63, -50i64..50), 0..4),
+        outs in proptest::collection::vec(1usize..16, 0..4),
+    ) -> ScalarProgram {
+        let n = blocks.len();
+        let blocks: Vec<Block> = blocks
+            .into_iter()
+            .zip(term_data)
+            .map(|((instrs, kind), (cmp, a, b, t1, t2))| Block {
+                instrs,
+                term: match kind {
+                    0 => Terminator::Halt,
+                    1 => Terminator::Jump(BlockId((t1 % n) as u32)),
+                    _ => Terminator::Branch {
+                        cmp,
+                        a,
+                        b,
+                        taken: BlockId((t1 % n) as u32),
+                        not_taken: BlockId((t2 % n) as u32),
+                    },
+                },
+            })
+            .collect();
+        ScalarProgram {
+            name: "roundtrip".into(),
+            blocks,
+            entry: BlockId(entry as u32),
+            init_regs: init.into_iter().map(|(r, v)| (Reg::new(r), v)).collect(),
+            memory: {
+                let mut m = MemImage::zeroed(64);
+                for (a, v) in cells {
+                    m.set(a, v);
+                }
+                m
+            },
+            live_out: outs.into_iter().map(Reg::new).collect(),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn to_asm_then_parse_is_identity(p in program_strategy()) {
+        prop_assume!(p.validate().is_ok());
+        let text = p.to_asm();
+        let q = parse_program(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
+        prop_assert_eq!(&p.blocks, &q.blocks);
+        prop_assert_eq!(p.entry, q.entry);
+        prop_assert_eq!(&p.init_regs, &q.init_regs);
+        prop_assert_eq!(&p.live_out, &q.live_out);
+        prop_assert_eq!(&p.memory, &q.memory);
+        prop_assert_eq!(&p.name, &q.name);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the predicate algebra: the masked match operation
+//! (Section 3.2) against a brute-force three-valued reference, and the
+//! logical laws the scheduler's legality checks rely on.
+
+use proptest::prelude::*;
+use psb_isa::{Ccr, Cond, CondReg, PredTerm, Predicate};
+
+const K: usize = 4;
+
+fn term_strategy() -> impl Strategy<Value = PredTerm> {
+    prop_oneof![
+        3 => Just(PredTerm::DontCare),
+        2 => Just(PredTerm::Pos),
+        2 => Just(PredTerm::Neg),
+    ]
+}
+
+fn pred_strategy() -> impl Strategy<Value = Predicate> {
+    proptest::collection::vec(term_strategy(), K).prop_map(|terms| {
+        let mut p = Predicate::always();
+        for (i, t) in terms.into_iter().enumerate() {
+            p = p.with_term(CondReg::new(i), t);
+        }
+        p
+    })
+}
+
+fn cond_strategy() -> impl Strategy<Value = Cond> {
+    prop_oneof![Just(Cond::Unspecified), Just(Cond::True), Just(Cond::False)]
+}
+
+fn ccr_strategy() -> impl Strategy<Value = Ccr> {
+    proptest::collection::vec(cond_strategy(), K).prop_map(|vals| {
+        let mut ccr = Ccr::new(K);
+        for (i, v) in vals.into_iter().enumerate() {
+            match v {
+                Cond::True => ccr.set(CondReg::new(i), true),
+                Cond::False => ccr.set(CondReg::new(i), false),
+                Cond::Unspecified => {}
+            }
+        }
+        ccr
+    })
+}
+
+/// Three-valued reference semantics: AND over the participating terms.
+fn reference_eval(p: &Predicate, ccr: &Ccr) -> Cond {
+    let mut acc = Cond::True;
+    for (c, term) in p.terms() {
+        let v = ccr.get(c);
+        let t = match term {
+            PredTerm::Pos => v,
+            PredTerm::Neg => v.not(),
+            PredTerm::DontCare => unreachable!(),
+        };
+        acc = acc.and(t);
+    }
+    acc
+}
+
+/// All fully specified CCRs over K conditions.
+fn all_assignments() -> Vec<Ccr> {
+    (0..(1u32 << K))
+        .map(|bits| {
+            let mut ccr = Ccr::new(K);
+            for i in 0..K {
+                ccr.set(CondReg::new(i), bits & (1 << i) != 0);
+            }
+            ccr
+        })
+        .collect()
+}
+
+fn satisfied(p: &Predicate, ccr: &Ccr) -> bool {
+    p.eval(ccr) == Cond::True
+}
+
+proptest! {
+    #[test]
+    fn eval_matches_reference(p in pred_strategy(), ccr in ccr_strategy()) {
+        prop_assert_eq!(p.eval(&ccr), reference_eval(&p, &ccr));
+    }
+
+    #[test]
+    fn conjoin_is_logical_and(a in pred_strategy(), b in pred_strategy()) {
+        match a.conjoin(&b) {
+            Some(ab) => {
+                for ccr in all_assignments() {
+                    prop_assert_eq!(
+                        satisfied(&ab, &ccr),
+                        satisfied(&a, &ccr) && satisfied(&b, &ccr)
+                    );
+                }
+            }
+            None => {
+                // Unsatisfiable together.
+                for ccr in all_assignments() {
+                    prop_assert!(!(satisfied(&a, &ccr) && satisfied(&b, &ccr)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn implies_is_semantic_implication(a in pred_strategy(), b in pred_strategy()) {
+        let claimed = a.implies(&b);
+        let semantic = all_assignments()
+            .iter()
+            .all(|ccr| !satisfied(&a, ccr) || satisfied(&b, ccr));
+        // The syntactic check is exact for ANDed predicates.
+        prop_assert_eq!(claimed, semantic);
+    }
+
+    #[test]
+    fn disjoint_means_unsatisfiable_together(a in pred_strategy(), b in pred_strategy()) {
+        let claimed = a.disjoint(&b);
+        let coexist = all_assignments()
+            .iter()
+            .any(|ccr| satisfied(&a, ccr) && satisfied(&b, ccr));
+        prop_assert_eq!(claimed, !coexist);
+    }
+
+    #[test]
+    fn unspecified_monotone(p in pred_strategy(), ccr in ccr_strategy()) {
+        // Specifying more conditions never turns False into True or
+        // vice versa — it only resolves Unspecified.
+        let before = p.eval(&ccr);
+        for i in 0..K {
+            if ccr.get(CondReg::new(i)).is_specified() {
+                continue;
+            }
+            for v in [true, false] {
+                let mut refined = ccr.clone();
+                refined.set(CondReg::new(i), v);
+                let after = p.eval(&refined);
+                match before {
+                    Cond::True => prop_assert_eq!(after, Cond::True),
+                    Cond::False => prop_assert_eq!(after, Cond::False),
+                    Cond::Unspecified => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_counts_terms(p in pred_strategy()) {
+        prop_assert_eq!(p.depth(), p.terms().count());
+        prop_assert_eq!(p.is_always(), p.depth() == 0);
+    }
+
+    #[test]
+    fn display_roundtrips_structure(p in pred_strategy()) {
+        // The display form has one fragment per participating term.
+        let s = p.to_string();
+        if p.is_always() {
+            prop_assert_eq!(s, "alw");
+        } else {
+            prop_assert_eq!(s.split('&').count(), p.depth());
+        }
+    }
+}

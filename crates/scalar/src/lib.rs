@@ -1,0 +1,35 @@
+//! The scalar reference machine: an R3000-like single-issue processor.
+//!
+//! This crate plays the role that the MIPS R3000 plus `pixie` play in the
+//! paper's evaluation (Section 4): it executes [`ScalarProgram`]s, counts
+//! cycles under a simple documented timing model, and records the dynamic
+//! branch trace and edge profile that drive static branch prediction,
+//! trace/region selection, and the Table 3 reproduction.
+//!
+//! It is also the workspace's *golden model*: every scheduler in
+//! `psb-sched` must produce VLIW code whose architectural result (final
+//! memory plus the program's `live_out` registers) matches the scalar
+//! execution, and the differential tests enforce exactly that.
+//!
+//! # Timing model
+//!
+//! * every instruction: 1 cycle;
+//! * loads have a two-cycle latency: if the immediately following
+//!   instruction (or the block terminator) reads the load destination, one
+//!   interlock stall cycle is charged (the R3000 load delay slot);
+//! * a conditional branch costs 1 cycle, plus 1 penalty cycle when taken
+//!   (static not-taken fetch); an unconditional jump costs 1 cycle;
+//! * a first access to a configured *fault-once* address costs
+//!   [`ScalarConfig::fault_penalty`] handler cycles and then succeeds (a
+//!   page-fault-like non-fatal exception; the value semantics are
+//!   unchanged).
+//!
+//! [`ScalarProgram`]: psb_isa::ScalarProgram
+
+#![warn(missing_docs)]
+
+mod machine;
+mod profile;
+
+pub use machine::{BranchRecord, RunError, RunResult, ScalarConfig, ScalarMachine};
+pub use profile::{successive_accuracy, EdgeProfile};

@@ -1,0 +1,82 @@
+//! Property tests for the profiling statistics that drive Table 3 and
+//! the schedulers' static prediction.
+
+use proptest::prelude::*;
+use psb_isa::BlockId;
+use psb_scalar::{successive_accuracy, BranchRecord, EdgeProfile};
+
+fn trace_strategy() -> impl Strategy<Value = Vec<BranchRecord>> {
+    proptest::collection::vec(
+        (0u32..6, any::<bool>()).prop_map(|(b, t)| BranchRecord {
+            block: BlockId(b),
+            taken: t,
+        }),
+        8..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn accuracy_is_a_probability_and_decays(trace in trace_strategy()) {
+        let acc = successive_accuracy(&trace, |_| true, 8);
+        prop_assert_eq!(acc.len(), 8);
+        for a in &acc {
+            prop_assert!((0.0..=1.0).contains(a));
+        }
+        for w in acc.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12, "longer windows cannot be easier");
+        }
+    }
+
+    #[test]
+    fn depth_one_accuracy_is_the_hit_rate(trace in trace_strategy()) {
+        let acc = successive_accuracy(&trace, |_| true, 1);
+        let hits = trace.iter().filter(|b| b.taken).count();
+        prop_assert!((acc[0] - hits as f64 / trace.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictor_scores_one(trace in trace_strategy()) {
+        // An oracle that replays the trace is impossible with a static
+        // per-block predictor, so test with a constant-direction trace.
+        let all_taken: Vec<BranchRecord> =
+            trace.iter().map(|b| BranchRecord { block: b.block, taken: true }).collect();
+        let acc = successive_accuracy(&all_taken, |_| true, 4);
+        prop_assert!(acc.iter().all(|&a| a == 1.0));
+    }
+
+    #[test]
+    fn profile_counts_are_consistent(trace in trace_strategy()) {
+        let mut p = EdgeProfile::new(6);
+        for b in &trace {
+            p.record(b.block, b.taken);
+        }
+        prop_assert_eq!(p.total() as usize, trace.len());
+        for i in 0..6u32 {
+            let (t, n) = p.counts(BlockId(i));
+            prop_assert_eq!(p.executions(BlockId(i)), t + n);
+            // The majority predictor is at least as good as either
+            // constant predictor on this block.
+            if t + n > 0 {
+                let conf = p.confidence(BlockId(i));
+                prop_assert!(conf >= 0.5);
+                prop_assert!(
+                    (conf - (t.max(n) as f64 / (t + n) as f64)).abs() < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn majority_predictor_maximises_depth_one_accuracy(trace in trace_strategy()) {
+        let mut p = EdgeProfile::new(6);
+        for b in &trace {
+            p.record(b.block, b.taken);
+        }
+        let majority = successive_accuracy(&trace, |b| p.predict_taken(b), 1);
+        let taken = successive_accuracy(&trace, |_| true, 1);
+        let not_taken = successive_accuracy(&trace, |_| false, 1);
+        prop_assert!(majority[0] + 1e-12 >= taken[0]);
+        prop_assert!(majority[0] + 1e-12 >= not_taken[0]);
+    }
+}

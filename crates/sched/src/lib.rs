@@ -1,0 +1,50 @@
+//! Instruction scheduling for the predicated-state-buffering architecture.
+//!
+//! Implements the seven speculative-execution models of the paper's
+//! evaluation (Sections 4.1–4.2) over a common pipeline:
+//!
+//! 1. **Scope formation** ([`form_scopes`]): traces (superblocks) for the
+//!    linear models and regions for the predicated models, grown from
+//!    profile data with all join blocks duplicated;
+//! 2. **Lowering** ([`build_ops`]): branches become compare-and-branch
+//!    instructions (linear styles) or condition-sets plus predicated exit
+//!    jumps (predicated styles), with register renaming or predicated
+//!    buffering handling the side effects of upward code motion;
+//! 3. **Dependence DAG** ([`Dag`]): data, memory and model-specific
+//!    speculation constraints;
+//! 4. **List scheduling** ([`list_schedule`]) under the target machine's
+//!    issue width and function-unit counts, and linking of all scopes into
+//!    one [`VliwProgram`](psb_isa::VliwProgram).
+//!
+//! The top-level entry point is [`schedule`] with a [`SchedConfig`]
+//! naming a [`Model`]:
+//!
+//! | Model | Scope | Side effects | Unsafe ops |
+//! |---|---|---|---|
+//! | [`Model::Global`] | 4-block trace | renaming | pinned |
+//! | [`Model::Squash`] | 4-block trace | renaming | 1-branch squash window |
+//! | [`Model::Trace`] | full trace | renaming | squash window |
+//! | [`Model::RegionSquash`] | region | predication (squash only) | squash window |
+//! | [`Model::Boost`] | full trace | buffered predicates | buffered |
+//! | [`Model::TracePred`] | full trace | predicated buffering | buffered |
+//! | [`Model::RegionPred`] | region | predicated buffering | buffered |
+
+#![warn(missing_docs)]
+
+mod dag;
+mod list;
+mod model;
+mod ops;
+mod pathcond;
+mod scope;
+mod stats;
+mod verify;
+
+pub use dag::{Dag, Hoist, Policy};
+pub use list::{list_schedule, ScheduledScope};
+pub use model::{schedule, used_regs, Model, SchedConfig, SchedError};
+pub use ops::{build_ops, SchedOp, Style};
+pub use pathcond::PathCond;
+pub use scope::{form_scopes, Scope, ScopeEdge, ScopeNode, ScopeParams};
+pub use stats::ScheduleStats;
+pub use verify::{verify_schedule, Violation};

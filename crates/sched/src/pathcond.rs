@@ -1,0 +1,201 @@
+//! Path conditions: the control condition under which a scope block
+//! executes, expressed as an ANDed set of branch outcomes.
+//!
+//! Because scope formation duplicates every join block (the paper's
+//! fallback for keeping predicates in the ANDed form, Section 3.3), every
+//! block of a scope is reached by exactly one path from the header, and
+//! its condition is a pure conjunction of `(branch, polarity)` terms — one
+//! per branch node on that path.  Terms are keyed by the *scope node index*
+//! of the branch (not the CFG block), since duplication can place the same
+//! CFG block at several tree positions.
+
+use psb_isa::{CondReg, Predicate};
+use std::collections::BTreeMap;
+
+/// An ANDed set of branch outcomes along the unique path from a scope
+/// header to a node.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PathCond {
+    terms: BTreeMap<usize, bool>,
+}
+
+impl PathCond {
+    /// The empty condition (the scope header's path).
+    pub fn root() -> PathCond {
+        PathCond::default()
+    }
+
+    /// Extends the path with one more branch outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the branch already appears (a path passes each tree node
+    /// once).
+    #[must_use]
+    pub fn extend(&self, branch_node: usize, taken: bool) -> PathCond {
+        let mut t = self.terms.clone();
+        let prev = t.insert(branch_node, taken);
+        assert!(
+            prev.is_none(),
+            "branch node {branch_node} already on the path"
+        );
+        PathCond { terms: t }
+    }
+
+    /// Number of branches on the path (the speculation depth of
+    /// instructions at this node).
+    pub fn depth(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether this is the header's (empty) condition.
+    pub fn is_root(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The `(branch_node, polarity)` terms in path (tree) order — branch
+    /// node indices increase from root to leaf because scope formation
+    /// numbers nodes in growth order.
+    pub fn terms(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
+        self.terms.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Whether `self` implies `other` (its terms are a superset).
+    pub fn implies(&self, other: &PathCond) -> bool {
+        other
+            .terms
+            .iter()
+            .all(|(k, v)| self.terms.get(k) == Some(v))
+    }
+
+    /// Whether the two conditions cannot hold together (some branch
+    /// appears with opposite polarity).
+    pub fn disjoint(&self, other: &PathCond) -> bool {
+        self.terms
+            .iter()
+            .any(|(k, v)| matches!(other.terms.get(k), Some(o) if o != v))
+    }
+
+    /// The disjunction of two path conditions, if it is still expressible
+    /// in the ANDed form (Section 3.2's predicate limitation).
+    ///
+    /// This is the *equivalent block* rule of Section 3.3: at a join block
+    /// the two incoming conditions `P & c` and `P & !c` merge back to `P`;
+    /// a condition that implies the other is absorbed by it.  Returns
+    /// `None` when the disjunction is not ANDed-representable, in which
+    /// case the join must be duplicated.
+    pub fn merge(&self, other: &PathCond) -> Option<PathCond> {
+        if self.implies(other) {
+            return Some(other.clone());
+        }
+        if other.implies(self) {
+            return Some(self.clone());
+        }
+        if self.terms.len() == other.terms.len() && self.terms.keys().eq(other.terms.keys()) {
+            let diffs: Vec<usize> = self
+                .terms
+                .iter()
+                .filter(|(k, v)| other.terms[k] != **v)
+                .map(|(&k, _)| k)
+                .collect();
+            if diffs.len() == 1 {
+                let mut t = self.terms.clone();
+                t.remove(&diffs[0]);
+                return Some(PathCond { terms: t });
+            }
+        }
+        None
+    }
+
+    /// Encodes the condition as a machine [`Predicate`] using the scope's
+    /// branch-to-CCR assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a branch on the path has no assigned condition register —
+    /// scope formation assigns one to every in-scope branch.
+    pub fn to_predicate(&self, cond_of_branch: &BTreeMap<usize, CondReg>) -> Predicate {
+        let mut p = Predicate::always();
+        for (node, taken) in self.terms() {
+            let c = *cond_of_branch
+                .get(&node)
+                .unwrap_or_else(|| panic!("branch node {node} has no condition register"));
+            p = if taken { p.and_pos(c) } else { p.and_neg(c) };
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extend_and_depth() {
+        let p = PathCond::root();
+        assert!(p.is_root());
+        let p1 = p.extend(0, true);
+        let p2 = p1.extend(3, false);
+        assert_eq!(p2.depth(), 2);
+        assert_eq!(p2.terms().collect::<Vec<_>>(), vec![(0, true), (3, false)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already on the path")]
+    fn double_extend_panics() {
+        let _ = PathCond::root().extend(0, true).extend(0, false);
+    }
+
+    #[test]
+    fn implication_and_disjointness() {
+        let shallow = PathCond::root().extend(0, true);
+        let deep = shallow.extend(1, false);
+        let other = PathCond::root().extend(0, false);
+        assert!(deep.implies(&shallow));
+        assert!(!shallow.implies(&deep));
+        assert!(deep.implies(&deep));
+        assert!(shallow.disjoint(&other));
+        assert!(deep.disjoint(&other));
+        assert!(!deep.disjoint(&shallow));
+    }
+
+    #[test]
+    fn merge_diamond_join() {
+        let p = PathCond::root().extend(0, true);
+        let a = p.extend(1, true);
+        let b = p.extend(1, false);
+        assert_eq!(a.merge(&b), Some(p.clone()));
+        assert_eq!(b.merge(&a), Some(p));
+    }
+
+    #[test]
+    fn merge_absorption() {
+        let p = PathCond::root().extend(0, true);
+        let deeper = p.extend(1, false);
+        assert_eq!(p.merge(&deeper), Some(p.clone()));
+        assert_eq!(deeper.merge(&p), Some(p.clone()));
+        assert_eq!(p.merge(&p), Some(p));
+    }
+
+    #[test]
+    fn merge_unrepresentable() {
+        // c0&c1 | !c0&!c1 is not an ANDed predicate.
+        let a = PathCond::root().extend(0, true).extend(1, true);
+        let b = PathCond::root().extend(0, false).extend(1, false);
+        assert_eq!(a.merge(&b), None);
+        // Different key sets without implication.
+        let c = PathCond::root().extend(0, true).extend(2, true);
+        let d = PathCond::root().extend(0, false).extend(1, true);
+        assert_eq!(c.merge(&d), None);
+    }
+
+    #[test]
+    fn predicate_encoding() {
+        let mut map = BTreeMap::new();
+        map.insert(0usize, CondReg::new(0));
+        map.insert(2usize, CondReg::new(1));
+        let p = PathCond::root().extend(0, true).extend(2, false);
+        assert_eq!(p.to_predicate(&map).to_string(), "c0&!c1");
+        assert!(PathCond::root().to_predicate(&map).is_always());
+    }
+}

@@ -1,0 +1,217 @@
+//! Static analysis of scheduled programs: operation mix, predicate
+//! depths, region shapes and code expansion.
+//!
+//! The paper's cost discussion is static as much as dynamic — boosting's
+//! recovery code "doubles the size of the original code" (Section 2.2),
+//! predicating adds condition-set instructions and duplicated join
+//! blocks, and Figure 8's speculation-depth knob is visible in the
+//! predicate-depth histogram.  [`ScheduleStats`] measures all of that on
+//! a [`VliwProgram`].
+
+use psb_isa::{Op, ScalarProgram, SlotOp, VliwProgram, MAX_CONDS};
+use std::fmt;
+
+/// Static statistics of a scheduled program.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ScheduleStats {
+    /// Instruction words (cycles of straight-line issue).
+    pub words: usize,
+    /// Regions (scope entries).
+    pub regions: usize,
+    /// Non-nop operations.
+    pub ops: usize,
+    /// ALU and copy operations.
+    pub alu_ops: usize,
+    /// Register-copy operations (renaming overhead of the linear models).
+    pub copy_ops: usize,
+    /// Loads.
+    pub loads: usize,
+    /// Stores.
+    pub stores: usize,
+    /// Condition-set operations (predication overhead).
+    pub setconds: usize,
+    /// Control transfers (jumps, compare-and-branch, halts).
+    pub transfers: usize,
+    /// `hist[d]` = operations whose predicate has depth `d`.
+    pub pred_depth_hist: [usize; MAX_CONDS + 1],
+    /// Slots actually filled, as a fraction of `words × issue slots seen`.
+    pub slot_utilisation: f64,
+}
+
+impl ScheduleStats {
+    /// Analyses a scheduled program.
+    pub fn analyze(prog: &VliwProgram) -> ScheduleStats {
+        let mut s = ScheduleStats {
+            words: prog.words.len(),
+            regions: prog.region_starts.len(),
+            ..ScheduleStats::default()
+        };
+        let mut max_width = 1usize;
+        for w in &prog.words {
+            max_width = max_width.max(w.slots.len());
+            for slot in &w.slots {
+                match slot.op {
+                    SlotOp::Op(Op::Nop) => continue,
+                    SlotOp::Op(Op::Alu { .. }) => s.alu_ops += 1,
+                    SlotOp::Op(Op::Copy { .. }) => {
+                        s.alu_ops += 1;
+                        s.copy_ops += 1;
+                    }
+                    SlotOp::Op(Op::Load { .. }) => s.loads += 1,
+                    SlotOp::Op(Op::Store { .. }) => s.stores += 1,
+                    SlotOp::Op(Op::SetCond { .. }) => s.setconds += 1,
+                    SlotOp::Jump { .. } | SlotOp::CmpBr { .. } | SlotOp::Halt => s.transfers += 1,
+                }
+                s.ops += 1;
+                s.pred_depth_hist[slot.pred.depth()] += 1;
+            }
+        }
+        s.slot_utilisation = if s.words == 0 {
+            0.0
+        } else {
+            s.ops as f64 / (s.words * max_width) as f64
+        };
+        s
+    }
+
+    /// Static code expansion relative to a scalar program (ops per scalar
+    /// instruction — the duplication/renaming/predication overhead).
+    pub fn expansion_over(&self, scalar: &ScalarProgram) -> f64 {
+        self.ops as f64 / scalar.static_len().max(1) as f64
+    }
+
+    /// The deepest predicate appearing in the schedule.
+    pub fn max_pred_depth(&self) -> usize {
+        self.pred_depth_hist
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &n)| n > 0)
+            .map_or(0, |(d, _)| d)
+    }
+}
+
+impl fmt::Display for ScheduleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} words, {} regions, {} ops ({} alu [{} copies], {} loads, {} stores, \
+             {} cond-sets, {} transfers)",
+            self.words,
+            self.regions,
+            self.ops,
+            self.alu_ops,
+            self.copy_ops,
+            self.loads,
+            self.stores,
+            self.setconds,
+            self.transfers
+        )?;
+        write!(f, "predicate depths:")?;
+        for (d, &n) in self.pred_depth_hist.iter().enumerate() {
+            if n > 0 {
+                write!(f, " {d}:{n}")?;
+            }
+        }
+        write!(
+            f,
+            "; slot utilisation {:.0}%",
+            self.slot_utilisation * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{schedule, Model, SchedConfig};
+    use psb_isa::{AluOp, CmpOp, MemTag, ProgramBuilder, Reg};
+    use psb_scalar::{ScalarConfig, ScalarMachine};
+
+    fn sample() -> ScalarProgram {
+        let r = Reg::new;
+        let mut pb = ProgramBuilder::new("stats");
+        pb.memory_size(64);
+        pb.mem_cell(8, 4);
+        let entry = pb.new_block();
+        let a = pb.new_block();
+        let b = pb.new_block();
+        let done = pb.new_block();
+        pb.block_mut(entry)
+            .load(r(1), 8, 0, MemTag(1))
+            .branch(CmpOp::Lt, r(1), 2, a, b);
+        pb.block_mut(a).alu(AluOp::Add, r(2), r(1), 1).jump(done);
+        pb.block_mut(b).alu(AluOp::Sub, r(2), r(1), 1).jump(done);
+        pb.block_mut(done).halt();
+        pb.set_entry(entry);
+        pb.live_out([r(2)]);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn counts_add_up() {
+        let p = sample();
+        let profile = ScalarMachine::new(&p, ScalarConfig::default())
+            .run()
+            .unwrap()
+            .edge_profile;
+        let v = schedule(&p, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
+        let s = ScheduleStats::analyze(&v);
+        assert_eq!(
+            s.ops,
+            s.alu_ops + s.loads + s.stores + s.setconds + s.transfers,
+            "classes partition the ops"
+        );
+        assert_eq!(s.ops, v.static_ops());
+        assert_eq!(s.regions, v.region_starts.len());
+        assert!(s.setconds >= 1, "the branch became a condition-set");
+        assert!(s.slot_utilisation > 0.0 && s.slot_utilisation <= 1.0);
+    }
+
+    #[test]
+    fn predicated_schedule_has_depth() {
+        let p = sample();
+        let profile = ScalarMachine::new(&p, ScalarConfig::default())
+            .run()
+            .unwrap()
+            .edge_profile;
+        let v = schedule(&p, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
+        let s = ScheduleStats::analyze(&v);
+        assert!(
+            s.max_pred_depth() >= 1,
+            "region code carries path predicates"
+        );
+        let g = schedule(&p, &profile, &SchedConfig::new(Model::Global)).unwrap();
+        let gs = ScheduleStats::analyze(&g);
+        assert!(gs.pred_depth_hist[0] > 0);
+    }
+
+    #[test]
+    fn expansion_reflects_duplication() {
+        let p = sample();
+        let profile = ScalarMachine::new(&p, ScalarConfig::default())
+            .run()
+            .unwrap()
+            .edge_profile;
+        let region = schedule(&p, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
+        let e = ScheduleStats::analyze(&region).expansion_over(&p);
+        assert!(
+            e >= 1.0,
+            "predication plus duplication never shrinks code, got {e}"
+        );
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let p = sample();
+        let profile = ScalarMachine::new(&p, ScalarConfig::default())
+            .run()
+            .unwrap()
+            .edge_profile;
+        let v = schedule(&p, &profile, &SchedConfig::new(Model::Trace)).unwrap();
+        let s = ScheduleStats::analyze(&v);
+        let text = s.to_string();
+        assert!(text.contains("words"));
+        assert!(text.contains("slot utilisation"));
+    }
+}

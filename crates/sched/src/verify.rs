@@ -1,0 +1,312 @@
+//! Independent static verification of scheduled programs.
+//!
+//! The machine enforces some invariants dynamically (resource limits,
+//! unresolvable jump predicates); this verifier checks them — and the
+//! ones only visible statically — *before* execution, the way a
+//! production compiler self-checks its output.  `schedule` runs it on
+//! every produced program when debug assertions are on.
+
+use psb_isa::{CondReg, FuClass, Op, Resources, SlotOp, VliwProgram};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One verification finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Violation {
+    /// A control transfer's predicate references a condition not set in a
+    /// strictly earlier word of its region — the machine would report an
+    /// unresolvable stall.
+    UnresolvableTransfer {
+        /// Word address of the transfer.
+        word: usize,
+        /// The unresolved condition.
+        cond: CondReg,
+    },
+    /// A condition register is written twice within one region (the
+    /// compiler must not re-allocate CCR entries, Section 3.4).
+    CondSetTwice {
+        /// Word address of the second setter.
+        word: usize,
+        /// The doubly-set condition.
+        cond: CondReg,
+    },
+    /// An operation's predicate references a condition never set in its
+    /// region: it could never commit and would always be squashed at the
+    /// region exit (dead speculative work).
+    UndecidablePredicate {
+        /// Word address of the operation.
+        word: usize,
+        /// The never-set condition.
+        cond: CondReg,
+    },
+    /// A word exceeds the issue width or a function-unit count.
+    ResourceOverflow {
+        /// Word address.
+        word: usize,
+        /// Description of the exceeded resource.
+        what: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnresolvableTransfer { word, cond } => {
+                write!(
+                    f,
+                    "W{word}: transfer predicate uses {cond} not yet set in the region"
+                )
+            }
+            Violation::CondSetTwice { word, cond } => {
+                write!(f, "W{word}: {cond} set twice in one region")
+            }
+            Violation::UndecidablePredicate { word, cond } => {
+                write!(f, "W{word}: predicate uses {cond} never set in the region")
+            }
+            Violation::ResourceOverflow { word, what } => {
+                write!(f, "W{word}: {what}")
+            }
+        }
+    }
+}
+
+/// Statically verifies `prog` against the machine shape.  Returns every
+/// violation found (empty = verified).
+pub fn verify_schedule(
+    prog: &VliwProgram,
+    issue_width: usize,
+    resources: &Resources,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut starts = prog.region_starts.clone();
+    starts.push(prog.words.len());
+
+    for region in starts.windows(2) {
+        let (lo, hi) = (region[0], region[1]);
+        // Pass 1: where is each condition set, and is any set twice?
+        let mut set_at: Vec<Option<usize>> = vec![None; psb_isa::MAX_CONDS];
+        for addr in lo..hi {
+            for slot in &prog.words[addr].slots {
+                if let Some(c) = cond_written(&slot.op) {
+                    match set_at[c.index()] {
+                        Some(_) => out.push(Violation::CondSetTwice {
+                            word: addr,
+                            cond: c,
+                        }),
+                        None => set_at[c.index()] = Some(addr),
+                    }
+                }
+            }
+        }
+        // Pass 2: transfers resolve strictly earlier; predicates decidable.
+        let mut ever: HashSet<usize> = HashSet::new();
+        for (i, s) in set_at.iter().enumerate() {
+            if s.is_some() {
+                ever.insert(i);
+            }
+        }
+        for addr in lo..hi {
+            let word = &prog.words[addr];
+            if word.slots.len() > issue_width {
+                out.push(Violation::ResourceOverflow {
+                    word: addr,
+                    what: format!("{} slots > issue width {issue_width}", word.slots.len()),
+                });
+            }
+            for class in [FuClass::Alu, FuClass::Branch, FuClass::Load, FuClass::Store] {
+                let used = word
+                    .slots
+                    .iter()
+                    .filter(|s| s.op.fu_class() == class)
+                    .count();
+                if used > resources.of(class) {
+                    out.push(Violation::ResourceOverflow {
+                        word: addr,
+                        what: format!("{used} {class:?} ops > {}", resources.of(class)),
+                    });
+                }
+            }
+            for slot in &word.slots {
+                let is_transfer = matches!(
+                    slot.op,
+                    SlotOp::Jump { .. } | SlotOp::CmpBr { .. } | SlotOp::Halt
+                );
+                for (c, _) in slot.pred.terms() {
+                    match set_at[c.index()] {
+                        None => out.push(Violation::UndecidablePredicate {
+                            word: addr,
+                            cond: c,
+                        }),
+                        Some(s) if is_transfer && s >= addr => {
+                            out.push(Violation::UnresolvableTransfer {
+                                word: addr,
+                                cond: c,
+                            })
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn cond_written(op: &SlotOp) -> Option<CondReg> {
+    match op {
+        SlotOp::Op(Op::SetCond { c, .. }) => Some(*c),
+        SlotOp::CmpBr { c, .. } => *c,
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_isa::{CmpOp, MemImage, MultiOp, Predicate, Slot, Src};
+
+    fn c(i: usize) -> CondReg {
+        CondReg::new(i)
+    }
+
+    fn setc(cr: CondReg) -> SlotOp {
+        SlotOp::Op(Op::SetCond {
+            c: cr,
+            cmp: CmpOp::Eq,
+            a: Src::imm(0),
+            b: Src::imm(0),
+        })
+    }
+
+    fn prog(words: Vec<MultiOp>, regions: Vec<usize>) -> VliwProgram {
+        VliwProgram {
+            name: "v".into(),
+            words,
+            region_starts: regions,
+            num_conds: 4,
+            init_regs: vec![],
+            memory: MemImage::zeroed(16),
+            live_out: vec![],
+        }
+    }
+
+    #[test]
+    fn clean_program_verifies() {
+        let p = prog(
+            vec![
+                MultiOp::new(vec![Slot::alw(setc(c(0)))]),
+                MultiOp::new(vec![Slot::new(
+                    Predicate::always().and_pos(c(0)),
+                    SlotOp::Jump { target: 2 },
+                )]),
+                MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+            ],
+            vec![0, 2],
+        );
+        assert!(verify_schedule(&p, 2, &Resources::paper_base()).is_empty());
+    }
+
+    #[test]
+    fn detects_unresolvable_transfer() {
+        // Jump's condition set in the same word.
+        let p = prog(
+            vec![
+                MultiOp::new(vec![
+                    Slot::alw(setc(c(0))),
+                    Slot::new(
+                        Predicate::always().and_pos(c(0)),
+                        SlotOp::Jump { target: 1 },
+                    ),
+                ]),
+                MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+            ],
+            vec![0, 1],
+        );
+        let v = verify_schedule(&p, 2, &Resources::paper_base());
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::UnresolvableTransfer { word: 0, .. })));
+    }
+
+    #[test]
+    fn detects_double_cond_set() {
+        let p = prog(
+            vec![
+                MultiOp::new(vec![Slot::alw(setc(c(1)))]),
+                MultiOp::new(vec![Slot::alw(setc(c(1)))]),
+                MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+            ],
+            vec![0],
+        );
+        let v = verify_schedule(&p, 2, &Resources::paper_base());
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::CondSetTwice { word: 1, .. })));
+    }
+
+    #[test]
+    fn cond_reuse_allowed_across_regions() {
+        let p = prog(
+            vec![
+                MultiOp::new(vec![Slot::alw(setc(c(0)))]),
+                MultiOp::new(vec![Slot::alw(setc(c(0)))]),
+                MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+            ],
+            vec![0, 1],
+        );
+        assert!(verify_schedule(&p, 2, &Resources::paper_base()).is_empty());
+    }
+
+    #[test]
+    fn detects_undecidable_predicate() {
+        let p = prog(
+            vec![
+                MultiOp::new(vec![Slot::new(
+                    Predicate::always().and_pos(c(3)),
+                    SlotOp::Op(Op::Copy {
+                        rd: psb_isa::Reg::new(1),
+                        src: Src::imm(1),
+                    }),
+                )]),
+                MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+            ],
+            vec![0],
+        );
+        let v = verify_schedule(&p, 2, &Resources::paper_base());
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::UndecidablePredicate { .. })));
+    }
+
+    #[test]
+    fn detects_resource_overflow() {
+        let w = MultiOp::new(vec![
+            Slot::alw(SlotOp::Op(Op::Load {
+                rd: psb_isa::Reg::new(1),
+                base: Src::imm(4),
+                offset: 0,
+                tag: Default::default(),
+            })),
+            Slot::alw(SlotOp::Op(Op::Load {
+                rd: psb_isa::Reg::new(2),
+                base: Src::imm(5),
+                offset: 0,
+                tag: Default::default(),
+            })),
+            Slot::alw(SlotOp::Op(Op::Load {
+                rd: psb_isa::Reg::new(3),
+                base: Src::imm(6),
+                offset: 0,
+                tag: Default::default(),
+            })),
+        ]);
+        let p = prog(
+            vec![w, MultiOp::new(vec![Slot::alw(SlotOp::Halt)])],
+            vec![0],
+        );
+        let v = verify_schedule(&p, 4, &Resources::paper_base());
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::ResourceOverflow { word: 0, .. })));
+    }
+}

@@ -1,0 +1,270 @@
+//! Property-based golden-model differential: proptest generates
+//! structured programs directly (so failures shrink to minimal
+//! counterexamples), and every scheduling model must preserve the scalar
+//! semantics.
+
+use proptest::prelude::*;
+use psb_core::{MachineConfig, VliwMachine};
+use psb_isa::{AluOp, CmpOp, MemTag, Op, ProgramBuilder, Reg, ScalarProgram, Src};
+use psb_scalar::{ScalarConfig, ScalarMachine};
+use psb_sched::{schedule, Model, SchedConfig};
+
+const DATA_REGS: usize = 8;
+const ADDR_REG: usize = 9;
+const LOOP_REG: usize = 10;
+
+/// One straight-line operation, with memory accesses masked into bounds.
+#[derive(Clone, Debug)]
+enum GenOp {
+    Alu(AluOp, usize, GenSrc, GenSrc),
+    Load(usize, usize),
+    Store(usize, GenSrc),
+}
+
+#[derive(Clone, Copy, Debug)]
+enum GenSrc {
+    Reg(usize),
+    Imm(i8),
+}
+
+impl GenSrc {
+    fn lower(self) -> Src {
+        match self {
+            GenSrc::Reg(r) => Src::reg(Reg::new(1 + r % DATA_REGS)),
+            GenSrc::Imm(v) => Src::imm(v as i64),
+        }
+    }
+}
+
+/// A structured fragment: straight code, a diamond, or a counted loop.
+#[derive(Clone, Debug)]
+enum Fragment {
+    Straight(Vec<GenOp>),
+    Diamond {
+        cmp: CmpOp,
+        a: usize,
+        b: GenSrc,
+        then_ops: Vec<GenOp>,
+        else_ops: Vec<GenOp>,
+    },
+    Loop {
+        trips: u8,
+        body: Vec<GenOp>,
+    },
+}
+
+fn src_strategy() -> impl Strategy<Value = GenSrc> {
+    prop_oneof![
+        (0..DATA_REGS).prop_map(GenSrc::Reg),
+        any::<i8>().prop_map(GenSrc::Imm),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = GenOp> {
+    let alu = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Xor),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Slt),
+    ];
+    prop_oneof![
+        4 => (alu, 0..DATA_REGS, src_strategy(), src_strategy())
+            .prop_map(|(op, rd, a, b)| GenOp::Alu(op, rd, a, b)),
+        1 => (0..DATA_REGS, 0..DATA_REGS).prop_map(|(rd, a)| GenOp::Load(rd, a)),
+        1 => (0..DATA_REGS, src_strategy()).prop_map(|(a, v)| GenOp::Store(a, v)),
+    ]
+}
+
+fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn fragment_strategy() -> impl Strategy<Value = Fragment> {
+    prop_oneof![
+        proptest::collection::vec(op_strategy(), 1..5).prop_map(Fragment::Straight),
+        (
+            cmp_strategy(),
+            0..DATA_REGS,
+            src_strategy(),
+            proptest::collection::vec(op_strategy(), 1..4),
+            proptest::collection::vec(op_strategy(), 1..4),
+        )
+            .prop_map(|(cmp, a, b, then_ops, else_ops)| Fragment::Diamond {
+                cmp,
+                a,
+                b,
+                then_ops,
+                else_ops
+            }),
+        (1u8..5, proptest::collection::vec(op_strategy(), 1..4))
+            .prop_map(|(trips, body)| Fragment::Loop { trips, body }),
+    ]
+}
+
+fn emit_ops<'a>(bb: psb_isa::BlockBuilder<'a>, ops: &[GenOp]) -> psb_isa::BlockBuilder<'a> {
+    let mut bb = bb;
+    for op in ops {
+        bb = match *op {
+            GenOp::Alu(op, rd, a, b) => bb.push(Op::Alu {
+                op,
+                rd: Reg::new(1 + rd % DATA_REGS),
+                a: a.lower(),
+                b: b.lower(),
+            }),
+            GenOp::Load(rd, a) => bb
+                .push(Op::Alu {
+                    op: AluOp::And,
+                    rd: Reg::new(ADDR_REG),
+                    a: Src::reg(Reg::new(1 + a % DATA_REGS)),
+                    b: Src::imm(31),
+                })
+                .push(Op::Load {
+                    rd: Reg::new(1 + rd % DATA_REGS),
+                    base: Src::reg(Reg::new(ADDR_REG)),
+                    offset: 16,
+                    tag: MemTag(1),
+                }),
+            GenOp::Store(a, v) => bb
+                .push(Op::Alu {
+                    op: AluOp::And,
+                    rd: Reg::new(ADDR_REG),
+                    a: Src::reg(Reg::new(1 + a % DATA_REGS)),
+                    b: Src::imm(31),
+                })
+                .push(Op::Store {
+                    base: Src::reg(Reg::new(ADDR_REG)),
+                    offset: 64,
+                    value: v.lower(),
+                    tag: MemTag(2),
+                }),
+        };
+    }
+    bb
+}
+
+fn build(fragments: &[Fragment], init: &[i8]) -> ScalarProgram {
+    let mut pb = ProgramBuilder::new("prop");
+    pb.memory_size(128);
+    for (i, v) in init.iter().enumerate() {
+        pb.mem_cell(1 + i as i64, *v as i64);
+        pb.init_reg(Reg::new(1 + i % DATA_REGS), *v as i64);
+    }
+    let mut cur = pb.new_block();
+    let entry = cur;
+    for f in fragments {
+        match f {
+            Fragment::Straight(ops) => {
+                let next = pb.new_block();
+                emit_ops(pb.block_mut(cur), ops).jump(next);
+                cur = next;
+            }
+            Fragment::Diamond {
+                cmp,
+                a,
+                b,
+                then_ops,
+                else_ops,
+            } => {
+                let t = pb.new_block();
+                let e = pb.new_block();
+                let j = pb.new_block();
+                pb.block_mut(cur)
+                    .branch(*cmp, Reg::new(1 + a % DATA_REGS), b.lower(), t, e);
+                emit_ops(pb.block_mut(t), then_ops).jump(j);
+                emit_ops(pb.block_mut(e), else_ops).jump(j);
+                cur = j;
+            }
+            Fragment::Loop { trips, body } => {
+                let head = pb.new_block();
+                let next = pb.new_block();
+                pb.block_mut(cur).copy(Reg::new(LOOP_REG), 0).jump(head);
+                emit_ops(pb.block_mut(head), body)
+                    .alu(AluOp::Add, Reg::new(LOOP_REG), Reg::new(LOOP_REG), 1)
+                    .branch(CmpOp::Lt, Reg::new(LOOP_REG), *trips as i64, head, next);
+                cur = next;
+            }
+        }
+    }
+    pb.block_mut(cur).halt();
+    pb.set_entry(entry);
+    pb.live_out((1..=DATA_REGS).map(Reg::new));
+    pb.finish()
+        .expect("generated programs are structurally valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_model_preserves_semantics(
+        fragments in proptest::collection::vec(fragment_strategy(), 1..5),
+        init in proptest::collection::vec(any::<i8>(), 16),
+    ) {
+        let prog = build(&fragments, &init);
+        let scalar = ScalarMachine::new(&prog, ScalarConfig::default())
+            .run()
+            .expect("generated programs terminate");
+        let expected = scalar.observable(&prog.live_out);
+        for model in Model::ALL {
+            let cfg = SchedConfig::new(model);
+            let vliw = schedule(&prog, &scalar.edge_profile, &cfg)
+                .map_err(|e| TestCaseError::fail(format!("{model}: {e}")))?;
+            let res = VliwMachine::run_program(&vliw, MachineConfig::default())
+                .map_err(|e| TestCaseError::fail(format!("{model}: {e}")))?;
+            prop_assert_eq!(
+                res.observable(&prog.live_out),
+                expected.clone(),
+                "{} diverged",
+                model
+            );
+        }
+    }
+
+    #[test]
+    fn unrolling_commutes_with_scheduling(
+        fragments in proptest::collection::vec(fragment_strategy(), 1..4),
+        init in proptest::collection::vec(any::<i8>(), 16),
+    ) {
+        let prog = build(&fragments, &init);
+        let unrolled = psb_ir::unroll_loops(&prog, 2);
+        let a = ScalarMachine::new(&prog, ScalarConfig::default()).run().unwrap();
+        let b = ScalarMachine::new(&unrolled, ScalarConfig::default()).run().unwrap();
+        prop_assert_eq!(
+            a.observable(&prog.live_out),
+            b.observable(&unrolled.live_out)
+        );
+        let cfg = SchedConfig::new(Model::RegionPred);
+        let vliw = schedule(&unrolled, &b.edge_profile, &cfg)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let res = VliwMachine::run_program(&vliw, MachineConfig::default())
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(
+            res.observable(&unrolled.live_out),
+            a.observable(&prog.live_out)
+        );
+    }
+
+    #[test]
+    fn optimisation_passes_preserve_semantics(
+        fragments in proptest::collection::vec(fragment_strategy(), 1..5),
+        init in proptest::collection::vec(any::<i8>(), 16),
+    ) {
+        let prog = build(&fragments, &init);
+        let before = ScalarMachine::new(&prog, ScalarConfig::default()).run().unwrap();
+        let mut opt = prog.clone();
+        psb_ir::optimize(&mut opt);
+        let after = ScalarMachine::new(&opt, ScalarConfig::default()).run().unwrap();
+        prop_assert_eq!(
+            after.observable(&opt.live_out),
+            before.observable(&prog.live_out)
+        );
+        prop_assert!(after.dyn_instrs <= before.dyn_instrs);
+    }
+}

@@ -1,0 +1,167 @@
+//! `nroff`-like kernel: character formatting with line filling.
+//!
+//! Transform pairs of input characters (case-fold-style bit games), emit
+//! them to the output buffer, track the output column, and start a new
+//! line on a (rare) newline character or when the line overflows.  All
+//! conditions are heavily biased (~0.98 per branch, Table 3) — the other
+//! extremely predictable benchmark alongside `grep`.
+
+use crate::Workload;
+use psb_isa::{AluOp, CmpOp, MemTag, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TAG_TXT: MemTag = MemTag(1);
+const TAG_OUT: MemTag = MemTag(2);
+const TAG_LINES: MemTag = MemTag(3);
+
+const BASE_TXT: i64 = 16;
+const NEWLINE: i64 = 10;
+const WIDTH: i64 = 72;
+
+/// Builds the `nroff` kernel over `n` input characters.
+pub fn nroff_like_sized(seed: u64, n: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x40FF);
+    // Two characters per pass.
+    let n = ((n.max(8) as i64) / 2) * 2;
+    let base_out = BASE_TXT + n;
+    let base_lines = base_out + n;
+    let r = Reg::new;
+    let (i, col, lines, ch0, ch1, t0, t1, len) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+
+    let mut pb = ProgramBuilder::new("nroff");
+    pb.memory_size(base_lines + n / 8 + 16);
+    for k in 0..n {
+        // ~1.5% newlines; printable text otherwise.
+        let v = if rng.gen_bool(0.015) {
+            NEWLINE
+        } else {
+            rng.gen_range(32..127)
+        };
+        pb.mem_cell(BASE_TXT + k, v);
+    }
+    pb.init_reg(len, n);
+
+    let entry = pb.new_block();
+    let body = pb.new_block();
+    let nl0 = pb.new_block();
+    let no0 = pb.new_block();
+    let chk1 = pb.new_block();
+    let nl1 = pb.new_block();
+    let no1 = pb.new_block();
+    let fit = pb.new_block();
+    let wrap = pb.new_block();
+    let cont = pb.new_block();
+    let done = pb.new_block();
+
+    pb.block_mut(entry)
+        .copy(i, 0)
+        .copy(col, 0)
+        .copy(lines, 0)
+        .jump(body);
+    // Transform and emit two characters; the transforms are independent.
+    pb.block_mut(body)
+        .load(ch0, i, BASE_TXT, TAG_TXT)
+        .load(ch1, i, BASE_TXT + 1, TAG_TXT)
+        .alu(AluOp::Xor, t0, ch0, 32)
+        .alu(AluOp::And, t0, t0, 127)
+        .alu(AluOp::Xor, t1, ch1, 32)
+        .alu(AluOp::And, t1, t1, 127)
+        .store(i, base_out, t0, TAG_OUT)
+        .store(i, base_out + 1, t1, TAG_OUT)
+        .branch(CmpOp::Eq, ch0, NEWLINE, nl0, no0);
+    pb.block_mut(nl0)
+        .store(lines, base_lines, col, TAG_LINES)
+        .alu(AluOp::Add, lines, lines, 1)
+        .copy(col, 0)
+        .jump(chk1);
+    pb.block_mut(no0).alu(AluOp::Add, col, col, 1).jump(chk1);
+    pb.block_mut(chk1).branch(CmpOp::Eq, ch1, NEWLINE, nl1, no1);
+    pb.block_mut(nl1)
+        .store(lines, base_lines, col, TAG_LINES)
+        .alu(AluOp::Add, lines, lines, 1)
+        .copy(col, 0)
+        .jump(cont);
+    pb.block_mut(no1)
+        .alu(AluOp::Add, col, col, 1)
+        .branch(CmpOp::Gt, col, WIDTH, wrap, fit);
+    pb.block_mut(wrap)
+        .store(lines, base_lines, col, TAG_LINES)
+        .alu(AluOp::Add, lines, lines, 1)
+        .copy(col, 0)
+        .jump(cont);
+    pb.block_mut(fit).jump(cont);
+    pb.block_mut(cont)
+        .alu(AluOp::Add, i, i, 2)
+        .branch(CmpOp::Lt, i, len, body, done);
+    pb.block_mut(done).halt();
+    pb.set_entry(entry);
+    pb.live_out([col, lines]);
+
+    Workload {
+        name: "nroff",
+        description: "character formatting with line filling (document formatter)",
+        program: pb.finish().expect("nroff kernel is well-formed"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_scalar::ScalarMachine;
+
+    fn reference(w: &Workload, n: i64) -> (i64, i64) {
+        let mut mem = vec![0i64; w.program.memory.size as usize];
+        for &(a, v) in &w.program.memory.cells {
+            mem[a as usize] = v;
+        }
+        let (mut col, mut lines) = (0i64, 0i64);
+        for pair in 0..(n / 2) {
+            let ch0 = mem[(BASE_TXT + pair * 2) as usize];
+            let ch1 = mem[(BASE_TXT + pair * 2 + 1) as usize];
+            if ch0 == NEWLINE {
+                lines += 1;
+                col = 0;
+            } else {
+                col += 1;
+            }
+            if ch1 == NEWLINE {
+                lines += 1;
+                col = 0;
+            } else {
+                col += 1;
+                if col > WIDTH {
+                    lines += 1;
+                    col = 0;
+                }
+            }
+        }
+        (col, lines)
+    }
+
+    #[test]
+    fn matches_reference_semantics() {
+        for seed in [6, 21, 88] {
+            let w = nroff_like_sized(seed, 1200);
+            let res = ScalarMachine::run_to_completion(&w.program).unwrap();
+            let (col, lines) = reference(&w, 1200);
+            assert_eq!(res.regs[2], col, "seed {seed}");
+            assert_eq!(res.regs[3], lines, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn branches_highly_predictable() {
+        let w = nroff_like_sized(4, 3000);
+        let res = ScalarMachine::run_to_completion(&w.program).unwrap();
+        let profile = &res.edge_profile;
+        let acc =
+            psb_scalar::successive_accuracy(&res.branch_trace, |b| profile.predict_taken(b), 4);
+        assert!(
+            acc[0] > 0.96,
+            "nroff single-branch accuracy {} too low",
+            acc[0]
+        );
+        assert!(acc[3] > 0.88, "nroff 4-branch accuracy {} too low", acc[3]);
+    }
+}

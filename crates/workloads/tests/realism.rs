@@ -1,0 +1,96 @@
+//! Realism checks on the kernels: instruction mixes and structural
+//! properties stay in the bands that justify the Table 2 substitution
+//! (see DESIGN.md §2).
+
+use psb_scalar::{ScalarConfig, ScalarMachine};
+use psb_workloads::{all_workloads_sized, by_name};
+
+struct Mix {
+    loads: f64,
+    stores: f64,
+    branches: f64,
+}
+
+fn mix_of(name: &str) -> Mix {
+    let w = by_name(name, 77, 2048).unwrap();
+    let r = ScalarMachine::new(&w.program, ScalarConfig::default())
+        .run()
+        .unwrap();
+    let t = r.dyn_instrs as f64;
+    Mix {
+        loads: r.dyn_loads as f64 / t,
+        stores: r.dyn_stores as f64 / t,
+        branches: r.dyn_branches as f64 / t,
+    }
+}
+
+#[test]
+fn kernels_are_memory_and_branch_realistic() {
+    for name in ["compress", "eqntott", "espresso", "grep", "li", "nroff"] {
+        let m = mix_of(name);
+        assert!(
+            (0.10..=0.45).contains(&m.loads),
+            "{name}: load fraction {:.2} outside the integer-code band",
+            m.loads
+        );
+        assert!(
+            (0.08..=0.40).contains(&m.branches),
+            "{name}: branch fraction {:.2} outside the integer-code band",
+            m.branches
+        );
+        assert!(
+            m.stores <= 0.20,
+            "{name}: store fraction {:.2} too high",
+            m.stores
+        );
+    }
+}
+
+#[test]
+fn pointer_chasing_dominates_li() {
+    // The lisp-interpreter model is the load-heaviest kernel.
+    let li = mix_of("li");
+    for other in ["compress", "eqntott", "espresso", "grep", "nroff"] {
+        assert!(li.loads > mix_of(other).loads, "li must out-load {other}");
+    }
+}
+
+#[test]
+fn compress_and_nroff_write_memory() {
+    assert!(
+        mix_of("compress").stores > 0.0,
+        "compress inserts table entries"
+    );
+    assert!(mix_of("nroff").stores > 0.05, "nroff emits output text");
+}
+
+#[test]
+fn sizes_scale_linearly() {
+    for name in ["compress", "grep"] {
+        let small = by_name(name, 3, 512).unwrap();
+        let large = by_name(name, 3, 2048).unwrap();
+        let a = ScalarMachine::new(&small.program, ScalarConfig::default())
+            .run()
+            .unwrap();
+        let b = ScalarMachine::new(&large.program, ScalarConfig::default())
+            .run()
+            .unwrap();
+        let ratio = b.cycles as f64 / a.cycles as f64;
+        assert!(
+            (3.0..=5.0).contains(&ratio),
+            "{name}: 4x input should be ~4x cycles, got {ratio:.2}"
+        );
+    }
+}
+
+#[test]
+fn all_kernels_terminate_quickly_at_any_size() {
+    for n in [8usize, 33, 100] {
+        for w in all_workloads_sized(5, n) {
+            let r = ScalarMachine::new(&w.program, ScalarConfig::default())
+                .run()
+                .unwrap_or_else(|e| panic!("{} at n={n}: {e}", w.name));
+            assert!(r.cycles > 0);
+        }
+    }
+}

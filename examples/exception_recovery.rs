@@ -1,0 +1,140 @@
+//! The future-condition recovery scheme of Section 3.5, on the paper's
+//! Figure 5 example: two speculative loads fault; one exception commits
+//! and is handled during re-execution, the other is ignored because its
+//! predicate is false under the future condition.
+//!
+//! ```text
+//! cargo run --example exception_recovery
+//! ```
+
+use psb::core::{Event, MachineConfig, VliwMachine};
+use psb::isa::{
+    AluOp, CmpOp, CondReg, MemImage, MemTag, MultiOp, Op, Predicate, Reg, Slot, SlotOp, Src,
+    VliwProgram,
+};
+
+fn main() {
+    let r = Reg::new;
+    let c = CondReg::new;
+    let p = Predicate::always;
+
+    let load = |rd, base: Reg, off| {
+        SlotOp::Op(Op::Load {
+            rd,
+            base: Src::reg(base),
+            offset: off,
+            tag: MemTag::ANY,
+        })
+    };
+    let one = |slot| MultiOp::new(vec![slot]);
+
+    // Figure 5's region, one instruction per word (single-issue example).
+    let words = vec![
+        // i1: alw r1 = r2
+        one(Slot::alw(SlotOp::Op(Op::Copy {
+            rd: r(1),
+            src: Src::reg(r(2)),
+        }))),
+        // i2: alw c0 = r3 < 0
+        one(Slot::alw(SlotOp::Op(Op::SetCond {
+            c: c(0),
+            cmp: CmpOp::Lt,
+            a: Src::reg(r(3)),
+            b: Src::imm(0),
+        }))),
+        // i3: c0 r2 = load(r2)
+        one(Slot::new(p().and_pos(c(0)), load(r(2), r(2), 0))),
+        // i4: c0&c1 r3 = load(r4)   — will fault on a cold page
+        one(Slot::new(
+            p().and_pos(c(0)).and_pos(c(1)),
+            load(r(3), r(4), 0),
+        )),
+        // i5: c0&!c1 r5 = load(r6)  — will fault too
+        one(Slot::new(
+            p().and_pos(c(0)).and_neg(c(1)),
+            load(r(5), r(6), 0),
+        )),
+        // i6: c0&c1 r7 = r7 + r3.s
+        one(Slot::new(
+            p().and_pos(c(0)).and_pos(c(1)),
+            SlotOp::Op(Op::Alu {
+                op: AluOp::Add,
+                rd: r(7),
+                a: Src::reg(r(7)),
+                b: Src::shadow(r(3)),
+            }),
+        )),
+        // i7: alw c1 = r2 > r8      — commits the buffered exception on r3
+        one(Slot::alw(SlotOp::Op(Op::SetCond {
+            c: c(1),
+            cmp: CmpOp::Gt,
+            a: Src::reg(r(2)),
+            b: Src::reg(r(8)),
+        }))),
+        one(Slot::alw(SlotOp::Jump { target: 8 })),
+        one(Slot::alw(SlotOp::Halt)),
+    ];
+
+    let mut memory = MemImage::zeroed(64);
+    memory.set(10, 30); // *r2 -> 30, so c1 = (30 > 20) = true
+    memory.set(12, 42); // i4's page, once mapped
+    memory.set(14, 7); // i5's page, never needed
+    let prog = VliwProgram {
+        name: "figure5".into(),
+        words,
+        region_starts: vec![0, 8],
+        num_conds: 4,
+        init_regs: vec![
+            (r(2), 10),
+            (r(3), -1), // c0 = true
+            (r(4), 12),
+            (r(6), 14),
+            (r(7), 100),
+            (r(8), 20),
+        ],
+        memory,
+        live_out: vec![r(3), r(7)],
+    };
+
+    println!("Figure 5 region:\n{prog}");
+
+    let mut cfg = MachineConfig::two_issue().with_events();
+    cfg.fault_once_addrs.insert(12);
+    cfg.fault_once_addrs.insert(14);
+    cfg.fault_penalty = 5;
+    let res = VliwMachine::run_program(&prog, cfg).expect("recovery completes");
+
+    println!("event log:");
+    for e in &res.events {
+        println!("  {e}");
+    }
+    println!();
+    println!("recoveries taken:   {}", res.recoveries);
+    println!(
+        "faults handled:     {} (i4's only — i5's is squashed)",
+        res.faults_handled
+    );
+    println!("r3 = {}  (i4 re-executed after handling)", res.regs[3]);
+    println!(
+        "r7 = {}  (i6 re-executed with the recovered operand)",
+        res.regs[7]
+    );
+    println!(
+        "r5 = {}  (i5's exception ignored under the future condition)",
+        res.regs[5]
+    );
+
+    assert_eq!(res.recoveries, 1);
+    assert_eq!(res.faults_handled, 1);
+    assert_eq!(res.regs[3], 42);
+    assert_eq!(res.regs[7], 142);
+    assert_eq!(res.regs[5], 0);
+    assert!(res
+        .events
+        .iter()
+        .any(|e| matches!(e, Event::RecoveryStart { .. })));
+    assert!(res
+        .events
+        .iter()
+        .any(|e| matches!(e, Event::RecoveryEnd { .. })));
+}

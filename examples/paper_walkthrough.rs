@@ -1,0 +1,124 @@
+//! The paper's running example, end to end: the scalar code of Figure 3,
+//! the 2-issue predicated schedule of Figure 4, and the machine-state
+//! transition of Table 1, reproduced cycle by cycle on the simulator.
+//!
+//! ```text
+//! cargo run --example paper_walkthrough
+//! ```
+
+use psb::core::{MachineConfig, VliwMachine};
+use psb::eval::render_table1;
+use psb::isa::{
+    AluOp, CmpOp, CondReg, MemImage, MemTag, MultiOp, Op, Predicate, Reg, Slot, SlotOp, Src,
+    VliwProgram,
+};
+
+fn main() {
+    let r = Reg::new;
+    let c = CondReg::new;
+    let p = Predicate::always;
+    let c0c1 = p().and_pos(c(0)).and_pos(c(1));
+
+    let alu = |op, rd, a, b| SlotOp::Op(Op::Alu { op, rd, a, b });
+    let load = |rd, base, off| {
+        SlotOp::Op(Op::Load {
+            rd,
+            base,
+            offset: off,
+            tag: MemTag::ANY,
+        })
+    };
+    let store = |base, off, v| {
+        SlotOp::Op(Op::Store {
+            base,
+            offset: off,
+            value: v,
+            tag: MemTag::ANY,
+        })
+    };
+    let setc = |cr, cmp, a, b| SlotOp::Op(Op::SetCond { c: cr, cmp, a, b });
+
+    // Figure 4's schedule, one word per line (i-numbers from the paper).
+    let words = vec![
+        // (1) i1: alw r1 = load(r2)       i15: c0&c1 r2 = r2 - 1
+        MultiOp::new(vec![
+            Slot::alw(load(r(1), Src::reg(r(2)), 0)),
+            Slot::new(c0c1, alu(AluOp::Sub, r(2), Src::reg(r(2)), Src::imm(1))),
+        ]),
+        // (2) i10: !c0 r5 = load array    i14: c0&c1 store(r7) = r5
+        MultiOp::new(vec![
+            Slot::new(p().and_neg(c(0)), load(r(5), Src::imm(6), 0)),
+            Slot::new(c0c1, store(Src::reg(r(7)), 0, Src::reg(r(5)))),
+        ]),
+        // (3) i2: alw r3 = r1 + 1         i16: c0&c1 r7 = r2.s << 1
+        MultiOp::new(vec![
+            Slot::alw(alu(AluOp::Add, r(3), Src::reg(r(1)), Src::imm(1))),
+            Slot::new(c0c1, alu(AluOp::Sll, r(7), Src::shadow(r(2)), Src::imm(1))),
+        ]),
+        // (4) i6: c0 r6 = load(r3)        i3: alw c0 = r3 < r4
+        MultiOp::new(vec![
+            Slot::new(p().and_pos(c(0)), load(r(6), Src::reg(r(3)), 0)),
+            Slot::alw(setc(c(0), CmpOp::Lt, Src::reg(r(3)), Src::reg(r(4)))),
+        ]),
+        // (5) i11: alw c2 = r2 < 0
+        MultiOp::new(vec![
+            Slot::alw(setc(c(2), CmpOp::Lt, Src::reg(r(2)), Src::imm(0))),
+            Slot::alw(SlotOp::Op(Op::Nop)),
+        ]),
+        // (6) i7: alw c1 = r5 < r6        i12: !c0&c2 j L6
+        MultiOp::new(vec![
+            Slot::alw(setc(c(1), CmpOp::Lt, Src::reg(r(5)), Src::reg(r(6)))),
+            Slot::new(p().and_neg(c(0)).and_pos(c(2)), SlotOp::Jump { target: 8 }),
+        ]),
+        // (7) i9: c0&!c1 j L5             i17: c0&c1 j L8
+        MultiOp::new(vec![
+            Slot::new(p().and_pos(c(0)).and_neg(c(1)), SlotOp::Jump { target: 8 }),
+            Slot::new(c0c1, SlotOp::Jump { target: 8 }),
+        ]),
+        // (8) i13: !c0&!c2 j L7
+        MultiOp::new(vec![
+            Slot::new(p().and_neg(c(0)).and_neg(c(2)), SlotOp::Jump { target: 8 }),
+            Slot::alw(SlotOp::Op(Op::Nop)),
+        ]),
+        // L5/L6/L7/L8 all land here for the walkthrough.
+        MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+    ];
+
+    let mut memory = MemImage::zeroed(64);
+    memory.set(4, 10); // *r2: feeds r1, then r3 = 11
+    memory.set(11, 50); // *r3: feeds r6
+    memory.set(6, 77); // "array"
+    let prog = VliwProgram {
+        name: "figure4".into(),
+        words,
+        region_starts: vec![0, 8],
+        num_conds: 4,
+        init_regs: vec![(r(2), 4), (r(4), 100), (r(5), 5), (r(7), 20)],
+        memory,
+        live_out: vec![r(2), r(7)],
+    };
+
+    println!("Figure 4 schedule:\n{prog}");
+
+    let cfg = MachineConfig::two_issue().with_events();
+    let res = VliwMachine::run_program(&prog, cfg).expect("the paper's example runs");
+
+    println!("{}", render_table1(&res.events));
+    println!(
+        "final state: r2 = {}, r7 = {}, mem[20] = {}",
+        res.regs[2],
+        res.regs[7],
+        res.memory.read(20).expect("valid address")
+    );
+    println!(
+        "total cycles: {} (the paper's region completes in 7, then the halt)",
+        res.cycles
+    );
+
+    // The sequence the paper walks through in Section 3.4:
+    assert_eq!(res.regs[2], 3, "i15 committed: r2 = 4 - 1");
+    assert_eq!(res.regs[7], 6, "i16 committed: r7 = (r2 - 1) << 1");
+    assert_eq!(res.memory.read(20).unwrap(), 5, "i14's store retired");
+    assert_eq!(res.regs[5], 5, "i10 squashed: r5 keeps its old value");
+    assert_eq!(res.cycles, 8);
+}

@@ -1,0 +1,72 @@
+//! The paper's closing remark, as a runnable study: Figure 8 shows an
+//! 8-issue machine barely beating a 4-issue one, and the authors point to
+//! loop unrolling as the missing compilation technique.  This example
+//! sweeps the unroll factor on one kernel and watches the 8-issue machine
+//! fill up.
+//!
+//! ```text
+//! cargo run --release --example unrolling_study
+//! ```
+
+use psb::core::{MachineConfig, VliwMachine};
+use psb::ir::unroll_loops;
+use psb::isa::Resources;
+use psb::scalar::{ScalarConfig, ScalarMachine};
+use psb::sched::{schedule, Model, SchedConfig, ScheduleStats};
+
+fn main() {
+    let name = "espresso";
+    let size = 1024;
+    let base = psb::workloads::by_name(name, 1234, size).expect("known workload");
+    let train = psb::workloads::by_name(name, 11, size).expect("known workload");
+    let scalar_cycles = ScalarMachine::new(&base.program, ScalarConfig::default())
+        .run()
+        .unwrap()
+        .cycles;
+
+    println!("{name} on the 8-issue full-issue machine (K = 8, D = 8)\n");
+    println!(
+        "{:>8} {:>12} {:>10} {:>12} {:>16}",
+        "unroll", "vliw cycles", "speedup", "static ops", "max pred depth"
+    );
+    for factor in 1..=6 {
+        let train_u = unroll_loops(&train.program, factor);
+        let eval_u = unroll_loops(&base.program, factor);
+        let profile = ScalarMachine::new(&train_u, ScalarConfig::default())
+            .run()
+            .unwrap()
+            .edge_profile;
+        let mut cfg = SchedConfig::new(Model::RegionPred);
+        cfg.issue_width = 8;
+        cfg.resources = Resources::full_issue(8);
+        cfg.num_conds = 8;
+        cfg.depth = 8;
+        cfg.max_blocks = 48;
+        let vliw = schedule(&eval_u, &profile, &cfg).expect("schedules");
+        let stats = ScheduleStats::analyze(&vliw);
+        let mut mc = MachineConfig::full_issue(8);
+        mc.store_buffer_size = 32;
+        let res = VliwMachine::run_program(&vliw, mc).expect("runs");
+        assert_eq!(
+            res.observable(&eval_u.live_out),
+            ScalarMachine::new(&eval_u, ScalarConfig::default())
+                .run()
+                .unwrap()
+                .observable(&eval_u.live_out),
+            "unroll {factor} diverged"
+        );
+        println!(
+            "{:>8} {:>12} {:>9.2}x {:>12} {:>16}",
+            factor,
+            res.cycles,
+            scalar_cycles as f64 / res.cycles as f64,
+            stats.ops,
+            stats.max_pred_depth()
+        );
+    }
+    println!(
+        "\nEach extra copy of the loop body deepens the regions (more\n\
+         conditions in flight) and widens the per-cycle work — exactly the\n\
+         effect the paper predicted loop unrolling would have."
+    );
+}

@@ -1,0 +1,42 @@
+//! Facade crate for the predicated-state-buffering (PSB) reproduction.
+//!
+//! Re-exports the public API of every workspace crate so downstream users
+//! (and the examples in `examples/`) can depend on a single crate:
+//!
+//! * [`isa`] — instruction set, predicates, scalar and VLIW programs.
+//! * [`ir`] — CFG, dominance, liveness and code transformations.
+//! * [`core`] — the predicating VLIW machine (the paper's contribution).
+//! * [`scalar`] — the R3000-like scalar reference machine.
+//! * [`sched`] — the seven speculative instruction-scheduling models.
+//! * [`workloads`] — the six synthetic benchmark kernels.
+//! * [`eval`] — the experiment harness regenerating every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use psb::prelude::*;
+//!
+//! // Build a small scalar program, schedule it with the paper's
+//! // region-predicating model, and compare cycle counts.
+//! let program = psb::workloads::grep_like(42).program;
+//! let scalar = psb::scalar::ScalarMachine::run_to_completion(&program).unwrap();
+//! assert!(scalar.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use psb_core as core;
+pub use psb_eval as eval;
+pub use psb_ir as ir;
+pub use psb_isa as isa;
+pub use psb_scalar as scalar;
+pub use psb_sched as sched;
+pub use psb_workloads as workloads;
+
+/// Convenient glob-import of the most commonly used types.
+pub mod prelude {
+    pub use psb_isa::{
+        AluOp, Ccr, CmpOp, Cond, CondReg, MemTag, Op, Predicate, ProgramBuilder, Reg,
+        ScalarProgram, Src, VliwProgram,
+    };
+}

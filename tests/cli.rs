@@ -1,0 +1,123 @@
+//! End-to-end tests of the `psbsim` command-line interface.
+
+use std::process::Command;
+
+fn psbsim(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_psbsim"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("psbsim spawns")
+}
+
+#[test]
+fn run_reports_speedup_and_match() {
+    let out = psbsim(&["run", "asm/gcd.asm"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("speedup:"));
+    assert!(text.contains("golden model:  match"));
+    assert!(text.contains("r1 = 12"), "gcd(10044, 3108) = 12:\n{text}");
+}
+
+#[test]
+fn scalar_subcommand_runs_baseline_only() {
+    let out = psbsim(&["scalar", "asm/gcd.asm"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cycles:"));
+    assert!(text.contains("r1 = 12"));
+    assert!(!text.contains("speedup"));
+}
+
+#[test]
+fn disasm_prints_vliw_listing() {
+    let out = psbsim(&["disasm", "asm/gcd.asm", "--model", "trace-pred"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("vliw program"));
+    assert!(text.contains("W0"));
+}
+
+#[test]
+fn every_model_flag_accepted() {
+    for model in [
+        "global",
+        "squash",
+        "trace",
+        "region-squash",
+        "boost",
+        "trace-pred",
+        "region-pred",
+    ] {
+        let out = psbsim(&["run", "asm/gcd.asm", "--model", model]);
+        assert!(out.status.success(), "{model}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("golden model:  match"));
+    }
+}
+
+#[test]
+fn unroll_and_optimize_flags_work() {
+    let out = psbsim(&[
+        "run",
+        "asm/matmul.asm",
+        "--width",
+        "8",
+        "--conds",
+        "8",
+        "--unroll",
+        "2",
+        "--optimize",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("r7 = 2629"));
+}
+
+#[test]
+fn events_flag_prints_table1_format() {
+    let out = psbsim(&["run", "asm/gcd.asm", "--events"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Machine state transition"));
+    assert!(text.contains("spec write"));
+}
+
+#[test]
+fn bad_usage_exits_with_code_2() {
+    for args in [
+        &["run"][..],
+        &["frobnicate", "asm/gcd.asm"][..],
+        &["run", "asm/gcd.asm", "--model", "nonsense"][..],
+        &["run", "asm/gcd.asm", "--width", "many"][..],
+    ] {
+        let out = psbsim(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    }
+}
+
+#[test]
+fn missing_file_exits_with_code_1() {
+    let out = psbsim(&["run", "asm/no_such_file.asm"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn parse_error_reports_line() {
+    let dir = std::env::temp_dir().join("psbsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.asm");
+    std::fs::write(&bad, "a:\n    r1 = r2 $$ r3\n    halt\n").unwrap();
+    let out = psbsim(&["run", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "{err}");
+}

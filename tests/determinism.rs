@@ -1,0 +1,59 @@
+//! Reproducibility: identical seeds and configurations must give
+//! bit-identical programs, schedules and cycle counts — the property that
+//! makes EXPERIMENTS.md's numbers reproducible on any machine.
+
+use psb::core::{MachineConfig, VliwMachine};
+use psb::scalar::{ScalarConfig, ScalarMachine};
+use psb::sched::{schedule, Model, SchedConfig};
+use psb::workloads::by_name;
+
+#[test]
+fn workload_generation_is_deterministic() {
+    for name in ["compress", "eqntott", "espresso", "grep", "li", "nroff"] {
+        let a = by_name(name, 42, 300).unwrap();
+        let b = by_name(name, 42, 300).unwrap();
+        assert_eq!(a.program, b.program, "{name}: same seed, same program");
+        let c = by_name(name, 43, 300).unwrap();
+        assert_ne!(
+            a.program, c.program,
+            "{name}: different seed, different inputs"
+        );
+    }
+}
+
+#[test]
+fn scheduling_is_deterministic() {
+    let w = by_name("compress", 7, 300).unwrap();
+    let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
+        .run()
+        .unwrap()
+        .edge_profile;
+    for model in Model::ALL {
+        let cfg = SchedConfig::new(model);
+        let a = schedule(&w.program, &profile, &cfg).unwrap();
+        let b = schedule(&w.program, &profile, &cfg).unwrap();
+        assert_eq!(a, b, "{model}: scheduling must be deterministic");
+    }
+}
+
+#[test]
+fn execution_is_deterministic() {
+    let w = by_name("espresso", 9, 300).unwrap();
+    let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
+        .run()
+        .unwrap()
+        .edge_profile;
+    let vliw = schedule(&w.program, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
+    let a = VliwMachine::run_program(&vliw, MachineConfig::default()).unwrap();
+    let b = VliwMachine::run_program(&vliw, MachineConfig::default()).unwrap();
+    assert_eq!(a, b, "same program, same machine, same run");
+
+    let s1 = ScalarMachine::new(&w.program, ScalarConfig::default())
+        .run()
+        .unwrap();
+    let s2 = ScalarMachine::new(&w.program, ScalarConfig::default())
+        .run()
+        .unwrap();
+    assert_eq!(s1.cycles, s2.cycles);
+    assert_eq!(s1.regs, s2.regs);
+}
