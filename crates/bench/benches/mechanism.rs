@@ -3,7 +3,7 @@
 //! delay" match operation), plus simulator throughput on real kernels.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use psb_core::{EventLog, MachineConfig, PredicatedRegFile, ShadowMode, VliwMachine};
+use psb_core::{CommitScan, EventLog, MachineConfig, PredicatedRegFile, ShadowMode, VliwMachine};
 use psb_isa::{Ccr, CondReg, Predicate, Reg};
 use psb_scalar::{ScalarConfig, ScalarMachine};
 use psb_sched::{schedule, Model, SchedConfig};
@@ -43,6 +43,58 @@ fn bench_regfile_commit(c: &mut Criterion) {
     });
 }
 
+/// The tentpole comparison: per-cycle commit cost with many buffered
+/// entries whose conditions never resolve.  The naive scan re-evaluates
+/// every entry every cycle; the indexed scan does work only on the first
+/// pass (the entries are pending) and then sleeps until a subscribed
+/// condition changes.
+fn bench_commit_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commit_scan_idle_ticks");
+    for (label, scan) in [
+        ("naive", CommitScan::Naive),
+        ("indexed", CommitScan::Indexed),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut rf = PredicatedRegFile::new(64, ShadowMode::Single).with_commit_scan(scan);
+                for i in 1..48usize {
+                    let pred = Predicate::always().and_pos(CondReg::new(4 + (i % 4)));
+                    rf.write_spec(Reg::new(i), i as i64, pred, false).unwrap();
+                }
+                let ccr = Ccr::new(8);
+                let mut log = EventLog::new(false);
+                for cycle in 1..=1_000u64 {
+                    rf.tick(&ccr, cycle, &mut log);
+                }
+                black_box(rf)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Same comparison end to end: a whole kernel simulated under each scan
+/// strategy (identical architecture, different simulator cost).
+fn bench_machine_commit_scan(c: &mut Criterion) {
+    let w = psb_workloads::by_name("li", 3, 512).unwrap();
+    let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
+        .run()
+        .unwrap()
+        .edge_profile;
+    let vliw = schedule(&w.program, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
+    let mut g = c.benchmark_group("machine_commit_scan_li");
+    for (label, scan) in [
+        ("naive", CommitScan::Naive),
+        ("indexed", CommitScan::Indexed),
+    ] {
+        let cfg = MachineConfig::default().with_commit_scan(scan);
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(VliwMachine::run_program(black_box(&vliw), cfg.clone())))
+        });
+    }
+    g.finish();
+}
+
 fn machine_throughput(c: &mut Criterion, name: &'static str) {
     let w = psb_workloads::by_name(name, 3, 512).unwrap();
     let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
@@ -50,7 +102,7 @@ fn machine_throughput(c: &mut Criterion, name: &'static str) {
         .unwrap()
         .edge_profile;
     let vliw = schedule(&w.program, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
-    c.bench_function(&format!("machine_throughput_{name}"), |b| {
+    c.bench_function(format!("machine_throughput_{name}"), |b| {
         b.iter(|| {
             black_box(VliwMachine::run_program(
                 black_box(&vliw),
@@ -102,7 +154,7 @@ fn bench_scheduler_scaling(c: &mut Criterion) {
 criterion_group! {
     name = mechanism;
     config = Criterion::default().sample_size(20);
-    targets = bench_predicate_eval, bench_regfile_commit, bench_machine, bench_scheduler,
-        bench_scheduler_scaling
+    targets = bench_predicate_eval, bench_regfile_commit, bench_commit_scan,
+        bench_machine_commit_scan, bench_machine, bench_scheduler, bench_scheduler_scaling
 }
 criterion_main!(mechanism);

@@ -16,6 +16,26 @@ pub enum ShadowMode {
     Infinite,
 }
 
+/// How the per-cycle commit pass locates buffered entries to resolve.
+///
+/// Both strategies are architecturally identical — they evaluate the same
+/// predicates against the same CCR and emit the same events in the same
+/// order (enforced by the `commit_scan` differential tests).  They differ
+/// only in simulator cost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CommitScan {
+    /// Evaluate every buffered predicate every cycle — a direct transcription
+    /// of the paper's per-entry commit hardware.  O(buffered) per cycle even
+    /// when nothing can have changed.  Kept as the reference oracle.
+    Naive,
+    /// Condition-indexed wakeup lists: each buffered entry subscribes to the
+    /// CCR slots its predicate mentions, and a pass re-evaluates only entries
+    /// subscribed to a condition that changed since the previous pass, plus
+    /// entries buffered since then.  O(active) per cycle.
+    #[default]
+    Indexed,
+}
+
 /// Full configuration of the predicating machine.
 #[derive(Clone, PartialEq, Debug)]
 pub struct MachineConfig {
@@ -46,6 +66,8 @@ pub struct MachineConfig {
     pub max_cycles: u64,
     /// Record the per-cycle event log (Table 1 reproduction / debugging).
     pub record_events: bool,
+    /// Commit-pass strategy (simulator-only knob; no architectural effect).
+    pub commit_scan: CommitScan,
 }
 
 impl Default for MachineConfig {
@@ -63,6 +85,7 @@ impl Default for MachineConfig {
             fault_penalty: 50,
             max_cycles: 200_000_000,
             record_events: false,
+            commit_scan: CommitScan::Indexed,
         }
     }
 }
@@ -71,6 +94,12 @@ impl MachineConfig {
     /// The paper's base 4-issue machine with event recording enabled.
     pub fn with_events(mut self) -> MachineConfig {
         self.record_events = true;
+        self
+    }
+
+    /// Selects the commit-pass strategy.
+    pub fn with_commit_scan(mut self, scan: CommitScan) -> MachineConfig {
+        self.commit_scan = scan;
         self
     }
 

@@ -109,6 +109,18 @@ pub enum Event {
         /// The touched address.
         addr: i64,
     },
+    /// A speculative access faulted at issue and latched its E flag on the
+    /// in-flight result (Section 3.4: the exception travels with the value
+    /// until it reaches a shadow register or store-buffer entry).  A
+    /// recovery can trigger on this latched exception before the result
+    /// ever reaches buffered state, so the audit accepts it as exception
+    /// evidence alongside E-flagged [`Event::SpecWrite`]s.
+    ExcLatched {
+        /// Cycle the access faulted.
+        cycle: u64,
+        /// The faulting address.
+        addr: i64,
+    },
 }
 
 impl Event {
@@ -124,7 +136,8 @@ impl Event {
             | Event::RegionEnter { cycle, .. }
             | Event::RecoveryStart { cycle, .. }
             | Event::RecoveryEnd { cycle, .. }
-            | Event::FaultHandled { cycle, .. } => cycle,
+            | Event::FaultHandled { cycle, .. }
+            | Event::ExcLatched { cycle, .. } => cycle,
         }
     }
 }
@@ -158,6 +171,9 @@ impl fmt::Display for Event {
             }
             Event::RecoveryEnd { cycle } => write!(f, "[{cycle}] recovery complete"),
             Event::FaultHandled { cycle, addr } => write!(f, "[{cycle}] fault handled @{addr}"),
+            Event::ExcLatched { cycle, addr } => {
+                write!(f, "[{cycle}] speculative exception latched @{addr}")
+            }
         }
     }
 }

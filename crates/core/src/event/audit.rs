@@ -41,7 +41,7 @@ pub enum AuditViolation {
         loc: String,
     },
     /// A recovery started with no preceding speculative-exception write
-    /// since the last region entry.
+    /// (or in-flight exception latch) since the last region entry.
     RecoveryWithoutException {
         /// Cycle recovery started.
         cycle: u64,
@@ -88,9 +88,11 @@ impl fmt::Display for AuditViolation {
 /// itself), so anything left at the end of the log is a leak.
 pub fn audit_events(events: &[Event]) -> Vec<AuditViolation> {
     let mut out = Vec::new();
-    // Outstanding speculative writes: loc -> predicate string.
-    let mut spec: HashMap<String, String> = HashMap::new();
-    let mut exception_pending = false;
+    // Outstanding speculative writes: loc -> (predicate string, E flag).
+    let mut spec: HashMap<String, (String, bool)> = HashMap::new();
+    // An E flag latched on an in-flight result (not yet buffered): a
+    // recovery may trigger on it before any E-flagged SpecWrite appears.
+    let mut exc_latched = false;
     let mut in_recovery: Option<u64> = None;
 
     for e in events {
@@ -103,7 +105,7 @@ pub fn audit_events(events: &[Event]) -> Vec<AuditViolation> {
             } => {
                 let key = loc.to_string();
                 let pred = pred.to_string();
-                if let Some(prev) = spec.get(&key) {
+                if let Some((prev, _)) = spec.get(&key) {
                     // Same-predicate rewrites model WAW on one path; a
                     // different predicate on a *register* is the
                     // single-shadow storage conflict (store-buffer entries
@@ -118,9 +120,11 @@ pub fn audit_events(events: &[Event]) -> Vec<AuditViolation> {
                         });
                     }
                 }
-                spec.insert(key, pred);
+                spec.insert(key, (pred, *exc));
                 if *exc {
-                    exception_pending = true;
+                    // The latched exception (if any) has graduated into
+                    // buffered state, where the map tracks it.
+                    exc_latched = false;
                 }
             }
             Event::Commit { cycle, loc } | Event::Squash { cycle, loc } => {
@@ -135,23 +139,32 @@ pub fn audit_events(events: &[Event]) -> Vec<AuditViolation> {
                 for loc in spec.drain().map(|(k, _)| k) {
                     out.push(AuditViolation::UnresolvedAtRegionEnd { cycle: *cycle, loc });
                 }
-                exception_pending = false;
+                exc_latched = false;
                 if let Some(start) = in_recovery.take() {
                     out.push(AuditViolation::UnfinishedRecovery { cycle: start });
                 }
             }
             Event::RecoveryStart { cycle, .. } => {
-                if !exception_pending {
+                let buffered_exc = spec.values().any(|(_, exc)| *exc);
+                if !buffered_exc && !exc_latched {
                     out.push(AuditViolation::RecoveryWithoutException { cycle: *cycle });
                 }
+                // The latched exception (if any) is what triggered this
+                // recovery; it is consumed here.
+                exc_latched = false;
                 // Recovery invalidates all speculative state — but the
                 // machine logs an explicit squash for every invalidated
                 // entry, so the ordinary resolution accounting covers it.
                 in_recovery = Some(*cycle);
             }
             Event::RecoveryEnd { .. } => {
+                // Exceptions re-buffered *during* recovery stay tracked in
+                // the spec map; they may legitimately trigger a second
+                // recovery later.
                 in_recovery = None;
-                exception_pending = false;
+            }
+            Event::ExcLatched { .. } => {
+                exc_latched = true;
             }
             Event::SeqWrite { .. }
             | Event::SeqStore { .. }

@@ -61,7 +61,7 @@ mod machine;
 mod regfile;
 mod storebuf;
 
-pub use config::{MachineConfig, ShadowMode};
+pub use config::{CommitScan, MachineConfig, ShadowMode};
 pub use event::{audit_events, AuditViolation, Event, EventLog, StateLoc};
 pub use machine::{VliwError, VliwMachine, VliwResult};
 pub use psb_isa::Resources;

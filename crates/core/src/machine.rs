@@ -101,6 +101,12 @@ pub struct VliwResult {
     pub faults_handled: u64,
     /// Region transfers (taken exits plus fall-through entries).
     pub region_transfers: u64,
+    /// Buffered speculative entries (register shadows and stores) whose
+    /// predicate resolved true and committed into sequential state.
+    pub commits: u64,
+    /// Buffered speculative entries squashed — by a false predicate, a
+    /// region exit, recovery entry, or the final drain.
+    pub squashes: u64,
     /// Final sequential register values.
     pub regs: Vec<i64>,
     /// Final memory.
@@ -190,6 +196,8 @@ struct Stats {
     recoveries: u64,
     faults_handled: u64,
     region_transfers: u64,
+    commits: u64,
+    squashes: u64,
 }
 
 /// What `issue` decided for the end of the cycle.
@@ -231,13 +239,14 @@ impl<'p> VliwMachine<'p> {
                 )));
             }
         }
-        let mut regs = PredicatedRegFile::new(NUM_REGS, cfg.shadow_mode);
+        let mut regs =
+            PredicatedRegFile::new(NUM_REGS, cfg.shadow_mode).with_commit_scan(cfg.commit_scan);
         for &(r, v) in &prog.init_regs {
             regs.init(r, v);
         }
         Ok(VliwMachine {
             regs,
-            sb: PredicatedStoreBuffer::new(cfg.store_buffer_size),
+            sb: PredicatedStoreBuffer::new(cfg.store_buffer_size).with_commit_scan(cfg.commit_scan),
             memory: Memory::from_image(&prog.memory),
             ccr: Ccr::new(prog.num_conds),
             pc: 0,
@@ -324,8 +333,8 @@ impl<'p> VliwMachine<'p> {
     /// state, reset the CCR, and record the new RPC.
     fn enter_region(&mut self, target: usize) {
         let cycle = self.cycle;
-        self.regs.squash_spec(cycle, &mut self.log);
-        self.sb.squash_spec(cycle, &mut self.log);
+        self.stats.squashes += self.regs.squash_spec(cycle, &mut self.log);
+        self.stats.squashes += self.sb.squash_spec(cycle, &mut self.log);
         // Resolve in-flight writes against the old region's conditions:
         // a specified-true pred will still land sequentially; everything
         // else is dead on this exit path.
@@ -445,8 +454,8 @@ impl<'p> VliwMachine<'p> {
             self.regs.write_seq(dest, value);
             self.log.push(|| Event::SeqWrite { cycle, reg: dest });
         }
-        self.regs.squash_spec(cycle, &mut self.log);
-        self.sb.squash_spec(cycle, &mut self.log);
+        self.stats.squashes += self.regs.squash_spec(cycle, &mut self.log);
+        self.stats.squashes += self.sb.squash_spec(cycle, &mut self.log);
         self.mode = Mode::Recovery {
             epc: issued_word,
             future: candidate,
@@ -545,7 +554,12 @@ impl<'p> VliwMachine<'p> {
                                 (self.load_value(addr, &slot.pred), false)
                             }
                         },
-                        Err(_) => (0, true), // buffer the speculative exception
+                        Err(_) => {
+                            // Buffer the speculative exception.
+                            let cycle = self.cycle;
+                            self.log.push(|| Event::ExcLatched { cycle, addr });
+                            (0, true)
+                        }
                     };
                     self.inflight.push(InFlight {
                         ready_end: self.cycle + self.cfg.load_latency - 1,
@@ -579,7 +593,11 @@ impl<'p> VliwMachine<'p> {
                                 false
                             }
                         },
-                        Err(_) => true,
+                        Err(_) => {
+                            let cycle = self.cycle;
+                            self.log.push(|| Event::ExcLatched { cycle, addr });
+                            true
+                        }
                     };
                     out.stores.push(PendingStore {
                         addr,
@@ -735,7 +753,12 @@ impl<'p> VliwMachine<'p> {
                                 }
                             },
                             Cond::False => (0, false), // ignored exception
-                            Cond::Unspecified => (0, true), // re-buffered
+                            Cond::Unspecified => {
+                                // Re-buffered: still speculative in recovery.
+                                let cycle = self.cycle;
+                                self.log.push(|| Event::ExcLatched { cycle, addr });
+                                (0, true)
+                            }
                         },
                     };
                     self.inflight.push(InFlight {
@@ -772,7 +795,11 @@ impl<'p> VliwMachine<'p> {
                                 }
                             },
                             Cond::False => false,
-                            Cond::Unspecified => true,
+                            Cond::Unspecified => {
+                                let cycle = self.cycle;
+                                self.log.push(|| Event::ExcLatched { cycle, addr });
+                                true
+                            }
                         },
                     };
                     out.stores.push(PendingStore {
@@ -804,8 +831,10 @@ impl<'p> VliwMachine<'p> {
             }
             // 1. Commit pass.
             let ccr = self.ccr.clone();
-            self.regs.tick(&ccr, self.cycle, &mut self.log);
-            self.sb.tick(&ccr, self.cycle, &mut self.log);
+            let (rc, rs) = self.regs.tick(&ccr, self.cycle, &mut self.log);
+            let (sc, ss) = self.sb.tick(&ccr, self.cycle, &mut self.log);
+            self.stats.commits += rc + sc;
+            self.stats.squashes += rs + ss;
             // 2. Store retire.
             self.sb.retire(&mut self.memory, self.cfg.retire_per_cycle);
             // 3. Recovery exit.
@@ -815,8 +844,16 @@ impl<'p> VliwMachine<'p> {
                     self.mode = Mode::Normal;
                     let cycle = self.cycle;
                     self.log.push(|| Event::RecoveryEnd { cycle });
-                    // Newly-true predicates commit at the next cycle's
-                    // commit pass, exactly as after a normal CCR update.
+                    // Installing the future condition resolves the state
+                    // rebuffered during recovery (Section 3.5).  This must
+                    // happen *before* the EPC word issues: it re-executes
+                    // this same cycle, and a stale shadow committing on the
+                    // next cycle's pass would clobber its sequential writes.
+                    let ccr = self.ccr.clone();
+                    let (rc, rs) = self.regs.tick(&ccr, self.cycle, &mut self.log);
+                    let (sc, ss) = self.sb.tick(&ccr, self.cycle, &mut self.log);
+                    self.stats.commits += rc + sc;
+                    self.stats.squashes += rs + ss;
                 }
             }
             // 4. Issue.
@@ -908,8 +945,8 @@ impl<'p> VliwMachine<'p> {
     /// buffer, charging one cycle per D-cache write beyond the halt cycle.
     fn drain(mut self) -> Result<VliwResult, VliwError> {
         let cycle = self.cycle;
-        self.regs.squash_spec(cycle, &mut self.log);
-        self.sb.squash_spec(cycle, &mut self.log);
+        self.stats.squashes += self.regs.squash_spec(cycle, &mut self.log);
+        self.stats.squashes += self.sb.squash_spec(cycle, &mut self.log);
         // Resolve in-flight writes (same rule as a region exit).
         let ccr = self.ccr.clone();
         let mut landed = Vec::new();
@@ -945,6 +982,8 @@ impl<'p> VliwMachine<'p> {
             recoveries: s.recoveries,
             faults_handled: s.faults_handled,
             region_transfers: s.region_transfers,
+            commits: s.commits,
+            squashes: s.squashes,
             regs: self.regs.seq_values(),
             memory: self.memory,
             events: self.log.into_events(),

@@ -5,10 +5,23 @@
 //! `spec` slots hold valid speculative data (V set), the `seq` field is the
 //! committed storage, and a commit copies shadow → sequential (the
 //! hardware's W flip) and clears V.
+//!
+//! # Commit-pass strategies
+//!
+//! The paper's hardware re-evaluates every buffered predicate every cycle
+//! ([`CommitScan::Naive`]).  The simulator's default
+//! ([`CommitScan::Indexed`]) keeps a *wakeup list* per CCR slot — the set
+//! of registers holding a buffered entry whose predicate mentions that
+//! condition — and re-evaluates only registers subscribed to a condition
+//! that changed since the previous pass, plus registers written since
+//! then.  A buffered predicate's evaluation can only change when one of
+//! its conditions changes, so the two strategies resolve the same entries
+//! on the same cycles and emit byte-identical event logs.
 
-use crate::config::ShadowMode;
+use crate::config::{CommitScan, ShadowMode};
 use crate::event::{Event, EventLog, StateLoc};
-use psb_isa::{Ccr, Cond, Predicate, Reg};
+use psb_isa::{Ccr, Cond, Predicate, Reg, MAX_CONDS};
+use std::collections::BTreeSet;
 
 /// One buffered speculative value (a shadow-register occupancy).
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -43,15 +56,42 @@ pub struct ShadowConflict {
 pub struct PredicatedRegFile {
     entries: Vec<RegEntry>,
     mode: ShadowMode,
+    scan: CommitScan,
+    /// CCR snapshot at the end of the previous commit pass (Indexed only).
+    last_ccr: Option<Ccr>,
+    /// Per-condition wakeup lists: registers with a buffered entry whose
+    /// predicate mentions that condition (Indexed only).
+    subs: Vec<BTreeSet<usize>>,
+    /// Registers whose buffered entries must be evaluated at the next pass:
+    /// written since the last pass, or woken by a condition change.
+    pending: BTreeSet<usize>,
+    /// Buffered slots with the E flag set (fast path for
+    /// [`PredicatedRegFile::has_exception_commit`]).
+    exc_count: usize,
 }
 
 impl PredicatedRegFile {
-    /// Creates a file of `num_regs` registers, all zero.
+    /// Creates a file of `num_regs` registers, all zero, using the
+    /// [`CommitScan::Naive`] reference strategy.
     pub fn new(num_regs: usize, mode: ShadowMode) -> PredicatedRegFile {
         PredicatedRegFile {
             entries: vec![RegEntry::default(); num_regs],
             mode,
+            scan: CommitScan::Naive,
+            last_ccr: None,
+            subs: vec![BTreeSet::new(); MAX_CONDS],
+            pending: BTreeSet::new(),
+            exc_count: 0,
         }
+    }
+
+    /// Selects the commit-pass strategy.  Must be called before any
+    /// speculative write (the machine sets it at construction).
+    #[must_use]
+    pub fn with_commit_scan(mut self, scan: CommitScan) -> PredicatedRegFile {
+        assert_eq!(self.spec_count(), 0, "cannot switch scan mid-flight");
+        self.scan = scan;
+        self
     }
 
     /// Writes an initial (sequential) value.
@@ -79,6 +119,12 @@ impl PredicatedRegFile {
     /// Section 3.5 (the wanted value was committed or squashed earlier).
     /// `reader_pred` disambiguates between multiple buffered values in
     /// [`ShadowMode::Infinite`]; the newest non-disjoint entry wins.
+    ///
+    /// E-flagged slots are skipped: a buffered speculative exception has no
+    /// data to bypass, only a fault to deliver (Section 3.5), so dependents
+    /// fall back exactly as the store buffer's forwarding path refuses
+    /// E-flagged entries.  If the exception's predicate commits, recovery
+    /// re-executes those dependents anyway.
     pub fn read_shadow(&self, r: Reg, reader_pred: &Predicate) -> i64 {
         if r.is_zero() {
             return 0;
@@ -87,7 +133,7 @@ impl PredicatedRegFile {
         e.spec
             .iter()
             .rev()
-            .find(|s| !s.pred.disjoint(reader_pred))
+            .find(|s| !s.exc && !s.pred.disjoint(reader_pred))
             .map_or(e.seq, |s| s.value)
     }
 
@@ -122,6 +168,7 @@ impl PredicatedRegFile {
                     if slot.pred != pred {
                         return Err(ShadowConflict { reg: r });
                     }
+                    self.exc_count -= slot.exc as usize;
                     *slot = SpecSlot { value, pred, exc };
                 } else {
                     e.spec.push(SpecSlot { value, pred, exc });
@@ -131,17 +178,31 @@ impl PredicatedRegFile {
                 // A same-predicate rewrite replaces (WAW on one path);
                 // otherwise buffer an additional value.
                 if let Some(slot) = e.spec.iter_mut().rev().find(|s| s.pred == pred) {
+                    self.exc_count -= slot.exc as usize;
                     *slot = SpecSlot { value, pred, exc };
                 } else {
                     e.spec.push(SpecSlot { value, pred, exc });
                 }
             }
         }
+        self.exc_count += exc as usize;
+        if self.scan == CommitScan::Indexed {
+            for (c, _) in pred.terms() {
+                self.subs[c.index()].insert(r.index());
+            }
+            self.pending.insert(r.index());
+        }
         Ok(())
     }
 
-    /// The per-cycle commit hardware: evaluates every buffered predicate
+    /// The per-cycle commit hardware: evaluates buffered predicates
     /// against the CCR, committing on true and squashing on false.
+    /// Returns `(commits, squashes)`.
+    ///
+    /// Under [`CommitScan::Naive`] every buffered predicate is evaluated;
+    /// under [`CommitScan::Indexed`] only registers woken by a condition
+    /// change (or written since the previous pass) are — with identical
+    /// outcomes and event order.
     ///
     /// # Panics
     ///
@@ -149,43 +210,90 @@ impl PredicatedRegFile {
     /// exception commits at CCR-update time (`has_exception_commit`) and
     /// enter recovery before this pass runs; reaching one here is a
     /// simulator bug.
-    pub fn tick(&mut self, ccr: &Ccr, cycle: u64, log: &mut EventLog) {
-        for (i, e) in self.entries.iter_mut().enumerate() {
-            if e.spec.is_empty() {
-                continue;
+    pub fn tick(&mut self, ccr: &Ccr, cycle: u64, log: &mut EventLog) -> (u64, u64) {
+        match self.scan {
+            CommitScan::Naive => {
+                let mut commits = 0;
+                let mut squashes = 0;
+                for i in 0..self.entries.len() {
+                    let (c, s) = resolve_entry(
+                        &mut self.entries[i],
+                        i,
+                        ccr,
+                        cycle,
+                        log,
+                        &mut self.exc_count,
+                    );
+                    commits += c;
+                    squashes += s;
+                }
+                (commits, squashes)
             }
-            let mut kept = Vec::with_capacity(e.spec.len());
-            for slot in e.spec.drain(..) {
-                match slot.pred.eval(ccr) {
-                    Cond::True => {
-                        assert!(
-                            !slot.exc,
-                            "outstanding speculative exception on r{i} committed outside \
-                             the detection path"
-                        );
-                        e.seq = slot.value;
-                        log.push(|| Event::Commit {
-                            cycle,
-                            loc: StateLoc::Reg(Reg::new(i)),
-                        });
+            CommitScan::Indexed => self.tick_indexed(ccr, cycle, log),
+        }
+    }
+
+    fn tick_indexed(&mut self, ccr: &Ccr, cycle: u64, log: &mut EventLog) -> (u64, u64) {
+        // Wake the subscribers of every condition whose value changed since
+        // the previous pass.  On the first pass (or a CCR-width change,
+        // which never happens within one run) everything wakes.
+        match &self.last_ccr {
+            Some(prev) if prev.len() == ccr.len() => {
+                for (c, v) in ccr.iter() {
+                    if prev.get(c) != v && !self.subs[c.index()].is_empty() {
+                        let woken: Vec<usize> = self.subs[c.index()].iter().copied().collect();
+                        self.pending.extend(woken);
                     }
-                    Cond::False => {
-                        log.push(|| Event::Squash {
-                            cycle,
-                            loc: StateLoc::Reg(Reg::new(i)),
-                        });
-                    }
-                    Cond::Unspecified => kept.push(slot),
                 }
             }
-            e.spec = kept;
+            _ => {
+                for (i, e) in self.entries.iter().enumerate() {
+                    if !e.spec.is_empty() {
+                        self.pending.insert(i);
+                    }
+                }
+            }
         }
+        self.last_ccr = Some(ccr.clone());
+
+        let mut commits = 0;
+        let mut squashes = 0;
+        // Ascending register order reproduces the naive scan's event order.
+        let pending = std::mem::take(&mut self.pending);
+        for i in pending {
+            let (c, s) = resolve_entry(
+                &mut self.entries[i],
+                i,
+                ccr,
+                cycle,
+                log,
+                &mut self.exc_count,
+            );
+            commits += c;
+            squashes += s;
+            if c > 0 || s > 0 {
+                // Slots were resolved: rebuild this register's subscriptions
+                // from what remains buffered.
+                for set in &mut self.subs {
+                    set.remove(&i);
+                }
+                for slot in &self.entries[i].spec {
+                    for (cnd, _) in slot.pred.terms() {
+                        self.subs[cnd.index()].insert(i);
+                    }
+                }
+            }
+        }
+        (commits, squashes)
     }
 
     /// Whether any buffered entry with the E flag would commit under
     /// `candidate` — the exception-detection signal checked when the CCR is
     /// about to be updated (Section 3.5).
     pub fn has_exception_commit(&self, candidate: &Ccr) -> bool {
+        if self.exc_count == 0 {
+            return false;
+        }
         self.entries.iter().any(|e| {
             e.spec
                 .iter()
@@ -194,16 +302,27 @@ impl PredicatedRegFile {
     }
 
     /// Discards all speculative state (entering recovery, or region exit).
-    pub fn squash_spec(&mut self, cycle: u64, log: &mut EventLog) {
+    /// Returns the number of squashed entries.
+    pub fn squash_spec(&mut self, cycle: u64, log: &mut EventLog) -> u64 {
+        let mut squashes = 0;
         for (i, e) in self.entries.iter_mut().enumerate() {
             if !e.spec.is_empty() {
                 e.spec.clear();
+                squashes += 1;
                 log.push(|| Event::Squash {
                     cycle,
                     loc: StateLoc::Reg(Reg::new(i)),
                 });
             }
         }
+        self.exc_count = 0;
+        if self.scan == CommitScan::Indexed {
+            for set in &mut self.subs {
+                set.clear();
+            }
+            self.pending.clear();
+        }
+        squashes
     }
 
     /// The newest buffered speculative value of `r`, if any, as
@@ -224,6 +343,54 @@ impl PredicatedRegFile {
     pub fn seq_values(&self) -> Vec<i64> {
         self.entries.iter().map(|e| e.seq).collect()
     }
+}
+
+/// Resolves one register's buffered slots against `ccr`, exactly as the
+/// paper's per-entry commit hardware: oldest slot first, commit on true
+/// (copy shadow → sequential), squash on false, keep on unspecified.
+/// Shared by both scan strategies so their behaviour cannot drift.
+fn resolve_entry(
+    e: &mut RegEntry,
+    i: usize,
+    ccr: &Ccr,
+    cycle: u64,
+    log: &mut EventLog,
+    exc_count: &mut usize,
+) -> (u64, u64) {
+    if e.spec.is_empty() {
+        return (0, 0);
+    }
+    let mut commits = 0;
+    let mut squashes = 0;
+    let mut kept = Vec::with_capacity(e.spec.len());
+    for slot in e.spec.drain(..) {
+        match slot.pred.eval(ccr) {
+            Cond::True => {
+                assert!(
+                    !slot.exc,
+                    "outstanding speculative exception on r{i} committed outside \
+                     the detection path"
+                );
+                e.seq = slot.value;
+                commits += 1;
+                log.push(|| Event::Commit {
+                    cycle,
+                    loc: StateLoc::Reg(Reg::new(i)),
+                });
+            }
+            Cond::False => {
+                *exc_count -= slot.exc as usize;
+                squashes += 1;
+                log.push(|| Event::Squash {
+                    cycle,
+                    loc: StateLoc::Reg(Reg::new(i)),
+                });
+            }
+            Cond::Unspecified => kept.push(slot),
+        }
+    }
+    e.spec = kept;
+    (commits, squashes)
 }
 
 #[cfg(test)]
@@ -250,7 +417,7 @@ mod tests {
         let mut ccr = Ccr::new(2);
         ccr.set(CondReg::new(0), true);
         let mut l = log();
-        rf.tick(&ccr, 5, &mut l);
+        assert_eq!(rf.tick(&ccr, 5, &mut l), (1, 0));
         assert_eq!(rf.read_seq(Reg::new(1)), 99);
         assert_eq!(rf.spec_count(), 0);
         assert!(matches!(l.events()[0], Event::Commit { cycle: 5, .. }));
@@ -263,7 +430,7 @@ mod tests {
         rf.write_spec(Reg::new(1), 99, pred(0), false).unwrap();
         let mut ccr = Ccr::new(2);
         ccr.set(CondReg::new(0), false);
-        rf.tick(&ccr, 1, &mut log());
+        assert_eq!(rf.tick(&ccr, 1, &mut log()), (0, 1));
         assert_eq!(rf.read_seq(Reg::new(1)), 10);
         assert_eq!(rf.spec_count(), 0);
     }
@@ -282,6 +449,17 @@ mod tests {
         rf.write_seq(Reg::new(2), 7);
         // No shadow entry: operand fetch falls back (Section 3.5).
         assert_eq!(rf.read_shadow(Reg::new(2), &Predicate::always()), 7);
+    }
+
+    #[test]
+    fn shadow_read_skips_exception_entries() {
+        // An E-flagged slot carries no usable data: the read must fall back
+        // to the sequential storage, mirroring the store buffer's refusal
+        // to forward E-flagged entries.
+        let mut rf = PredicatedRegFile::new(8, ShadowMode::Single);
+        rf.write_seq(Reg::new(1), 7);
+        rf.write_spec(Reg::new(1), 0, pred(0), true).unwrap();
+        assert_eq!(rf.read_shadow(Reg::new(1), &pred(0)), 7);
     }
 
     #[test]
@@ -355,9 +533,13 @@ mod tests {
         rf.write_spec(Reg::new(1), 1, pred(0), false).unwrap();
         rf.write_spec(Reg::new(2), 2, pred(1), true).unwrap();
         let mut l = log();
-        rf.squash_spec(9, &mut l);
+        assert_eq!(rf.squash_spec(9, &mut l), 2);
         assert_eq!(rf.spec_count(), 0);
         assert_eq!(l.events().len(), 2);
+        // The exception count was reset with the state.
+        let mut ccr = Ccr::new(2);
+        ccr.set(CondReg::new(1), true);
+        assert!(!rf.has_exception_commit(&ccr));
     }
 
     #[test]
@@ -368,5 +550,48 @@ mod tests {
         assert_eq!(rf.read_seq(Reg::ZERO), 0);
         assert_eq!(rf.read_shadow(Reg::ZERO, &Predicate::always()), 0);
         assert_eq!(rf.spec_count(), 0);
+    }
+
+    #[test]
+    fn indexed_scan_skips_idle_cycles_but_matches_naive() {
+        // Same stimulus against both strategies; the logs must be identical.
+        let stimulus = |rf: &mut PredicatedRegFile, l: &mut EventLog| {
+            rf.write_spec(Reg::new(1), 11, pred(0), false).unwrap();
+            rf.write_spec(Reg::new(2), 22, pred(1), false).unwrap();
+            let mut ccr = Ccr::new(4);
+            rf.tick(&ccr, 1, l); // nothing specified: both held
+            rf.tick(&ccr, 2, l); // idle cycle: indexed does no work
+            ccr.set(CondReg::new(0), true);
+            rf.tick(&ccr, 3, l); // r1 commits
+            ccr.set(CondReg::new(1), false);
+            rf.tick(&ccr, 4, l); // r2 squashes
+        };
+        let mut naive = PredicatedRegFile::new(8, ShadowMode::Single);
+        let mut ln = log();
+        stimulus(&mut naive, &mut ln);
+        let mut indexed =
+            PredicatedRegFile::new(8, ShadowMode::Single).with_commit_scan(CommitScan::Indexed);
+        let mut li = log();
+        stimulus(&mut indexed, &mut li);
+        assert_eq!(ln.events(), li.events());
+        assert_eq!(naive.seq_values(), indexed.seq_values());
+    }
+
+    #[test]
+    fn indexed_rewake_on_second_condition() {
+        // A two-condition predicate wakes once per condition change and
+        // resolves only when the last one specifies.
+        let p = pred(0).and_pos(CondReg::new(1));
+        let mut rf =
+            PredicatedRegFile::new(8, ShadowMode::Single).with_commit_scan(CommitScan::Indexed);
+        rf.write_spec(Reg::new(3), 5, p, false).unwrap();
+        let mut ccr = Ccr::new(4);
+        let mut l = log();
+        assert_eq!(rf.tick(&ccr, 1, &mut l), (0, 0));
+        ccr.set(CondReg::new(0), true);
+        assert_eq!(rf.tick(&ccr, 2, &mut l), (0, 0)); // c1 still unspecified
+        ccr.set(CondReg::new(1), true);
+        assert_eq!(rf.tick(&ccr, 3, &mut l), (1, 0));
+        assert_eq!(rf.read_seq(Reg::new(3)), 5);
     }
 }

@@ -5,10 +5,18 @@
 //! W (speculative), V (valid) and E (outstanding exception) flags; per-entry
 //! hardware evaluates the predicate every cycle.  Only a valid,
 //! non-speculative head entry may be written to the D-cache.
+//!
+//! Like the register file, the buffer supports two commit-pass strategies
+//! ([`CommitScan`]): the naive full scan of the paper's per-entry hardware,
+//! and condition-indexed wakeup lists that evaluate only entries subscribed
+//! to a condition that changed since the previous pass.  Entry ids are
+//! contiguous (appends take the next id, removals only pop the head), so a
+//! subscribed id maps to its slot in O(1).
 
+use crate::config::CommitScan;
 use crate::event::{Event, EventLog, StateLoc};
-use psb_isa::{Ccr, Cond, Memory, Predicate};
-use std::collections::VecDeque;
+use psb_isa::{Ccr, Cond, Memory, Predicate, MAX_CONDS};
+use std::collections::{BTreeSet, VecDeque};
 
 /// One store-buffer entry.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -36,16 +44,42 @@ pub struct PredicatedStoreBuffer {
     entries: VecDeque<SbEntry>,
     capacity: usize,
     appended: u64,
+    scan: CommitScan,
+    /// CCR snapshot at the end of the previous commit pass (Indexed only).
+    last_ccr: Option<Ccr>,
+    /// Per-condition wakeup lists: ids of speculative entries whose
+    /// predicate mentions that condition (Indexed only).
+    subs: Vec<BTreeSet<u64>>,
+    /// Entry ids to evaluate at the next pass: appended since the last
+    /// pass, or woken by a condition change.
+    pending: BTreeSet<u64>,
+    /// Valid speculative entries with the E flag set.
+    exc_count: usize,
 }
 
 impl PredicatedStoreBuffer {
-    /// Creates a buffer with room for `capacity` entries.
+    /// Creates a buffer with room for `capacity` entries, using the
+    /// [`CommitScan::Naive`] reference strategy.
     pub fn new(capacity: usize) -> PredicatedStoreBuffer {
         PredicatedStoreBuffer {
             entries: VecDeque::with_capacity(capacity),
             capacity,
             appended: 0,
+            scan: CommitScan::Naive,
+            last_ccr: None,
+            subs: vec![BTreeSet::new(); MAX_CONDS],
+            pending: BTreeSet::new(),
+            exc_count: 0,
         }
+    }
+
+    /// Selects the commit-pass strategy.  Must be called before any append
+    /// (the machine sets it at construction).
+    #[must_use]
+    pub fn with_commit_scan(mut self, scan: CommitScan) -> PredicatedStoreBuffer {
+        assert!(self.entries.is_empty(), "cannot switch scan mid-flight");
+        self.scan = scan;
+        self
     }
 
     /// Current occupancy (squashed entries occupy space until they reach
@@ -62,6 +96,17 @@ impl PredicatedStoreBuffer {
     /// Whether appending `n` more entries would overflow.
     pub fn would_overflow(&self, n: usize) -> bool {
         self.entries.len() + n > self.capacity
+    }
+
+    /// The buffer slot currently holding `id`, exploiting id contiguity.
+    #[inline]
+    fn slot_of(&self, id: u64) -> Option<usize> {
+        let front = self.entries.front()?.id;
+        if id < front {
+            return None;
+        }
+        let idx = (id - front) as usize;
+        (idx < self.entries.len()).then_some(idx)
     }
 
     /// Appends a store at the tail.
@@ -100,6 +145,13 @@ impl PredicatedStoreBuffer {
             id,
         });
         if spec {
+            self.exc_count += exc as usize;
+            if self.scan == CommitScan::Indexed {
+                for (c, _) in pred.terms() {
+                    self.subs[c.index()].insert(id);
+                }
+                self.pending.insert(id);
+            }
             log.push(|| Event::SpecWrite {
                 cycle,
                 loc: StateLoc::Sb(id),
@@ -114,46 +166,77 @@ impl PredicatedStoreBuffer {
         }
     }
 
-    /// The per-cycle commit hardware: evaluates each speculative entry's
-    /// predicate, committing (clear W) on true and squashing (clear V) on
-    /// false.
+    /// The per-cycle commit hardware: evaluates speculative entries'
+    /// predicates, committing (clear W) on true and squashing (clear V) on
+    /// false.  Returns `(commits, squashes)`.
+    ///
+    /// Under [`CommitScan::Naive`] every speculative entry is evaluated;
+    /// under [`CommitScan::Indexed`] only entries woken by a condition
+    /// change (or appended since the previous pass) are — with identical
+    /// outcomes and event order.
     ///
     /// # Panics
     ///
     /// Panics if an entry with the E flag commits — detection must happen
     /// at CCR-update time via
     /// [`PredicatedStoreBuffer::has_exception_commit`].
-    pub fn tick(&mut self, ccr: &Ccr, cycle: u64, log: &mut EventLog) {
-        for e in &mut self.entries {
-            if !e.valid || !e.spec {
-                continue;
+    pub fn tick(&mut self, ccr: &Ccr, cycle: u64, log: &mut EventLog) -> (u64, u64) {
+        match self.scan {
+            CommitScan::Naive => {
+                let mut commits = 0;
+                let mut squashes = 0;
+                for e in &mut self.entries {
+                    let (c, s) = resolve_entry(e, ccr, cycle, log, &mut self.exc_count);
+                    commits += c;
+                    squashes += s;
+                }
+                (commits, squashes)
             }
-            match e.pred.eval(ccr) {
-                Cond::True => {
-                    assert!(
-                        !e.exc,
-                        "outstanding speculative exception in store buffer committed \
-                         outside the detection path"
-                    );
-                    e.spec = false;
-                    e.pred = Predicate::always();
-                    let id = e.id;
-                    log.push(|| Event::Commit {
-                        cycle,
-                        loc: StateLoc::Sb(id),
-                    });
+            CommitScan::Indexed => self.tick_indexed(ccr, cycle, log),
+        }
+    }
+
+    fn tick_indexed(&mut self, ccr: &Ccr, cycle: u64, log: &mut EventLog) -> (u64, u64) {
+        match &self.last_ccr {
+            Some(prev) if prev.len() == ccr.len() => {
+                for (c, v) in ccr.iter() {
+                    if prev.get(c) != v && !self.subs[c.index()].is_empty() {
+                        let woken: Vec<u64> = self.subs[c.index()].iter().copied().collect();
+                        self.pending.extend(woken);
+                    }
                 }
-                Cond::False => {
-                    e.valid = false;
-                    let id = e.id;
-                    log.push(|| Event::Squash {
-                        cycle,
-                        loc: StateLoc::Sb(id),
-                    });
+            }
+            _ => {
+                for e in &self.entries {
+                    if e.valid && e.spec {
+                        self.pending.insert(e.id);
+                    }
                 }
-                Cond::Unspecified => {}
             }
         }
+        self.last_ccr = Some(ccr.clone());
+
+        let mut commits = 0;
+        let mut squashes = 0;
+        // Ascending id order is FIFO order, reproducing the naive scan's
+        // event order.
+        let pending = std::mem::take(&mut self.pending);
+        for id in pending {
+            let Some(idx) = self.slot_of(id) else {
+                continue;
+            };
+            let e = &mut self.entries[idx];
+            let before = e.pred;
+            let (c, s) = resolve_entry(e, ccr, cycle, log, &mut self.exc_count);
+            commits += c;
+            squashes += s;
+            if c > 0 || s > 0 {
+                for (cnd, _) in before.terms() {
+                    self.subs[cnd.index()].remove(&id);
+                }
+            }
+        }
+        (commits, squashes)
     }
 
     /// Retires up to `budget` valid non-speculative head entries to the
@@ -185,6 +268,7 @@ impl PredicatedStoreBuffer {
 
     /// Store-to-load forwarding: the newest valid entry matching `addr`
     /// whose predicate is not disjoint with the reading load's predicate.
+    /// E-flagged entries are never forwarded (they carry a fault, not data).
     pub fn forward(&self, addr: i64, reader_pred: &Predicate) -> Option<i64> {
         self.entries
             .iter()
@@ -195,17 +279,22 @@ impl PredicatedStoreBuffer {
 
     /// Whether any valid E-flagged entry would commit under `candidate`.
     pub fn has_exception_commit(&self, candidate: &Ccr) -> bool {
+        if self.exc_count == 0 {
+            return false;
+        }
         self.entries
             .iter()
             .any(|e| e.valid && e.spec && e.exc && e.pred.eval(candidate) == Cond::True)
     }
 
     /// Squashes all valid speculative entries (recovery entry, region
-    /// exit).
-    pub fn squash_spec(&mut self, cycle: u64, log: &mut EventLog) {
+    /// exit).  Returns the number of squashed entries.
+    pub fn squash_spec(&mut self, cycle: u64, log: &mut EventLog) -> u64 {
+        let mut squashes = 0;
         for e in &mut self.entries {
             if e.valid && e.spec {
                 e.valid = false;
+                squashes += 1;
                 let id = e.id;
                 log.push(|| Event::Squash {
                     cycle,
@@ -213,6 +302,14 @@ impl PredicatedStoreBuffer {
                 });
             }
         }
+        self.exc_count = 0;
+        if self.scan == CommitScan::Indexed {
+            for set in &mut self.subs {
+                set.clear();
+            }
+            self.pending.clear();
+        }
+        squashes
     }
 
     /// Whether all remaining entries are invalid (nothing left to retire
@@ -224,6 +321,49 @@ impl PredicatedStoreBuffer {
     /// The entries, head first (for tests and debugging).
     pub fn entries(&self) -> impl Iterator<Item = &SbEntry> {
         self.entries.iter()
+    }
+}
+
+/// Resolves one entry against `ccr`, exactly as the paper's per-entry
+/// commit hardware.  Shared by both scan strategies so their behaviour
+/// cannot drift.
+fn resolve_entry(
+    e: &mut SbEntry,
+    ccr: &Ccr,
+    cycle: u64,
+    log: &mut EventLog,
+    exc_count: &mut usize,
+) -> (u64, u64) {
+    if !e.valid || !e.spec {
+        return (0, 0);
+    }
+    match e.pred.eval(ccr) {
+        Cond::True => {
+            assert!(
+                !e.exc,
+                "outstanding speculative exception in store buffer committed \
+                 outside the detection path"
+            );
+            e.spec = false;
+            e.pred = Predicate::always();
+            let id = e.id;
+            log.push(|| Event::Commit {
+                cycle,
+                loc: StateLoc::Sb(id),
+            });
+            (1, 0)
+        }
+        Cond::False => {
+            e.valid = false;
+            *exc_count -= e.exc as usize;
+            let id = e.id;
+            log.push(|| Event::Squash {
+                cycle,
+                loc: StateLoc::Sb(id),
+            });
+            (0, 1)
+        }
+        Cond::Unspecified => (0, 0),
     }
 }
 
@@ -268,7 +408,7 @@ mod tests {
 
         let mut ccr = Ccr::new(2);
         ccr.set(CondReg::new(0), true);
-        sb.tick(&ccr, 2, &mut log());
+        assert_eq!(sb.tick(&ccr, 2, &mut log()), (1, 0));
         assert_eq!(sb.retire(&mut m, 2), 2); // committed, both retire in order
         assert_eq!(m.read(4).unwrap(), 11);
         assert_eq!(m.read(5).unwrap(), 22);
@@ -281,7 +421,7 @@ mod tests {
         sb.append(4, 11, pred(0), true, false, 1, &mut log());
         let mut ccr = Ccr::new(2);
         ccr.set(CondReg::new(0), false);
-        sb.tick(&ccr, 2, &mut log());
+        assert_eq!(sb.tick(&ccr, 2, &mut log()), (0, 1));
         assert_eq!(sb.retire(&mut m, 4), 0);
         assert!(sb.is_empty()); // squashed head discarded for free
         assert_eq!(m.read(4).unwrap(), 0);
@@ -312,6 +452,13 @@ mod tests {
     }
 
     #[test]
+    fn forwarding_refuses_exception_entries() {
+        let mut sb = PredicatedStoreBuffer::new(4);
+        sb.append(4, 9, pred(0), true, true, 1, &mut log());
+        assert_eq!(sb.forward(4, &pred(0)), None);
+    }
+
+    #[test]
     fn exception_commit_detection() {
         let mut sb = PredicatedStoreBuffer::new(4);
         sb.append(-3, 0, pred(1), true, true, 1, &mut log());
@@ -335,12 +482,56 @@ mod tests {
         let mut sb = PredicatedStoreBuffer::new(4);
         sb.append(4, 1, Predicate::always(), false, false, 1, &mut log());
         sb.append(5, 2, pred(0), true, false, 1, &mut log());
-        sb.squash_spec(3, &mut log());
+        assert_eq!(sb.squash_spec(3, &mut log()), 1);
         let flags: Vec<bool> = sb.entries().map(|e| e.valid).collect();
         assert_eq!(flags, vec![true, false]);
         assert!(!sb.drained());
         let mut m = mem();
         sb.retire(&mut m, 4);
         assert!(sb.is_empty() && sb.drained());
+    }
+
+    #[test]
+    fn indexed_scan_matches_naive() {
+        let stimulus = |sb: &mut PredicatedStoreBuffer, l: &mut EventLog| {
+            sb.append(4, 1, pred(0), true, false, 1, l);
+            sb.append(5, 2, pred(1), true, false, 1, l);
+            sb.append(6, 3, Predicate::always(), false, false, 1, l);
+            let mut ccr = Ccr::new(4);
+            sb.tick(&ccr, 2, l); // nothing specified
+            sb.tick(&ccr, 3, l); // idle: indexed does no work
+            ccr.set(CondReg::new(0), true);
+            sb.tick(&ccr, 4, l); // sb1 commits
+            ccr.set(CondReg::new(1), false);
+            sb.tick(&ccr, 5, l); // sb2 squashes
+            let mut m = mem();
+            sb.retire(&mut m, 4);
+        };
+        let mut naive = PredicatedStoreBuffer::new(8);
+        let mut ln = log();
+        stimulus(&mut naive, &mut ln);
+        let mut indexed = PredicatedStoreBuffer::new(8).with_commit_scan(CommitScan::Indexed);
+        let mut li = log();
+        stimulus(&mut indexed, &mut li);
+        assert_eq!(ln.events(), li.events());
+        assert!(naive.is_empty() && indexed.is_empty());
+    }
+
+    #[test]
+    fn indexed_survives_retirement_id_shift() {
+        // Retire non-speculative heads between passes so subscribed ids no
+        // longer start at slot 0; the id→slot mapping must stay exact.
+        let mut sb = PredicatedStoreBuffer::new(8).with_commit_scan(CommitScan::Indexed);
+        let mut m = mem();
+        sb.append(4, 1, Predicate::always(), false, false, 1, &mut log());
+        sb.append(5, 2, Predicate::always(), false, false, 1, &mut log());
+        sb.append(6, 3, pred(2), true, false, 1, &mut log());
+        assert_eq!(sb.retire(&mut m, 2), 2);
+        let mut ccr = Ccr::new(4);
+        sb.tick(&ccr, 2, &mut log());
+        ccr.set(CondReg::new(2), true);
+        assert_eq!(sb.tick(&ccr, 3, &mut log()), (1, 0));
+        assert_eq!(sb.retire(&mut m, 1), 1);
+        assert_eq!(m.read(6).unwrap(), 3);
     }
 }

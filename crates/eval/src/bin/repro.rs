@@ -1,15 +1,19 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|all]
-//!       [--size N] [--quick] [--json]
+//! repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|all]
+//!       [--size N] [--quick] [--json] [--jobs N]
 //! ```
+//!
+//! `--jobs N` fans the (workload × config) sweep of each experiment out
+//! over N threads.  Results are deterministic: the output (including
+//! `--json`) is byte-identical for every job count.
 
 use psb_eval::{
     ablation_counter, ablation_shadow, ablation_unroll, code_size, fig6, fig7, fig8, interaction,
-    mix, render_ablation, render_code_size, render_fig8, render_figure, render_interaction,
-    render_mix, render_sensitivity, render_table2, render_table3, sensitivity, summary, table2,
-    table3, EvalParams,
+    measure_metrics, mix, render_ablation, render_code_size, render_fig8, render_figure,
+    render_interaction, render_mix, render_sensitivity, render_table2, render_table3, sensitivity,
+    summary, table2, table3, to_json_pretty, EvalParams,
 };
 
 fn main() {
@@ -48,6 +52,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--eval-seed needs a number"));
             }
+            "--jobs" => {
+                i += 1;
+                params.jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--jobs needs a number >= 1"));
+            }
             w if !w.starts_with('-') => what = w.to_string(),
             other => die(&format!("unknown flag {other}")),
         }
@@ -59,7 +71,7 @@ fn main() {
             "table2" => {
                 let t = table2(&params);
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&t).unwrap());
+                    println!("{}", to_json_pretty(&t));
                 } else {
                     print!("{}", render_table2(&t));
                 }
@@ -67,7 +79,7 @@ fn main() {
             "table3" => {
                 let t = table3(&params);
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&t).unwrap());
+                    println!("{}", to_json_pretty(&t));
                 } else {
                     print!("{}", render_table3(&t));
                 }
@@ -75,7 +87,7 @@ fn main() {
             "fig6" => {
                 let f = fig6(&params);
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&f).unwrap());
+                    println!("{}", to_json_pretty(&f));
                 } else {
                     print!("{}", render_figure("Figure 6 (restricted speculation)", &f));
                 }
@@ -83,7 +95,7 @@ fn main() {
             "fig7" => {
                 let f = fig7(&params);
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&f).unwrap());
+                    println!("{}", to_json_pretty(&f));
                 } else {
                     print!(
                         "{}",
@@ -94,7 +106,7 @@ fn main() {
             "fig8" => {
                 let f = fig8(&params);
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&f).unwrap());
+                    println!("{}", to_json_pretty(&f));
                 } else {
                     print!("{}", render_fig8(&f));
                 }
@@ -102,7 +114,7 @@ fn main() {
             "ablation-shadow" => {
                 let a = ablation_shadow(&params);
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&a).unwrap());
+                    println!("{}", to_json_pretty(&a));
                 } else {
                     print!("{}", render_ablation(&a));
                 }
@@ -110,7 +122,7 @@ fn main() {
             "ablation-counter" => {
                 let a = ablation_counter(&params);
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&a).unwrap());
+                    println!("{}", to_json_pretty(&a));
                 } else {
                     print!("{}", render_ablation(&a));
                 }
@@ -118,7 +130,7 @@ fn main() {
             "interaction" => {
                 let r = interaction(&params);
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                    println!("{}", to_json_pretty(&r));
                 } else {
                     print!("{}", render_interaction(&r));
                 }
@@ -126,7 +138,7 @@ fn main() {
             "summary" => {
                 let f = summary(&params);
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&f).unwrap());
+                    println!("{}", to_json_pretty(&f));
                 } else {
                     print!("{}", render_figure("Summary (all seven models)", &f));
                 }
@@ -134,7 +146,7 @@ fn main() {
             "mix" => {
                 let t = mix(&params);
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&t).unwrap());
+                    println!("{}", to_json_pretty(&t));
                 } else {
                     print!("{}", render_mix(&t));
                 }
@@ -142,7 +154,7 @@ fn main() {
             "sensitivity" => {
                 let t = sensitivity(&params);
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&t).unwrap());
+                    println!("{}", to_json_pretty(&t));
                 } else {
                     print!("{}", render_sensitivity(&t));
                 }
@@ -150,7 +162,7 @@ fn main() {
             "codesize" => {
                 let t = code_size(&params);
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&t).unwrap());
+                    println!("{}", to_json_pretty(&t));
                 } else {
                     let names: Vec<&str> = psb_sched::Model::ALL.iter().map(|m| m.name()).collect();
                     print!("{}", render_code_size(&t, &names));
@@ -159,9 +171,17 @@ fn main() {
             "ablation-unroll" => {
                 let a = ablation_unroll(&params);
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&a).unwrap());
+                    println!("{}", to_json_pretty(&a));
                 } else {
                     print!("{}", render_ablation(&a));
+                }
+            }
+            "metrics" => {
+                let m = measure_metrics(&psb_sched::Model::ALL, &params);
+                if json {
+                    println!("{}", to_json_pretty(&m));
+                } else {
+                    print!("{}", psb_eval::render_metrics(&m));
                 }
             }
             other => die(&format!("unknown experiment {other}")),
@@ -195,8 +215,8 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
-        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|all] \
-         [--size N] [--quick] [--json] [--train-seed S] [--eval-seed S]"
+        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|all] \
+         [--size N] [--quick] [--json] [--jobs N] [--train-seed S] [--eval-seed S]"
     );
     std::process::exit(2);
 }

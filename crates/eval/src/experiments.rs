@@ -1,15 +1,15 @@
 //! The named experiments: one function per table/figure of the paper.
 
+use crate::json::{Json, ToJson};
 use crate::runner::{
-    geometric_mean, run_scalar, run_workload, BenchResult, EvalParams, BENCHMARKS,
+    geometric_mean, parallel_map, run_scalar, run_workload, BenchResult, EvalParams, BENCHMARKS,
 };
 use psb_isa::Resources;
 use psb_scalar::successive_accuracy;
 use psb_sched::Model;
-use serde::Serialize;
 
 /// One row of the Table 2 reproduction.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Table2Row {
     /// Benchmark name.
     pub name: String,
@@ -22,26 +22,34 @@ pub struct Table2Row {
     pub scalar_cycles: u64,
 }
 
+impl ToJson for Table2Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("description", self.description.to_json()),
+            ("static_len", self.static_len.to_json()),
+            ("scalar_cycles", self.scalar_cycles.to_json()),
+        ])
+    }
+}
+
 /// Table 2: the benchmark inventory with scalar baseline cycles.
 pub fn table2(params: &EvalParams) -> Vec<Table2Row> {
-    BENCHMARKS
-        .iter()
-        .map(|name| {
-            let w = psb_workloads::by_name(name, params.eval_seed, params.size).expect("known");
-            let res = run_scalar(&w);
-            Table2Row {
-                name: w.name.to_string(),
-                description: w.description.to_string(),
-                static_len: w.program.static_len(),
-                scalar_cycles: res.cycles,
-            }
-        })
-        .collect()
+    parallel_map(&BENCHMARKS, params.jobs, |name| {
+        let w = psb_workloads::by_name(name, params.eval_seed, params.size).expect("known");
+        let res = run_scalar(&w);
+        Table2Row {
+            name: w.name.to_string(),
+            description: w.description.to_string(),
+            static_len: w.program.static_len(),
+            scalar_cycles: res.cycles,
+        }
+    })
 }
 
 /// One row of the Table 3 reproduction: prediction accuracy for 1..=8
 /// successive branches.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Table3Row {
     /// Benchmark name.
     pub name: String,
@@ -50,29 +58,35 @@ pub struct Table3Row {
     pub accuracy: Vec<f64>,
 }
 
+impl ToJson for Table3Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("accuracy", self.accuracy.to_json()),
+        ])
+    }
+}
+
 /// Table 3: static prediction accuracy of successive branches, with the
 /// prediction trained on the training input and measured on the
 /// evaluation input.
 pub fn table3(params: &EvalParams) -> Vec<Table3Row> {
-    BENCHMARKS
-        .iter()
-        .map(|name| {
-            let train = psb_workloads::by_name(name, params.train_seed, params.size).unwrap();
-            let eval = psb_workloads::by_name(name, params.eval_seed, params.size).unwrap();
-            let profile = run_scalar(&train).edge_profile;
-            let trace = run_scalar(&eval).branch_trace;
-            let accuracy = successive_accuracy(&trace, |b| profile.predict_taken(b), 8);
-            Table3Row {
-                name: name.to_string(),
-                accuracy,
-            }
-        })
-        .collect()
+    parallel_map(&BENCHMARKS, params.jobs, |name| {
+        let train = psb_workloads::by_name(name, params.train_seed, params.size).unwrap();
+        let eval = psb_workloads::by_name(name, params.eval_seed, params.size).unwrap();
+        let profile = run_scalar(&train).edge_profile;
+        let trace = run_scalar(&eval).branch_trace;
+        let accuracy = successive_accuracy(&trace, |b| profile.predict_taken(b), 8);
+        Table3Row {
+            name: name.to_string(),
+            accuracy,
+        }
+    })
 }
 
 /// A figure-style result: per-benchmark speedups for a set of models plus
 /// geometric means.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct FigureResult {
     /// The figure's models, in presentation order.
     pub models: Vec<String>,
@@ -82,11 +96,20 @@ pub struct FigureResult {
     pub geomeans: Vec<f64>,
 }
 
+impl ToJson for FigureResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("models", self.models.to_json()),
+            ("benches", self.benches.to_json()),
+            ("geomeans", self.geomeans.to_json()),
+        ])
+    }
+}
+
 fn figure(models: &[Model], params: &EvalParams) -> FigureResult {
-    let benches: Vec<BenchResult> = BENCHMARKS
-        .iter()
-        .map(|n| run_workload(n, models, params))
-        .collect();
+    let benches: Vec<BenchResult> = parallel_map(&BENCHMARKS, params.jobs, |n| {
+        run_workload(n, models, params)
+    });
     let geomeans = models
         .iter()
         .map(|&m| {
@@ -130,7 +153,7 @@ pub fn fig7(params: &EvalParams) -> FigureResult {
 }
 
 /// One cell of the Figure 8 sweep.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Fig8Cell {
     /// Issue width of the full-issue machine.
     pub width: usize,
@@ -142,45 +165,69 @@ pub struct Fig8Cell {
     pub speedups: Vec<f64>,
 }
 
+impl ToJson for Fig8Cell {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("width", self.width.to_json()),
+            ("depth", self.depth.to_json()),
+            ("geomean", self.geomean.to_json()),
+            ("speedups", self.speedups.to_json()),
+        ])
+    }
+}
+
 /// The Figure 8 sweep result.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Fig8Result {
     /// All cells, ordered by width then depth.
     pub cells: Vec<Fig8Cell>,
+}
+
+impl ToJson for Fig8Result {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("cells", self.cells.to_json())])
+    }
 }
 
 /// Figure 8: full-issue machines (2/4/8-issue, fully duplicated
 /// resources) under speculation depths 1, 2, 4 and 8 conditions, using
 /// the region-predicating model with an 8-entry CCR.
 pub fn fig8(params: &EvalParams) -> Fig8Result {
-    let mut cells = Vec::new();
-    for width in [2usize, 4, 8] {
-        for depth in [1usize, 2, 4, 8] {
-            let p = EvalParams {
-                issue_width: width,
-                resources: Resources::full_issue(width),
-                num_conds: 8,
-                depth,
-                ..params.clone()
-            };
-            let benches: Vec<BenchResult> = BENCHMARKS
+    // The full (width × depth × benchmark) grid as one flat work list, so
+    // the thread pool stays busy across cell boundaries.
+    let points: Vec<(usize, usize, &str)> = [2usize, 4, 8]
+        .iter()
+        .flat_map(|&w| {
+            [1usize, 2, 4, 8]
                 .iter()
-                .map(|n| run_workload(n, &[Model::RegionPred], &p))
-                .collect();
-            let speedups: Vec<f64> = benches.iter().map(|b| b.models[0].speedup).collect();
-            cells.push(Fig8Cell {
-                width,
-                depth,
-                geomean: geometric_mean(&speedups),
-                speedups,
-            });
-        }
-    }
+                .flat_map(move |&d| BENCHMARKS.iter().map(move |&n| (w, d, n)))
+        })
+        .collect();
+    let speedups = parallel_map(&points, params.jobs, |&(width, depth, name)| {
+        let p = EvalParams {
+            issue_width: width,
+            resources: Resources::full_issue(width),
+            num_conds: 8,
+            depth,
+            ..params.clone()
+        };
+        run_workload(name, &[Model::RegionPred], &p).models[0].speedup
+    });
+    let cells = points
+        .chunks(BENCHMARKS.len())
+        .zip(speedups.chunks(BENCHMARKS.len()))
+        .map(|(ps, sp)| Fig8Cell {
+            width: ps[0].0,
+            depth: ps[0].1,
+            geomean: geometric_mean(sp),
+            speedups: sp.to_vec(),
+        })
+        .collect();
     Fig8Result { cells }
 }
 
 /// An A/B ablation result.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct AblationResult {
     /// What is being compared.
     pub label: String,
@@ -194,6 +241,18 @@ pub struct AblationResult {
     pub geomeans: (f64, f64),
 }
 
+impl ToJson for AblationResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", self.label.to_json()),
+            ("benches", self.benches.to_json()),
+            ("base", self.base.to_json()),
+            ("variant", self.variant.to_json()),
+            ("geomeans", self.geomeans.to_json()),
+        ])
+    }
+}
+
 fn ablation(
     label: &str,
     model: Model,
@@ -202,12 +261,13 @@ fn ablation(
 ) -> AblationResult {
     let mut vparams = params.clone();
     variant(&mut vparams);
-    let mut base = Vec::new();
-    let mut var = Vec::new();
-    for n in BENCHMARKS {
-        base.push(run_workload(n, &[model], params).models[0].speedup);
-        var.push(run_workload(n, &[model], &vparams).models[0].speedup);
-    }
+    let pairs = parallel_map(&BENCHMARKS, params.jobs, |n| {
+        (
+            run_workload(n, &[model], params).models[0].speedup,
+            run_workload(n, &[model], &vparams).models[0].speedup,
+        )
+    });
+    let (base, var): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
     AblationResult {
         label: label.to_string(),
         benches: BENCHMARKS.iter().map(|s| s.to_string()).collect(),
@@ -242,7 +302,7 @@ pub fn ablation_counter(params: &EvalParams) -> AblationResult {
 }
 
 /// The scope × hardware interaction (Section 4.1's closing observation).
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct InteractionResult {
     /// Geomean speedup of trace scheduling (trace scope, squash hardware).
     pub trace_squash: f64,
@@ -252,6 +312,17 @@ pub struct InteractionResult {
     pub trace_buffered: f64,
     /// Geomean of region predicating (region scope, buffering hardware).
     pub region_buffered: f64,
+}
+
+impl ToJson for InteractionResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("trace_squash", self.trace_squash.to_json()),
+            ("region_squash", self.region_squash.to_json()),
+            ("trace_buffered", self.trace_buffered.to_json()),
+            ("region_buffered", self.region_buffered.to_json()),
+        ])
+    }
 }
 
 impl InteractionResult {
@@ -279,10 +350,9 @@ impl InteractionResult {
 /// appears when unconstrained motion and buffering are combined.
 pub fn interaction(params: &EvalParams) -> InteractionResult {
     let geo = |model: Model| {
-        let sp: Vec<f64> = BENCHMARKS
-            .iter()
-            .map(|n| run_workload(n, &[model], params).models[0].speedup)
-            .collect();
+        let sp = parallel_map(&BENCHMARKS, params.jobs, |n| {
+            run_workload(n, &[model], params).models[0].speedup
+        });
         geometric_mean(&sp)
     };
     InteractionResult {
@@ -294,7 +364,7 @@ pub fn interaction(params: &EvalParams) -> InteractionResult {
 }
 
 /// One row of the dynamic instruction-mix report.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct MixRow {
     /// Benchmark name.
     pub name: String,
@@ -308,25 +378,34 @@ pub struct MixRow {
     pub jumps: f64,
 }
 
+impl ToJson for MixRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("loads", self.loads.to_json()),
+            ("stores", self.stores.to_json()),
+            ("branches", self.branches.to_json()),
+            ("jumps", self.jumps.to_json()),
+        ])
+    }
+}
+
 /// Dynamic instruction mix of the kernels — the realism check behind the
 /// Table 2 substitution: integer codes of the paper's era run roughly
 /// 15–30% loads, 5–15% stores and 10–20% branches.
 pub fn mix(params: &EvalParams) -> Vec<MixRow> {
-    BENCHMARKS
-        .iter()
-        .map(|name| {
-            let w = psb_workloads::by_name(name, params.eval_seed, params.size).unwrap();
-            let r = run_scalar(&w);
-            let total = r.dyn_instrs.max(1) as f64;
-            MixRow {
-                name: name.to_string(),
-                loads: r.dyn_loads as f64 / total,
-                stores: r.dyn_stores as f64 / total,
-                branches: r.dyn_branches as f64 / total,
-                jumps: r.dyn_jumps as f64 / total,
-            }
-        })
-        .collect()
+    parallel_map(&BENCHMARKS, params.jobs, |name| {
+        let w = psb_workloads::by_name(name, params.eval_seed, params.size).unwrap();
+        let r = run_scalar(&w);
+        let total = r.dyn_instrs.max(1) as f64;
+        MixRow {
+            name: name.to_string(),
+            loads: r.dyn_loads as f64 / total,
+            stores: r.dyn_stores as f64 / total,
+            branches: r.dyn_branches as f64 / total,
+            jumps: r.dyn_jumps as f64 / total,
+        }
+    })
 }
 
 /// The one-table summary: every model's speedup on every benchmark
@@ -336,7 +415,7 @@ pub fn summary(params: &EvalParams) -> FigureResult {
 }
 
 /// One row of the timing-sensitivity sweep.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SensitivityRow {
     /// What was varied (e.g. `jump penalty = 2`).
     pub setting: String,
@@ -344,6 +423,16 @@ pub struct SensitivityRow {
     pub trace_pred: f64,
     /// Region-predicating geomean.
     pub region_pred: f64,
+}
+
+impl ToJson for SensitivityRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("setting", self.setting.to_json()),
+            ("trace_pred", self.trace_pred.to_json()),
+            ("region_pred", self.region_pred.to_json()),
+        ])
+    }
 }
 
 /// Robustness of the headline conclusion to the timing assumptions the
@@ -356,10 +445,9 @@ pub fn sensitivity(params: &EvalParams) -> Vec<SensitivityRow> {
     let mut rows = Vec::new();
     let mut measure = |setting: String, p: &EvalParams| {
         let geo = |model: Model| {
-            let sp: Vec<f64> = BENCHMARKS
-                .iter()
-                .map(|n| run_workload(n, &[model], p).models[0].speedup)
-                .collect();
+            let sp = parallel_map(&BENCHMARKS, params.jobs, |n| {
+                run_workload(n, &[model], p).models[0].speedup
+            });
             geometric_mean(&sp)
         };
         rows.push(SensitivityRow {
@@ -386,7 +474,7 @@ pub fn sensitivity(params: &EvalParams) -> Vec<SensitivityRow> {
 }
 
 /// One row of the code-size report.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct CodeSizeRow {
     /// Benchmark name.
     pub name: String,
@@ -398,42 +486,50 @@ pub struct CodeSizeRow {
     pub expansion: Vec<f64>,
 }
 
+impl ToJson for CodeSizeRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("scalar_ops", self.scalar_ops.to_json()),
+            ("per_model", self.per_model.to_json()),
+            ("expansion", self.expansion.to_json()),
+        ])
+    }
+}
+
 /// Static code size per model — the cost side of the paper's trade-offs:
 /// renaming copies (linear models), condition-sets and duplicated join
 /// blocks (predicated models), and boosting's extra branches.
 pub fn code_size(params: &EvalParams) -> Vec<CodeSizeRow> {
     use psb_scalar::{ScalarConfig, ScalarMachine};
     use psb_sched::{schedule, SchedConfig, ScheduleStats};
-    BENCHMARKS
-        .iter()
-        .map(|name| {
-            let train = psb_workloads::by_name(name, params.train_seed, params.size).unwrap();
-            let eval = psb_workloads::by_name(name, params.eval_seed, params.size).unwrap();
-            let profile = ScalarMachine::new(&train.program, ScalarConfig::default())
-                .run()
-                .unwrap()
-                .edge_profile;
-            let mut per_model = Vec::new();
-            let mut expansion = Vec::new();
-            for model in Model::ALL {
-                let mut cfg = SchedConfig::new(model);
-                cfg.issue_width = params.issue_width;
-                cfg.resources = params.resources;
-                cfg.num_conds = params.num_conds;
-                cfg.depth = params.depth.min(params.num_conds);
-                let v = schedule(&eval.program, &profile, &cfg).unwrap();
-                let s = ScheduleStats::analyze(&v);
-                per_model.push(s.ops);
-                expansion.push(s.expansion_over(&eval.program));
-            }
-            CodeSizeRow {
-                name: name.to_string(),
-                scalar_ops: eval.program.static_len(),
-                per_model,
-                expansion,
-            }
-        })
-        .collect()
+    parallel_map(&BENCHMARKS, params.jobs, |name| {
+        let train = psb_workloads::by_name(name, params.train_seed, params.size).unwrap();
+        let eval = psb_workloads::by_name(name, params.eval_seed, params.size).unwrap();
+        let profile = ScalarMachine::new(&train.program, ScalarConfig::default())
+            .run()
+            .unwrap()
+            .edge_profile;
+        let mut per_model = Vec::new();
+        let mut expansion = Vec::new();
+        for model in Model::ALL {
+            let mut cfg = SchedConfig::new(model);
+            cfg.issue_width = params.issue_width;
+            cfg.resources = params.resources;
+            cfg.num_conds = params.num_conds;
+            cfg.depth = params.depth.min(params.num_conds);
+            let v = schedule(&eval.program, &profile, &cfg).unwrap();
+            let s = ScheduleStats::analyze(&v);
+            per_model.push(s.ops);
+            expansion.push(s.expansion_over(&eval.program));
+        }
+        CodeSizeRow {
+            name: name.to_string(),
+            scalar_ops: eval.program.static_len(),
+            per_model,
+            expansion,
+        }
+    })
 }
 
 /// The paper's closing remark on Figure 8: resources beyond four issue
@@ -455,10 +551,8 @@ pub fn ablation_unroll(params: &EvalParams) -> AblationResult {
         depth: 8,
         ..params.clone()
     };
-    let mut base = Vec::new();
-    let mut variant = Vec::new();
-    for name in BENCHMARKS {
-        base.push(run_workload(name, &[Model::RegionPred], &wide).models[0].speedup);
+    let pairs = parallel_map(&BENCHMARKS, params.jobs, |&name| {
+        let base = run_workload(name, &[Model::RegionPred], &wide).models[0].speedup;
 
         // The unrolled variant: transform both training and evaluation
         // programs before profiling and scheduling.
@@ -495,8 +589,9 @@ pub fn ablation_unroll(params: &EvalParams) -> AblationResult {
         let orig_scalar = ScalarMachine::new(&eval.program, ScalarConfig::default())
             .run()
             .unwrap();
-        variant.push(orig_scalar.cycles as f64 / res.cycles as f64);
-    }
+        (base, orig_scalar.cycles as f64 / res.cycles as f64)
+    });
+    let (base, variant): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
     AblationResult {
         label: "8-issue region-pred: rolled vs 3x-unrolled loops (Fig. 8 remark)".to_string(),
         benches: BENCHMARKS.iter().map(|s| s.to_string()).collect(),

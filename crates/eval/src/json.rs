@@ -1,0 +1,258 @@
+//! Minimal JSON document model and pretty printer.
+//!
+//! The build container has no crates.io access, so the experiment
+//! harness serializes its result structs through this module instead of
+//! `serde_json`.  The printer is deterministic: field order is the
+//! declaration order of each `ToJson` implementation, floats print via
+//! Rust's shortest round-trip formatting, and the layout (2-space
+//! indent) matches `serde_json::to_string_pretty`.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (covers every integer field in the result structs).
+    Int(i64),
+    /// A float, printed with shortest round-trip formatting.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered fields.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(name, value)` pairs, preserving order.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders with 2-space indentation (the `serde_json` pretty layout).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // `{:?}` keeps a trailing `.0` on integral values, so
+                    // the output stays typed as a JSON number with a
+                    // fractional part — and round-trips exactly.
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    // JSON has no NaN/Infinity; serde_json emits null too.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into the [`Json`] document model.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Pretty-prints any [`ToJson`] value (the `serde_json::to_string_pretty`
+/// replacement).
+pub fn to_json_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().pretty()
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_tojson_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_layout_matches_serde_style() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("grep".into())),
+            ("cycles", Json::Int(42)),
+            ("speedup", Json::Float(2.0)),
+            ("tags", Json::Array(vec![Json::Bool(true), Json::Null])),
+            ("empty", Json::Array(vec![])),
+        ]);
+        let expect = "{\n  \"name\": \"grep\",\n  \"cycles\": 42,\n  \"speedup\": 2.0,\n  \"tags\": [\n    true,\n    null\n  ],\n  \"empty\": []\n}";
+        assert_eq!(v.pretty(), expect);
+    }
+
+    #[test]
+    fn floats_round_trip_and_stay_numbers() {
+        assert_eq!(Json::Float(4.0).pretty(), "4.0");
+        assert_eq!(
+            Json::Float(0.30000000000000004).pretty(),
+            "0.30000000000000004"
+        );
+        assert_eq!(Json::Float(f64::NAN).pretty(), "null");
+    }
+
+    #[test]
+    fn strings_escape_controls() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\u{1}".into()).pretty(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let v = [(1u64, 2.5f64), (3, 4.5)];
+        let j: Vec<Json> = v.iter().map(|t| t.to_json()).collect();
+        assert_eq!(Json::Array(j.clone()).pretty(), Json::Array(j).pretty());
+    }
+}

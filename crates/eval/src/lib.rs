@@ -25,16 +25,21 @@
 #![warn(missing_docs)]
 
 mod experiments;
+mod json;
 mod render;
 mod runner;
 
 pub use experiments::{
     ablation_counter, ablation_shadow, ablation_unroll, code_size, fig6, fig7, fig8, interaction,
-    mix, sensitivity, summary, table2, table3, AblationResult, CodeSizeRow, Fig8Cell,
-    Fig8Result, FigureResult, InteractionResult, MixRow, SensitivityRow, Table2Row, Table3Row,
+    mix, sensitivity, summary, table2, table3, AblationResult, CodeSizeRow, Fig8Cell, Fig8Result,
+    FigureResult, InteractionResult, MixRow, SensitivityRow, Table2Row, Table3Row,
 };
+pub use json::{to_json_pretty, Json, ToJson};
 pub use render::{
     render_ablation, render_code_size, render_fig8, render_figure, render_interaction,
-    render_mix, render_sensitivity, render_table1, render_table2, render_table3,
+    render_metrics, render_mix, render_sensitivity, render_table1, render_table2, render_table3,
 };
-pub use runner::{geometric_mean, run_workload, BenchResult, EvalParams, ModelResult, BENCHMARKS};
+pub use runner::{
+    geometric_mean, measure_metrics, parallel_map, run_workload, BenchResult, EvalParams,
+    ModelResult, RunMetrics, BENCHMARKS,
+};

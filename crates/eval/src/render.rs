@@ -4,8 +4,37 @@ use crate::experiments::{
     AblationResult, CodeSizeRow, Fig8Result, FigureResult, InteractionResult, MixRow,
     SensitivityRow, Table2Row, Table3Row,
 };
+use crate::runner::RunMetrics;
 use psb_core::Event;
 use std::fmt::Write;
+
+/// Renders the simulator-throughput metrics.
+pub fn render_metrics(rows: &[RunMetrics]) -> String {
+    let mut s = String::new();
+    writeln!(s, "Simulator throughput (per workload x model run)").unwrap();
+    writeln!(
+        s,
+        "{:<10} {:<12} {:>10} {:>9} {:>9} {:>6} {:>9} {:>12}",
+        "workload", "model", "cycles", "commits", "squashes", "recov", "wall(s)", "cyc/s"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            s,
+            "{:<10} {:<12} {:>10} {:>9} {:>9} {:>6} {:>9.4} {:>12.0}",
+            r.workload,
+            r.model,
+            r.cycles,
+            r.commits,
+            r.squashes,
+            r.recoveries,
+            r.wall_seconds,
+            r.cycles_per_second
+        )
+        .unwrap();
+    }
+    s
+}
 
 /// Renders a machine event log as the paper's Table 1: one row per cycle
 /// with sequential-state writes, speculative-state writes (with their
@@ -238,10 +267,18 @@ pub fn render_interaction(r: &InteractionResult) -> String {
     let mut s = String::new();
     writeln!(s, "Scope x hardware interaction (geomean speedups)").unwrap();
     writeln!(s, "{:<18} {:>12} {:>12}", "", "squashing", "buffering").unwrap();
-    writeln!(s, "{:<18} {:>12.2} {:>12.2}", "trace scope", r.trace_squash, r.trace_buffered)
-        .unwrap();
-    writeln!(s, "{:<18} {:>12.2} {:>12.2}", "region scope", r.region_squash, r.region_buffered)
-        .unwrap();
+    writeln!(
+        s,
+        "{:<18} {:>12.2} {:>12.2}",
+        "trace scope", r.trace_squash, r.trace_buffered
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<18} {:>12.2} {:>12.2}",
+        "region scope", r.region_squash, r.region_buffered
+    )
+    .unwrap();
     let (s_sq, s_buf) = r.scope_gain();
     writeln!(
         s,

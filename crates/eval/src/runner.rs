@@ -6,10 +6,69 @@ use psb_isa::Resources;
 use psb_scalar::{RunResult, ScalarConfig, ScalarMachine};
 use psb_sched::{schedule, Model, SchedConfig};
 use psb_workloads::Workload;
-use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::json::{Json, ToJson};
+
+/// Applies `f` to every item, fanning out over `jobs` worker threads.
+///
+/// Results are returned in input order regardless of which worker produced
+/// them or when, so experiment output is identical for every job count
+/// (`jobs <= 1` doesn't spawn at all).  Workers pull indices from a shared
+/// counter, which balances uneven per-item cost — a worker that finishes a
+/// cheap workload early immediately picks up the next point.
+///
+/// # Panics
+///
+/// A panic on any worker (a golden-model divergence, say) is re-raised on
+/// the caller's thread once the scope joins.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(jobs);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => parts.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    for (i, r) in parts.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index claimed exactly once"))
+        .collect()
+}
 
 /// Parameters shared by a whole experiment.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct EvalParams {
     /// Seed for the training input (profile generation).
     pub train_seed: u64,
@@ -20,7 +79,6 @@ pub struct EvalParams {
     /// Machine issue width.
     pub issue_width: usize,
     /// Function-unit counts.
-    #[serde(skip)]
     pub resources: Resources,
     /// CCR entries (`K`).
     pub num_conds: usize,
@@ -35,6 +93,10 @@ pub struct EvalParams {
     pub jump_penalty: u64,
     /// Store-buffer capacity.
     pub store_buffer: usize,
+    /// Worker threads for experiment sweeps (1 = serial).  Simulator-side
+    /// only: results are deterministic and identical for every value, so
+    /// this field is deliberately excluded from the JSON serialization.
+    pub jobs: usize,
 }
 
 impl Default for EvalParams {
@@ -51,6 +113,7 @@ impl Default for EvalParams {
             ordered_cond_sets: false,
             jump_penalty: 0,
             store_buffer: 16,
+            jobs: 1,
         }
     }
 }
@@ -93,8 +156,25 @@ impl EvalParams {
     }
 }
 
+impl ToJson for EvalParams {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("train_seed", self.train_seed.to_json()),
+            ("eval_seed", self.eval_seed.to_json()),
+            ("size", self.size.to_json()),
+            ("issue_width", self.issue_width.to_json()),
+            ("num_conds", self.num_conds.to_json()),
+            ("depth", self.depth.to_json()),
+            ("infinite_shadow", self.infinite_shadow.to_json()),
+            ("ordered_cond_sets", self.ordered_cond_sets.to_json()),
+            ("jump_penalty", self.jump_penalty.to_json()),
+            ("store_buffer", self.store_buffer.to_json()),
+        ])
+    }
+}
+
 /// Result of one (workload, model) measurement.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ModelResult {
     /// Model name.
     pub model: String,
@@ -110,8 +190,21 @@ pub struct ModelResult {
     pub recoveries: u64,
 }
 
+impl ToJson for ModelResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("model", self.model.to_json()),
+            ("vliw_cycles", self.vliw_cycles.to_json()),
+            ("speedup", self.speedup.to_json()),
+            ("static_ops", self.static_ops.to_json()),
+            ("squashed_ops", self.squashed_ops.to_json()),
+            ("recoveries", self.recoveries.to_json()),
+        ])
+    }
+}
+
 /// Result of one workload across several models.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct BenchResult {
     /// Workload name.
     pub name: String,
@@ -121,6 +214,17 @@ pub struct BenchResult {
     pub scalar_cycles: u64,
     /// Per-model measurements.
     pub models: Vec<ModelResult>,
+}
+
+impl ToJson for BenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("static_len", self.static_len.to_json()),
+            ("scalar_cycles", self.scalar_cycles.to_json()),
+            ("models", self.models.to_json()),
+        ])
+    }
 }
 
 impl BenchResult {
@@ -209,6 +313,86 @@ pub fn run_workload(name: &str, models: &[Model], params: &EvalParams) -> BenchR
 /// The paper's six benchmark names in Table 2 order.
 pub const BENCHMARKS: [&str; 6] = ["compress", "eqntott", "espresso", "grep", "li", "nroff"];
 
+/// Simulator-throughput metrics for one (workload, model) run.
+///
+/// Unlike the experiment results, these include wall-clock timing, so they
+/// vary run to run and are reported by a dedicated `repro metrics`
+/// subcommand rather than mixed into the comparable experiment JSON.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RunMetrics {
+    /// Workload name.
+    pub workload: String,
+    /// Scheduling model.
+    pub model: String,
+    /// Simulated machine cycles.
+    pub cycles: u64,
+    /// Buffered speculative entries committed into sequential state.
+    pub commits: u64,
+    /// Buffered speculative entries squashed.
+    pub squashes: u64,
+    /// Speculative-exception recoveries taken.
+    pub recoveries: u64,
+    /// Wall-clock seconds for the VLIW simulation (schedule + profile
+    /// excluded).
+    pub wall_seconds: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_second: f64,
+}
+
+impl ToJson for RunMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("workload", self.workload.to_json()),
+            ("model", self.model.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("commits", self.commits.to_json()),
+            ("squashes", self.squashes.to_json()),
+            ("recoveries", self.recoveries.to_json()),
+            ("wall_seconds", self.wall_seconds.to_json()),
+            ("cycles_per_second", self.cycles_per_second.to_json()),
+        ])
+    }
+}
+
+/// Times the VLIW simulation of every (benchmark × model) point and
+/// reports per-run [`RunMetrics`], fanned out over `params.jobs` threads.
+pub fn measure_metrics(models: &[Model], params: &EvalParams) -> Vec<RunMetrics> {
+    let points: Vec<(&str, Model)> = BENCHMARKS
+        .iter()
+        .flat_map(|&n| models.iter().map(move |&m| (n, m)))
+        .collect();
+    parallel_map(&points, params.jobs, |&(name, model)| {
+        let train = psb_workloads::by_name(name, params.train_seed, params.size)
+            .unwrap_or_else(|| panic!("unknown workload {name}"));
+        let eval = psb_workloads::by_name(name, params.eval_seed, params.size)
+            .unwrap_or_else(|| panic!("unknown workload {name}"));
+        let scalar = run_scalar(&eval);
+        let profile = run_scalar(&train).edge_profile;
+        let cfg = params.sched_config(model);
+        let vliw = schedule(&eval.program, &profile, &cfg)
+            .unwrap_or_else(|e| panic!("{name}/{model}: scheduling failed: {e}"));
+        let start = std::time::Instant::now();
+        let res = VliwMachine::run_program(&vliw, params.machine_config())
+            .unwrap_or_else(|e| panic!("{name}/{model}: machine error: {e}"));
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(
+            res.observable(&eval.program.live_out),
+            scalar.observable(&eval.program.live_out),
+            "{name}/{model}: diverged from the scalar golden model"
+        );
+        RunMetrics {
+            workload: name.to_string(),
+            model: model.name().to_string(),
+            cycles: res.cycles,
+            commits: res.commits,
+            squashes: res.squashes,
+            recoveries: res.recoveries,
+            wall_seconds: wall,
+            cycles_per_second: res.cycles as f64 / wall.max(1e-9),
+        }
+    })
+}
+
 /// Geometric mean of a slice (1.0 for an empty slice).
 pub fn geometric_mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -220,6 +404,28 @@ pub fn geometric_mean(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = parallel_map(&items, 1, |&x| x * x);
+        for jobs in [2, 3, 8, 200] {
+            assert_eq!(parallel_map(&items, jobs, |&x| x * x), serial);
+        }
+        assert_eq!(parallel_map(&[] as &[u64], 4, |&x| x), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn parallel_map_propagates_worker_panics() {
+        let items: Vec<u64> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, 4, |&x| {
+                assert!(x != 7, "boom at {x}");
+                x
+            })
+        });
+        assert!(caught.is_err());
+    }
 
     #[test]
     fn geomean_basics() {

@@ -37,7 +37,7 @@ fn rand_alu(rng: &mut StdRng) -> AluOp {
         AluOp::Mul,
         AluOp::Sra,
     ]
-    .get(rng.gen_range(0..8))
+    .get(rng.gen_range(0usize..8))
     .unwrap()
 }
 
@@ -50,7 +50,7 @@ fn rand_cmp(rng: &mut StdRng) -> CmpOp {
         CmpOp::Gt,
         CmpOp::Ge,
     ]
-    .get(rng.gen_range(0..6))
+    .get(rng.gen_range(0usize..6))
     .unwrap()
 }
 
@@ -162,7 +162,7 @@ fn gen_program(seed: u64) -> ScalarProgram {
                 let cur = *blocks.last().unwrap();
                 let body = pb.new_block();
                 let next = pb.new_block();
-                let n = rng.gen_range(2..=6);
+                let n: i64 = rng.gen_range(2..=6);
                 pb.block_mut(cur).copy(r(LOOP_REG), 0).jump(body);
                 let mut bb = pb.block_mut(body);
                 let count = rng.gen_range(1..=4);

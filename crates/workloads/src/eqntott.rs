@@ -38,15 +38,15 @@ pub fn eqntott_like_sized(seed: u64, n: usize) -> Workload {
             rng.gen_range(0..TERM_LEN)
         };
         for w in 0..TERM_LEN {
-            let av = rng.gen_range(0..64);
+            let av: i64 = rng.gen_range(0..64);
             let bv = if w < diff_at {
                 av
             } else if w == diff_at {
                 // Force a difference with random direction.
                 if rng.gen_bool(0.5) {
-                    av + rng.gen_range(1..8)
+                    av + rng.gen_range(1i64..8)
                 } else {
-                    (av - rng.gen_range(1..8)).max(-64)
+                    (av - rng.gen_range(1i64..8)).max(-64)
                 }
             } else {
                 rng.gen_range(0..64)

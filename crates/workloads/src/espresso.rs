@@ -29,11 +29,11 @@ pub fn espresso_like_sized(seed: u64, n: usize) -> Workload {
     pb.memory_size(base_out + n + 8);
     for k in 0..n {
         // ~15% of intersections are empty.
-        let av = rng.gen_range(1..4096);
+        let av: i64 = rng.gen_range(1..4096);
         let bv = if rng.gen_bool(0.15) {
             !av & 4095
         } else {
-            rng.gen_range(1..4096) | av
+            rng.gen_range(1i64..4096) | av
         };
         pb.mem_cell(BASE_A + k, av);
         pb.mem_cell(base_b + k, bv);

@@ -1,0 +1,225 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides the surface the workspace's benches use: [`Criterion`] with
+//! `bench_function`/`benchmark_group`/`sample_size`, [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: for each benchmark the routine is
+//! warmed up once, then timed over `sample_size` samples; the median
+//! per-iteration time is printed.  When the binary is invoked with
+//! `--test` (as `cargo test` does for `harness = false` bench targets),
+//! each routine runs exactly once as a smoke test.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Configures the measurement-time budget.  Accepted for upstream
+    /// compatibility; this stub always runs exactly `sample_size` samples.
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size, self.test_mode, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+}
+
+/// A named group of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.parent.sample_size,
+            self.parent.is_test_mode(),
+            &mut f,
+        );
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; call [`Bencher::iter`] with
+/// the routine to measure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Measures `routine`, recording one duration per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        for _ in 0..self.samples.capacity() {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, test_mode: bool, f: &mut F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(if test_mode { 1 } else { sample_size }),
+        iters_per_sample: 1,
+        test_mode,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{id}: ok (test mode, 1 iteration)");
+        return;
+    }
+    let mut per_iter: Vec<u128> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() / b.iters_per_sample as u128)
+        .collect();
+    per_iter.sort_unstable();
+    let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0);
+    let (lo, hi) = (
+        per_iter.first().copied().unwrap_or(0),
+        per_iter.last().copied().unwrap_or(0),
+    );
+    println!(
+        "{id}: median {} (min {}, max {})",
+        fmt_ns(median),
+        fmt_ns(lo),
+        fmt_ns(hi)
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn1, fn2)`
+/// or the long form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count >= 1);
+    }
+
+    #[test]
+    fn group_prefixes_names() {
+        let mut c = Criterion::default().sample_size(1);
+        c.test_mode = true;
+        let mut g = c.benchmark_group("grp");
+        let mut hits = 0u32;
+        g.bench_function("one", |b| b.iter(|| hits += 1));
+        g.finish();
+        assert!(hits >= 1);
+    }
+}
