@@ -3,7 +3,10 @@
 //! delay" match operation), plus simulator throughput on real kernels.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use psb_core::{CommitScan, EventLog, MachineConfig, PredicatedRegFile, ShadowMode, VliwMachine};
+use psb_core::{
+    CommitScan, CountersSink, EventLog, MachineConfig, NullSink, PredicatedRegFile, ShadowMode,
+    VliwMachine,
+};
 use psb_isa::{Ccr, CondReg, Predicate, Reg};
 use psb_scalar::{ScalarConfig, ScalarMachine};
 use psb_sched::{schedule, Model, SchedConfig};
@@ -117,6 +120,47 @@ fn bench_machine(c: &mut Criterion) {
     machine_throughput(c, "li");
 }
 
+/// Guard for the observability tentpole: a `NullSink` machine must cost
+/// the same as the plain one (the sink's `event_enabled`/`sample_enabled`
+/// return constant `false`, so every instrumentation site monomorphizes
+/// away), while the counters sink pays only its sampling cost.
+fn bench_trace_sink_overhead(c: &mut Criterion) {
+    let w = psb_workloads::by_name("li", 3, 512).unwrap();
+    let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
+        .run()
+        .unwrap()
+        .edge_profile;
+    let vliw = schedule(&w.program, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
+    let mut g = c.benchmark_group("trace_sink_li");
+    g.bench_function("baseline", |b| {
+        b.iter(|| {
+            black_box(VliwMachine::run_program(
+                black_box(&vliw),
+                MachineConfig::default(),
+            ))
+        })
+    });
+    g.bench_function("null_sink", |b| {
+        b.iter(|| {
+            black_box(VliwMachine::run_with_sink(
+                black_box(&vliw),
+                MachineConfig::default(),
+                NullSink,
+            ))
+        })
+    });
+    g.bench_function("counters_sink", |b| {
+        b.iter(|| {
+            black_box(VliwMachine::run_with_sink(
+                black_box(&vliw),
+                MachineConfig::default(),
+                CountersSink::new(),
+            ))
+        })
+    });
+    g.finish();
+}
+
 fn bench_scheduler(c: &mut Criterion) {
     let w = psb_workloads::by_name("espresso", 3, 512).unwrap();
     let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
@@ -155,6 +199,7 @@ criterion_group! {
     name = mechanism;
     config = Criterion::default().sample_size(20);
     targets = bench_predicate_eval, bench_regfile_commit, bench_commit_scan,
-        bench_machine_commit_scan, bench_machine, bench_scheduler, bench_scheduler_scaling
+        bench_machine_commit_scan, bench_machine, bench_trace_sink_overhead,
+        bench_scheduler, bench_scheduler_scaling
 }
 criterion_main!(mechanism);

@@ -203,6 +203,25 @@ impl EventLog {
         }
     }
 
+    /// Whether recording is enabled.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an already-constructed event unconditionally (the
+    /// [`TraceSink`](crate::TraceSink) entry point; the enabled check
+    /// happens in the trait's `push`).
+    #[inline]
+    pub(crate) fn push_event(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+
+    /// Takes the recorded events out, leaving the log empty.
+    pub(crate) fn drain_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
     /// The recorded events, in order.
     pub fn events(&self) -> &[Event] {
         &self.events

@@ -58,12 +58,17 @@
 mod config;
 mod event;
 mod machine;
+mod obs;
 mod regfile;
 mod storebuf;
 
 pub use config::{CommitScan, MachineConfig, ShadowMode};
 pub use event::{audit_events, AuditViolation, Event, EventLog, StateLoc};
-pub use machine::{VliwError, VliwMachine, VliwResult};
+pub use machine::{RunStats, VliwError, VliwMachine, VliwResult};
+pub use obs::{
+    CountersSink, CycleSample, Histogram, NullSink, ObsReport, OccupancyStats, RegionProfile,
+    StallKind, TraceSink, WordProfile,
+};
 pub use psb_isa::Resources;
 pub use regfile::{PredicatedRegFile, ShadowConflict};
 pub use storebuf::PredicatedStoreBuffer;

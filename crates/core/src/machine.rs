@@ -25,6 +25,7 @@
 
 use crate::config::MachineConfig;
 use crate::event::{Event, EventLog, StateLoc};
+use crate::obs::{CycleSample, StallKind, TraceSink};
 use crate::regfile::PredicatedRegFile;
 use crate::storebuf::PredicatedStoreBuffer;
 use psb_isa::{
@@ -78,11 +79,12 @@ impl fmt::Display for VliwError {
 
 impl std::error::Error for VliwError {}
 
-/// The result of a completed VLIW run.
-#[derive(Clone, PartialEq, Debug)]
-pub struct VliwResult {
-    /// Total cycles.
-    pub cycles: u64,
+/// The machine's execution counters — the single definition shared by the
+/// private accumulation during a run and the public [`VliwResult`]
+/// (which [`Deref`](std::ops::Deref)s to it).  A new counter added here
+/// appears in both automatically.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RunStats {
     /// Words issued (excluding stall cycles).
     pub words_issued: u64,
     /// Slot operations executed (predicate true or unspecified at issue).
@@ -107,12 +109,30 @@ pub struct VliwResult {
     /// Buffered speculative entries squashed — by a false predicate, a
     /// region exit, recovery entry, or the final drain.
     pub squashes: u64,
+}
+
+/// The result of a completed VLIW run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct VliwResult {
+    /// Total cycles.
+    pub cycles: u64,
+    /// The execution counters.  [`VliwResult`] derefs here, so
+    /// `result.recoveries` and friends read through unchanged.
+    pub stats: RunStats,
     /// Final sequential register values.
     pub regs: Vec<i64>,
     /// Final memory.
     pub memory: Memory,
-    /// The event log (empty unless recording was enabled).
+    /// The event log (empty unless the sink records events).
     pub events: Vec<Event>,
+}
+
+impl std::ops::Deref for VliwResult {
+    type Target = RunStats;
+
+    fn deref(&self) -> &RunStats {
+        &self.stats
+    }
 }
 
 impl VliwResult {
@@ -165,9 +185,15 @@ struct PendingStore {
     exc: bool,
 }
 
-/// The predicating VLIW machine.
+/// The predicating VLIW machine, generic over its [`TraceSink`].
+///
+/// The default sink is the [`EventLog`] (recording only when
+/// [`MachineConfig::record_events`] is set); [`NullSink`](crate::NullSink)
+/// monomorphizes every observability hook away, and
+/// [`CountersSink`](crate::CountersSink) builds a profile without storing
+/// events.
 #[derive(Clone, Debug)]
-pub struct VliwMachine<'p> {
+pub struct VliwMachine<'p, S: TraceSink = EventLog> {
     prog: &'p VliwProgram,
     cfg: MachineConfig,
     regs: PredicatedRegFile,
@@ -181,23 +207,8 @@ pub struct VliwMachine<'p> {
     busy_until: u64,
     inflight: Vec<InFlight>,
     touched_faults: BTreeSet<i64>,
-    log: EventLog,
-    stats: Stats,
-}
-
-#[derive(Clone, Default, Debug)]
-struct Stats {
-    words_issued: u64,
-    ops_executed: u64,
-    ops_squashed: u64,
-    stall_operand: u64,
-    stall_sb_full: u64,
-    stall_busy: u64,
-    recoveries: u64,
-    faults_handled: u64,
-    region_transfers: u64,
-    commits: u64,
-    squashes: u64,
+    sink: S,
+    stats: RunStats,
 }
 
 /// What `issue` decided for the end of the cycle.
@@ -210,14 +221,47 @@ struct CycleOut {
     halt: bool,
 }
 
+/// What `issue` produced: a word's effects, or the reason it stalled.
+enum IssueOutcome {
+    Issued(CycleOut),
+    Stalled(StallKind),
+}
+
 impl<'p> VliwMachine<'p> {
-    /// Creates a machine over `prog`.
+    /// Creates a machine over `prog` with the default [`EventLog`] sink
+    /// (recording iff [`MachineConfig::record_events`]).
     ///
     /// # Errors
     ///
     /// [`VliwError::Malformed`] if the program fails validation or exceeds
     /// the configured issue width or function-unit counts.
     pub fn new(prog: &'p VliwProgram, cfg: MachineConfig) -> Result<VliwMachine<'p>, VliwError> {
+        let sink = EventLog::new(cfg.record_events);
+        VliwMachine::with_sink(prog, cfg, sink)
+    }
+
+    /// Creates a machine and runs the program to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`VliwMachine::run`].
+    pub fn run_program(prog: &VliwProgram, cfg: MachineConfig) -> Result<VliwResult, VliwError> {
+        VliwMachine::new(prog, cfg)?.run()
+    }
+}
+
+impl<'p, S: TraceSink> VliwMachine<'p, S> {
+    /// Creates a machine over `prog` feeding the given [`TraceSink`].
+    ///
+    /// # Errors
+    ///
+    /// [`VliwError::Malformed`] if the program fails validation or exceeds
+    /// the configured issue width or function-unit counts.
+    pub fn with_sink(
+        prog: &'p VliwProgram,
+        cfg: MachineConfig,
+        sink: S,
+    ) -> Result<VliwMachine<'p, S>, VliwError> {
         prog.validate().map_err(VliwError::Malformed)?;
         for (addr, word) in prog.words.iter().enumerate() {
             if word.slots.len() > cfg.issue_width {
@@ -256,20 +300,26 @@ impl<'p> VliwMachine<'p> {
             busy_until: 0,
             inflight: Vec::new(),
             touched_faults: BTreeSet::new(),
-            log: EventLog::new(cfg.record_events),
+            sink,
             cfg,
             prog,
-            stats: Stats::default(),
+            stats: RunStats::default(),
         })
     }
 
-    /// Creates a machine and runs the program to completion.
+    /// Creates a machine over `prog` with `sink` and runs it to
+    /// completion, returning the result together with the sink (so a
+    /// counters sink's report can be read back).
     ///
     /// # Errors
     ///
     /// See [`VliwMachine::run`].
-    pub fn run_program(prog: &VliwProgram, cfg: MachineConfig) -> Result<VliwResult, VliwError> {
-        VliwMachine::new(prog, cfg)?.run()
+    pub fn run_with_sink(
+        prog: &VliwProgram,
+        cfg: MachineConfig,
+        sink: S,
+    ) -> Result<(VliwResult, S), VliwError> {
+        VliwMachine::with_sink(prog, cfg, sink)?.run_into_sink()
     }
 
     fn read_src(&self, s: Src, reader_pred: &Predicate) -> i64 {
@@ -298,7 +348,7 @@ impl<'p> VliwMachine<'p> {
         self.busy_until = self.busy_until.max(self.cycle) + self.cfg.fault_penalty;
         self.stats.faults_handled += 1;
         let cycle = self.cycle;
-        self.log.push(|| Event::FaultHandled { cycle, addr });
+        self.sink.push(|| Event::FaultHandled { cycle, addr });
     }
 
     /// A load's data: store-buffer forwarding first, then the D-cache.
@@ -333,8 +383,8 @@ impl<'p> VliwMachine<'p> {
     /// state, reset the CCR, and record the new RPC.
     fn enter_region(&mut self, target: usize) {
         let cycle = self.cycle;
-        self.stats.squashes += self.regs.squash_spec(cycle, &mut self.log);
-        self.stats.squashes += self.sb.squash_spec(cycle, &mut self.log);
+        self.stats.squashes += self.regs.squash_spec(cycle, &mut self.sink);
+        self.stats.squashes += self.sb.squash_spec(cycle, &mut self.sink);
         // Resolve in-flight writes against the old region's conditions:
         // a specified-true pred will still land sequentially; everything
         // else is dead on this exit path.
@@ -349,7 +399,7 @@ impl<'p> VliwMachine<'p> {
         self.pc = target;
         self.rpc = target;
         self.stats.region_transfers += 1;
-        self.log.push(|| Event::RegionEnter {
+        self.sink.push(|| Event::RegionEnter {
             cycle,
             addr: target,
         });
@@ -371,14 +421,14 @@ impl<'p> VliwMachine<'p> {
                 Cond::True => {
                     assert!(!f.exc, "exception commit missed by the detection scan");
                     self.regs.write_seq(f.dest, f.value);
-                    self.log.push(|| Event::SeqWrite { cycle, reg: f.dest });
+                    self.sink.push(|| Event::SeqWrite { cycle, reg: f.dest });
                 }
                 Cond::False => {}
                 Cond::Unspecified => {
                     self.regs
                         .write_spec(f.dest, f.value, f.pred, f.exc)
                         .map_err(|c| VliwError::ShadowConflict { reg: c.reg, cycle })?;
-                    self.log.push(|| Event::SpecWrite {
+                    self.sink.push(|| Event::SpecWrite {
                         cycle,
                         loc: StateLoc::Reg(f.dest),
                         pred: f.pred,
@@ -395,12 +445,12 @@ impl<'p> VliwMachine<'p> {
         for w in writes {
             if w.nonspec {
                 self.regs.write_seq(w.dest, w.value);
-                self.log.push(|| Event::SeqWrite { cycle, reg: w.dest });
+                self.sink.push(|| Event::SeqWrite { cycle, reg: w.dest });
             } else {
                 self.regs
                     .write_spec(w.dest, w.value, w.pred, w.exc)
                     .map_err(|c| VliwError::ShadowConflict { reg: c.reg, cycle })?;
-                self.log.push(|| Event::SpecWrite {
+                self.sink.push(|| Event::SpecWrite {
                     cycle,
                     loc: StateLoc::Reg(w.dest),
                     pred: w.pred,
@@ -428,7 +478,7 @@ impl<'p> VliwMachine<'p> {
     fn enter_recovery(&mut self, issued_word: usize, candidate: Ccr) {
         let cycle = self.cycle;
         let rpc = self.rpc;
-        self.log.push(|| Event::RecoveryStart {
+        self.sink.push(|| Event::RecoveryStart {
             cycle,
             epc: issued_word,
             rpc,
@@ -452,10 +502,10 @@ impl<'p> VliwMachine<'p> {
                 "true-predicate exception must have been detected earlier"
             );
             self.regs.write_seq(dest, value);
-            self.log.push(|| Event::SeqWrite { cycle, reg: dest });
+            self.sink.push(|| Event::SeqWrite { cycle, reg: dest });
         }
-        self.stats.squashes += self.regs.squash_spec(cycle, &mut self.log);
-        self.stats.squashes += self.sb.squash_spec(cycle, &mut self.log);
+        self.stats.squashes += self.regs.squash_spec(cycle, &mut self.sink);
+        self.stats.squashes += self.sb.squash_spec(cycle, &mut self.sink);
         self.mode = Mode::Recovery {
             epc: issued_word,
             future: candidate,
@@ -465,13 +515,13 @@ impl<'p> VliwMachine<'p> {
         self.stats.recoveries += 1;
     }
 
-    /// Issues the word at PC in normal mode.  Returns `None` if stalled.
-    fn issue_normal(&mut self) -> Result<Option<CycleOut>, VliwError> {
+    /// Issues the word at PC in normal mode, or reports why it stalled.
+    fn issue_normal(&mut self) -> Result<IssueOutcome, VliwError> {
         let word = self.prog.words[self.pc].clone();
         // Stall checks.
         if self.operand_in_flight(&word) {
             self.stats.stall_operand += 1;
-            return Ok(None);
+            return Ok(IssueOutcome::Stalled(StallKind::Operand));
         }
         let mut store_count = 0;
         for slot in &word.slots {
@@ -495,7 +545,7 @@ impl<'p> VliwMachine<'p> {
         }
         if self.sb.would_overflow(store_count) {
             self.stats.stall_sb_full += 1;
-            return Ok(None);
+            return Ok(IssueOutcome::Stalled(StallKind::SbFull));
         }
 
         let mut out = CycleOut::default();
@@ -557,7 +607,7 @@ impl<'p> VliwMachine<'p> {
                         Err(_) => {
                             // Buffer the speculative exception.
                             let cycle = self.cycle;
-                            self.log.push(|| Event::ExcLatched { cycle, addr });
+                            self.sink.push(|| Event::ExcLatched { cycle, addr });
                             (0, true)
                         }
                     };
@@ -595,7 +645,7 @@ impl<'p> VliwMachine<'p> {
                         },
                         Err(_) => {
                             let cycle = self.cycle;
-                            self.log.push(|| Event::ExcLatched { cycle, addr });
+                            self.sink.push(|| Event::ExcLatched { cycle, addr });
                             true
                         }
                     };
@@ -648,18 +698,18 @@ impl<'p> VliwMachine<'p> {
                 }
             }
         }
-        Ok(Some(out))
+        Ok(IssueOutcome::Issued(out))
     }
 
     /// Issues the word at PC in recovery mode (Section 3.5): instructions
     /// whose predicate is specified under the current condition are
     /// squashed; unspecified ones re-execute speculatively, and a re-raised
     /// exception is judged against the *future* condition.
-    fn issue_recovery(&mut self, future: &Ccr) -> Result<Option<CycleOut>, VliwError> {
+    fn issue_recovery(&mut self, future: &Ccr) -> Result<IssueOutcome, VliwError> {
         let word = self.prog.words[self.pc].clone();
         if self.operand_in_flight(&word) {
             self.stats.stall_operand += 1;
-            return Ok(None);
+            return Ok(IssueOutcome::Stalled(StallKind::Operand));
         }
         let mut store_count = 0;
         for slot in &word.slots {
@@ -671,7 +721,7 @@ impl<'p> VliwMachine<'p> {
         }
         if self.sb.would_overflow(store_count) {
             self.stats.stall_sb_full += 1;
-            return Ok(None);
+            return Ok(IssueOutcome::Stalled(StallKind::SbFull));
         }
 
         let mut out = CycleOut::default();
@@ -756,7 +806,7 @@ impl<'p> VliwMachine<'p> {
                             Cond::Unspecified => {
                                 // Re-buffered: still speculative in recovery.
                                 let cycle = self.cycle;
-                                self.log.push(|| Event::ExcLatched { cycle, addr });
+                                self.sink.push(|| Event::ExcLatched { cycle, addr });
                                 (0, true)
                             }
                         },
@@ -797,7 +847,7 @@ impl<'p> VliwMachine<'p> {
                             Cond::False => false,
                             Cond::Unspecified => {
                                 let cycle = self.cycle;
-                                self.log.push(|| Event::ExcLatched { cycle, addr });
+                                self.sink.push(|| Event::ExcLatched { cycle, addr });
                                 true
                             }
                         },
@@ -813,7 +863,33 @@ impl<'p> VliwMachine<'p> {
                 }
             }
         }
-        Ok(Some(out))
+        Ok(IssueOutcome::Issued(out))
+    }
+
+    /// Emits the end-of-cycle [`CycleSample`].  The occupancy reads only
+    /// happen when the sink wants samples, so a non-sampling sink pays
+    /// nothing here.
+    #[inline]
+    fn take_sample(&mut self, pc: usize, stall: Option<StallKind>) {
+        if self.sink.sample_enabled() {
+            let s = CycleSample {
+                cycle: self.cycle,
+                pc,
+                region: self.rpc,
+                shadow_occupancy: self.regs.spec_count(),
+                sb_occupancy: self.sb.len(),
+                unspec_conds: self.ccr.iter().filter(|(_, c)| !c.is_specified()).count(),
+                stall,
+            };
+            self.sink.sample(&s);
+        }
+    }
+
+    /// [`take_sample`](Self::take_sample) plus the clock tick.
+    #[inline]
+    fn end_cycle(&mut self, pc: usize, stall: Option<StallKind>) {
+        self.take_sample(pc, stall);
+        self.cycle += 1;
     }
 
     /// Runs the program to completion.
@@ -824,15 +900,26 @@ impl<'p> VliwMachine<'p> {
     /// [`VliwError::CycleLimit`] past the configured limit;
     /// [`VliwError::ShadowConflict`] on a single-shadow collision;
     /// [`VliwError::Malformed`] on an invariant violation.
-    pub fn run(mut self) -> Result<VliwResult, VliwError> {
+    pub fn run(self) -> Result<VliwResult, VliwError> {
+        self.run_into_sink().map(|(res, _)| res)
+    }
+
+    /// Runs the program to completion, returning the result together with
+    /// the sink so its accumulated state (e.g. a
+    /// [`CountersSink`](crate::CountersSink) report) can be read back.
+    ///
+    /// # Errors
+    ///
+    /// See [`VliwMachine::run`].
+    pub fn run_into_sink(mut self) -> Result<(VliwResult, S), VliwError> {
         loop {
             if self.cycle > self.cfg.max_cycles {
                 return Err(VliwError::CycleLimit(self.cfg.max_cycles));
             }
             // 1. Commit pass.
             let ccr = self.ccr.clone();
-            let (rc, rs) = self.regs.tick(&ccr, self.cycle, &mut self.log);
-            let (sc, ss) = self.sb.tick(&ccr, self.cycle, &mut self.log);
+            let (rc, rs) = self.regs.tick(&ccr, self.cycle, &mut self.sink);
+            let (sc, ss) = self.sb.tick(&ccr, self.cycle, &mut self.sink);
             self.stats.commits += rc + sc;
             self.stats.squashes += rs + ss;
             // 2. Store retire.
@@ -843,44 +930,47 @@ impl<'p> VliwMachine<'p> {
                     self.ccr = future.clone();
                     self.mode = Mode::Normal;
                     let cycle = self.cycle;
-                    self.log.push(|| Event::RecoveryEnd { cycle });
+                    self.sink.push(|| Event::RecoveryEnd { cycle });
                     // Installing the future condition resolves the state
                     // rebuffered during recovery (Section 3.5).  This must
                     // happen *before* the EPC word issues: it re-executes
                     // this same cycle, and a stale shadow committing on the
                     // next cycle's pass would clobber its sequential writes.
                     let ccr = self.ccr.clone();
-                    let (rc, rs) = self.regs.tick(&ccr, self.cycle, &mut self.log);
-                    let (sc, ss) = self.sb.tick(&ccr, self.cycle, &mut self.log);
+                    let (rc, rs) = self.regs.tick(&ccr, self.cycle, &mut self.sink);
+                    let (sc, ss) = self.sb.tick(&ccr, self.cycle, &mut self.sink);
                     self.stats.commits += rc + sc;
                     self.stats.squashes += rs + ss;
                 }
             }
             // 4. Issue.
-            let mut issued: Option<CycleOut> = None;
             let issued_word = self.pc;
-            if self.busy_until >= self.cycle {
+            let outcome = if self.busy_until >= self.cycle {
                 self.stats.stall_busy += 1;
+                IssueOutcome::Stalled(StallKind::Busy)
             } else {
                 if self.pc >= self.prog.words.len() {
                     return Err(VliwError::Malformed(
                         "execution fell off the program end".into(),
                     ));
                 }
-                issued = match self.mode {
+                match self.mode {
                     Mode::Normal => self.issue_normal()?,
                     Mode::Recovery { ref future, .. } => {
                         let future = future.clone();
                         self.issue_recovery(&future)?
                     }
-                };
-            }
+                }
+            };
             // 5. End of cycle: writebacks run unconditionally (loads mature
             // during stalls too); then this word's effects.
             self.writeback_inflight()?;
-            let Some(out) = issued else {
-                self.cycle += 1;
-                continue;
+            let out = match outcome {
+                IssueOutcome::Issued(out) => out,
+                IssueOutcome::Stalled(kind) => {
+                    self.end_cycle(issued_word, Some(kind));
+                    continue;
+                }
             };
             if !out.conds.is_empty() {
                 let mut candidate = self.ccr.clone();
@@ -896,13 +986,13 @@ impl<'p> VliwMachine<'p> {
                     // (writes, stores and control) — it will fully
                     // re-execute at the EPC after recovery.
                     self.enter_recovery(issued_word, candidate);
-                    self.cycle += 1;
+                    self.end_cycle(issued_word, None);
                     continue;
                 }
                 for &(c, v) in &out.conds {
                     self.ccr.set(c, v);
                     let cycle = self.cycle;
-                    self.log.push(|| Event::CondSet {
+                    self.sink.push(|| Event::CondSet {
                         cycle,
                         c,
                         value: Cond::from_bool(v),
@@ -918,10 +1008,13 @@ impl<'p> VliwMachine<'p> {
                     s.spec,
                     s.exc,
                     self.cycle,
-                    &mut self.log,
+                    &mut self.sink,
                 );
             }
             if out.halt {
+                // The halt cycle is sampled before the drain (the drain's
+                // store-retire cycles have no PC to attribute).
+                self.take_sample(issued_word, None);
                 return self.drain();
             }
             if let Some(target) = out.jump {
@@ -937,16 +1030,16 @@ impl<'p> VliwMachine<'p> {
                     self.pc = next;
                 }
             }
-            self.cycle += 1;
+            self.end_cycle(issued_word, None);
         }
     }
 
     /// Halt: close the final region and drain the pipeline and store
     /// buffer, charging one cycle per D-cache write beyond the halt cycle.
-    fn drain(mut self) -> Result<VliwResult, VliwError> {
+    fn drain(mut self) -> Result<(VliwResult, S), VliwError> {
         let cycle = self.cycle;
-        self.stats.squashes += self.regs.squash_spec(cycle, &mut self.log);
-        self.stats.squashes += self.sb.squash_spec(cycle, &mut self.log);
+        self.stats.squashes += self.regs.squash_spec(cycle, &mut self.sink);
+        self.stats.squashes += self.sb.squash_spec(cycle, &mut self.sink);
         // Resolve in-flight writes (same rule as a region exit).
         let ccr = self.ccr.clone();
         let mut landed = Vec::new();
@@ -957,7 +1050,7 @@ impl<'p> VliwMachine<'p> {
         }
         for (dest, value) in landed {
             self.regs.write_seq(dest, value);
-            self.log.push(|| Event::SeqWrite { cycle, reg: dest });
+            self.sink.push(|| Event::SeqWrite { cycle, reg: dest });
         }
         let mut cycles = self.cycle;
         while !self.sb.is_empty() {
@@ -970,24 +1063,17 @@ impl<'p> VliwMachine<'p> {
                 ));
             }
         }
-        let s = self.stats;
-        Ok(VliwResult {
-            cycles,
-            words_issued: s.words_issued,
-            ops_executed: s.ops_executed,
-            ops_squashed: s.ops_squashed,
-            stall_operand: s.stall_operand,
-            stall_sb_full: s.stall_sb_full,
-            stall_busy: s.stall_busy,
-            recoveries: s.recoveries,
-            faults_handled: s.faults_handled,
-            region_transfers: s.region_transfers,
-            commits: s.commits,
-            squashes: s.squashes,
-            regs: self.regs.seq_values(),
-            memory: self.memory,
-            events: self.log.into_events(),
-        })
+        let mut sink = self.sink;
+        Ok((
+            VliwResult {
+                cycles,
+                stats: self.stats,
+                regs: self.regs.seq_values(),
+                memory: self.memory,
+                events: sink.take_events(),
+            },
+            sink,
+        ))
     }
 }
 

@@ -19,7 +19,8 @@
 //! on the same cycles and emit byte-identical event logs.
 
 use crate::config::{CommitScan, ShadowMode};
-use crate::event::{Event, EventLog, StateLoc};
+use crate::event::{Event, StateLoc};
+use crate::obs::TraceSink;
 use psb_isa::{Ccr, Cond, Predicate, Reg, MAX_CONDS};
 use std::collections::BTreeSet;
 
@@ -210,7 +211,7 @@ impl PredicatedRegFile {
     /// exception commits at CCR-update time (`has_exception_commit`) and
     /// enter recovery before this pass runs; reaching one here is a
     /// simulator bug.
-    pub fn tick(&mut self, ccr: &Ccr, cycle: u64, log: &mut EventLog) -> (u64, u64) {
+    pub fn tick(&mut self, ccr: &Ccr, cycle: u64, sink: &mut impl TraceSink) -> (u64, u64) {
         match self.scan {
             CommitScan::Naive => {
                 let mut commits = 0;
@@ -221,7 +222,7 @@ impl PredicatedRegFile {
                         i,
                         ccr,
                         cycle,
-                        log,
+                        sink,
                         &mut self.exc_count,
                     );
                     commits += c;
@@ -229,11 +230,11 @@ impl PredicatedRegFile {
                 }
                 (commits, squashes)
             }
-            CommitScan::Indexed => self.tick_indexed(ccr, cycle, log),
+            CommitScan::Indexed => self.tick_indexed(ccr, cycle, sink),
         }
     }
 
-    fn tick_indexed(&mut self, ccr: &Ccr, cycle: u64, log: &mut EventLog) -> (u64, u64) {
+    fn tick_indexed(&mut self, ccr: &Ccr, cycle: u64, sink: &mut impl TraceSink) -> (u64, u64) {
         // Wake the subscribers of every condition whose value changed since
         // the previous pass.  On the first pass (or a CCR-width change,
         // which never happens within one run) everything wakes.
@@ -266,7 +267,7 @@ impl PredicatedRegFile {
                 i,
                 ccr,
                 cycle,
-                log,
+                sink,
                 &mut self.exc_count,
             );
             commits += c;
@@ -303,13 +304,13 @@ impl PredicatedRegFile {
 
     /// Discards all speculative state (entering recovery, or region exit).
     /// Returns the number of squashed entries.
-    pub fn squash_spec(&mut self, cycle: u64, log: &mut EventLog) -> u64 {
+    pub fn squash_spec(&mut self, cycle: u64, sink: &mut impl TraceSink) -> u64 {
         let mut squashes = 0;
         for (i, e) in self.entries.iter_mut().enumerate() {
             if !e.spec.is_empty() {
                 e.spec.clear();
                 squashes += 1;
-                log.push(|| Event::Squash {
+                sink.push(|| Event::Squash {
                     cycle,
                     loc: StateLoc::Reg(Reg::new(i)),
                 });
@@ -354,7 +355,7 @@ fn resolve_entry(
     i: usize,
     ccr: &Ccr,
     cycle: u64,
-    log: &mut EventLog,
+    sink: &mut impl TraceSink,
     exc_count: &mut usize,
 ) -> (u64, u64) {
     if e.spec.is_empty() {
@@ -373,7 +374,7 @@ fn resolve_entry(
                 );
                 e.seq = slot.value;
                 commits += 1;
-                log.push(|| Event::Commit {
+                sink.push(|| Event::Commit {
                     cycle,
                     loc: StateLoc::Reg(Reg::new(i)),
                 });
@@ -381,7 +382,7 @@ fn resolve_entry(
             Cond::False => {
                 *exc_count -= slot.exc as usize;
                 squashes += 1;
-                log.push(|| Event::Squash {
+                sink.push(|| Event::Squash {
                     cycle,
                     loc: StateLoc::Reg(Reg::new(i)),
                 });
@@ -396,6 +397,7 @@ fn resolve_entry(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::EventLog;
     use psb_isa::CondReg;
 
     fn pred(c: usize) -> Predicate {

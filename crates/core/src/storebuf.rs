@@ -14,7 +14,8 @@
 //! subscribed id maps to its slot in O(1).
 
 use crate::config::CommitScan;
-use crate::event::{Event, EventLog, StateLoc};
+use crate::event::{Event, StateLoc};
+use crate::obs::TraceSink;
 use psb_isa::{Ccr, Cond, Memory, Predicate, MAX_CONDS};
 use std::collections::{BTreeSet, VecDeque};
 
@@ -127,7 +128,7 @@ impl PredicatedStoreBuffer {
         spec: bool,
         exc: bool,
         cycle: u64,
-        log: &mut EventLog,
+        sink: &mut impl TraceSink,
     ) {
         assert!(
             !self.would_overflow(1),
@@ -152,14 +153,14 @@ impl PredicatedStoreBuffer {
                 }
                 self.pending.insert(id);
             }
-            log.push(|| Event::SpecWrite {
+            sink.push(|| Event::SpecWrite {
                 cycle,
                 loc: StateLoc::Sb(id),
                 pred,
                 exc,
             });
         } else {
-            log.push(|| Event::SeqStore {
+            sink.push(|| Event::SeqStore {
                 cycle,
                 loc: StateLoc::Sb(id),
             });
@@ -180,23 +181,23 @@ impl PredicatedStoreBuffer {
     /// Panics if an entry with the E flag commits — detection must happen
     /// at CCR-update time via
     /// [`PredicatedStoreBuffer::has_exception_commit`].
-    pub fn tick(&mut self, ccr: &Ccr, cycle: u64, log: &mut EventLog) -> (u64, u64) {
+    pub fn tick(&mut self, ccr: &Ccr, cycle: u64, sink: &mut impl TraceSink) -> (u64, u64) {
         match self.scan {
             CommitScan::Naive => {
                 let mut commits = 0;
                 let mut squashes = 0;
                 for e in &mut self.entries {
-                    let (c, s) = resolve_entry(e, ccr, cycle, log, &mut self.exc_count);
+                    let (c, s) = resolve_entry(e, ccr, cycle, sink, &mut self.exc_count);
                     commits += c;
                     squashes += s;
                 }
                 (commits, squashes)
             }
-            CommitScan::Indexed => self.tick_indexed(ccr, cycle, log),
+            CommitScan::Indexed => self.tick_indexed(ccr, cycle, sink),
         }
     }
 
-    fn tick_indexed(&mut self, ccr: &Ccr, cycle: u64, log: &mut EventLog) -> (u64, u64) {
+    fn tick_indexed(&mut self, ccr: &Ccr, cycle: u64, sink: &mut impl TraceSink) -> (u64, u64) {
         match &self.last_ccr {
             Some(prev) if prev.len() == ccr.len() => {
                 for (c, v) in ccr.iter() {
@@ -227,7 +228,7 @@ impl PredicatedStoreBuffer {
             };
             let e = &mut self.entries[idx];
             let before = e.pred;
-            let (c, s) = resolve_entry(e, ccr, cycle, log, &mut self.exc_count);
+            let (c, s) = resolve_entry(e, ccr, cycle, sink, &mut self.exc_count);
             commits += c;
             squashes += s;
             if c > 0 || s > 0 {
@@ -289,14 +290,14 @@ impl PredicatedStoreBuffer {
 
     /// Squashes all valid speculative entries (recovery entry, region
     /// exit).  Returns the number of squashed entries.
-    pub fn squash_spec(&mut self, cycle: u64, log: &mut EventLog) -> u64 {
+    pub fn squash_spec(&mut self, cycle: u64, sink: &mut impl TraceSink) -> u64 {
         let mut squashes = 0;
         for e in &mut self.entries {
             if e.valid && e.spec {
                 e.valid = false;
                 squashes += 1;
                 let id = e.id;
-                log.push(|| Event::Squash {
+                sink.push(|| Event::Squash {
                     cycle,
                     loc: StateLoc::Sb(id),
                 });
@@ -331,7 +332,7 @@ fn resolve_entry(
     e: &mut SbEntry,
     ccr: &Ccr,
     cycle: u64,
-    log: &mut EventLog,
+    sink: &mut impl TraceSink,
     exc_count: &mut usize,
 ) -> (u64, u64) {
     if !e.valid || !e.spec {
@@ -347,7 +348,7 @@ fn resolve_entry(
             e.spec = false;
             e.pred = Predicate::always();
             let id = e.id;
-            log.push(|| Event::Commit {
+            sink.push(|| Event::Commit {
                 cycle,
                 loc: StateLoc::Sb(id),
             });
@@ -357,7 +358,7 @@ fn resolve_entry(
             e.valid = false;
             *exc_count -= e.exc as usize;
             let id = e.id;
-            log.push(|| Event::Squash {
+            sink.push(|| Event::Squash {
                 cycle,
                 loc: StateLoc::Sb(id),
             });
@@ -370,6 +371,7 @@ fn resolve_entry(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::EventLog;
     use psb_isa::{CondReg, MemImage};
 
     fn pred(c: usize) -> Predicate {

@@ -1,19 +1,26 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|all]
-//!       [--size N] [--quick] [--json] [--jobs N]
+//! repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|trace|profile|all]
+//!       [--size N] [--quick] [--json] [--jobs N] [--workload W] [--model M] [--out FILE]
 //! ```
 //!
 //! `--jobs N` fans the (workload × config) sweep of each experiment out
 //! over N threads.  Results are deterministic: the output (including
-//! `--json`) is byte-identical for every job count.
+//! `--json`, `trace` and `profile`) is byte-identical for every job count.
+//!
+//! `trace` emits Chrome trace-event JSON (load in Perfetto or
+//! `chrome://tracing`); `profile` reports the hardware-counter profile.
+//! Both accept `--workload`/`--model` to narrow the default
+//! all-benchmarks × region-pred selection, and `--out FILE` to write the
+//! output to a file instead of stdout.
 
 use psb_eval::{
-    ablation_counter, ablation_shadow, ablation_unroll, code_size, fig6, fig7, fig8, interaction,
-    measure_metrics, mix, render_ablation, render_code_size, render_fig8, render_figure,
-    render_interaction, render_mix, render_sensitivity, render_table2, render_table3, sensitivity,
-    summary, table2, table3, to_json_pretty, EvalParams,
+    ablation_counter, ablation_shadow, ablation_unroll, chrome_trace, code_size, collect_profiles,
+    collect_traces, fig6, fig7, fig8, interaction, measure_metrics, mix, obs_points, parse_model,
+    render_ablation, render_code_size, render_fig8, render_figure, render_interaction, render_mix,
+    render_profile, render_sensitivity, render_table2, render_table3, sensitivity, summary, table2,
+    table3, to_json_pretty, EvalParams,
 };
 
 fn main() {
@@ -21,6 +28,9 @@ fn main() {
     let mut what = "all".to_string();
     let mut params = EvalParams::default();
     let mut json = false;
+    let mut workload: Option<String> = None;
+    let mut model: Option<psb_sched::Model> = None;
+    let mut out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -31,6 +41,31 @@ fn main() {
                 }
             }
             "--json" => json = true,
+            "--workload" => {
+                i += 1;
+                let w = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--workload needs a benchmark name"));
+                if !psb_eval::BENCHMARKS.contains(&w.as_str()) {
+                    die(&format!("unknown workload {w}"));
+                }
+                workload = Some(w.clone());
+            }
+            "--model" => {
+                i += 1;
+                let m = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--model needs a model name"));
+                model = Some(parse_model(m).unwrap_or_else(|| die(&format!("unknown model {m}"))));
+            }
+            "--out" => {
+                i += 1;
+                out = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--out needs a file path"))
+                        .clone(),
+                );
+            }
             "--size" => {
                 i += 1;
                 params.size = args
@@ -65,6 +100,13 @@ fn main() {
         }
         i += 1;
     }
+
+    let emit = |text: String| match &out {
+        Some(path) => {
+            std::fs::write(path, text).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")))
+        }
+        None => print!("{text}"),
+    };
 
     let run = |name: &str| {
         match name {
@@ -184,6 +226,26 @@ fn main() {
                     print!("{}", psb_eval::render_metrics(&m));
                 }
             }
+            "trace" => {
+                let points = obs_points(workload.as_deref(), model);
+                if points.is_empty() {
+                    die("no run points selected");
+                }
+                let traces = collect_traces(&points, &params);
+                emit(format!("{}\n", chrome_trace(&traces).pretty()));
+            }
+            "profile" => {
+                let points = obs_points(workload.as_deref(), model);
+                if points.is_empty() {
+                    die("no run points selected");
+                }
+                let profiles = collect_profiles(&points, &params);
+                if json {
+                    emit(format!("{}\n", to_json_pretty(&profiles)));
+                } else {
+                    emit(render_profile(&profiles));
+                }
+            }
             other => die(&format!("unknown experiment {other}")),
         }
         println!();
@@ -215,8 +277,9 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
-        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|all] \
-         [--size N] [--quick] [--json] [--jobs N] [--train-seed S] [--eval-seed S]"
+        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|trace|profile|all] \
+         [--size N] [--quick] [--json] [--jobs N] [--train-seed S] [--eval-seed S] \
+         [--workload W] [--model M] [--out FILE]"
     );
     std::process::exit(2);
 }

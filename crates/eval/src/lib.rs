@@ -28,6 +28,7 @@ mod experiments;
 mod json;
 mod render;
 mod runner;
+mod trace;
 
 pub use experiments::{
     ablation_counter, ablation_shadow, ablation_unroll, code_size, fig6, fig7, fig8, interaction,
@@ -42,4 +43,8 @@ pub use render::{
 pub use runner::{
     geometric_mean, measure_metrics, parallel_map, run_workload, BenchResult, EvalParams,
     ModelResult, RunMetrics, BENCHMARKS,
+};
+pub use trace::{
+    chrome_trace, collect_profiles, collect_traces, obs_points, parse_model, render_profile,
+    ObsPoint, RunProfile, RunTrace,
 };

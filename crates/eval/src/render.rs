@@ -29,7 +29,7 @@ pub fn render_metrics(rows: &[RunMetrics]) -> String {
             r.squashes,
             r.recoveries,
             r.wall_seconds,
-            r.cycles_per_second
+            r.cycles_per_second()
         )
         .unwrap();
     }

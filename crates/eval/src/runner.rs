@@ -127,7 +127,7 @@ impl EvalParams {
         }
     }
 
-    fn sched_config(&self, model: Model) -> SchedConfig {
+    pub(crate) fn sched_config(&self, model: Model) -> SchedConfig {
         SchedConfig {
             model,
             issue_width: self.issue_width,
@@ -140,7 +140,7 @@ impl EvalParams {
         }
     }
 
-    fn machine_config(&self) -> MachineConfig {
+    pub(crate) fn machine_config(&self) -> MachineConfig {
         MachineConfig {
             issue_width: self.issue_width,
             resources: self.resources,
@@ -333,10 +333,18 @@ pub struct RunMetrics {
     /// Speculative-exception recoveries taken.
     pub recoveries: u64,
     /// Wall-clock seconds for the VLIW simulation (schedule + profile
-    /// excluded).
+    /// excluded), rounded to microsecond precision so serialized metrics
+    /// diff cleanly between runs.
     pub wall_seconds: f64,
-    /// Simulated cycles per wall-clock second.
-    pub cycles_per_second: f64,
+}
+
+impl RunMetrics {
+    /// Simulated cycles per wall-clock second — always derived from the
+    /// stored (rounded) `wall_seconds`, never carried as a separate field,
+    /// so the two can't disagree.
+    pub fn cycles_per_second(&self) -> f64 {
+        self.cycles as f64 / self.wall_seconds.max(1e-9)
+    }
 }
 
 impl ToJson for RunMetrics {
@@ -349,7 +357,7 @@ impl ToJson for RunMetrics {
             ("squashes", self.squashes.to_json()),
             ("recoveries", self.recoveries.to_json()),
             ("wall_seconds", self.wall_seconds.to_json()),
-            ("cycles_per_second", self.cycles_per_second.to_json()),
+            ("cycles_per_second", self.cycles_per_second().to_json()),
         ])
     }
 }
@@ -387,8 +395,7 @@ pub fn measure_metrics(models: &[Model], params: &EvalParams) -> Vec<RunMetrics>
             commits: res.commits,
             squashes: res.squashes,
             recoveries: res.recoveries,
-            wall_seconds: wall,
-            cycles_per_second: res.cycles as f64 / wall.max(1e-9),
+            wall_seconds: (wall * 1e6).round() / 1e6,
         }
     })
 }

@@ -1,0 +1,251 @@
+//! End-to-end tests of the `repro trace` / `repro profile` subcommands:
+//! the PR-1 determinism contract (byte-identical output at any `--jobs`
+//! count) and well-formedness of the emitted JSON, checked with a
+//! minimal hand-rolled parser (the container has no serde).
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro spawns")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = repro(args);
+    assert!(
+        out.status.success(),
+        "repro {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+// --- a minimal JSON well-formedness checker ------------------------------
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(c) if c == b => {
+                self.i += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected {:?} at {}, found {other:?}",
+                b as char, self.i
+            )),
+        }
+    }
+
+    fn lit(&mut self, word: &str) -> Result<(), String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at {}", self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(&c) = self.s.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    self.i += 1; // escape target (\uXXXX digits are hex, fine to skip one-by-one)
+                }
+                _ => {}
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        if self.s.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while matches!(self.s.get(self.i), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            Err(format!("bad number at {start}"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.eat(b'{')?;
+                if self.peek() == Some(b'}') {
+                    return self.eat(b'}');
+                }
+                loop {
+                    self.ws();
+                    self.string()?;
+                    self.eat(b':')?;
+                    self.value()?;
+                    match self.peek() {
+                        Some(b',') => self.eat(b',')?,
+                        _ => break,
+                    }
+                }
+                self.eat(b'}')
+            }
+            Some(b'[') => {
+                self.eat(b'[')?;
+                if self.peek() == Some(b']') {
+                    return self.eat(b']');
+                }
+                loop {
+                    self.value()?;
+                    match self.peek() {
+                        Some(b',') => self.eat(b',')?,
+                        _ => break,
+                    }
+                }
+                self.eat(b']')
+            }
+            Some(b'"') => {
+                self.ws();
+                self.string()
+            }
+            Some(b't') => self.lit("true"),
+            Some(b'f') => self.lit("false"),
+            Some(b'n') => self.lit("null"),
+            Some(_) => self.number(),
+            None => Err("unexpected end".into()),
+        }
+    }
+}
+
+/// Asserts `text` is one well-formed JSON document.
+fn assert_json(text: &str) {
+    let mut p = Parser::new(text);
+    p.value()
+        .unwrap_or_else(|e| panic!("invalid JSON: {e}\n{}", &text[..text.len().min(400)]));
+    p.ws();
+    assert_eq!(p.i, p.s.len(), "trailing garbage after JSON document");
+}
+
+// --- the tests -----------------------------------------------------------
+
+#[test]
+fn trace_is_jobs_deterministic_and_well_formed() {
+    let base = &["trace", "--size", "96", "--workload", "grep"];
+    let one = stdout_of(&[base, &["--jobs", "1"][..]].concat());
+    let four = stdout_of(&[base, &["--jobs", "4"][..]].concat());
+    assert_eq!(
+        one, four,
+        "trace output must be byte-identical across --jobs"
+    );
+    // The subcommand prints the document plus the section-separator blank
+    // line; the document itself must be valid JSON with the trace keys.
+    let doc = one.trim_end();
+    assert_json(doc);
+    assert!(doc.contains("\"traceEvents\""));
+    assert!(doc.contains("\"ph\": \"X\""), "expected duration spans");
+    assert!(doc.contains("grep/region-pred"));
+}
+
+#[test]
+fn profile_is_jobs_deterministic_and_well_formed() {
+    let base = &["profile", "--json", "--size", "96"];
+    let one = stdout_of(&[base, &["--jobs", "1"][..]].concat());
+    let four = stdout_of(&[base, &["--jobs", "4"][..]].concat());
+    assert_eq!(
+        one, four,
+        "profile output must be byte-identical across --jobs"
+    );
+    let doc = one.trim_end();
+    assert_json(doc);
+    for key in [
+        "\"shadow_occupancy\"",
+        "\"lifetime\"",
+        "\"stall_runs\"",
+        "\"high_water\"",
+        "\"regions\"",
+    ] {
+        assert!(doc.contains(key), "missing {key}");
+    }
+    // All six benchmarks present by default.
+    for w in ["compress", "eqntott", "espresso", "grep", "li", "nroff"] {
+        assert!(
+            doc.contains(&format!("\"workload\": \"{w}\"")),
+            "missing {w}"
+        );
+    }
+}
+
+#[test]
+fn out_flag_writes_the_file() {
+    let dir = std::env::temp_dir().join("repro_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let args = [
+        "trace",
+        "--size",
+        "96",
+        "--workload",
+        "li",
+        "--model",
+        "trace-pred",
+        "--out",
+        path.to_str().unwrap(),
+    ];
+    let out = repro(&args);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_json(text.trim_end());
+    assert!(text.contains("li/trace-pred"));
+}
+
+#[test]
+fn profile_text_mode_reports_hotspots() {
+    let text = stdout_of(&["profile", "--size", "96", "--workload", "espresso"]);
+    assert!(text.contains("espresso/region-pred:"));
+    assert!(text.contains("occupancy"));
+    assert!(text.contains("lifetime"));
+    assert!(text.contains("hottest regions"));
+}
+
+#[test]
+fn bad_selections_exit_with_usage() {
+    for args in [
+        &["trace", "--workload", "nope"][..],
+        &["profile", "--model", "nonsense"][..],
+        &["trace", "--out"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    }
+}
