@@ -1,0 +1,88 @@
+; Dot product with a conditional saturation step.
+.name dotprod
+.memory 160
+.init r8 32
+.cell 16 -1
+.cell 64 2
+.cell 17 7
+.cell 65 -9
+.cell 18 5
+.cell 66 -2
+.cell 19 -8
+.cell 67 -4
+.cell 20 -6
+.cell 68 2
+.cell 21 6
+.cell 69 -2
+.cell 22 3
+.cell 70 8
+.cell 23 -6
+.cell 71 9
+.cell 24 -2
+.cell 72 -9
+.cell 25 -3
+.cell 73 4
+.cell 26 -1
+.cell 74 -4
+.cell 27 3
+.cell 75 -4
+.cell 28 -7
+.cell 76 -5
+.cell 29 5
+.cell 77 -5
+.cell 30 -5
+.cell 78 -9
+.cell 31 -9
+.cell 79 -3
+.cell 32 -3
+.cell 80 -4
+.cell 33 -4
+.cell 81 0
+.cell 34 1
+.cell 82 -3
+.cell 35 8
+.cell 83 -3
+.cell 36 -4
+.cell 84 -3
+.cell 37 3
+.cell 85 0
+.cell 38 -9
+.cell 86 2
+.cell 39 4
+.cell 87 -4
+.cell 40 -5
+.cell 88 -1
+.cell 41 -7
+.cell 89 1
+.cell 42 0
+.cell 90 9
+.cell 43 -9
+.cell 91 1
+.cell 44 -7
+.cell 92 0
+.cell 45 2
+.cell 93 0
+.cell 46 6
+.cell 94 1
+.cell 47 -4
+.cell 95 6
+.liveout r2
+
+entry:
+    r1 = 0
+    r2 = 0
+    j loop
+loop:
+    r3 = load(r1+16) !1
+    r4 = load(r1+64) !2
+    r5 = r3 * r4
+    r2 = r2 + r5
+    br (r2 > 10000) sat else next
+sat:
+    r2 = 10000
+    j next
+next:
+    r1 = r1 + 1
+    br (r1 < r8) loop else done
+done:
+    halt

@@ -1,0 +1,21 @@
+; Euclid's algorithm by repeated subtraction (branch-heavy, no memory).
+.name gcd
+.memory 16
+.init r1 10044
+.init r2 3108
+.liveout r1
+
+loop:
+    br (r2 == 0) done else body
+body:
+    br (r1 < r2) swap else sub
+swap:
+    r3 = r1
+    r1 = r2
+    r2 = r3
+    j loop
+sub:
+    r1 = r1 - r2
+    j loop
+done:
+    halt

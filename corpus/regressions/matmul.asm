@@ -1,0 +1,123 @@
+; 6x6 integer matrix multiply: C = A * B, then a checksum of C.
+; A at 16, B at 52, C at 88 (row-major, 36 words each).
+.name matmul
+.memory 160
+.init r10 6
+.liveout r7
+.cell 16 2
+.cell 17 4
+.cell 18 0
+.cell 19 -1
+.cell 20 -3
+.cell 21 -3
+.cell 22 5
+.cell 23 -5
+.cell 24 0
+.cell 25 3
+.cell 26 2
+.cell 27 4
+.cell 28 -4
+.cell 29 0
+.cell 30 3
+.cell 31 4
+.cell 32 -5
+.cell 33 1
+.cell 34 -3
+.cell 35 2
+.cell 36 1
+.cell 37 -3
+.cell 38 -3
+.cell 39 -2
+.cell 40 -5
+.cell 41 -4
+.cell 42 -3
+.cell 43 3
+.cell 44 4
+.cell 45 -4
+.cell 46 1
+.cell 47 -4
+.cell 48 -1
+.cell 49 -2
+.cell 50 5
+.cell 51 -2
+.cell 52 1
+.cell 53 -4
+.cell 54 -1
+.cell 55 -2
+.cell 56 1
+.cell 57 -1
+.cell 58 0
+.cell 59 -5
+.cell 60 -2
+.cell 61 -5
+.cell 62 1
+.cell 63 -5
+.cell 64 1
+.cell 65 2
+.cell 66 -3
+.cell 67 -5
+.cell 68 -2
+.cell 69 1
+.cell 70 -4
+.cell 71 4
+.cell 72 -5
+.cell 73 -4
+.cell 74 4
+.cell 75 -2
+.cell 76 -2
+.cell 77 0
+.cell 78 -5
+.cell 79 -4
+.cell 80 -3
+.cell 81 3
+.cell 82 -5
+.cell 83 3
+.cell 84 -4
+.cell 85 4
+.cell 86 2
+.cell 87 3
+
+entry:
+    r1 = 0
+    j iloop
+iloop:
+    r2 = 0
+    j jloop
+jloop:
+    r3 = 0
+    r4 = 0
+    j kloop
+kloop:
+    ; a = A[i*6+k], b = B[k*6+j]
+    r5 = r1 * 6
+    r5 = r5 + r3
+    r5 = load(r5+16) !1
+    r6 = r3 * 6
+    r6 = r6 + r2
+    r6 = load(r6+52) !2
+    r5 = r5 * r6
+    r4 = r4 + r5
+    r3 = r3 + 1
+    br (r3 < r10) kloop else storec
+storec:
+    r5 = r1 * 6
+    r5 = r5 + r2
+    store(r5+88) = r4 !3
+    r2 = r2 + 1
+    br (r2 < r10) jloop else inext
+inext:
+    r1 = r1 + 1
+    br (r1 < r10) iloop else sum
+sum:
+    r1 = 0
+    r7 = 0
+    j sumloop
+sumloop:
+    r5 = load(r1+88) !3
+    r6 = r1 + 1
+    r5 = r5 * r6
+    r7 = r7 + r5
+    r1 = r1 + 1
+    br (r1 < 36) sumloop else done
+done:
+    halt

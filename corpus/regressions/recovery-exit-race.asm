@@ -1,0 +1,20 @@
+; Minimal recovery-exit stress (shrunk by psb-fuzz from a 60-instruction
+; case).  The two constant branches open a speculative region; the masked
+; load below them is hoisted above both by the speculating models, hits
+; the fault-once address, and buffers an E-flagged shadow.  When the
+; branch conditions commit, the machine runs one recovery episode whose
+; exit races the EPC word -- the exact window of the late-commit bug
+; pinned by `deferred_exit_commit_reproduces_stale_clobber`.
+.name recovery-exit-race
+.memory 128
+.init r8 27
+.liveout r2 r11
+.entry b0
+b0:
+    br (0 > 0) b1 else b1
+b1:
+    br (0 == 0) b2 else b2
+b2:
+    r11 = r8 & 31
+    r2 = load(r11+16) !1
+    halt

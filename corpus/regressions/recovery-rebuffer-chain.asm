@@ -1,0 +1,24 @@
+; Recovery stress with a dependent chain across a data-dependent branch
+; (shrunk by psb-fuzz, then hand-polished).  The first load faults once
+; and feeds the branch condition; on the fall-through path a second
+; masked load depends on fresh address arithmetic.  Speculating models
+; hoist both loads, so the committed exception forces a recovery whose
+; re-execution must regenerate r11 before the second load re-issues.
+.name recovery-rebuffer-chain
+.memory 128
+.init r4 -46
+.liveout r7 r8 r11
+.entry b0
+b0:
+    j b1
+b1:
+    r8 = load(0+16) !1
+    j b2
+b2:
+    br (r8 < r7) b4 else b3
+b3:
+    r11 = r4 & 3
+    r7 = load(r11+16) !1
+    halt
+b4:
+    halt

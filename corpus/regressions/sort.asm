@@ -1,0 +1,65 @@
+; Bubble sort of 24 words: nested loops, data-dependent swap branch.
+.name sort
+.memory 64
+.init r8 24
+.liveout r7
+.cell 16 9
+.cell 17 -3
+.cell 18 44
+.cell 19 7
+.cell 20 -12
+.cell 21 0
+.cell 22 25
+.cell 23 -8
+.cell 24 3
+.cell 25 18
+.cell 26 -1
+.cell 27 30
+.cell 28 6
+.cell 29 -20
+.cell 30 11
+.cell 31 2
+.cell 32 40
+.cell 33 -5
+.cell 34 13
+.cell 35 21
+.cell 36 -9
+.cell 37 5
+.cell 38 28
+.cell 39 -15
+
+entry:
+    r1 = 0
+    j outer
+outer:
+    r2 = 0
+    r9 = r8 - r1
+    r9 = r9 - 1
+    j inner
+inner:
+    r3 = load(r2+16) !1
+    r4 = load(r2+17) !1
+    br (r3 > r4) swap else step
+swap:
+    store(r2+16) = r4 !1
+    store(r2+17) = r3 !1
+    j step
+step:
+    r2 = r2 + 1
+    br (r2 < r9) inner else next
+next:
+    r1 = r1 + 1
+    br (r1 < r8) outer else sum
+sum:
+    ; checksum: r7 = sum of i * a[i]
+    r2 = 0
+    r7 = 0
+    j sumloop
+sumloop:
+    r3 = load(r2+16) !1
+    r4 = r2 * r3
+    r7 = r7 + r4
+    r2 = r2 + 1
+    br (r2 < r8) sumloop else done
+done:
+    halt

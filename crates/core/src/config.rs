@@ -68,6 +68,14 @@ pub struct MachineConfig {
     pub record_events: bool,
     /// Commit-pass strategy (simulator-only knob; no architectural effect).
     pub commit_scan: CommitScan,
+    /// **Test-only fault injection**: defer the recovery-exit commit pass to
+    /// the next cycle's regular pass instead of running it before the EPC
+    /// word issues.  This reintroduces the stale-shadow clobber the seed
+    /// suite shipped with (a shadow waking on the future condition one cycle
+    /// late overwrites the EPC word's sequential writes) and exists solely
+    /// so the fuzzer's self-test can prove it catches and shrinks that bug.
+    /// Must stay `false` everywhere else.
+    pub defer_recovery_exit_commit: bool,
 }
 
 impl Default for MachineConfig {
@@ -86,6 +94,7 @@ impl Default for MachineConfig {
             max_cycles: 200_000_000,
             record_events: false,
             commit_scan: CommitScan::Indexed,
+            defer_recovery_exit_commit: false,
         }
     }
 }

@@ -1,0 +1,555 @@
+//! Online invariant checking over the machine event stream.
+//!
+//! [`InvariantSink`] is a [`TraceSink`] that replays the buffering
+//! discipline of Sections 3.2–3.5 *while the machine runs*, instead of
+//! auditing a recorded log afterwards (`audit_events`).  It mirrors the
+//! CCR from [`Event::CondSet`] / [`Event::RegionEnter`] records and keeps
+//! a model of every outstanding buffered entry, which lets it catch
+//! violations the end-state differential cannot see:
+//!
+//! * **V/W discipline** — every commit or squash must resolve an entry
+//!   that was actually buffered, a commit must resolve an entry whose
+//!   predicate is true, and (single-shadow mode) no second speculative
+//!   write with a different predicate may land on a buffered register.
+//! * **No lost latched exception** — an E-flagged entry whose predicate
+//!   becomes true at a condition-set must have triggered recovery; the
+//!   machine setting the condition instead means the exception was lost.
+//!   An E-flagged entry must never commit.
+//! * **Recovery discipline** — recovery must start with a buffered or
+//!   latched exception as evidence, no condition may be specified while
+//!   it runs, and every window must end (reaching the EPC) before the
+//!   run completes.
+//! * **No stale shadows past a recovery exit** — when the future
+//!   condition is installed at the EPC, every entry rebuffered during
+//!   recovery whose predicate the future specifies must resolve *in that
+//!   same cycle*, before the EPC word re-executes.  An entry still
+//!   buffered when the EPC word's condition-sets arrive is exactly the
+//!   stale shadow that clobbers the word's sequential writes one cycle
+//!   later (the seed-suite bug pinned by `recovery_scenarios.rs`).
+//!
+//! The sink is used by the `psb-fuzz` differential driver, which runs it
+//! alongside the golden-model comparison on every generated program.
+
+use crate::event::{Event, StateLoc};
+use crate::obs::{CycleSample, TraceSink};
+use psb_isa::{Ccr, Cond, Predicate};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One invariant violation, stamped with the cycle it was detected in.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InvariantViolation {
+    /// Cycle of the offending event (0 for end-of-run checks).
+    pub cycle: u64,
+    /// Human-readable description of the violated invariant.
+    pub message: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}: {}", self.cycle, self.message)
+    }
+}
+
+/// One tracked buffered entry (a shadow register or speculative
+/// store-buffer occupancy).
+#[derive(Clone, Copy, Debug)]
+struct Tracked {
+    pred: Predicate,
+    exc: bool,
+    /// Buffered between `RecoveryStart` and `RecoveryEnd`: subject to the
+    /// stale-shadow check when the post-recovery condition-sets arrive.
+    born_in_recovery: bool,
+}
+
+/// Sort- and hash-friendly key for a [`StateLoc`].
+fn key(loc: StateLoc) -> (u8, u64) {
+    match loc {
+        StateLoc::Reg(r) => (0, r.index() as u64),
+        StateLoc::Sb(n) => (1, n),
+    }
+}
+
+/// An online invariant checker over the machine event stream.
+///
+/// Attach with [`VliwMachine::with_sink`](crate::VliwMachine::with_sink),
+/// call [`InvariantSink::finalize`] after the run, and inspect
+/// [`InvariantSink::violations`].
+#[derive(Clone, Debug)]
+pub struct InvariantSink {
+    ccr: Ccr,
+    single_shadow: bool,
+    outstanding: BTreeMap<(u8, u64), Vec<Tracked>>,
+    exc_latched: bool,
+    in_recovery: bool,
+    /// Between `RecoveryEnd` and the first subsequent `CondSet` the mirror
+    /// CCR is stale (the machine installed the future condition, whose
+    /// values only become visible when the EPC word re-emits them), so
+    /// commit-predicate validation is suspended.
+    awaiting_future_conds: bool,
+    violations: Vec<InvariantViolation>,
+    finalized: bool,
+}
+
+impl InvariantSink {
+    /// Creates a checker for a machine with `num_conds` CCR entries;
+    /// `single_shadow` enables the one-shadow-per-register write conflict
+    /// check ([`ShadowMode::Single`](crate::ShadowMode)).
+    pub fn new(num_conds: usize, single_shadow: bool) -> InvariantSink {
+        InvariantSink {
+            ccr: Ccr::new(num_conds),
+            single_shadow,
+            outstanding: BTreeMap::new(),
+            exc_latched: false,
+            in_recovery: false,
+            awaiting_future_conds: false,
+            violations: Vec::new(),
+            finalized: false,
+        }
+    }
+
+    /// The violations detected so far.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// Runs the end-of-run checks (unfinished recovery, unresolved
+    /// buffered state) and returns all violations.  Idempotent.
+    pub fn finalize(&mut self) -> &[InvariantViolation] {
+        if !self.finalized {
+            self.finalized = true;
+            if self.in_recovery {
+                self.flag(0, "recovery window never reached the EPC".into());
+            }
+            let leftover: usize = self.outstanding.values().map(Vec::len).sum();
+            if leftover > 0 {
+                self.flag(
+                    0,
+                    format!("{leftover} buffered entries unresolved at end of run"),
+                );
+            }
+        }
+        &self.violations
+    }
+
+    fn flag(&mut self, cycle: u64, message: String) {
+        self.violations.push(InvariantViolation { cycle, message });
+    }
+
+    fn on_spec_write(&mut self, cycle: u64, loc: StateLoc, pred: Predicate, exc: bool) {
+        let born_in_recovery = self.in_recovery;
+        let single_shadow = self.single_shadow;
+        let entries = self.outstanding.entry(key(loc)).or_default();
+        if let Some(slot) = entries.iter_mut().find(|t| t.pred == pred) {
+            // Same-predicate rewrite (WAW on one path) replaces in place.
+            *slot = Tracked {
+                pred,
+                exc,
+                born_in_recovery,
+            };
+            return;
+        }
+        let conflict = single_shadow && matches!(loc, StateLoc::Reg(_)) && !entries.is_empty();
+        entries.push(Tracked {
+            pred,
+            exc,
+            born_in_recovery,
+        });
+        if conflict {
+            self.flag(
+                cycle,
+                format!(
+                    "second speculative write to {loc} with a different predicate \
+                     while one is buffered (single-shadow V discipline)"
+                ),
+            );
+        }
+    }
+
+    fn on_commit(&mut self, cycle: u64, loc: StateLoc) {
+        let k = key(loc);
+        let stale = self.awaiting_future_conds;
+        let ccr = self.ccr.clone();
+        let mut message = None;
+        let mut now_empty = false;
+        if let Some(entries) = self.outstanding.get_mut(&k) {
+            // Resolve the entry the commit hardware picked: predicate true
+            // under the mirror CCR.  While the mirror is stale after a
+            // recovery exit, accept the oldest entry instead.
+            let idx = if stale {
+                Some(0)
+            } else {
+                entries.iter().position(|t| t.pred.eval(&ccr) == Cond::True)
+            };
+            match idx {
+                Some(i) => {
+                    let t = entries.remove(i);
+                    if t.exc {
+                        message = Some(format!(
+                            "latched exception on {loc} committed without recovery"
+                        ));
+                    }
+                }
+                None => {
+                    entries.remove(0);
+                    message = Some(format!(
+                        "commit of {loc} whose buffered predicate is not true"
+                    ));
+                }
+            }
+            now_empty = entries.is_empty();
+        } else {
+            message = Some(format!("commit of {loc} with nothing buffered"));
+        }
+        if now_empty {
+            self.outstanding.remove(&k);
+        }
+        if let Some(m) = message {
+            self.flag(cycle, m);
+        }
+    }
+
+    fn on_squash(&mut self, cycle: u64, loc: StateLoc) {
+        let k = key(loc);
+        let ccr = self.ccr.clone();
+        let mut missing = false;
+        let mut now_empty = false;
+        if let Some(entries) = self.outstanding.get_mut(&k) {
+            // The pass squashes false predicates; region exits, recovery
+            // entry and the final drain squash unspecified ones wholesale.
+            // Remove a false-evaluating entry if one exists, else the
+            // oldest.
+            let i = entries
+                .iter()
+                .position(|t| t.pred.eval(&ccr) == Cond::False)
+                .unwrap_or(0);
+            entries.remove(i);
+            now_empty = entries.is_empty();
+        } else {
+            missing = true;
+        }
+        if now_empty {
+            self.outstanding.remove(&k);
+        }
+        if missing {
+            self.flag(cycle, format!("squash of {loc} with nothing buffered"));
+        }
+    }
+
+    fn on_cond_set(&mut self, cycle: u64, c: psb_isa::CondReg, value: Cond) {
+        if self.in_recovery {
+            self.flag(
+                cycle,
+                format!("condition c{} specified during recovery", c.index()),
+            );
+        }
+        if let Cond::True | Cond::False = value {
+            self.ccr.set(c, value == Cond::True);
+        }
+        if self.awaiting_future_conds {
+            // The EPC word re-emitted the triggering condition: the mirror
+            // CCR now equals the installed future.  Every entry rebuffered
+            // during recovery that the future specifies had to resolve at
+            // the exit pass, *before* this word issued.
+            self.awaiting_future_conds = false;
+            let mut stale = Vec::new();
+            for (&k, entries) in &mut self.outstanding {
+                for t in entries.iter_mut() {
+                    if t.born_in_recovery {
+                        if t.pred.eval(&self.ccr).is_specified() {
+                            stale.push(k);
+                        }
+                        t.born_in_recovery = false;
+                    }
+                }
+            }
+            for (tag, n) in stale {
+                let desc = if tag == 0 { "r" } else { "sb" };
+                self.flag(
+                    cycle,
+                    format!(
+                        "stale shadow {desc}{n} survived the recovery exit: its predicate \
+                         is specified under the installed future condition, so it must \
+                         have resolved before the EPC word issued"
+                    ),
+                );
+            }
+        }
+        // An E-flagged entry whose predicate just became true is a lost
+        // exception: the machine must have entered recovery instead of
+        // updating the CCR.
+        let lost: Vec<String> = self
+            .outstanding
+            .values()
+            .flatten()
+            .filter(|t| t.exc && t.pred.eval(&self.ccr) == Cond::True)
+            .map(|t| format!("{}", t.pred))
+            .collect();
+        for pred in lost {
+            self.flag(
+                cycle,
+                format!(
+                    "latched exception under predicate {pred} commits at this \
+                     condition-set but no recovery started"
+                ),
+            );
+        }
+    }
+
+    fn on_event(&mut self, ev: Event) {
+        match ev {
+            Event::SeqWrite { .. } | Event::SeqStore { .. } | Event::FaultHandled { .. } => {}
+            Event::SpecWrite {
+                cycle,
+                loc,
+                pred,
+                exc,
+            } => self.on_spec_write(cycle, loc, pred, exc),
+            Event::Commit { cycle, loc } => self.on_commit(cycle, loc),
+            Event::Squash { cycle, loc } => self.on_squash(cycle, loc),
+            Event::CondSet { cycle, c, value } => self.on_cond_set(cycle, c, value),
+            Event::RegionEnter { cycle, .. } => {
+                self.ccr.reset();
+                self.exc_latched = false;
+                let leftover: usize = self.outstanding.values().map(Vec::len).sum();
+                if leftover > 0 {
+                    self.flag(
+                        cycle,
+                        format!("{leftover} buffered entries leaked across a region boundary"),
+                    );
+                    self.outstanding.clear();
+                }
+            }
+            Event::ExcLatched { .. } => self.exc_latched = true,
+            Event::RecoveryStart { cycle, .. } => {
+                if self.in_recovery {
+                    self.flag(cycle, "recovery started inside a recovery window".into());
+                }
+                let evidence =
+                    self.exc_latched || self.outstanding.values().flatten().any(|t| t.exc);
+                if !evidence {
+                    self.flag(
+                        cycle,
+                        "recovery started without a buffered or latched exception".into(),
+                    );
+                }
+                self.in_recovery = true;
+                self.exc_latched = false;
+            }
+            Event::RecoveryEnd { cycle } => {
+                if !self.in_recovery {
+                    self.flag(cycle, "recovery ended without a matching start".into());
+                }
+                self.in_recovery = false;
+                self.awaiting_future_conds = true;
+            }
+        }
+    }
+}
+
+impl TraceSink for InvariantSink {
+    fn event_enabled(&self) -> bool {
+        true
+    }
+
+    fn sample_enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, ev: Event) {
+        self.on_event(ev);
+    }
+
+    fn sample(&mut self, _s: &CycleSample) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_isa::{CondReg, Reg};
+
+    fn pred(c: usize) -> Predicate {
+        Predicate::always().and_pos(CondReg::new(c))
+    }
+
+    fn reg(i: usize) -> StateLoc {
+        StateLoc::Reg(Reg::new(i))
+    }
+
+    #[test]
+    fn clean_commit_sequence_passes() {
+        let mut s = InvariantSink::new(4, true);
+        s.record(Event::SpecWrite {
+            cycle: 1,
+            loc: reg(1),
+            pred: pred(0),
+            exc: false,
+        });
+        s.record(Event::CondSet {
+            cycle: 2,
+            c: CondReg::new(0),
+            value: Cond::True,
+        });
+        s.record(Event::Commit {
+            cycle: 3,
+            loc: reg(1),
+        });
+        assert!(s.finalize().is_empty(), "{:?}", s.violations());
+    }
+
+    #[test]
+    fn commit_without_write_is_flagged() {
+        let mut s = InvariantSink::new(4, true);
+        s.record(Event::Commit {
+            cycle: 3,
+            loc: reg(1),
+        });
+        assert!(s.violations()[0].message.contains("nothing buffered"));
+    }
+
+    #[test]
+    fn conflicting_single_shadow_write_is_flagged() {
+        let mut s = InvariantSink::new(4, true);
+        s.record(Event::SpecWrite {
+            cycle: 1,
+            loc: reg(1),
+            pred: pred(0),
+            exc: false,
+        });
+        s.record(Event::SpecWrite {
+            cycle: 1,
+            loc: reg(1),
+            pred: pred(1),
+            exc: false,
+        });
+        assert!(s.violations()[0]
+            .message
+            .contains("second speculative write"));
+    }
+
+    #[test]
+    fn lost_latched_exception_is_flagged() {
+        let mut s = InvariantSink::new(4, true);
+        s.record(Event::SpecWrite {
+            cycle: 1,
+            loc: reg(1),
+            pred: pred(0),
+            exc: true,
+        });
+        // The machine sets c0 true without entering recovery: lost.
+        s.record(Event::CondSet {
+            cycle: 2,
+            c: CondReg::new(0),
+            value: Cond::True,
+        });
+        assert!(s
+            .violations()
+            .iter()
+            .any(|v| v.message.contains("no recovery started")));
+    }
+
+    #[test]
+    fn stale_shadow_after_recovery_exit_is_flagged() {
+        let mut s = InvariantSink::new(4, true);
+        s.record(Event::SpecWrite {
+            cycle: 1,
+            loc: reg(1),
+            pred: pred(0),
+            exc: true,
+        });
+        s.record(Event::RecoveryStart {
+            cycle: 2,
+            epc: 2,
+            rpc: 0,
+        });
+        s.record(Event::Squash {
+            cycle: 2,
+            loc: reg(1),
+        });
+        // Rebuffered during recovery under the recovery condition.
+        s.record(Event::SpecWrite {
+            cycle: 3,
+            loc: reg(1),
+            pred: pred(0),
+            exc: false,
+        });
+        s.record(Event::RecoveryEnd { cycle: 4 });
+        // No exit-pass commit for r1 before the EPC word re-emits c0.
+        s.record(Event::CondSet {
+            cycle: 4,
+            c: CondReg::new(0),
+            value: Cond::True,
+        });
+        assert!(
+            s.violations()
+                .iter()
+                .any(|v| v.message.contains("stale shadow")),
+            "{:?}",
+            s.violations()
+        );
+    }
+
+    #[test]
+    fn resolved_recovery_exit_passes() {
+        let mut s = InvariantSink::new(4, true);
+        s.record(Event::SpecWrite {
+            cycle: 1,
+            loc: reg(1),
+            pred: pred(0),
+            exc: true,
+        });
+        s.record(Event::RecoveryStart {
+            cycle: 2,
+            epc: 2,
+            rpc: 0,
+        });
+        s.record(Event::Squash {
+            cycle: 2,
+            loc: reg(1),
+        });
+        s.record(Event::SpecWrite {
+            cycle: 3,
+            loc: reg(1),
+            pred: pred(0),
+            exc: false,
+        });
+        s.record(Event::RecoveryEnd { cycle: 4 });
+        // The exit pass resolves the rebuffered entry in the same cycle.
+        s.record(Event::Commit {
+            cycle: 4,
+            loc: reg(1),
+        });
+        s.record(Event::CondSet {
+            cycle: 4,
+            c: CondReg::new(0),
+            value: Cond::True,
+        });
+        assert!(s.finalize().is_empty(), "{:?}", s.violations());
+    }
+
+    #[test]
+    fn unfinished_recovery_is_flagged_at_finalize() {
+        let mut s = InvariantSink::new(4, true);
+        s.record(Event::ExcLatched { cycle: 1, addr: 4 });
+        s.record(Event::RecoveryStart {
+            cycle: 2,
+            epc: 2,
+            rpc: 0,
+        });
+        assert!(s
+            .finalize()
+            .iter()
+            .any(|v| v.message.contains("never reached the EPC")));
+    }
+
+    #[test]
+    fn recovery_without_evidence_is_flagged() {
+        let mut s = InvariantSink::new(4, true);
+        s.record(Event::RecoveryStart {
+            cycle: 2,
+            epc: 2,
+            rpc: 0,
+        });
+        assert!(s.violations()[0].message.contains("without a buffered"));
+    }
+}

@@ -57,6 +57,7 @@
 
 mod config;
 mod event;
+mod invariant;
 mod machine;
 mod obs;
 mod regfile;
@@ -64,6 +65,7 @@ mod storebuf;
 
 pub use config::{CommitScan, MachineConfig, ShadowMode};
 pub use event::{audit_events, AuditViolation, Event, EventLog, StateLoc};
+pub use invariant::{InvariantSink, InvariantViolation};
 pub use machine::{RunStats, VliwError, VliwMachine, VliwResult};
 pub use obs::{
     CountersSink, CycleSample, Histogram, NullSink, ObsReport, OccupancyStats, RegionProfile,

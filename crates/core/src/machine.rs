@@ -936,11 +936,15 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                     // happen *before* the EPC word issues: it re-executes
                     // this same cycle, and a stale shadow committing on the
                     // next cycle's pass would clobber its sequential writes.
-                    let ccr = self.ccr.clone();
-                    let (rc, rs) = self.regs.tick(&ccr, self.cycle, &mut self.sink);
-                    let (sc, ss) = self.sb.tick(&ccr, self.cycle, &mut self.sink);
-                    self.stats.commits += rc + sc;
-                    self.stats.squashes += rs + ss;
+                    // The `defer_recovery_exit_commit` escape hatch skips
+                    // the pass to let the fuzzer prove it catches the bug.
+                    if !self.cfg.defer_recovery_exit_commit {
+                        let ccr = self.ccr.clone();
+                        let (rc, rs) = self.regs.tick(&ccr, self.cycle, &mut self.sink);
+                        let (sc, ss) = self.sb.tick(&ccr, self.cycle, &mut self.sink);
+                        self.stats.commits += rc + sc;
+                        self.stats.squashes += rs + ss;
+                    }
                 }
             }
             // 4. Issue.

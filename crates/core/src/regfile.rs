@@ -465,6 +465,30 @@ mod tests {
     }
 
     #[test]
+    fn infinite_mode_read_skips_exception_to_older_entry() {
+        // A newer E-flagged slot must not hide an older valid slot on the
+        // same path: the read skips it and returns the newest *non-E*
+        // compatible value, falling back to sequential only when every
+        // compatible slot carries the E flag.
+        let mut rf = PredicatedRegFile::new(8, ShadowMode::Infinite);
+        rf.write_seq(Reg::new(1), 7);
+        rf.write_spec(Reg::new(1), 5, pred(0), false).unwrap();
+        rf.write_spec(Reg::new(1), 0, pred(0).and_pos(CondReg::new(1)), true)
+            .unwrap();
+        let p01 = pred(0).and_pos(CondReg::new(1));
+        assert_eq!(rf.read_shadow(Reg::new(1), &p01), 5);
+        // A path where only the E entry is compatible: sequential fallback.
+        let mut rf = PredicatedRegFile::new(8, ShadowMode::Infinite);
+        rf.write_seq(Reg::new(1), 7);
+        rf.write_spec(Reg::new(1), 5, pred(0), false).unwrap();
+        rf.write_spec(Reg::new(1), 0, pred(1), true).unwrap();
+        let not0 = Predicate::always()
+            .and_neg(CondReg::new(0))
+            .and_pos(CondReg::new(1));
+        assert_eq!(rf.read_shadow(Reg::new(1), &not0), 7);
+    }
+
+    #[test]
     fn single_mode_conflict_detected() {
         let mut rf = PredicatedRegFile::new(8, ShadowMode::Single);
         rf.write_spec(Reg::new(1), 1, pred(0), false).unwrap();

@@ -461,6 +461,16 @@ mod tests {
     }
 
     #[test]
+    fn forwarding_skips_exception_to_older_entry() {
+        // An E-flagged store has no data; a newer E entry must not shadow
+        // an older valid one — the reader falls through to it.
+        let mut sb = PredicatedStoreBuffer::new(4);
+        sb.append(4, 1, pred(0), true, false, 1, &mut log());
+        sb.append(4, 9, pred(0), true, true, 2, &mut log());
+        assert_eq!(sb.forward(4, &pred(0)), Some(1));
+    }
+
+    #[test]
     fn exception_commit_detection() {
         let mut sb = PredicatedStoreBuffer::new(4);
         sb.append(-3, 0, pred(1), true, true, 1, &mut log());

@@ -237,6 +237,110 @@ fn recovery_event_ordering() {
     assert!(spec < start && start < fault && fault < end && end < landed);
 }
 
+/// Builds the recovery-exit race program: a faulting spec load and a
+/// dependent spec add under `c0`, committed by a word that *also*
+/// sequentially writes the dependent's register.  Whether the recovered
+/// shadow or the sequential write lands last depends on when the
+/// recovery-exit commit pass runs.
+fn exit_race_program() -> VliwProgram {
+    let mut pr = prog(vec![
+        MultiOp::new(vec![Slot::new(p().and_pos(c(0)), load(r(1), 4))]),
+        MultiOp::new(vec![Slot::new(
+            p().and_pos(c(0)),
+            SlotOp::Op(Op::Alu {
+                op: AluOp::Add,
+                rd: r(3),
+                a: Src::shadow(r(1)),
+                b: Src::imm(5),
+            }),
+        )]),
+        MultiOp::new(vec![
+            Slot::alw(setc_true(c(0))),
+            Slot::alw(SlotOp::Op(Op::Alu {
+                op: AluOp::Add,
+                rd: r(3),
+                a: Src::imm(99),
+                b: Src::imm(0),
+            })),
+        ]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Op(Op::Nop))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+    ]);
+    pr.memory.set(4, 11);
+    pr
+}
+
+/// Recovery-exit timing: the shadow regenerated during recovery commits
+/// in the *same* cycle the PC reaches the EPC, so a sequential write in
+/// the EPC word lands after it and survives.  (Regression test for the
+/// one-cycle-late commit that used to clobber the EPC word's result.)
+#[test]
+fn recovery_exit_commit_beats_epc_reissue() {
+    let pr = exit_race_program();
+    let res = VliwMachine::run_program(&pr, faulting_config(&[4])).unwrap();
+    assert_eq!(res.recoveries, 1);
+    assert_eq!(res.regs[1], 11, "faulting load recovered");
+    assert_eq!(
+        res.regs[3], 99,
+        "the EPC word's sequential write must survive the recovery exit"
+    );
+}
+
+/// The test-only `defer_recovery_exit_commit` escape hatch reintroduces
+/// the late commit: the stale shadow (11 + 5) clobbers the EPC word's
+/// sequential 99, and the lockstep invariant checker flags the surviving
+/// shadow.  This is the bug `repro fuzz --inject-recovery-bug` hunts.
+#[test]
+fn deferred_exit_commit_reproduces_stale_clobber() {
+    let pr = exit_race_program();
+    let mut cfg = faulting_config(&[4]);
+    cfg.defer_recovery_exit_commit = true;
+    let sink = psb_core::InvariantSink::new(4, true);
+    let (res, mut sink) = VliwMachine::run_with_sink(&pr, cfg, sink).unwrap();
+    assert_eq!(res.recoveries, 1);
+    assert_eq!(
+        res.regs[3], 16,
+        "deferred commit lets the stale shadow land last"
+    );
+    sink.finalize();
+    assert!(
+        sink.violations()
+            .iter()
+            .any(|v| v.message.contains("stale shadow")),
+        "invariant checker must flag the late commit: {:?}",
+        sink.violations()
+    );
+}
+
+/// An E-flagged shadow carries no data: an always-predicate consumer of
+/// the register reads *through* the buffered exception to the sequential
+/// value, and a false condition squashes the exception without any
+/// recovery.
+#[test]
+fn exception_shadow_is_skipped_by_readers() {
+    let mut pr = prog(vec![
+        MultiOp::new(vec![Slot::new(p().and_pos(c(0)), load(r(1), 4))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Op(Op::Alu {
+            op: AluOp::Add,
+            rd: r(2),
+            a: Src::shadow(r(1)),
+            b: Src::imm(1),
+        }))]),
+        MultiOp::new(vec![Slot::alw(setc_false(c(0)))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Op(Op::Nop))]),
+        MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+    ]);
+    pr.init_regs.push((r(1), 7));
+    pr.memory.set(4, 55);
+    let res = VliwMachine::run_program(&pr, faulting_config(&[4])).unwrap();
+    assert_eq!(
+        res.regs[2], 8,
+        "reader must fall back to the sequential 7, not the E slot"
+    );
+    assert_eq!(res.recoveries, 0, "squashed exception triggers no recovery");
+    assert_eq!(res.faults_handled, 0);
+}
+
 /// Fatal NULL dereference buffered and *committed*: the recovery re-raises
 /// it and the machine reports a precise fault instead of completing.
 #[test]

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|trace|profile|all]
+//! repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|trace|profile|fuzz|all]
 //!       [--size N] [--quick] [--json] [--jobs N] [--workload W] [--model M] [--out FILE]
 //! ```
 //!
@@ -14,19 +14,32 @@
 //! Both accept `--workload`/`--model` to narrow the default
 //! all-benchmarks × region-pred selection, and `--out FILE` to write the
 //! output to a file instead of stdout.
+//!
+//! `fuzz` runs the `psb-fuzz` differential sweep:
+//!
+//! ```text
+//! repro fuzz [--seed S] [--runs N] [--time-budget SECS] [--jobs N]
+//!            [--corpus DIR] [--inject-recovery-bug]
+//! ```
+//!
+//! The report (stdout) is byte-identical at any `--jobs` count for a
+//! fixed `--runs`; timing goes to stderr.  Failing cases are minimized
+//! and written into `--corpus` (default `corpus/regressions`), and the
+//! exit status is non-zero if any case failed.
 
 use psb_eval::{
     ablation_counter, ablation_shadow, ablation_unroll, chrome_trace, code_size, collect_profiles,
     collect_traces, fig6, fig7, fig8, interaction, measure_metrics, mix, obs_points, parse_model,
     render_ablation, render_code_size, render_fig8, render_figure, render_interaction, render_mix,
-    render_profile, render_sensitivity, render_table2, render_table3, sensitivity, summary, table2,
-    table3, to_json_pretty, EvalParams,
+    render_profile, render_sensitivity, render_table2, render_table3, run_fuzz, sensitivity,
+    summary, table2, table3, to_json_pretty, EvalParams, FuzzParams,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut what = "all".to_string();
     let mut params = EvalParams::default();
+    let mut fuzz_params = FuzzParams::default();
     let mut json = false;
     let mut workload: Option<String> = None;
     let mut model: Option<psb_sched::Model> = None;
@@ -34,6 +47,37 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                fuzz_params.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--runs" => {
+                i += 1;
+                fuzz_params.runs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--runs needs a number"));
+            }
+            "--time-budget" => {
+                i += 1;
+                fuzz_params.time_budget = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&t: &f64| t > 0.0)
+                        .unwrap_or_else(|| die("--time-budget needs seconds > 0")),
+                );
+            }
+            "--corpus" => {
+                i += 1;
+                fuzz_params.corpus_dir = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--corpus needs a directory"))
+                    .into();
+            }
+            "--inject-recovery-bug" => fuzz_params.inject_recovery_bug = true,
             "--quick" => {
                 params = EvalParams {
                     size: params.size.min(512),
@@ -246,6 +290,17 @@ fn main() {
                     emit(render_profile(&profiles));
                 }
             }
+            "fuzz" => {
+                let p = FuzzParams {
+                    jobs: params.jobs,
+                    ..fuzz_params.clone()
+                };
+                let outcome = run_fuzz(&p);
+                print!("{}", outcome.report);
+                if outcome.failures > 0 {
+                    std::process::exit(1);
+                }
+            }
             other => die(&format!("unknown experiment {other}")),
         }
         println!();
@@ -277,9 +332,10 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
-        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|trace|profile|all] \
+        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|trace|profile|fuzz|all] \
          [--size N] [--quick] [--json] [--jobs N] [--train-seed S] [--eval-seed S] \
-         [--workload W] [--model M] [--out FILE]"
+         [--workload W] [--model M] [--out FILE] \
+         [--seed S] [--runs N] [--time-budget SECS] [--corpus DIR] [--inject-recovery-bug]"
     );
     std::process::exit(2);
 }

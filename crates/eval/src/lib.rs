@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod experiments;
+mod fuzz;
 mod json;
 mod render;
 mod runner;
@@ -35,6 +36,7 @@ pub use experiments::{
     mix, sensitivity, summary, table2, table3, AblationResult, CodeSizeRow, Fig8Cell, Fig8Result,
     FigureResult, InteractionResult, MixRow, SensitivityRow, Table2Row, Table3Row,
 };
+pub use fuzz::{run_fuzz, FuzzOutcome, FuzzParams};
 pub use json::{to_json_pretty, Json, ToJson};
 pub use render::{
     render_ablation, render_code_size, render_fig8, render_figure, render_interaction,

@@ -1,0 +1,155 @@
+//! Regression-corpus persistence.
+//!
+//! A repro is a pair of files in `corpus/regressions/`: a `.asm` program
+//! in the workspace assembly format (round-trips through
+//! [`ScalarProgram::to_asm`] / [`psb_isa::parse_program`]) and an
+//! optional `.cfg` sidecar holding the machine configuration the failure
+//! needs — currently the fault-once address set — plus `#`-comment lines
+//! recording the failure the repro was minimized from.  Entries are
+//! deterministic text, so re-minimizing the same bug produces an
+//! identical diff.
+
+use crate::gen::FuzzCase;
+use psb_isa::parse_program;
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writes `case` into `dir` as `<name>.asm` (+ `<name>.cfg` when the case
+/// carries fault addresses or a failure note), creating `dir` if needed.
+///
+/// Returns the path of the `.asm` file.
+///
+/// # Errors
+///
+/// Any I/O error creating the directory or writing the files.
+pub fn write_repro(dir: &Path, case: &FuzzCase, failure: Option<&str>) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let name: String = case
+        .program
+        .name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let asm_path = dir.join(format!("{name}.asm"));
+    fs::write(&asm_path, case.program.to_asm())?;
+    if !case.fault_once.is_empty() || failure.is_some() {
+        let mut cfg = String::from("# psb-fuzz repro configuration\n");
+        if let Some(f) = failure {
+            for line in f.lines() {
+                cfg.push_str(&format!("# failure: {line}\n"));
+            }
+        }
+        for a in &case.fault_once {
+            cfg.push_str(&format!("fault_once {a}\n"));
+        }
+        fs::write(asm_path.with_extension("cfg"), cfg)?;
+    }
+    Ok(asm_path)
+}
+
+/// Loads one repro from its `.asm` path, picking up the `.cfg` sidecar if
+/// present.
+///
+/// # Errors
+///
+/// A rendered message on I/O failure, assembly parse failure, or an
+/// unrecognized sidecar directive.
+pub fn load_repro(asm_path: &Path) -> Result<FuzzCase, String> {
+    let text = fs::read_to_string(asm_path).map_err(|e| format!("{}: {e}", asm_path.display()))?;
+    let program = parse_program(&text).map_err(|e| format!("{}: {e}", asm_path.display()))?;
+    let mut fault_once = BTreeSet::new();
+    let cfg_path = asm_path.with_extension("cfg");
+    if cfg_path.exists() {
+        let cfg =
+            fs::read_to_string(&cfg_path).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+        for (lineno, line) in cfg.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+                ["fault_once", addr] => {
+                    let a: i64 = addr.parse().map_err(|_| {
+                        format!("{}:{}: bad address {addr}", cfg_path.display(), lineno + 1)
+                    })?;
+                    fault_once.insert(a);
+                }
+                _ => {
+                    return Err(format!(
+                        "{}:{}: unknown directive: {line}",
+                        cfg_path.display(),
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+    }
+    Ok(FuzzCase {
+        program,
+        fault_once,
+    })
+}
+
+/// Loads every `.asm` entry under `dir`, sorted by file name so replay
+/// order (and therefore replay reports) is deterministic.
+///
+/// # Errors
+///
+/// A rendered message if the directory cannot be read or any entry fails
+/// to load.
+pub fn load_corpus(dir: &Path) -> Result<Vec<(PathBuf, FuzzCase)>, String> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "asm"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| load_repro(&p).map(|c| (p, c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("psb-fuzz-corpus-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn repros_roundtrip_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let case = gen_case(7);
+        let path = write_repro(&dir, &case, Some("demo: diverged")).unwrap();
+        let back = load_repro(&path).unwrap();
+        assert_eq!(back.program, case.program);
+        assert_eq!(back.fault_once, case.fault_once);
+        let all = load_corpus(&dir).unwrap();
+        assert_eq!(all.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corpus_order_is_sorted_by_name() {
+        let dir = temp_dir("sorted");
+        for seed in [3u64, 1, 2] {
+            write_repro(&dir, &gen_case(seed), None).unwrap();
+        }
+        let names: Vec<String> = load_corpus(&dir)
+            .unwrap()
+            .iter()
+            .map(|(p, _)| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

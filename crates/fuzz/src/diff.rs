@@ -1,0 +1,228 @@
+//! The lockstep differential driver.
+//!
+//! One fuzz case runs through the whole toolchain for every scheduling
+//! model: scalar golden execution (which also yields the edge profile the
+//! schedulers train on) → `schedule` → [`VliwMachine`] with an attached
+//! [`InvariantSink`].  A case passes only if every model's VLIW execution
+//! reproduces `observable(live_out)` *and* its event stream satisfies all
+//! online invariants — the latter catches bugs that cancel out by the end
+//! of the run (a stale shadow clobbering a value that is dead afterwards,
+//! a lost exception whose handler would have been a no-op, …).
+
+use crate::gen::FuzzCase;
+use psb_core::{InvariantSink, MachineConfig, ShadowMode, VliwMachine};
+use psb_scalar::{ScalarConfig, ScalarMachine};
+use psb_sched::{schedule, Model, SchedConfig};
+use std::fmt;
+
+/// Configuration of one differential run.
+#[derive(Clone, Debug)]
+pub struct DiffConfig {
+    /// The scheduling models to drive (default: all seven).
+    pub models: Vec<Model>,
+    /// Activates the machine's test-only
+    /// [`defer_recovery_exit_commit`](MachineConfig::defer_recovery_exit_commit)
+    /// fault injection, so the harness can prove it catches the
+    /// stale-shadow recovery-exit bug.
+    pub inject_recovery_bug: bool,
+    /// Cycle cap applied to both machines (`None` = the machines'
+    /// defaults).  The shrinker sets a low cap so that a mutation which
+    /// accidentally creates an infinite loop fails fast instead of
+    /// spinning for the default two hundred million cycles.
+    pub max_cycles: Option<u64>,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig {
+            models: Model::ALL.to_vec(),
+            inject_recovery_bug: false,
+            max_cycles: None,
+        }
+    }
+}
+
+/// Why a case failed.  Everything a failure message needs is captured as
+/// text so reports stay deterministic and the shrinker only has to
+/// preserve "still fails", not a specific variant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FuzzFailure {
+    /// The scalar golden model itself rejected the program.
+    Scalar(String),
+    /// A scheduler rejected the program.
+    Schedule {
+        /// The model that failed.
+        model: Model,
+        /// The scheduler error.
+        message: String,
+    },
+    /// The VLIW machine raised a hard error.
+    Machine {
+        /// The model whose code failed.
+        model: Model,
+        /// The machine error.
+        message: String,
+    },
+    /// The observable end state diverged from the golden model.
+    Diverged {
+        /// The model whose code diverged.
+        model: Model,
+        /// Rendered expected vs got summary.
+        detail: String,
+    },
+    /// The event stream violated an online invariant.
+    Invariant {
+        /// The model whose execution misbehaved.
+        model: Model,
+        /// Rendered violations (first few).
+        detail: String,
+    },
+}
+
+impl fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzFailure::Scalar(m) => write!(f, "scalar: {m}"),
+            FuzzFailure::Schedule { model, message } => write!(f, "{model}: schedule: {message}"),
+            FuzzFailure::Machine { model, message } => write!(f, "{model}: machine: {message}"),
+            FuzzFailure::Diverged { model, detail } => write!(f, "{model}: diverged: {detail}"),
+            FuzzFailure::Invariant { model, detail } => write!(f, "{model}: invariant: {detail}"),
+        }
+    }
+}
+
+/// Counters aggregated over all models of one passing case, used by the
+/// fuzz report to show how much speculation machinery a run exercised.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CaseStats {
+    /// Recovery episodes across all models.
+    pub recoveries: u64,
+    /// Non-fatal faults handled across all models.
+    pub faults: u64,
+    /// Buffered commits across all models.
+    pub commits: u64,
+    /// Buffered squashes across all models.
+    pub squashes: u64,
+}
+
+fn render_observable(expected: &(Vec<i64>, Vec<i64>), got: &(Vec<i64>, Vec<i64>)) -> String {
+    if expected.0 != got.0 {
+        for (i, (e, g)) in expected.0.iter().zip(&got.0).enumerate() {
+            if e != g {
+                return format!("live-out #{i}: expected {e}, got {g}");
+            }
+        }
+    }
+    for (addr, (e, g)) in expected.1.iter().zip(&got.1).enumerate() {
+        if e != g {
+            return format!("memory[{addr}]: expected {e}, got {g}");
+        }
+    }
+    "live-out arity mismatch".into()
+}
+
+/// Runs `case` through every configured model and checks both the
+/// end-state differential and the online invariants.
+///
+/// # Errors
+///
+/// The first [`FuzzFailure`] encountered, in model order — deterministic
+/// for a given case and config.
+pub fn run_case(case: &FuzzCase, cfg: &DiffConfig) -> Result<CaseStats, FuzzFailure> {
+    let prog = &case.program;
+    let mut scfg = ScalarConfig {
+        fault_once_addrs: case.fault_once.clone(),
+        ..ScalarConfig::default()
+    };
+    if let Some(cap) = cfg.max_cycles {
+        scfg.max_cycles = cap;
+    }
+    let scalar = ScalarMachine::new(prog, scfg)
+        .run()
+        .map_err(|e| FuzzFailure::Scalar(e.to_string()))?;
+    let expected = scalar.observable(&prog.live_out);
+
+    let mut stats = CaseStats::default();
+    for &model in &cfg.models {
+        let sched_cfg = SchedConfig::new(model);
+        let vliw = schedule(prog, &scalar.edge_profile, &sched_cfg).map_err(|e| {
+            FuzzFailure::Schedule {
+                model,
+                message: e.to_string(),
+            }
+        })?;
+        let mut mcfg = MachineConfig {
+            shadow_mode: if sched_cfg.single_shadow {
+                ShadowMode::Single
+            } else {
+                ShadowMode::Infinite
+            },
+            fault_once_addrs: case.fault_once.clone(),
+            defer_recovery_exit_commit: cfg.inject_recovery_bug,
+            ..MachineConfig::default()
+        };
+        if let Some(cap) = cfg.max_cycles {
+            mcfg.max_cycles = cap;
+        }
+        let sink = InvariantSink::new(vliw.num_conds, sched_cfg.single_shadow);
+        let (res, mut sink) =
+            VliwMachine::run_with_sink(&vliw, mcfg, sink).map_err(|e| FuzzFailure::Machine {
+                model,
+                message: e.to_string(),
+            })?;
+        let violations = sink.finalize();
+        if !violations.is_empty() {
+            let detail = violations
+                .iter()
+                .take(3)
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(FuzzFailure::Invariant { model, detail });
+        }
+        let got = res.observable(&prog.live_out);
+        if got != expected {
+            return Err(FuzzFailure::Diverged {
+                model,
+                detail: render_observable(&expected, &got),
+            });
+        }
+        stats.recoveries += res.recoveries;
+        stats.faults += res.faults_handled;
+        stats.commits += res.commits;
+        stats.squashes += res.squashes;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+
+    #[test]
+    fn a_spread_of_seeds_passes_all_models() {
+        let cfg = DiffConfig::default();
+        let mut recoveries = 0;
+        for seed in 0..30 {
+            let case = gen_case(seed);
+            let stats = run_case(&case, &cfg)
+                .unwrap_or_else(|f| panic!("seed {seed} failed clean machine: {f}"));
+            recoveries += stats.recoveries;
+        }
+        assert!(
+            recoveries > 0,
+            "no recovery episode in 30 seeds: generator too tame"
+        );
+    }
+
+    #[test]
+    fn injected_recovery_bug_is_caught() {
+        let cfg = DiffConfig {
+            inject_recovery_bug: true,
+            ..DiffConfig::default()
+        };
+        let caught = (0..40).any(|seed| run_case(&gen_case(seed), &cfg).is_err());
+        assert!(caught, "40 seeds survived the deferred-exit-commit bug");
+    }
+}

@@ -1,0 +1,337 @@
+//! Seeded structured program generation.
+//!
+//! The generator emits always-terminating region-shaped control flow —
+//! chains of straight-line fragments, diamonds, *nested* diamonds,
+//! triangles (one-armed ifs whose merge triggers tail duplication in the
+//! region formers), and counted loops with data-dependent early exits —
+//! filled with ALU ops plus loads and stores over two aliasing address
+//! windows.  A subset of the load window is marked fault-once so that
+//! speculative loads hoisted above their branches latch E flags and drive
+//! the machine through full recovery episodes.
+//!
+//! Everything is derived from a single `u64` seed: the same seed yields
+//! the same [`FuzzCase`] on every host, which is what makes the fuzz
+//! report reproducible and the shrinker deterministic.
+
+use psb_isa::{AluOp, CmpOp, MemTag, Op, ProgramBuilder, Reg, ScalarProgram, Src};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Registers `r1..=DATA_REGS` carry data and are all observable.
+pub const DATA_REGS: usize = 10;
+/// Scratch register used to bound load/store addresses.
+const ADDR_REG: usize = 11;
+/// Loop counter register (fresh per loop fragment, chain-structured).
+const LOOP_REG: usize = 12;
+/// Loads read `LOAD_BASE + (reg & WINDOW_MASK)`.
+const LOAD_BASE: i64 = 16;
+/// Stores write `STORE_BASE + (reg & WINDOW_MASK)`.
+const STORE_BASE: i64 = 64;
+const WINDOW_MASK: i64 = 31;
+
+/// One generated fuzz input: a scalar program plus the fault-once address
+/// set both machines are configured with.
+#[derive(Clone, Debug)]
+pub struct FuzzCase {
+    /// The program under test.
+    pub program: ScalarProgram,
+    /// Addresses whose first access faults (mirrored into both the scalar
+    /// and the VLIW machine configuration).
+    pub fault_once: BTreeSet<i64>,
+}
+
+impl FuzzCase {
+    /// Static instruction count: straight-line ops plus control
+    /// terminators (jumps and branches; the final halt is free).
+    pub fn instruction_count(&self) -> usize {
+        self.program
+            .blocks
+            .iter()
+            .map(|b| {
+                b.instrs.len()
+                    + match b.term {
+                        psb_isa::Terminator::Halt => 0,
+                        _ => 1,
+                    }
+            })
+            .sum()
+    }
+}
+
+fn r(i: usize) -> Reg {
+    Reg::new(i)
+}
+
+fn data_reg(rng: &mut StdRng) -> Reg {
+    r(rng.gen_range(1..=DATA_REGS))
+}
+
+fn rand_src(rng: &mut StdRng) -> Src {
+    if rng.gen_bool(0.3) {
+        Src::imm(rng.gen_range(-8..64))
+    } else {
+        Src::reg(data_reg(rng))
+    }
+}
+
+fn rand_alu(rng: &mut StdRng) -> AluOp {
+    const OPS: [AluOp; 8] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Slt,
+        AluOp::Mul,
+        AluOp::Sra,
+    ];
+    OPS[rng.gen_range(0..OPS.len())]
+}
+
+fn rand_cmp(rng: &mut StdRng) -> CmpOp {
+    const OPS: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+    OPS[rng.gen_range(0..OPS.len())]
+}
+
+/// A bounded memory access: masks a data register into one of the two
+/// address windows.  Loads and the occasional store share the load window
+/// (same tag), so speculatively hoisted loads must be disambiguated
+/// against stores through the predicated store buffer.
+fn rand_ops(rng: &mut StdRng, count: usize) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for _ in 0..count {
+        match rng.gen_range(0..10) {
+            0..=4 => ops.push(Op::Alu {
+                op: rand_alu(rng),
+                rd: data_reg(rng),
+                a: rand_src(rng),
+                b: rand_src(rng),
+            }),
+            5..=7 => {
+                // Load from the (possibly faulting) load window, tag 1.
+                let src = data_reg(rng);
+                ops.push(Op::Alu {
+                    op: AluOp::And,
+                    rd: r(ADDR_REG),
+                    a: Src::reg(src),
+                    b: Src::imm(WINDOW_MASK),
+                });
+                ops.push(Op::Load {
+                    rd: data_reg(rng),
+                    base: Src::reg(r(ADDR_REG)),
+                    offset: LOAD_BASE,
+                    tag: MemTag(1),
+                });
+            }
+            8 => {
+                // Store aliasing the load window, tag 1: exercises
+                // store-buffer forwarding and the scheduler's memory
+                // dependence discipline.
+                let src = data_reg(rng);
+                ops.push(Op::Alu {
+                    op: AluOp::And,
+                    rd: r(ADDR_REG),
+                    a: Src::reg(src),
+                    b: Src::imm(WINDOW_MASK),
+                });
+                ops.push(Op::Store {
+                    base: Src::reg(r(ADDR_REG)),
+                    offset: LOAD_BASE,
+                    value: rand_src(rng),
+                    tag: MemTag(1),
+                });
+            }
+            _ => {
+                // Store into the disjoint store window, tag 2.
+                let src = data_reg(rng);
+                ops.push(Op::Alu {
+                    op: AluOp::And,
+                    rd: r(ADDR_REG),
+                    a: Src::reg(src),
+                    b: Src::imm(WINDOW_MASK),
+                });
+                ops.push(Op::Store {
+                    base: Src::reg(r(ADDR_REG)),
+                    offset: STORE_BASE,
+                    value: rand_src(rng),
+                    tag: MemTag(2),
+                });
+            }
+        }
+    }
+    ops
+}
+
+/// Appends a random number (`lo..=hi`) of random ops to `block`.
+fn fill(pb: &mut ProgramBuilder, block: psb_isa::BlockId, rng: &mut StdRng, lo: usize, hi: usize) {
+    let count = rng.gen_range(lo..=hi);
+    let ops = rand_ops(rng, count);
+    let mut bb = pb.block_mut(block);
+    for op in ops {
+        bb = bb.push(op);
+    }
+}
+
+/// Generates the fuzz case for `seed`.
+///
+/// The program is a chain of 3–7 fragments chosen among five shapes
+/// (straight line, diamond, nested diamond, triangle, counted loop with a
+/// data-dependent early exit), with every data register live-out.  With
+/// 70% probability, 2–6 addresses of the load window fault once.
+pub fn gen_case(seed: u64) -> FuzzCase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pb = ProgramBuilder::new(format!("fuzz-{seed}"));
+    pb.memory_size(128);
+    for a in 1..128 {
+        pb.mem_cell(a, rng.gen_range(-100..100));
+    }
+    for i in 1..=DATA_REGS {
+        pb.init_reg(r(i), rng.gen_range(-50..50));
+    }
+
+    let entry = pb.new_block();
+    let mut cur = entry;
+    let fragments = rng.gen_range(3..=7);
+    for _ in 0..fragments {
+        cur = match rng.gen_range(0..6) {
+            0 => {
+                // Straight-line fragment.
+                let next = pb.new_block();
+                fill(&mut pb, cur, &mut rng, 1, 5);
+                pb.block_mut(cur).jump(next);
+                next
+            }
+            1 | 2 => {
+                // Diamond.
+                let then_b = pb.new_block();
+                let else_b = pb.new_block();
+                let join = pb.new_block();
+                let cmp = rand_cmp(&mut rng);
+                let a = Src::reg(data_reg(&mut rng));
+                let b = rand_src(&mut rng);
+                pb.block_mut(cur).branch(cmp, a, b, then_b, else_b);
+                fill(&mut pb, then_b, &mut rng, 1, 4);
+                pb.block_mut(then_b).jump(join);
+                fill(&mut pb, else_b, &mut rng, 1, 4);
+                pb.block_mut(else_b).jump(join);
+                join
+            }
+            3 => {
+                // Nested diamond: the then arm branches again before the
+                // outer join, so the region formers see a 2-deep condition
+                // tree and tail-duplicating merges.
+                let then_b = pb.new_block();
+                let else_b = pb.new_block();
+                let inner_t = pb.new_block();
+                let inner_e = pb.new_block();
+                let join = pb.new_block();
+                let a = Src::reg(data_reg(&mut rng));
+                pb.block_mut(cur)
+                    .branch(rand_cmp(&mut rng), a, rand_src(&mut rng), then_b, else_b);
+                fill(&mut pb, then_b, &mut rng, 1, 3);
+                let a2 = Src::reg(data_reg(&mut rng));
+                pb.block_mut(then_b).branch(
+                    rand_cmp(&mut rng),
+                    a2,
+                    rand_src(&mut rng),
+                    inner_t,
+                    inner_e,
+                );
+                fill(&mut pb, inner_t, &mut rng, 1, 3);
+                pb.block_mut(inner_t).jump(join);
+                fill(&mut pb, inner_e, &mut rng, 1, 3);
+                pb.block_mut(inner_e).jump(join);
+                fill(&mut pb, else_b, &mut rng, 1, 3);
+                pb.block_mut(else_b).jump(join);
+                join
+            }
+            4 => {
+                // Triangle (one-armed if): the fall-through edge reaches
+                // the join directly, the classic tail-duplication trigger.
+                let then_b = pb.new_block();
+                let join = pb.new_block();
+                let a = Src::reg(data_reg(&mut rng));
+                pb.block_mut(cur)
+                    .branch(rand_cmp(&mut rng), a, rand_src(&mut rng), then_b, join);
+                fill(&mut pb, then_b, &mut rng, 1, 4);
+                pb.block_mut(then_b).jump(join);
+                join
+            }
+            _ => {
+                // Counted loop with a data-dependent early exit.
+                let body = pb.new_block();
+                let latch = pb.new_block();
+                let next = pb.new_block();
+                let n: i64 = rng.gen_range(2..=6);
+                pb.block_mut(cur).copy(r(LOOP_REG), 0).jump(body);
+                fill(&mut pb, body, &mut rng, 1, 4);
+                let e = Src::reg(data_reg(&mut rng));
+                // Early exit straight to `next` when the data test fires.
+                pb.block_mut(body)
+                    .branch(rand_cmp(&mut rng), e, rand_src(&mut rng), next, latch);
+                fill(&mut pb, latch, &mut rng, 0, 2);
+                pb.block_mut(latch)
+                    .alu(AluOp::Add, r(LOOP_REG), r(LOOP_REG), 1)
+                    .branch(CmpOp::Lt, r(LOOP_REG), n, body, next);
+                next
+            }
+        };
+    }
+    pb.block_mut(cur).halt();
+    pb.set_entry(entry);
+    pb.live_out((1..=DATA_REGS).map(r));
+    let program = pb.finish().expect("generated program must validate");
+
+    let mut fault_once = BTreeSet::new();
+    if rng.gen_bool(0.7) {
+        for _ in 0..rng.gen_range(2..=6) {
+            fault_once.insert(LOAD_BASE + rng.gen_range(0..=WINDOW_MASK));
+        }
+    }
+    FuzzCase {
+        program,
+        fault_once,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_case(42);
+        let b = gen_case(42);
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.fault_once, b.fault_once);
+    }
+
+    #[test]
+    fn generated_programs_validate_and_differ() {
+        let mut shapes = BTreeSet::new();
+        for seed in 0..50 {
+            let case = gen_case(seed);
+            case.program.validate().unwrap();
+            shapes.insert(case.program.blocks.len());
+        }
+        assert!(shapes.len() > 3, "degenerate generator: {shapes:?}");
+    }
+
+    #[test]
+    fn fault_addresses_stay_in_the_load_window() {
+        for seed in 0..50 {
+            let case = gen_case(seed);
+            for &a in &case.fault_once {
+                assert!((LOAD_BASE..=LOAD_BASE + WINDOW_MASK).contains(&a));
+            }
+        }
+    }
+}

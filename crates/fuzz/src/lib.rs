@@ -1,0 +1,27 @@
+//! Differential fuzzing for the predicated state-buffering machine.
+//!
+//! The crate closes the correctness loop the workloads' differentials
+//! only sample: a seeded structured generator ([`gen_case`]) produces
+//! region-shaped programs with speculative exceptions baked in, the
+//! lockstep driver ([`run_case`]) runs each one through profile →
+//! schedule (every model) → VLIW execution against the scalar golden
+//! model with an online [`psb_core::InvariantSink`] attached, and the
+//! delta-debugging shrinker ([`shrink_case`]) reduces any failure to a
+//! minimal repro that [`write_repro`] persists as deterministic text
+//! under `corpus/regressions/`.
+//!
+//! Orchestration (parallel fan-out, time budgets, the `repro fuzz` CLI)
+//! lives in `psb-eval`; this crate deliberately stays per-case so its
+//! pieces compose.
+
+#![warn(missing_docs)]
+
+mod corpus;
+mod diff;
+mod gen;
+mod shrink;
+
+pub use corpus::{load_corpus, load_repro, write_repro};
+pub use diff::{run_case, CaseStats, DiffConfig, FuzzFailure};
+pub use gen::{gen_case, FuzzCase, DATA_REGS};
+pub use shrink::{class_of, shrink_case, FailureClass};

@@ -1,0 +1,417 @@
+//! Delta-debugging shrinker for failing fuzz cases.
+//!
+//! Given a case that fails the differential driver, the shrinker greedily
+//! applies structure-aware reductions — drop an instruction, collapse a
+//! branch to one of its arms, simplify an operand to a constant, halve an
+//! immediate, drop fault addresses / initial values / memory cells / the
+//! live-out set, and garbage-collect unreachable blocks — keeping a
+//! mutation only if the reduced program still fails *in the same class*
+//! (same [`FuzzFailure`] variant on the same model).  Classic list-style
+//! delta debugging (chunked removal with doubling granularity) handles the
+//! bulk collections so 127 memory cells don't cost 127 runs.
+//!
+//! Every trial runs under a low cycle cap ([`DiffConfig::max_cycles`]):
+//! a mutation that turns a counted loop infinite (for example collapsing
+//! the latch branch to its back edge) fails fast with a cycle-limit error
+//! — a different failure class, so it is rejected — instead of spinning
+//! for the machines' default cap.
+
+use crate::diff::{run_case, DiffConfig, FuzzFailure};
+use crate::gen::FuzzCase;
+use psb_isa::{Src, Terminator};
+use psb_sched::Model;
+
+/// The identity of a failure for shrinking purposes: the variant plus the
+/// model it occurred on (`None` for scalar-side failures).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FailureClass {
+    kind: u8,
+    model: Option<Model>,
+}
+
+/// The class of `f` — two failures in the same class are treated as "the
+/// same bug" by the shrinker.
+pub fn class_of(f: &FuzzFailure) -> FailureClass {
+    match f {
+        FuzzFailure::Scalar(_) => FailureClass {
+            kind: 0,
+            model: None,
+        },
+        FuzzFailure::Schedule { model, .. } => FailureClass {
+            kind: 1,
+            model: Some(*model),
+        },
+        FuzzFailure::Machine { model, .. } => FailureClass {
+            kind: 2,
+            model: Some(*model),
+        },
+        FuzzFailure::Diverged { model, .. } => FailureClass {
+            kind: 3,
+            model: Some(*model),
+        },
+        FuzzFailure::Invariant { model, .. } => FailureClass {
+            kind: 4,
+            model: Some(*model),
+        },
+    }
+}
+
+/// Cycle cap for shrink trials: generous for any minimized program, tiny
+/// against the 2·10⁸ default.
+const TRIAL_CYCLE_CAP: u64 = 200_000;
+
+/// Minimizes `case`, which must fail under `cfg`.
+///
+/// Returns the minimized case and the failure it still exhibits, or
+/// `None` if the input does not fail in the first place.  Deterministic:
+/// the same input always shrinks to the same output.
+pub fn shrink_case(case: &FuzzCase, cfg: &DiffConfig) -> Option<(FuzzCase, FuzzFailure)> {
+    let trial_cfg = DiffConfig {
+        max_cycles: Some(cfg.max_cycles.unwrap_or(TRIAL_CYCLE_CAP)),
+        ..cfg.clone()
+    };
+    let class = class_of(&run_case(case, &trial_cfg).err()?);
+    let fails = |c: &FuzzCase| {
+        c.program.validate().is_ok()
+            && matches!(run_case(c, &trial_cfg), Err(ref f) if class_of(f) == class)
+    };
+
+    let mut cur = case.clone();
+    loop {
+        let mut progress = false;
+        progress |= drop_instructions(&mut cur, &fails);
+        progress |= simplify_branches(&mut cur, &fails);
+        progress |= thread_jumps(&mut cur, &fails);
+        progress |= compact_blocks(&mut cur, &fails);
+        progress |= simplify_operands(&mut cur, &fails);
+        progress |= shrink_lists(&mut cur, &fails);
+        if !progress {
+            break;
+        }
+    }
+    let failure = run_case(&cur, &trial_cfg).err()?;
+    Some((cur, failure))
+}
+
+/// Chunked list minimization (ddmin): tries removing progressively
+/// smaller chunks, restarting at coarse granularity after any success.
+fn minimize_list<T: Clone>(items: &[T], mut keep_fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut cur: Vec<T> = items.to_vec();
+    let mut chunk = cur.len().max(1);
+    while chunk >= 1 && !cur.is_empty() {
+        let mut start = 0;
+        let mut removed_any = false;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = cur.clone();
+            candidate.drain(start..end);
+            if keep_fails(&candidate) {
+                cur = candidate;
+                removed_any = true;
+                // Re-test the same start index against the shorter list.
+            } else {
+                start = end;
+            }
+        }
+        if !removed_any || chunk == 1 {
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        } else {
+            chunk = chunk.min(cur.len().max(1));
+        }
+    }
+    cur
+}
+
+/// Removes straight-line instructions, one block at a time with chunked
+/// removal inside the block.
+fn drop_instructions(cur: &mut FuzzCase, fails: &impl Fn(&FuzzCase) -> bool) -> bool {
+    let mut progress = false;
+    for b in 0..cur.program.blocks.len() {
+        let instrs = cur.program.blocks[b].instrs.clone();
+        if instrs.is_empty() {
+            continue;
+        }
+        let reduced = minimize_list(&instrs, |kept| {
+            let mut cand = cur.clone();
+            cand.program.blocks[b].instrs = kept.to_vec();
+            fails(&cand)
+        });
+        if reduced.len() < instrs.len() {
+            cur.program.blocks[b].instrs = reduced;
+            progress = true;
+        }
+    }
+    progress
+}
+
+/// Collapses branches to unconditional jumps (taken arm first, then the
+/// not-taken arm).
+fn simplify_branches(cur: &mut FuzzCase, fails: &impl Fn(&FuzzCase) -> bool) -> bool {
+    let mut progress = false;
+    for b in 0..cur.program.blocks.len() {
+        let (taken, not_taken) = match cur.program.blocks[b].term {
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => (taken, not_taken),
+            _ => continue,
+        };
+        for target in [taken, not_taken] {
+            let mut cand = cur.clone();
+            cand.program.blocks[b].term = Terminator::Jump(target);
+            if fails(&cand) {
+                *cur = cand;
+                progress = true;
+                break;
+            }
+        }
+    }
+    progress
+}
+
+/// Follows a chain of empty jump-only blocks starting at `t`, returning
+/// the first block that has instructions or a non-jump terminator.
+fn resolve_chain(prog: &psb_isa::ScalarProgram, mut t: psb_isa::BlockId) -> psb_isa::BlockId {
+    let mut hops = 0;
+    loop {
+        let blk = &prog.blocks[t.index()];
+        match blk.term {
+            Terminator::Jump(u) if blk.instrs.is_empty() && hops < prog.blocks.len() => {
+                t = u;
+                hops += 1;
+            }
+            _ => return t,
+        }
+    }
+}
+
+/// Threads control edges through empty jump-only blocks, and turns a jump
+/// into an empty halt block into a halt.  Behaviour-preserving, but only
+/// accepted if the failure survives.
+fn thread_jumps(cur: &mut FuzzCase, fails: &impl Fn(&FuzzCase) -> bool) -> bool {
+    let mut cand = cur.clone();
+    let mut changed = false;
+    for b in 0..cand.program.blocks.len() {
+        let new_term = match cand.program.blocks[b].term {
+            Terminator::Jump(t) => {
+                let r = resolve_chain(&cur.program, t);
+                let target = &cur.program.blocks[r.index()];
+                if target.instrs.is_empty() && target.term == Terminator::Halt {
+                    Terminator::Halt
+                } else {
+                    Terminator::Jump(r)
+                }
+            }
+            Terminator::Branch {
+                cmp,
+                a,
+                b: rhs,
+                taken,
+                not_taken,
+            } => Terminator::Branch {
+                cmp,
+                a,
+                b: rhs,
+                taken: resolve_chain(&cur.program, taken),
+                not_taken: resolve_chain(&cur.program, not_taken),
+            },
+            Terminator::Halt => continue,
+        };
+        if new_term != cand.program.blocks[b].term {
+            cand.program.blocks[b].term = new_term;
+            changed = true;
+        }
+    }
+    if changed && fails(&cand) {
+        *cur = cand;
+        true
+    } else {
+        false
+    }
+}
+
+/// Garbage-collects unreachable blocks and renumbers the survivors.
+fn compact_blocks(cur: &mut FuzzCase, fails: &impl Fn(&FuzzCase) -> bool) -> bool {
+    let n = cur.program.blocks.len();
+    let mut reachable = vec![false; n];
+    let mut stack = vec![cur.program.entry];
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut reachable[id.index()], true) {
+            continue;
+        }
+        stack.extend(cur.program.blocks[id.index()].term.successors());
+    }
+    if reachable.iter().all(|&r| r) {
+        return false;
+    }
+    let mut remap = vec![None; n];
+    let mut next = 0u32;
+    for (i, &r) in reachable.iter().enumerate() {
+        if r {
+            remap[i] = Some(psb_isa::BlockId(next));
+            next += 1;
+        }
+    }
+    let mut cand = cur.clone();
+    cand.program.blocks = cur
+        .program
+        .blocks
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| reachable[*i])
+        .map(|(_, blk)| {
+            let mut blk = blk.clone();
+            blk.term = blk.term.map_targets(|t| remap[t.index()].unwrap());
+            blk
+        })
+        .collect();
+    cand.program.entry = remap[cur.program.entry.index()].unwrap();
+    // Dropping dead code cannot change behaviour, but stay paranoid: only
+    // accept if the failure survives.
+    if fails(&cand) {
+        *cur = cand;
+        true
+    } else {
+        false
+    }
+}
+
+/// Replaces register operands with `0` and halves immediates toward zero,
+/// one source position at a time.
+fn simplify_operands(cur: &mut FuzzCase, fails: &impl Fn(&FuzzCase) -> bool) -> bool {
+    let mut progress = false;
+    for b in 0..cur.program.blocks.len() {
+        for i in 0..cur.program.blocks[b].instrs.len() {
+            let op = cur.program.blocks[b].instrs[i];
+            let nsrcs = op.srcs().len();
+            for s in 0..nsrcs {
+                let current = cur.program.blocks[b].instrs[i];
+                let replacement = match current.srcs()[s] {
+                    Src::Imm(0) => continue,
+                    Src::Imm(v) => Src::imm(v / 2),
+                    Src::Reg { .. } => Src::imm(0),
+                };
+                let mut idx = 0;
+                let simplified = current.map_srcs(|src| {
+                    let out = if idx == s { replacement } else { src };
+                    idx += 1;
+                    out
+                });
+                let mut cand = cur.clone();
+                cand.program.blocks[b].instrs[i] = simplified;
+                if fails(&cand) {
+                    *cur = cand;
+                    progress = true;
+                }
+            }
+        }
+        // Branch compare operands shrink the same way.
+        if let Terminator::Branch { a, b: rhs, .. } = cur.program.blocks[b].term {
+            for (pos, src) in [(0, a), (1, rhs)] {
+                let replacement = match src {
+                    Src::Imm(0) => continue,
+                    Src::Imm(v) => Src::imm(v / 2),
+                    Src::Reg { .. } => Src::imm(0),
+                };
+                let mut cand = cur.clone();
+                if let Terminator::Branch { a, b: rhs, .. } = &mut cand.program.blocks[b].term {
+                    if pos == 0 {
+                        *a = replacement;
+                    } else {
+                        *rhs = replacement;
+                    }
+                }
+                if fails(&cand) {
+                    *cur = cand;
+                    progress = true;
+                }
+            }
+        }
+    }
+    progress
+}
+
+/// Shrinks the bulk collections: fault addresses, initial registers,
+/// memory cells, and the live-out set.
+fn shrink_lists(cur: &mut FuzzCase, fails: &impl Fn(&FuzzCase) -> bool) -> bool {
+    let mut progress = false;
+
+    let faults: Vec<i64> = cur.fault_once.iter().copied().collect();
+    let reduced = minimize_list(&faults, |kept| {
+        let mut cand = cur.clone();
+        cand.fault_once = kept.iter().copied().collect();
+        fails(&cand)
+    });
+    if reduced.len() < faults.len() {
+        cur.fault_once = reduced.into_iter().collect();
+        progress = true;
+    }
+
+    let inits = cur.program.init_regs.clone();
+    let reduced = minimize_list(&inits, |kept| {
+        let mut cand = cur.clone();
+        cand.program.init_regs = kept.to_vec();
+        fails(&cand)
+    });
+    if reduced.len() < inits.len() {
+        cur.program.init_regs = reduced;
+        progress = true;
+    }
+
+    let cells = cur.program.memory.cells.clone();
+    let reduced = minimize_list(&cells, |kept| {
+        let mut cand = cur.clone();
+        cand.program.memory.cells = kept.to_vec();
+        fails(&cand)
+    });
+    if reduced.len() < cells.len() {
+        cur.program.memory.cells = reduced;
+        progress = true;
+    }
+
+    let live = cur.program.live_out.clone();
+    let reduced = minimize_list(&live, |kept| {
+        let mut cand = cur.clone();
+        cand.program.live_out = kept.to_vec();
+        fails(&cand)
+    });
+    if reduced.len() < live.len() {
+        cur.program.live_out = reduced;
+        progress = true;
+    }
+
+    progress
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+
+    #[test]
+    fn clean_cases_do_not_shrink() {
+        assert!(shrink_case(&gen_case(0), &DiffConfig::default()).is_none());
+    }
+
+    #[test]
+    fn injected_bug_shrinks_to_a_tiny_repro() {
+        let cfg = DiffConfig {
+            inject_recovery_bug: true,
+            ..DiffConfig::default()
+        };
+        let failing = (0..60)
+            .map(gen_case)
+            .find(|c| run_case(c, &cfg).is_err())
+            .expect("no seed tripped the injected bug");
+        let before = failing.instruction_count();
+        let (small, failure) = shrink_case(&failing, &cfg).unwrap();
+        assert!(
+            small.instruction_count() <= 8,
+            "shrunk to {} instructions (from {before}): {failure}\n{}",
+            small.instruction_count(),
+            small.program.to_asm()
+        );
+    }
+}
