@@ -1,0 +1,55 @@
+//! Issue-loop engine comparison: the pre-decoded arena hot path against
+//! the legacy per-cycle decode path, on real scheduled programs.
+//!
+//! The two engines execute the identical architecture (the differential
+//! suite proves byte-equal results); what this group measures is pure
+//! simulator cost — the legacy path clones the `MultiOp` and walks
+//! `SlotOp::srcs()` allocations every cycle, while the pre-decoded path
+//! reads `Copy` slots from a dense arena and screens operand hazards
+//! with one mask intersection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psb_core::{Engine, MachineConfig, VliwMachine};
+use psb_isa::VliwProgram;
+use psb_scalar::{ScalarConfig, ScalarMachine};
+use psb_sched::{schedule, Model, SchedConfig};
+use std::hint::black_box;
+
+fn scheduled(name: &str) -> VliwProgram {
+    let w = psb_workloads::by_name(name, 3, 512).unwrap();
+    let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
+        .run()
+        .unwrap()
+        .edge_profile;
+    schedule(&w.program, &profile, &SchedConfig::new(Model::RegionPred)).unwrap()
+}
+
+fn bench_engines(c: &mut Criterion, name: &'static str) {
+    let vliw = scheduled(name);
+    let mut g = c.benchmark_group(format!("issue_loop_{name}"));
+    for (label, engine) in [
+        ("legacy", Engine::Legacy),
+        ("predecoded", Engine::Predecoded),
+    ] {
+        let cfg = MachineConfig {
+            engine,
+            ..MachineConfig::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(VliwMachine::run_program(black_box(&vliw), cfg.clone())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_issue_loop(c: &mut Criterion) {
+    bench_engines(c, "li");
+    bench_engines(c, "grep");
+}
+
+criterion_group! {
+    name = issue_loop;
+    config = Criterion::default().sample_size(20);
+    targets = bench_issue_loop
+}
+criterion_main!(issue_loop);

@@ -36,6 +36,25 @@ pub enum CommitScan {
     Indexed,
 }
 
+/// Which issue-path implementation drives the machine.
+///
+/// Both engines execute the same architecture and are held observably
+/// identical by the engine-differential proptests and the fuzz harness.
+/// They differ only in simulator cost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// Decode every VLIW word once at `run_program` entry into a dense
+    /// arena (flat `Copy` slots, pre-computed source-register bitmasks,
+    /// per-word issue metadata) and drive the per-cycle issue loop from
+    /// it — no allocation on the hot path.
+    #[default]
+    Predecoded,
+    /// The original issue loop: clone the current `MultiOp` each cycle
+    /// and materialise per-slot source lists on demand.  Kept as the
+    /// differential oracle for the pre-decoded engine.
+    Legacy,
+}
+
 /// Full configuration of the predicating machine.
 #[derive(Clone, PartialEq, Debug)]
 pub struct MachineConfig {
@@ -68,6 +87,8 @@ pub struct MachineConfig {
     pub record_events: bool,
     /// Commit-pass strategy (simulator-only knob; no architectural effect).
     pub commit_scan: CommitScan,
+    /// Issue-path engine (simulator-only knob; no architectural effect).
+    pub engine: Engine,
     /// **Test-only fault injection**: defer the recovery-exit commit pass to
     /// the next cycle's regular pass instead of running it before the EPC
     /// word issues.  This reintroduces the stale-shadow clobber the seed
@@ -94,6 +115,7 @@ impl Default for MachineConfig {
             max_cycles: 200_000_000,
             record_events: false,
             commit_scan: CommitScan::Indexed,
+            engine: Engine::Predecoded,
             defer_recovery_exit_commit: false,
         }
     }

@@ -1,0 +1,210 @@
+//! Pre-decoded program representation for the hot issue path.
+//!
+//! The legacy issue path re-reads its program every cycle: it clones the
+//! [`MultiOp`](psb_isa::MultiOp) word at PC (a `Vec` allocation) and walks
+//! [`SlotOp::srcs`] (another allocation per slot) to screen for operand
+//! hazards.  The pre-decoded engine instead decodes the whole program once
+//! at machine construction into a dense arena of `Copy` slots whose
+//! source-register sets are pre-folded into bitmasks, plus per-word
+//! metadata that lets the issue loop skip the store/control prepass and
+//! the fall-through region lookup when they cannot matter.  The per-cycle
+//! issue loop is then allocation-free and hazard screening is a single
+//! mask intersection per word.
+//!
+//! Both engines share the per-slot execution semantics
+//! (`VliwMachine::exec_slot_*`), so the decoded representation only
+//! changes *how fast* a word is inspected, never *what* it does; the
+//! differential fuzz harness holds the two engines to byte-identical
+//! event logs.
+
+use psb_isa::{Op, Predicate, SlotOp, VliwProgram, NUM_REGS};
+
+// Source-register sets are u64 bitmasks.
+const _: () = assert!(NUM_REGS <= 64, "register masks are u64");
+
+/// One pre-decoded slot: the predicate and operation copied out of the
+/// program, plus the set of registers the operation reads.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DecodedSlot {
+    /// The slot's commit condition.
+    pub pred: Predicate,
+    /// The operation.
+    pub op: SlotOp,
+    /// Bit `r` set iff the operation reads register `r` (shadow or
+    /// sequential source alike — both stall on an in-flight write).
+    pub src_mask: u64,
+}
+
+/// Per-word metadata driving the issue loop's fast paths.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DecodedWord {
+    /// Index of this word's first slot in [`DecodedProgram::slots`].
+    pub first_slot: u32,
+    /// Number of slots in this word.
+    pub num_slots: u32,
+    /// Union of the slots' [`DecodedSlot::src_mask`]s: when it does not
+    /// intersect the in-flight destination mask, no slot can stall on an
+    /// operand and the per-slot hazard check is skipped.
+    pub src_union: u64,
+    /// Number of store slots (counted regardless of predicate).  Zero lets
+    /// the issue loop skip the store-buffer overflow prepass entirely.
+    pub store_slots: u8,
+    /// Whether any slot is a control transfer (jump, compare-and-branch or
+    /// halt) whose predicate the prepass must screen.
+    pub has_control: bool,
+    /// Whether `addr + 1` is a region start, pre-resolving the
+    /// fall-through region check's binary search.
+    pub falls_into_region: bool,
+}
+
+/// A program decoded once into dense slot and word arenas.
+///
+/// Built by [`DecodedProgram::decode`] at machine construction
+/// ([`Engine::Predecoded`](crate::Engine::Predecoded) reads it on every
+/// cycle; [`Engine::Legacy`](crate::Engine::Legacy) ignores it and
+/// re-decodes per cycle as the differential oracle).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct DecodedProgram {
+    /// Per-word metadata, indexed by word address.
+    pub words: Vec<DecodedWord>,
+    /// All slots, grouped by word (`words[a]` owns
+    /// `slots[first_slot..first_slot + num_slots]`).
+    pub slots: Vec<DecodedSlot>,
+}
+
+/// The set of registers read by `op`, as a bitmask.
+fn src_mask(op: &SlotOp) -> u64 {
+    op.srcs()
+        .iter()
+        .filter_map(|s| s.as_reg())
+        .fold(0, |m, r| m | (1u64 << r.index()))
+}
+
+impl DecodedProgram {
+    /// Decodes `prog` into the dense arena form.  Called once per machine
+    /// construction; every per-cycle question the issue loop asks is
+    /// answered here ahead of time.
+    pub fn decode(prog: &VliwProgram) -> DecodedProgram {
+        let mut words = Vec::with_capacity(prog.words.len());
+        let mut slots = Vec::with_capacity(prog.words.iter().map(|w| w.slots.len()).sum());
+        for (addr, word) in prog.words.iter().enumerate() {
+            let first_slot = slots.len() as u32;
+            let mut src_union = 0u64;
+            let mut store_slots = 0u8;
+            let mut has_control = false;
+            for slot in &word.slots {
+                let mask = src_mask(&slot.op);
+                src_union |= mask;
+                match slot.op {
+                    SlotOp::Op(Op::Store { .. }) => store_slots += 1,
+                    SlotOp::Jump { .. } | SlotOp::CmpBr { .. } | SlotOp::Halt => {
+                        has_control = true;
+                    }
+                    _ => {}
+                }
+                slots.push(DecodedSlot {
+                    pred: slot.pred,
+                    op: slot.op,
+                    src_mask: mask,
+                });
+            }
+            let next = addr + 1;
+            words.push(DecodedWord {
+                first_slot,
+                num_slots: word.slots.len() as u32,
+                src_union,
+                store_slots,
+                has_control,
+                falls_into_region: next < prog.words.len()
+                    && prog.region_starts.binary_search(&next).is_ok(),
+            });
+        }
+        DecodedProgram { words, slots }
+    }
+
+    /// The slot index range of `word`.
+    #[inline]
+    pub fn slot_range(word: &DecodedWord) -> std::ops::Range<usize> {
+        let a = word.first_slot as usize;
+        a..a + word.num_slots as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_isa::{AluOp, MemImage, MemTag, MultiOp, Reg, Slot, Src};
+
+    fn prog() -> VliwProgram {
+        let r = Reg::new;
+        VliwProgram {
+            name: "decode-test".into(),
+            words: vec![
+                // W0: alu reading r1, r2; store reading r3, r4.
+                MultiOp::new(vec![
+                    Slot::alw(SlotOp::Op(Op::Alu {
+                        op: AluOp::Add,
+                        rd: r(5),
+                        a: Src::reg(r(1)),
+                        b: Src::reg(r(2)),
+                    })),
+                    Slot::alw(SlotOp::Op(Op::Store {
+                        base: Src::reg(r(3)),
+                        offset: 0,
+                        value: Src::reg(r(4)),
+                        tag: MemTag::ANY,
+                    })),
+                ]),
+                // W1: pure nop word (falls into the region at W2).
+                MultiOp::new(vec![Slot::alw(SlotOp::Op(Op::Nop))]),
+                // W2: halt (control).
+                MultiOp::new(vec![Slot::alw(SlotOp::Halt)]),
+            ],
+            region_starts: vec![0, 2],
+            num_conds: 2,
+            init_regs: vec![],
+            memory: MemImage::zeroed(8),
+            live_out: vec![],
+        }
+    }
+
+    #[test]
+    fn decode_masks_and_metadata() {
+        let d = DecodedProgram::decode(&prog());
+        assert_eq!(d.words.len(), 3);
+        assert_eq!(d.slots.len(), 4);
+
+        let w0 = &d.words[0];
+        assert_eq!((w0.first_slot, w0.num_slots), (0, 2));
+        assert_eq!(w0.src_union, 0b11110);
+        assert_eq!(w0.store_slots, 1);
+        assert!(!w0.has_control);
+        assert!(!w0.falls_into_region);
+        assert_eq!(d.slots[0].src_mask, 0b00110);
+        assert_eq!(d.slots[1].src_mask, 0b11000);
+
+        let w1 = &d.words[1];
+        assert_eq!(w1.src_union, 0);
+        assert_eq!(w1.store_slots, 0);
+        assert!(!w1.has_control);
+        assert!(w1.falls_into_region, "W2 is a region start");
+
+        let w2 = &d.words[2];
+        assert!(w2.has_control);
+        assert!(!w2.falls_into_region, "no word past the end");
+        assert_eq!(DecodedProgram::slot_range(w2), 3..4);
+    }
+
+    #[test]
+    fn immediates_contribute_no_mask_bits() {
+        let r = Reg::new;
+        let op = SlotOp::Op(Op::Alu {
+            op: AluOp::Add,
+            rd: r(1),
+            a: Src::imm(3),
+            b: Src::reg(r(7)),
+        });
+        assert_eq!(src_mask(&op), 1 << 7);
+        assert_eq!(src_mask(&SlotOp::Jump { target: 0 }), 0);
+    }
+}

@@ -169,7 +169,7 @@ impl InvariantSink {
     fn on_commit(&mut self, cycle: u64, loc: StateLoc) {
         let k = key(loc);
         let stale = self.awaiting_future_conds;
-        let ccr = self.ccr.clone();
+        let ccr = self.ccr;
         let mut message = None;
         let mut now_empty = false;
         if let Some(entries) = self.outstanding.get_mut(&k) {
@@ -211,7 +211,7 @@ impl InvariantSink {
 
     fn on_squash(&mut self, cycle: u64, loc: StateLoc) {
         let k = key(loc);
-        let ccr = self.ccr.clone();
+        let ccr = self.ccr;
         let mut missing = false;
         let mut now_empty = false;
         if let Some(entries) = self.outstanding.get_mut(&k) {

@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod decoded;
 mod event;
 mod invariant;
 mod machine;
@@ -63,7 +64,8 @@ mod obs;
 mod regfile;
 mod storebuf;
 
-pub use config::{CommitScan, MachineConfig, ShadowMode};
+pub use config::{CommitScan, Engine, MachineConfig, ShadowMode};
+pub use decoded::{DecodedProgram, DecodedSlot, DecodedWord};
 pub use event::{audit_events, AuditViolation, Event, EventLog, StateLoc};
 pub use invariant::{InvariantSink, InvariantViolation};
 pub use machine::{RunStats, VliwError, VliwMachine, VliwResult};

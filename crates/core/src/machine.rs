@@ -23,7 +23,8 @@
 //!    invalidated, and the machine rolls back to the RPC in recovery mode;
 //!    otherwise the candidate becomes the CCR and control advances.
 
-use crate::config::MachineConfig;
+use crate::config::{Engine, MachineConfig};
+use crate::decoded::DecodedProgram;
 use crate::event::{Event, EventLog, StateLoc};
 use crate::obs::{CycleSample, StallKind, TraceSink};
 use crate::regfile::PredicatedRegFile;
@@ -195,6 +196,9 @@ struct PendingStore {
 #[derive(Clone, Debug)]
 pub struct VliwMachine<'p, S: TraceSink = EventLog> {
     prog: &'p VliwProgram,
+    /// The program decoded once into dense `Copy` arenas; read every cycle
+    /// by [`Engine::Predecoded`], ignored by [`Engine::Legacy`].
+    decoded: DecodedProgram,
     cfg: MachineConfig,
     regs: PredicatedRegFile,
     sb: PredicatedStoreBuffer,
@@ -289,6 +293,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
             regs.init(r, v);
         }
         Ok(VliwMachine {
+            decoded: DecodedProgram::decode(prog),
             regs,
             sb: PredicatedStoreBuffer::new(cfg.store_buffer_size).with_commit_scan(cfg.commit_scan),
             memory: Memory::from_image(&prog.memory),
@@ -356,6 +361,15 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
         self.sb
             .forward(addr, pred)
             .unwrap_or_else(|| self.memory.read(addr).expect("address classified valid"))
+    }
+
+    /// Bitmask of registers targeted by in-flight writes (the pre-decoded
+    /// path's hazard screen intersects this with the word's source union).
+    #[inline]
+    fn inflight_dest_mask(&self) -> u64 {
+        self.inflight
+            .iter()
+            .fold(0u64, |m, f| m | (1u64 << f.dest.index()))
     }
 
     /// Whether any in-flight write targets a register read by a live slot
@@ -485,7 +499,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
         });
         // Force-complete in-flight writes from earlier words; the rolled
         // back word's own effects are discarded entirely (it re-executes).
-        let ccr = self.ccr.clone();
+        let ccr = self.ccr;
         let mut landed = Vec::new();
         self.inflight.retain(|f| {
             if f.word == issued_word {
@@ -556,149 +570,230 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 self.stats.ops_squashed += 1;
                 continue;
             }
-            let nonspec = pv == Cond::True;
-            match slot.op {
-                SlotOp::Op(Op::Nop) => {}
-                SlotOp::Op(Op::Alu { op, rd, a, b }) => {
-                    let v = op.apply(self.read_src(a, &slot.pred), self.read_src(b, &slot.pred));
-                    out.writes.push(PendingWrite {
-                        dest: rd,
-                        value: v,
-                        pred: slot.pred,
-                        nonspec,
-                        exc: false,
-                    });
-                    self.stats.ops_executed += 1;
-                }
-                SlotOp::Op(Op::Copy { rd, src }) => {
-                    let v = self.read_src(src, &slot.pred);
-                    out.writes.push(PendingWrite {
-                        dest: rd,
-                        value: v,
-                        pred: slot.pred,
-                        nonspec,
-                        exc: false,
-                    });
-                    self.stats.ops_executed += 1;
-                }
-                SlotOp::Op(Op::SetCond { c, cmp, a, b }) => {
-                    let v = cmp.apply(self.read_src(a, &slot.pred), self.read_src(b, &slot.pred));
-                    out.conds.push((c, v));
-                    self.stats.ops_executed += 1;
-                }
-                SlotOp::Op(Op::Load {
-                    rd, base, offset, ..
-                }) => {
-                    let addr = self.read_src(base, &slot.pred).wrapping_add(offset);
-                    let (value, exc) = match self.classify_access(addr) {
-                        Ok(()) => (self.load_value(addr, &slot.pred), false),
-                        Err(fault) if nonspec => match fault {
-                            Some(f) => {
-                                return Err(VliwError::Fault {
-                                    word: self.pc,
-                                    fault: f,
-                                })
-                            }
-                            None => {
-                                self.handle_fault(addr);
-                                (self.load_value(addr, &slot.pred), false)
-                            }
-                        },
-                        Err(_) => {
-                            // Buffer the speculative exception.
-                            let cycle = self.cycle;
-                            self.sink.push(|| Event::ExcLatched { cycle, addr });
-                            (0, true)
-                        }
-                    };
-                    self.inflight.push(InFlight {
-                        ready_end: self.cycle + self.cfg.load_latency - 1,
-                        word: self.pc,
-                        dest: rd,
-                        value,
-                        pred: slot.pred,
-                        exc,
-                    });
-                    self.stats.ops_executed += 1;
-                }
-                SlotOp::Op(Op::Store {
-                    base,
-                    offset,
-                    value,
-                    ..
-                }) => {
-                    let addr = self.read_src(base, &slot.pred).wrapping_add(offset);
-                    let v = self.read_src(value, &slot.pred);
-                    let exc = match self.classify_access(addr) {
-                        Ok(()) => false,
-                        Err(fault) if nonspec => match fault {
-                            Some(f) => {
-                                return Err(VliwError::Fault {
-                                    word: self.pc,
-                                    fault: f,
-                                })
-                            }
-                            None => {
-                                self.handle_fault(addr);
-                                false
-                            }
-                        },
-                        Err(_) => {
-                            let cycle = self.cycle;
-                            self.sink.push(|| Event::ExcLatched { cycle, addr });
-                            true
-                        }
-                    };
-                    out.stores.push(PendingStore {
-                        addr,
-                        value: v,
-                        pred: slot.pred,
-                        spec: !nonspec,
-                        exc,
-                    });
-                    self.stats.ops_executed += 1;
-                }
-                SlotOp::Jump { target } => {
-                    if nonspec {
-                        if out.jump.is_some() {
-                            return Err(VliwError::Malformed(format!(
-                                "word {}: two taken jumps in one word",
-                                self.pc
-                            )));
-                        }
-                        out.jump = Some(target);
+            self.exec_slot_normal(slot.pred, slot.op, pv == Cond::True, &mut out)?;
+        }
+        Ok(IssueOutcome::Issued(out))
+    }
+
+    /// Issues the word at PC in normal mode via the pre-decoded arena.
+    ///
+    /// Semantically identical to [`issue_normal`](Self::issue_normal) —
+    /// both funnel live slots through
+    /// [`exec_slot_normal`](Self::exec_slot_normal) — but reads `Copy`
+    /// slots out of [`DecodedProgram`] instead of cloning the `MultiOp`,
+    /// screens operand hazards with one mask intersection, and skips the
+    /// store/control prepass when the word's metadata proves it idle.
+    fn issue_normal_decoded(&mut self) -> Result<IssueOutcome, VliwError> {
+        let w = self.decoded.words[self.pc];
+        let range = DecodedProgram::slot_range(&w);
+        // Operand hazard: the union mask screens the whole word; only on a
+        // hit does the precise, predicate-gated per-slot check run.
+        if !self.inflight.is_empty() {
+            let inflight = self.inflight_dest_mask();
+            if w.src_union & inflight != 0 {
+                for i in range.clone() {
+                    let s = self.decoded.slots[i];
+                    if s.src_mask & inflight != 0 && s.pred.eval(&self.ccr) != Cond::False {
+                        self.stats.stall_operand += 1;
+                        return Ok(IssueOutcome::Stalled(StallKind::Operand));
                     }
-                    self.stats.ops_executed += 1;
-                }
-                SlotOp::CmpBr {
-                    c,
-                    cmp,
-                    a,
-                    b,
-                    target,
-                } => {
-                    let v = cmp.apply(self.read_src(a, &slot.pred), self.read_src(b, &slot.pred));
-                    if let Some(c) = c {
-                        out.conds.push((c, v));
-                    }
-                    if v {
-                        if out.jump.is_some() {
-                            return Err(VliwError::Malformed(format!(
-                                "word {}: two taken jumps in one word",
-                                self.pc
-                            )));
-                        }
-                        out.jump = Some(target);
-                    }
-                    self.stats.ops_executed += 1;
-                }
-                SlotOp::Halt => {
-                    out.halt = true;
-                    self.stats.ops_executed += 1;
                 }
             }
         }
+        // Store/control prepass, skipped when the word has neither (an
+        // empty store buffer check can never stall: `would_overflow(0)` is
+        // always false).
+        if w.has_control || w.store_slots > 0 {
+            let mut store_count = 0;
+            for i in range.clone() {
+                let s = self.decoded.slots[i];
+                match s.op {
+                    SlotOp::Jump { .. } | SlotOp::Halt | SlotOp::CmpBr { .. }
+                        if s.pred.eval(&self.ccr) == Cond::Unspecified =>
+                    {
+                        return Err(VliwError::Malformed(format!(
+                            "word {}: control-transfer predicate {} unspecified at issue",
+                            self.pc, s.pred
+                        )));
+                    }
+                    SlotOp::Op(Op::Store { .. }) if s.pred.eval(&self.ccr) != Cond::False => {
+                        store_count += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if self.sb.would_overflow(store_count) {
+                self.stats.stall_sb_full += 1;
+                return Ok(IssueOutcome::Stalled(StallKind::SbFull));
+            }
+        }
+
+        let mut out = CycleOut::default();
+        self.stats.words_issued += 1;
+        for i in range {
+            let s = self.decoded.slots[i];
+            let pv = s.pred.eval(&self.ccr);
+            if pv == Cond::False {
+                self.stats.ops_squashed += 1;
+                continue;
+            }
+            self.exec_slot_normal(s.pred, s.op, pv == Cond::True, &mut out)?;
+        }
         Ok(IssueOutcome::Issued(out))
+    }
+
+    /// Executes one live (predicate not false) slot in normal mode,
+    /// accumulating its effects into `out`.  Shared verbatim by the legacy
+    /// and pre-decoded issue paths so the per-slot semantics cannot drift
+    /// between engines.
+    fn exec_slot_normal(
+        &mut self,
+        pred: Predicate,
+        op: SlotOp,
+        nonspec: bool,
+        out: &mut CycleOut,
+    ) -> Result<(), VliwError> {
+        match op {
+            SlotOp::Op(Op::Nop) => {}
+            SlotOp::Op(Op::Alu { op, rd, a, b }) => {
+                let v = op.apply(self.read_src(a, &pred), self.read_src(b, &pred));
+                out.writes.push(PendingWrite {
+                    dest: rd,
+                    value: v,
+                    pred,
+                    nonspec,
+                    exc: false,
+                });
+                self.stats.ops_executed += 1;
+            }
+            SlotOp::Op(Op::Copy { rd, src }) => {
+                let v = self.read_src(src, &pred);
+                out.writes.push(PendingWrite {
+                    dest: rd,
+                    value: v,
+                    pred,
+                    nonspec,
+                    exc: false,
+                });
+                self.stats.ops_executed += 1;
+            }
+            SlotOp::Op(Op::SetCond { c, cmp, a, b }) => {
+                let v = cmp.apply(self.read_src(a, &pred), self.read_src(b, &pred));
+                out.conds.push((c, v));
+                self.stats.ops_executed += 1;
+            }
+            SlotOp::Op(Op::Load {
+                rd, base, offset, ..
+            }) => {
+                let addr = self.read_src(base, &pred).wrapping_add(offset);
+                let (value, exc) = match self.classify_access(addr) {
+                    Ok(()) => (self.load_value(addr, &pred), false),
+                    Err(fault) if nonspec => match fault {
+                        Some(f) => {
+                            return Err(VliwError::Fault {
+                                word: self.pc,
+                                fault: f,
+                            })
+                        }
+                        None => {
+                            self.handle_fault(addr);
+                            (self.load_value(addr, &pred), false)
+                        }
+                    },
+                    Err(_) => {
+                        // Buffer the speculative exception.
+                        let cycle = self.cycle;
+                        self.sink.push(|| Event::ExcLatched { cycle, addr });
+                        (0, true)
+                    }
+                };
+                self.inflight.push(InFlight {
+                    ready_end: self.cycle + self.cfg.load_latency - 1,
+                    word: self.pc,
+                    dest: rd,
+                    value,
+                    pred,
+                    exc,
+                });
+                self.stats.ops_executed += 1;
+            }
+            SlotOp::Op(Op::Store {
+                base,
+                offset,
+                value,
+                ..
+            }) => {
+                let addr = self.read_src(base, &pred).wrapping_add(offset);
+                let v = self.read_src(value, &pred);
+                let exc = match self.classify_access(addr) {
+                    Ok(()) => false,
+                    Err(fault) if nonspec => match fault {
+                        Some(f) => {
+                            return Err(VliwError::Fault {
+                                word: self.pc,
+                                fault: f,
+                            })
+                        }
+                        None => {
+                            self.handle_fault(addr);
+                            false
+                        }
+                    },
+                    Err(_) => {
+                        let cycle = self.cycle;
+                        self.sink.push(|| Event::ExcLatched { cycle, addr });
+                        true
+                    }
+                };
+                out.stores.push(PendingStore {
+                    addr,
+                    value: v,
+                    pred,
+                    spec: !nonspec,
+                    exc,
+                });
+                self.stats.ops_executed += 1;
+            }
+            SlotOp::Jump { target } => {
+                if nonspec {
+                    if out.jump.is_some() {
+                        return Err(VliwError::Malformed(format!(
+                            "word {}: two taken jumps in one word",
+                            self.pc
+                        )));
+                    }
+                    out.jump = Some(target);
+                }
+                self.stats.ops_executed += 1;
+            }
+            SlotOp::CmpBr {
+                c,
+                cmp,
+                a,
+                b,
+                target,
+            } => {
+                let v = cmp.apply(self.read_src(a, &pred), self.read_src(b, &pred));
+                if let Some(c) = c {
+                    out.conds.push((c, v));
+                }
+                if v {
+                    if out.jump.is_some() {
+                        return Err(VliwError::Malformed(format!(
+                            "word {}: two taken jumps in one word",
+                            self.pc
+                        )));
+                    }
+                    out.jump = Some(target);
+                }
+                self.stats.ops_executed += 1;
+            }
+            SlotOp::Halt => {
+                out.halt = true;
+                self.stats.ops_executed += 1;
+            }
+        }
+        Ok(())
     }
 
     /// Issues the word at PC in recovery mode (Section 3.5): instructions
@@ -744,126 +839,198 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 self.stats.ops_squashed += 1;
                 continue;
             }
-            match slot.op {
-                SlotOp::Jump { .. } | SlotOp::Halt => {
-                    return Err(VliwError::Malformed(format!(
-                        "word {}: unspecified jump predicate during recovery",
-                        self.pc
-                    )));
-                }
-                SlotOp::CmpBr { .. } | SlotOp::Op(Op::SetCond { .. }) => {
-                    // Condition-sets carry `alw` predicates, so they can
-                    // never be unspecified; validated at load time.
-                    return Err(VliwError::Malformed(format!(
-                        "word {}: predicated condition-set during recovery",
-                        self.pc
-                    )));
-                }
-                SlotOp::Op(Op::Nop) => {}
-                SlotOp::Op(Op::Alu { op, rd, a, b }) => {
-                    let v = op.apply(self.read_src(a, &slot.pred), self.read_src(b, &slot.pred));
-                    out.writes.push(PendingWrite {
-                        dest: rd,
-                        value: v,
-                        pred: slot.pred,
-                        nonspec: false,
-                        exc: false,
-                    });
-                    self.stats.ops_executed += 1;
-                }
-                SlotOp::Op(Op::Copy { rd, src }) => {
-                    let v = self.read_src(src, &slot.pred);
-                    out.writes.push(PendingWrite {
-                        dest: rd,
-                        value: v,
-                        pred: slot.pred,
-                        nonspec: false,
-                        exc: false,
-                    });
-                    self.stats.ops_executed += 1;
-                }
-                SlotOp::Op(Op::Load {
-                    rd, base, offset, ..
-                }) => {
-                    let addr = self.read_src(base, &slot.pred).wrapping_add(offset);
-                    let (value, exc) = match self.classify_access(addr) {
-                        Ok(()) => (self.load_value(addr, &slot.pred), false),
-                        Err(fault) => match slot.pred.eval(future) {
-                            Cond::True => match fault {
-                                Some(f) => {
-                                    return Err(VliwError::Fault {
-                                        word: self.pc,
-                                        fault: f,
-                                    })
-                                }
-                                None => {
-                                    // The original exception: handle it.
-                                    self.handle_fault(addr);
-                                    (self.load_value(addr, &slot.pred), false)
-                                }
-                            },
-                            Cond::False => (0, false), // ignored exception
-                            Cond::Unspecified => {
-                                // Re-buffered: still speculative in recovery.
-                                let cycle = self.cycle;
-                                self.sink.push(|| Event::ExcLatched { cycle, addr });
-                                (0, true)
-                            }
-                        },
-                    };
-                    self.inflight.push(InFlight {
-                        ready_end: self.cycle + self.cfg.load_latency - 1,
-                        word: self.pc,
-                        dest: rd,
-                        value,
-                        pred: slot.pred,
-                        exc,
-                    });
-                    self.stats.ops_executed += 1;
-                }
-                SlotOp::Op(Op::Store {
-                    base,
-                    offset,
-                    value,
-                    ..
-                }) => {
-                    let addr = self.read_src(base, &slot.pred).wrapping_add(offset);
-                    let v = self.read_src(value, &slot.pred);
-                    let exc = match self.classify_access(addr) {
-                        Ok(()) => false,
-                        Err(fault) => match slot.pred.eval(future) {
-                            Cond::True => match fault {
-                                Some(f) => {
-                                    return Err(VliwError::Fault {
-                                        word: self.pc,
-                                        fault: f,
-                                    })
-                                }
-                                None => {
-                                    self.handle_fault(addr);
-                                    false
-                                }
-                            },
-                            Cond::False => false,
-                            Cond::Unspecified => {
-                                let cycle = self.cycle;
-                                self.sink.push(|| Event::ExcLatched { cycle, addr });
-                                true
-                            }
-                        },
-                    };
-                    out.stores.push(PendingStore {
-                        addr,
-                        value: v,
-                        pred: slot.pred,
-                        spec: true,
-                        exc,
-                    });
-                    self.stats.ops_executed += 1;
+            self.exec_slot_recovery(slot.pred, slot.op, future, &mut out)?;
+        }
+        Ok(IssueOutcome::Issued(out))
+    }
+
+    /// Issues the word at PC in recovery mode via the pre-decoded arena —
+    /// the counterpart of [`issue_normal_decoded`](Self::issue_normal_decoded),
+    /// funnelling unspecified slots through
+    /// [`exec_slot_recovery`](Self::exec_slot_recovery).
+    fn issue_recovery_decoded(&mut self, future: &Ccr) -> Result<IssueOutcome, VliwError> {
+        let w = self.decoded.words[self.pc];
+        let range = DecodedProgram::slot_range(&w);
+        if !self.inflight.is_empty() {
+            let inflight = self.inflight_dest_mask();
+            if w.src_union & inflight != 0 {
+                for i in range.clone() {
+                    let s = self.decoded.slots[i];
+                    if s.src_mask & inflight != 0 && s.pred.eval(&self.ccr) != Cond::False {
+                        self.stats.stall_operand += 1;
+                        return Ok(IssueOutcome::Stalled(StallKind::Operand));
+                    }
                 }
             }
         }
+        if w.store_slots > 0 {
+            let mut store_count = 0;
+            for i in range.clone() {
+                let s = self.decoded.slots[i];
+                if let SlotOp::Op(Op::Store { .. }) = s.op {
+                    if s.pred.eval(&self.ccr) == Cond::Unspecified {
+                        store_count += 1;
+                    }
+                }
+            }
+            if self.sb.would_overflow(store_count) {
+                self.stats.stall_sb_full += 1;
+                return Ok(IssueOutcome::Stalled(StallKind::SbFull));
+            }
+        }
+
+        let mut out = CycleOut::default();
+        self.stats.words_issued += 1;
+        for i in range {
+            let s = self.decoded.slots[i];
+            if s.pred.eval(&self.ccr) != Cond::Unspecified {
+                if matches!(s.op, SlotOp::Jump { .. } | SlotOp::Halt)
+                    && s.pred.eval(&self.ccr) == Cond::True
+                {
+                    return Err(VliwError::Malformed(format!(
+                        "word {}: jump predicate true under the current condition \
+                         during recovery",
+                        self.pc
+                    )));
+                }
+                self.stats.ops_squashed += 1;
+                continue;
+            }
+            self.exec_slot_recovery(s.pred, s.op, future, &mut out)?;
+        }
         Ok(IssueOutcome::Issued(out))
+    }
+
+    /// Executes one unspecified-predicate slot in recovery mode,
+    /// accumulating its effects into `out`.  A re-raised exception is
+    /// judged against the *future* condition.  Shared verbatim by the
+    /// legacy and pre-decoded issue paths.
+    fn exec_slot_recovery(
+        &mut self,
+        pred: Predicate,
+        op: SlotOp,
+        future: &Ccr,
+        out: &mut CycleOut,
+    ) -> Result<(), VliwError> {
+        match op {
+            SlotOp::Jump { .. } | SlotOp::Halt => {
+                return Err(VliwError::Malformed(format!(
+                    "word {}: unspecified jump predicate during recovery",
+                    self.pc
+                )));
+            }
+            SlotOp::CmpBr { .. } | SlotOp::Op(Op::SetCond { .. }) => {
+                // Condition-sets carry `alw` predicates, so they can
+                // never be unspecified; validated at load time.
+                return Err(VliwError::Malformed(format!(
+                    "word {}: predicated condition-set during recovery",
+                    self.pc
+                )));
+            }
+            SlotOp::Op(Op::Nop) => {}
+            SlotOp::Op(Op::Alu { op, rd, a, b }) => {
+                let v = op.apply(self.read_src(a, &pred), self.read_src(b, &pred));
+                out.writes.push(PendingWrite {
+                    dest: rd,
+                    value: v,
+                    pred,
+                    nonspec: false,
+                    exc: false,
+                });
+                self.stats.ops_executed += 1;
+            }
+            SlotOp::Op(Op::Copy { rd, src }) => {
+                let v = self.read_src(src, &pred);
+                out.writes.push(PendingWrite {
+                    dest: rd,
+                    value: v,
+                    pred,
+                    nonspec: false,
+                    exc: false,
+                });
+                self.stats.ops_executed += 1;
+            }
+            SlotOp::Op(Op::Load {
+                rd, base, offset, ..
+            }) => {
+                let addr = self.read_src(base, &pred).wrapping_add(offset);
+                let (value, exc) = match self.classify_access(addr) {
+                    Ok(()) => (self.load_value(addr, &pred), false),
+                    Err(fault) => match pred.eval(future) {
+                        Cond::True => match fault {
+                            Some(f) => {
+                                return Err(VliwError::Fault {
+                                    word: self.pc,
+                                    fault: f,
+                                })
+                            }
+                            None => {
+                                // The original exception: handle it.
+                                self.handle_fault(addr);
+                                (self.load_value(addr, &pred), false)
+                            }
+                        },
+                        Cond::False => (0, false), // ignored exception
+                        Cond::Unspecified => {
+                            // Re-buffered: still speculative in recovery.
+                            let cycle = self.cycle;
+                            self.sink.push(|| Event::ExcLatched { cycle, addr });
+                            (0, true)
+                        }
+                    },
+                };
+                self.inflight.push(InFlight {
+                    ready_end: self.cycle + self.cfg.load_latency - 1,
+                    word: self.pc,
+                    dest: rd,
+                    value,
+                    pred,
+                    exc,
+                });
+                self.stats.ops_executed += 1;
+            }
+            SlotOp::Op(Op::Store {
+                base,
+                offset,
+                value,
+                ..
+            }) => {
+                let addr = self.read_src(base, &pred).wrapping_add(offset);
+                let v = self.read_src(value, &pred);
+                let exc = match self.classify_access(addr) {
+                    Ok(()) => false,
+                    Err(fault) => match pred.eval(future) {
+                        Cond::True => match fault {
+                            Some(f) => {
+                                return Err(VliwError::Fault {
+                                    word: self.pc,
+                                    fault: f,
+                                })
+                            }
+                            None => {
+                                self.handle_fault(addr);
+                                false
+                            }
+                        },
+                        Cond::False => false,
+                        Cond::Unspecified => {
+                            let cycle = self.cycle;
+                            self.sink.push(|| Event::ExcLatched { cycle, addr });
+                            true
+                        }
+                    },
+                };
+                out.stores.push(PendingStore {
+                    addr,
+                    value: v,
+                    pred,
+                    spec: true,
+                    exc,
+                });
+                self.stats.ops_executed += 1;
+            }
+        }
+        Ok(())
     }
 
     /// Emits the end-of-cycle [`CycleSample`].  The occupancy reads only
@@ -917,7 +1084,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 return Err(VliwError::CycleLimit(self.cfg.max_cycles));
             }
             // 1. Commit pass.
-            let ccr = self.ccr.clone();
+            let ccr = self.ccr;
             let (rc, rs) = self.regs.tick(&ccr, self.cycle, &mut self.sink);
             let (sc, ss) = self.sb.tick(&ccr, self.cycle, &mut self.sink);
             self.stats.commits += rc + sc;
@@ -927,7 +1094,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
             // 3. Recovery exit.
             if let Mode::Recovery { epc, ref future } = self.mode {
                 if self.pc == epc {
-                    self.ccr = future.clone();
+                    self.ccr = *future;
                     self.mode = Mode::Normal;
                     let cycle = self.cycle;
                     self.sink.push(|| Event::RecoveryEnd { cycle });
@@ -939,7 +1106,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                     // The `defer_recovery_exit_commit` escape hatch skips
                     // the pass to let the fuzzer prove it catches the bug.
                     if !self.cfg.defer_recovery_exit_commit {
-                        let ccr = self.ccr.clone();
+                        let ccr = self.ccr;
                         let (rc, rs) = self.regs.tick(&ccr, self.cycle, &mut self.sink);
                         let (sc, ss) = self.sb.tick(&ccr, self.cycle, &mut self.sink);
                         self.stats.commits += rc + sc;
@@ -959,10 +1126,16 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                     ));
                 }
                 match self.mode {
-                    Mode::Normal => self.issue_normal()?,
+                    Mode::Normal => match self.cfg.engine {
+                        Engine::Predecoded => self.issue_normal_decoded()?,
+                        Engine::Legacy => self.issue_normal()?,
+                    },
                     Mode::Recovery { ref future, .. } => {
-                        let future = future.clone();
-                        self.issue_recovery(&future)?
+                        let future = *future;
+                        match self.cfg.engine {
+                            Engine::Predecoded => self.issue_recovery_decoded(&future)?,
+                            Engine::Legacy => self.issue_recovery(&future)?,
+                        }
                     }
                 }
             };
@@ -977,7 +1150,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 }
             };
             if !out.conds.is_empty() {
-                let mut candidate = self.ccr.clone();
+                let mut candidate = self.ccr;
                 for &(c, v) in &out.conds {
                     candidate.set(c, v);
                 }
@@ -1026,9 +1199,15 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 self.busy_until = self.busy_until.max(self.cycle) + self.cfg.taken_jump_penalty;
             } else {
                 let next = self.pc + 1;
-                if next < self.prog.words.len()
-                    && self.prog.region_starts.binary_search(&next).is_ok()
-                {
+                let falls_into_region = match self.cfg.engine {
+                    // Pre-resolved at decode time — no per-cycle search.
+                    Engine::Predecoded => self.decoded.words[self.pc].falls_into_region,
+                    Engine::Legacy => {
+                        next < self.prog.words.len()
+                            && self.prog.region_starts.binary_search(&next).is_ok()
+                    }
+                };
+                if falls_into_region {
                     self.enter_region(next);
                 } else {
                     self.pc = next;
@@ -1045,7 +1224,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
         self.stats.squashes += self.regs.squash_spec(cycle, &mut self.sink);
         self.stats.squashes += self.sb.squash_spec(cycle, &mut self.sink);
         // Resolve in-flight writes (same rule as a region exit).
-        let ccr = self.ccr.clone();
+        let ccr = self.ccr;
         let mut landed = Vec::new();
         for f in self.inflight.drain(..) {
             if f.pred.eval(&ccr) == Cond::True {

@@ -188,8 +188,11 @@ impl PredicatedRegFile {
         }
         self.exc_count += exc as usize;
         if self.scan == CommitScan::Indexed {
-            for (c, _) in pred.terms() {
-                self.subs[c.index()].insert(r.index());
+            let mut conds = pred.cond_mask();
+            while conds != 0 {
+                let c = conds.trailing_zeros() as usize;
+                conds &= conds - 1;
+                self.subs[c].insert(r.index());
             }
             self.pending.insert(r.index());
         }
@@ -236,14 +239,17 @@ impl PredicatedRegFile {
 
     fn tick_indexed(&mut self, ccr: &Ccr, cycle: u64, sink: &mut impl TraceSink) -> (u64, u64) {
         // Wake the subscribers of every condition whose value changed since
-        // the previous pass.  On the first pass (or a CCR-width change,
+        // the previous pass — one XOR over the CCR's bitmasks instead of a
+        // per-condition compare.  On the first pass (or a CCR-width change,
         // which never happens within one run) everything wakes.
         match &self.last_ccr {
             Some(prev) if prev.len() == ccr.len() => {
-                for (c, v) in ccr.iter() {
-                    if prev.get(c) != v && !self.subs[c.index()].is_empty() {
-                        let woken: Vec<usize> = self.subs[c.index()].iter().copied().collect();
-                        self.pending.extend(woken);
+                let mut changed = prev.changed_mask(ccr);
+                while changed != 0 {
+                    let c = changed.trailing_zeros() as usize;
+                    changed &= changed - 1;
+                    if !self.subs[c].is_empty() {
+                        self.pending.extend(self.subs[c].iter().copied());
                     }
                 }
             }
@@ -255,7 +261,7 @@ impl PredicatedRegFile {
                 }
             }
         }
-        self.last_ccr = Some(ccr.clone());
+        self.last_ccr = Some(*ccr);
 
         let mut commits = 0;
         let mut squashes = 0;
@@ -279,8 +285,11 @@ impl PredicatedRegFile {
                     set.remove(&i);
                 }
                 for slot in &self.entries[i].spec {
-                    for (cnd, _) in slot.pred.terms() {
-                        self.subs[cnd.index()].insert(i);
+                    let mut conds = slot.pred.cond_mask();
+                    while conds != 0 {
+                        let cnd = conds.trailing_zeros() as usize;
+                        conds &= conds - 1;
+                        self.subs[cnd].insert(i);
                     }
                 }
             }

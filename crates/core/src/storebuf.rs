@@ -148,8 +148,11 @@ impl PredicatedStoreBuffer {
         if spec {
             self.exc_count += exc as usize;
             if self.scan == CommitScan::Indexed {
-                for (c, _) in pred.terms() {
-                    self.subs[c.index()].insert(id);
+                let mut conds = pred.cond_mask();
+                while conds != 0 {
+                    let c = conds.trailing_zeros() as usize;
+                    conds &= conds - 1;
+                    self.subs[c].insert(id);
                 }
                 self.pending.insert(id);
             }
@@ -200,10 +203,12 @@ impl PredicatedStoreBuffer {
     fn tick_indexed(&mut self, ccr: &Ccr, cycle: u64, sink: &mut impl TraceSink) -> (u64, u64) {
         match &self.last_ccr {
             Some(prev) if prev.len() == ccr.len() => {
-                for (c, v) in ccr.iter() {
-                    if prev.get(c) != v && !self.subs[c.index()].is_empty() {
-                        let woken: Vec<u64> = self.subs[c.index()].iter().copied().collect();
-                        self.pending.extend(woken);
+                let mut changed = prev.changed_mask(ccr);
+                while changed != 0 {
+                    let c = changed.trailing_zeros() as usize;
+                    changed &= changed - 1;
+                    if !self.subs[c].is_empty() {
+                        self.pending.extend(self.subs[c].iter().copied());
                     }
                 }
             }
@@ -215,7 +220,7 @@ impl PredicatedStoreBuffer {
                 }
             }
         }
-        self.last_ccr = Some(ccr.clone());
+        self.last_ccr = Some(*ccr);
 
         let mut commits = 0;
         let mut squashes = 0;
@@ -232,8 +237,11 @@ impl PredicatedStoreBuffer {
             commits += c;
             squashes += s;
             if c > 0 || s > 0 {
-                for (cnd, _) in before.terms() {
-                    self.subs[cnd.index()].remove(&id);
+                let mut conds = before.cond_mask();
+                while conds != 0 {
+                    let cnd = conds.trailing_zeros() as usize;
+                    conds &= conds - 1;
+                    self.subs[cnd].remove(&id);
                 }
             }
         }

@@ -1,0 +1,790 @@
+//! `repro bench` — the simulator-throughput regression pipeline.
+//!
+//! Runs a *fixed* kernel × workload × model matrix (the four `asm/`
+//! kernels plus the six synthetic workloads at pinned sizes), times each
+//! phase (profile / schedule / execute), and emits a deterministic-schema
+//! `BENCH.json`.  Everything the simulator computes — cycle counts,
+//! commit/squash/recovery counters, iteration counts — is deterministic
+//! and byte-identical across hosts and `--jobs` values; everything the
+//! *host* contributes (wall time, derived throughput, peak RSS) lives in
+//! `host` sub-objects that `--deterministic` zeroes out, so CI `cmp`
+//! steps can diff two runs byte-for-byte.
+//!
+//! A checked-in baseline (`baselines/bench_baseline.json`) is compared
+//! via [`check_report`]: a missing point, a schema change, or any drift
+//! in the deterministic fields is a **hard failure** (the simulator
+//! changed behaviour — rebaseline deliberately or fix the bug); wall-time
+//! drift beyond the tolerance is a **warning** emitted in GitHub
+//! annotation form (`::warning ...`), because shared CI runners make
+//! wall time advisory.
+
+use crate::json::{Json, ToJson};
+use crate::runner::parallel_map;
+use psb_core::{Engine, MachineConfig, ShadowMode, VliwMachine};
+use psb_sched::{schedule, Model, SchedConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Version stamped into `BENCH.json`; bump on any schema change (a
+/// version mismatch against the baseline is a hard check failure).
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The four checked-in assembly kernels forming the kernel suite.
+pub const KERNELS: [&str; 4] = ["dotprod", "gcd", "matmul", "sort"];
+
+/// Models the kernel suite runs under (the two full predicated-buffering
+/// pipelines — the paper's mechanism, and the hot path we gate).
+const KERNEL_MODELS: [Model; 2] = [Model::TracePred, Model::RegionPred];
+
+/// Models the workload points run under (one squash reference plus the
+/// paper's full mechanism).
+const WORKLOAD_MODELS: [Model; 2] = [Model::Squash, Model::RegionPred];
+
+/// Parameters of one `repro bench` invocation.
+#[derive(Clone, Debug)]
+pub struct BenchParams {
+    /// Shrink iteration counts and workload sizes for CI (`--quick`).
+    pub quick: bool,
+    /// Zero every host-dependent field so two runs diff byte-identically.
+    pub deterministic: bool,
+    /// Engines to measure (each selected engine runs every matrix point).
+    pub engines: Vec<Engine>,
+    /// Worker threads (1 = serial; >1 distorts per-point wall time, so CI
+    /// gating runs serial).
+    pub jobs: usize,
+    /// Override the per-point simulated-cycle budget (`--target-cycles`).
+    /// Meant for schema/determinism tests that need a fast run; throughput
+    /// numbers from tiny budgets are timer noise.
+    pub target_cycles: Option<u64>,
+}
+
+impl Default for BenchParams {
+    fn default() -> BenchParams {
+        BenchParams {
+            quick: false,
+            deterministic: false,
+            engines: vec![Engine::default()],
+            jobs: 1,
+            target_cycles: None,
+        }
+    }
+}
+
+impl BenchParams {
+    /// Simulated-cycle budget per kernel point.  Iteration counts are
+    /// derived as `ceil(target / cycles)`, which is deterministic because
+    /// per-run cycle counts are — small kernels simply repeat more often
+    /// until every point accumulates comparable, timer-stable wall time.
+    fn kernel_target_cycles(&self) -> u64 {
+        self.target_cycles
+            .unwrap_or(if self.quick { 500_000 } else { 3_000_000 })
+    }
+
+    /// Simulated-cycle budget per workload point.
+    fn workload_target_cycles(&self) -> u64 {
+        self.target_cycles
+            .unwrap_or(if self.quick { 500_000 } else { 2_000_000 })
+    }
+
+    fn workload_size(&self) -> usize {
+        if self.quick {
+            256
+        } else {
+            1024
+        }
+    }
+}
+
+/// Host-dependent measurements of one point.  All fields are zeroed by
+/// `--deterministic`; `wall_seconds` is the execute-phase wall time (the
+/// throughput denominator).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct HostSample {
+    /// Seconds spent producing the training profile (scalar golden runs).
+    pub profile_seconds: f64,
+    /// Seconds spent in the scheduler.
+    pub schedule_seconds: f64,
+    /// Seconds spent simulating (all iterations of the VLIW machine).
+    pub wall_seconds: f64,
+    /// Simulated cycles per wall-clock second over the execute phase.
+    pub cycles_per_second: f64,
+}
+
+impl ToJson for HostSample {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("profile_seconds", self.profile_seconds.to_json()),
+            ("schedule_seconds", self.schedule_seconds.to_json()),
+            ("wall_seconds", self.wall_seconds.to_json()),
+            ("cycles_per_second", self.cycles_per_second.to_json()),
+        ])
+    }
+}
+
+/// One measured matrix point.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BenchPoint {
+    /// `"kernel"` (an `asm/` program) or `"workload"` (a generated one).
+    pub kind: String,
+    /// Kernel or workload name.
+    pub name: String,
+    /// Scheduling model name.
+    pub model: String,
+    /// Machine engine the point ran on.
+    pub engine: String,
+    /// Simulation repetitions timed: `ceil(target_cycles / cycles)`.
+    /// Deterministic (derived from deterministic cycle counts); repetition
+    /// only accumulates wall time, simulated state is identical each time.
+    pub iterations: u64,
+    /// Simulated cycles of one run — deterministic.
+    pub cycles: u64,
+    /// Buffered commits of one run — deterministic.
+    pub commits: u64,
+    /// Buffered squashes of one run — deterministic.
+    pub squashes: u64,
+    /// Recovery episodes of one run — deterministic.
+    pub recoveries: u64,
+    /// Host-dependent timing.
+    pub host: HostSample,
+}
+
+impl ToJson for BenchPoint {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", self.kind.to_json()),
+            ("name", self.name.to_json()),
+            ("model", self.model.to_json()),
+            ("engine", self.engine.to_json()),
+            ("iterations", self.iterations.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("commits", self.commits.to_json()),
+            ("squashes", self.squashes.to_json()),
+            ("recoveries", self.recoveries.to_json()),
+            ("host", self.host.to_json()),
+        ])
+    }
+}
+
+/// Per-engine aggregate over the kernel suite (the ISSUE's headline
+/// number: kernel-suite sim cycles per second).
+#[derive(Clone, PartialEq, Debug)]
+pub struct EngineAggregate {
+    /// Engine name.
+    pub engine: String,
+    /// Total simulated cycles across all kernel iterations.
+    pub sim_cycles_total: u64,
+    /// Total execute-phase wall seconds (host-dependent).
+    pub wall_seconds: f64,
+    /// Aggregate throughput (host-dependent).
+    pub cycles_per_second: f64,
+}
+
+impl ToJson for EngineAggregate {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("engine", self.engine.to_json()),
+            ("sim_cycles_total", self.sim_cycles_total.to_json()),
+            (
+                "host",
+                Json::obj(vec![
+                    ("wall_seconds", self.wall_seconds.to_json()),
+                    ("cycles_per_second", self.cycles_per_second.to_json()),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// The whole `BENCH.json` document.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BenchReport {
+    /// `"full"` or `"quick"`.
+    pub suite: String,
+    /// All measured points, in fixed matrix order.
+    pub points: Vec<BenchPoint>,
+    /// Kernel-suite throughput per engine.
+    pub kernel_suite: Vec<EngineAggregate>,
+    /// Total simulated cycles across every point and iteration.
+    pub sim_cycles_total: u64,
+    /// End-to-end wall seconds of the whole bench run (host-dependent).
+    pub wall_seconds_total: f64,
+    /// Peak resident set size in kB (`VmHWM`; 0 off-Linux, host-dependent).
+    pub peak_rss_kb: u64,
+}
+
+impl ToJson for BenchReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", BENCH_SCHEMA_VERSION.to_json()),
+            ("suite", self.suite.to_json()),
+            ("points", self.points.to_json()),
+            (
+                "totals",
+                Json::obj(vec![
+                    ("sim_cycles_total", self.sim_cycles_total.to_json()),
+                    ("kernel_suite", self.kernel_suite.to_json()),
+                    (
+                        "host",
+                        Json::obj(vec![
+                            ("wall_seconds_total", self.wall_seconds_total.to_json()),
+                            ("peak_rss_kb", self.peak_rss_kb.to_json()),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl BenchReport {
+    /// Zeroes every host-dependent field (the `--deterministic` contract).
+    pub fn zero_host(&mut self) {
+        for p in &mut self.points {
+            p.host = HostSample::default();
+        }
+        for a in &mut self.kernel_suite {
+            a.wall_seconds = 0.0;
+            a.cycles_per_second = 0.0;
+        }
+        self.wall_seconds_total = 0.0;
+        self.peak_rss_kb = 0;
+    }
+
+    /// The kernel-suite throughput of `engine`, if measured.
+    pub fn kernel_cycles_per_second(&self, engine: &str) -> Option<f64> {
+        self.kernel_suite
+            .iter()
+            .find(|a| a.engine == engine)
+            .map(|a| a.cycles_per_second)
+    }
+}
+
+/// One point of the fixed matrix, before measurement.
+struct PointSpec {
+    kind: &'static str,
+    name: String,
+    model: Model,
+    engine: Engine,
+    /// Simulated-cycle budget the execute phase repeats up to.
+    target_cycles: u64,
+    /// Workload input size (unused for kernels, which have intrinsic
+    /// sizes baked into their `.asm`).
+    size: usize,
+}
+
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+fn engine_name(e: Engine) -> &'static str {
+    match e {
+        Engine::Predecoded => "predecoded",
+        Engine::Legacy => "legacy",
+    }
+}
+
+/// Parses an `--engine` argument (`predecoded`, `legacy`, or `both`).
+pub fn parse_engines(s: &str) -> Option<Vec<Engine>> {
+    match s {
+        "predecoded" => Some(vec![Engine::Predecoded]),
+        "legacy" => Some(vec![Engine::Legacy]),
+        "both" => Some(vec![Engine::Legacy, Engine::Predecoded]),
+        _ => None,
+    }
+}
+
+fn asm_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../asm")
+}
+
+/// `VmHWM` from `/proc/self/status` in kB; 0 where unavailable.
+fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    return rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+fn run_point(spec: &PointSpec) -> BenchPoint {
+    let (program, fault_once) = match spec.kind {
+        "kernel" => {
+            let path = asm_dir().join(format!("{}.asm", spec.name));
+            let case = psb_fuzz::load_repro(&path)
+                .unwrap_or_else(|e| panic!("bench kernel {}: {e}", spec.name));
+            (case.program, case.fault_once)
+        }
+        _ => {
+            let w = psb_workloads::by_name(&spec.name, 1234, spec.size)
+                .unwrap_or_else(|| panic!("unknown workload {}", spec.name));
+            (w.program, Default::default())
+        }
+    };
+
+    // Profile phase: scalar golden run.  It supplies both the edge
+    // profile the scheduler trains on and the observable end state the
+    // timed runs are cross-checked against.  Workloads train on a
+    // distinct seed, like the experiment harness.
+    let profile_start = Instant::now();
+    let scfg = psb_scalar::ScalarConfig {
+        fault_once_addrs: fault_once.clone(),
+        ..psb_scalar::ScalarConfig::default()
+    };
+    let scalar = psb_scalar::ScalarMachine::new(&program, scfg)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: scalar run failed: {e}", spec.name));
+    let profile = if spec.kind == "kernel" {
+        scalar.edge_profile.clone()
+    } else {
+        let train = psb_workloads::by_name(&spec.name, 11, spec.size)
+            .unwrap_or_else(|| panic!("unknown workload {}", spec.name));
+        psb_scalar::ScalarMachine::new(&train.program, psb_scalar::ScalarConfig::default())
+            .run()
+            .unwrap_or_else(|e| panic!("{}: train run failed: {e}", spec.name))
+            .edge_profile
+    };
+    let profile_seconds = profile_start.elapsed().as_secs_f64();
+
+    // Schedule phase.
+    let sched_start = Instant::now();
+    let sched_cfg = SchedConfig::new(spec.model);
+    let vliw = schedule(&program, &profile, &sched_cfg)
+        .unwrap_or_else(|e| panic!("{}/{}: scheduling failed: {e}", spec.name, spec.model));
+    let schedule_seconds = sched_start.elapsed().as_secs_f64();
+
+    // Execute phase: the timed loop.  Every iteration simulates the same
+    // deterministic run; the first is cross-checked against the golden
+    // model so a throughput number can never come from incorrect code.
+    let mcfg = MachineConfig {
+        shadow_mode: if sched_cfg.single_shadow {
+            ShadowMode::Single
+        } else {
+            ShadowMode::Infinite
+        },
+        fault_once_addrs: fault_once,
+        engine: spec.engine,
+        ..MachineConfig::default()
+    };
+    let exec_start = Instant::now();
+    let first = VliwMachine::run_program(&vliw, mcfg.clone())
+        .unwrap_or_else(|e| panic!("{}/{}: machine error: {e}", spec.name, spec.model));
+    assert_eq!(
+        first.observable(&program.live_out),
+        scalar.observable(&program.live_out),
+        "{}/{}: diverged from the scalar golden model",
+        spec.name,
+        spec.model
+    );
+    let cycles = first.cycles;
+    let (commits, squashes, recoveries) = (first.commits, first.squashes, first.recoveries);
+    let iterations = spec.target_cycles.div_ceil(cycles.max(1)).max(1);
+    for _ in 1..iterations {
+        VliwMachine::run_program(&vliw, mcfg.clone())
+            .unwrap_or_else(|e| panic!("{}/{}: machine error: {e}", spec.name, spec.model));
+    }
+    let wall_seconds = exec_start.elapsed().as_secs_f64();
+
+    BenchPoint {
+        kind: spec.kind.to_string(),
+        name: spec.name.clone(),
+        model: spec.model.name().to_string(),
+        engine: engine_name(spec.engine).to_string(),
+        iterations,
+        cycles,
+        commits,
+        squashes,
+        recoveries,
+        host: HostSample {
+            profile_seconds: round6(profile_seconds),
+            schedule_seconds: round6(schedule_seconds),
+            wall_seconds: round6(wall_seconds),
+            cycles_per_second: round6(cycles as f64 * iterations as f64 / wall_seconds.max(1e-9)),
+        },
+    }
+}
+
+/// Runs the fixed bench matrix and assembles the report.
+///
+/// # Panics
+///
+/// Panics on any kernel load, schedule, or machine failure, and on golden
+/// model divergence — a bench result must never describe broken code.
+pub fn run_bench(params: &BenchParams) -> BenchReport {
+    let mut specs = Vec::new();
+    for &engine in &params.engines {
+        for name in KERNELS {
+            for model in KERNEL_MODELS {
+                specs.push(PointSpec {
+                    kind: "kernel",
+                    name: name.to_string(),
+                    model,
+                    engine,
+                    target_cycles: params.kernel_target_cycles(),
+                    size: 0,
+                });
+            }
+        }
+        for name in crate::runner::BENCHMARKS {
+            for model in WORKLOAD_MODELS {
+                specs.push(PointSpec {
+                    kind: "workload",
+                    name: name.to_string(),
+                    model,
+                    engine,
+                    target_cycles: params.workload_target_cycles(),
+                    size: params.workload_size(),
+                });
+            }
+        }
+    }
+
+    let start = Instant::now();
+    let points = parallel_map(&specs, params.jobs, run_point);
+    let wall_seconds_total = round6(start.elapsed().as_secs_f64());
+
+    let mut kernel_suite = Vec::new();
+    for &engine in &params.engines {
+        let ename = engine_name(engine);
+        let mine: Vec<&BenchPoint> = points
+            .iter()
+            .filter(|p| p.kind == "kernel" && p.engine == ename)
+            .collect();
+        let sim: u64 = mine.iter().map(|p| p.cycles * p.iterations).sum();
+        let wall: f64 = mine.iter().map(|p| p.host.wall_seconds).sum();
+        kernel_suite.push(EngineAggregate {
+            engine: ename.to_string(),
+            sim_cycles_total: sim,
+            wall_seconds: round6(wall),
+            cycles_per_second: round6(sim as f64 / wall.max(1e-9)),
+        });
+    }
+    let sim_cycles_total = points.iter().map(|p| p.cycles * p.iterations).sum();
+
+    let mut report = BenchReport {
+        suite: if params.quick { "quick" } else { "full" }.to_string(),
+        points,
+        kernel_suite,
+        sim_cycles_total,
+        wall_seconds_total,
+        peak_rss_kb: peak_rss_kb(),
+    };
+    if params.deterministic {
+        report.zero_host();
+    }
+    report
+}
+
+/// Outcome of a baseline comparison: hard failures gate CI, warnings are
+/// emitted as GitHub annotations, notes are informational.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct BenchCheck {
+    /// Schema or determinism breakage — exit non-zero.
+    pub failures: Vec<String>,
+    /// Wall-time regressions beyond tolerance — annotate, don't fail.
+    pub warnings: Vec<String>,
+    /// Improvements and new points.
+    pub notes: Vec<String>,
+}
+
+impl BenchCheck {
+    /// True when nothing hard-failed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn point_key(j: &Json) -> Option<(String, String, String, String)> {
+    Some((
+        j.get("kind")?.as_str()?.to_string(),
+        j.get("name")?.as_str()?.to_string(),
+        j.get("model")?.as_str()?.to_string(),
+        j.get("engine")?.as_str()?.to_string(),
+    ))
+}
+
+/// Compares `current` against the checked-in `baseline` document.
+///
+/// Deterministic fields (`iterations`, `cycles`, `commits`, `squashes`,
+/// `recoveries`) must match exactly for every baseline point, and the
+/// schema version and suite must agree — anything else is a hard failure.
+/// Execute-phase wall time may drift by `tolerance` (relative, e.g. 0.2
+/// for ±20%) before a warning fires; wall comparison is skipped when
+/// either side was recorded `--deterministic` (zeroed).
+pub fn check_report(current: &BenchReport, baseline: &Json, tolerance: f64) -> BenchCheck {
+    let mut check = BenchCheck::default();
+
+    match baseline.get("schema_version").and_then(Json::as_i64) {
+        Some(v) if v == BENCH_SCHEMA_VERSION as i64 => {}
+        Some(v) => check.failures.push(format!(
+            "schema_version mismatch: baseline {v}, current {BENCH_SCHEMA_VERSION}"
+        )),
+        None => check
+            .failures
+            .push("baseline has no schema_version".to_string()),
+    }
+    match baseline.get("suite").and_then(Json::as_str) {
+        Some(s) if s == current.suite => {}
+        Some(s) => check.failures.push(format!(
+            "suite mismatch: baseline ran {s:?}, current ran {:?}",
+            current.suite
+        )),
+        None => check.failures.push("baseline has no suite".to_string()),
+    }
+
+    let empty = Vec::new();
+    let base_points = baseline
+        .get("points")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    if base_points.is_empty() {
+        check.failures.push("baseline has no points".to_string());
+    }
+
+    let mut matched = 0usize;
+    for bp in base_points {
+        let Some(key) = point_key(bp) else {
+            check
+                .failures
+                .push("baseline point is missing identity fields".to_string());
+            continue;
+        };
+        let label = format!("{}/{}/{}/{}", key.0, key.1, key.2, key.3);
+        let Some(cur) = current.points.iter().find(|p| {
+            (
+                p.kind.as_str(),
+                p.name.as_str(),
+                p.model.as_str(),
+                p.engine.as_str(),
+            ) == (
+                key.0.as_str(),
+                key.1.as_str(),
+                key.2.as_str(),
+                key.3.as_str(),
+            )
+        }) else {
+            check
+                .failures
+                .push(format!("{label}: point missing from current run"));
+            continue;
+        };
+        matched += 1;
+        for (field, got) in [
+            ("iterations", cur.iterations),
+            ("cycles", cur.cycles),
+            ("commits", cur.commits),
+            ("squashes", cur.squashes),
+            ("recoveries", cur.recoveries),
+        ] {
+            match bp.get(field).and_then(Json::as_i64) {
+                Some(want) if want == got as i64 => {}
+                Some(want) => check.failures.push(format!(
+                    "{label}: determinism breakage: {field} was {want}, now {got}"
+                )),
+                None => check
+                    .failures
+                    .push(format!("{label}: baseline point lacks {field}")),
+            }
+        }
+        let base_wall = bp
+            .get("host")
+            .and_then(|h| h.get("wall_seconds"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let cur_wall = cur.host.wall_seconds;
+        if base_wall > 0.0 && cur_wall > 0.0 {
+            let ratio = cur_wall / base_wall;
+            if ratio > 1.0 + tolerance {
+                check.warnings.push(format!(
+                    "{label}: wall time regressed {:.0}% ({base_wall:.4}s -> {cur_wall:.4}s)",
+                    (ratio - 1.0) * 100.0
+                ));
+            } else if ratio < 1.0 - tolerance {
+                check.notes.push(format!(
+                    "{label}: wall time improved {:.0}% ({base_wall:.4}s -> {cur_wall:.4}s); \
+                     consider re-baselining",
+                    (1.0 - ratio) * 100.0
+                ));
+            }
+        }
+    }
+    if matched < current.points.len() {
+        check.notes.push(format!(
+            "{} point(s) in the current run are not in the baseline",
+            current.points.len() - matched
+        ));
+    }
+    check
+}
+
+/// Renders a human-readable summary table (stderr companion to the JSON).
+pub fn render_bench(report: &BenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Bench suite `{}`: {} points, {} simulated cycles",
+        report.suite,
+        report.points.len(),
+        report.sim_cycles_total
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<9} {:<9} {:<12} {:<10} {:>6} {:>9} {:>9} {:>12}",
+        "kind", "name", "model", "engine", "iters", "cycles", "wall(s)", "cyc/s"
+    )
+    .unwrap();
+    for p in &report.points {
+        writeln!(
+            s,
+            "{:<9} {:<9} {:<12} {:<10} {:>6} {:>9} {:>9.4} {:>12.0}",
+            p.kind,
+            p.name,
+            p.model,
+            p.engine,
+            p.iterations,
+            p.cycles,
+            p.host.wall_seconds,
+            p.host.cycles_per_second
+        )
+        .unwrap();
+    }
+    for a in &report.kernel_suite {
+        writeln!(
+            s,
+            "kernel suite [{}]: {} cycles in {:.4}s = {:.0} cycles/s",
+            a.engine, a.sim_cycles_total, a.wall_seconds, a.cycles_per_second
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "total wall {:.3}s, peak RSS {} kB",
+        report.wall_seconds_total, report.peak_rss_kb
+    )
+    .unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> BenchReport {
+        BenchReport {
+            suite: "quick".to_string(),
+            points: vec![BenchPoint {
+                kind: "kernel".into(),
+                name: "gcd".into(),
+                model: "region-pred".into(),
+                engine: "predecoded".into(),
+                iterations: 10,
+                cycles: 100,
+                commits: 5,
+                squashes: 2,
+                recoveries: 0,
+                host: HostSample::default(),
+            }],
+            kernel_suite: vec![EngineAggregate {
+                engine: "predecoded".into(),
+                sim_cycles_total: 1000,
+                wall_seconds: 0.0,
+                cycles_per_second: 0.0,
+            }],
+            sim_cycles_total: 1000,
+            wall_seconds_total: 0.0,
+            peak_rss_kb: 0,
+        }
+    }
+
+    #[test]
+    fn self_check_passes() {
+        let r = tiny_report();
+        let baseline = Json::parse(&r.to_json().pretty()).unwrap();
+        let check = check_report(&r, &baseline, 0.2);
+        assert!(check.passed(), "{:?}", check.failures);
+        assert!(check.warnings.is_empty());
+    }
+
+    #[test]
+    fn determinism_breakage_hard_fails() {
+        let r = tiny_report();
+        let baseline = Json::parse(&r.to_json().pretty()).unwrap();
+        let mut drifted = r.clone();
+        drifted.points[0].cycles = 101;
+        let check = check_report(&drifted, &baseline, 0.2);
+        assert!(!check.passed());
+        assert!(check.failures[0].contains("determinism breakage"));
+    }
+
+    #[test]
+    fn missing_point_hard_fails_and_wall_drift_warns() {
+        let mut r = tiny_report();
+        r.points[0].host.wall_seconds = 1.0;
+        let baseline = Json::parse(&r.to_json().pretty()).unwrap();
+
+        let missing = BenchReport {
+            points: vec![],
+            ..r.clone()
+        };
+        assert!(!check_report(&missing, &baseline, 0.2).passed());
+
+        let mut slow = r.clone();
+        slow.points[0].host.wall_seconds = 1.5;
+        let check = check_report(&slow, &baseline, 0.2);
+        assert!(check.passed());
+        assert_eq!(check.warnings.len(), 1, "{:?}", check.warnings);
+
+        let mut fast = r.clone();
+        fast.points[0].host.wall_seconds = 0.5;
+        let check = check_report(&fast, &baseline, 0.2);
+        assert!(check.passed() && check.warnings.is_empty());
+        assert!(check.notes.iter().any(|n| n.contains("improved")));
+    }
+
+    #[test]
+    fn schema_version_mismatch_hard_fails() {
+        let r = tiny_report();
+        let mut doc = r.to_json();
+        if let Json::Object(fields) = &mut doc {
+            fields[0].1 = Json::Int(999);
+        }
+        assert!(!check_report(&r, &doc, 0.2).passed());
+    }
+
+    #[test]
+    fn run_point_is_repeatable() {
+        // The real matrix is too slow for a unit test; exercise the
+        // plumbing on the smallest kernel subset via run_point directly.
+        let spec = PointSpec {
+            kind: "kernel",
+            name: "gcd".to_string(),
+            model: Model::RegionPred,
+            engine: Engine::default(),
+            target_cycles: 1,
+            size: 0,
+        };
+        let a = run_point(&spec);
+        let b = run_point(&spec);
+        assert!(a.cycles > 0);
+        assert_eq!(
+            (a.cycles, a.commits, a.squashes),
+            (b.cycles, b.commits, b.squashes)
+        );
+    }
+}

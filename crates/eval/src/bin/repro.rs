@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|trace|profile|fuzz|all]
+//! repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|bench|trace|profile|fuzz|all]
 //!       [--size N] [--quick] [--json] [--jobs N] [--workload W] [--model M] [--out FILE]
 //! ```
 //!
@@ -26,13 +26,29 @@
 //! fixed `--runs`; timing goes to stderr.  Failing cases are minimized
 //! and written into `--corpus` (default `corpus/regressions`), and the
 //! exit status is non-zero if any case failed.
+//!
+//! `bench` runs the fixed throughput matrix and emits `BENCH.json`:
+//!
+//! ```text
+//! repro bench [--quick] [--deterministic] [--engine predecoded|legacy|both]
+//!             [--check BASELINE.json] [--tolerance FRAC] [--jobs N]
+//!             [--target-cycles N] [--out FILE]
+//! ```
+//!
+//! The JSON goes to `--out` (or stdout); a human summary goes to stderr.
+//! With `--check`, deterministic drift or schema breakage against the
+//! baseline exits 1, wall-time drift beyond `--tolerance` (default 0.2)
+//! prints GitHub `::warning` annotations and still exits 0.
+//! `--deterministic` zeroes every host-dependent field (also honoured by
+//! `metrics`), so CI can byte-compare two runs.
 
 use psb_eval::{
-    ablation_counter, ablation_shadow, ablation_unroll, chrome_trace, code_size, collect_profiles,
-    collect_traces, fig6, fig7, fig8, interaction, measure_metrics, mix, obs_points, parse_model,
-    render_ablation, render_code_size, render_fig8, render_figure, render_interaction, render_mix,
-    render_profile, render_sensitivity, render_table2, render_table3, run_fuzz, sensitivity,
-    summary, table2, table3, to_json_pretty, EvalParams, FuzzParams,
+    ablation_counter, ablation_shadow, ablation_unroll, check_report, chrome_trace, code_size,
+    collect_profiles, collect_traces, fig6, fig7, fig8, interaction, measure_metrics, mix,
+    obs_points, parse_engines, parse_model, render_ablation, render_bench, render_code_size,
+    render_fig8, render_figure, render_interaction, render_mix, render_profile, render_sensitivity,
+    render_table2, render_table3, run_bench, run_fuzz, sensitivity, summary, table2, table3,
+    to_json_pretty, BenchParams, EvalParams, FuzzParams, Json,
 };
 
 fn main() {
@@ -40,7 +56,11 @@ fn main() {
     let mut what = "all".to_string();
     let mut params = EvalParams::default();
     let mut fuzz_params = FuzzParams::default();
+    let mut bench_params = BenchParams::default();
     let mut json = false;
+    let mut deterministic = false;
+    let mut check: Option<String> = None;
+    let mut tolerance = 0.2;
     let mut workload: Option<String> = None;
     let mut model: Option<psb_sched::Model> = None;
     let mut out: Option<String> = None;
@@ -82,9 +102,45 @@ fn main() {
                 params = EvalParams {
                     size: params.size.min(512),
                     ..params
-                }
+                };
+                bench_params.quick = true;
             }
             "--json" => json = true,
+            "--deterministic" => deterministic = true,
+            "--engine" => {
+                i += 1;
+                let e = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--engine needs predecoded|legacy|both"));
+                bench_params.engines = parse_engines(e).unwrap_or_else(|| {
+                    die(&format!("unknown engine {e} (predecoded|legacy|both)"))
+                });
+            }
+            "--target-cycles" => {
+                i += 1;
+                bench_params.target_cycles = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&t| t > 0)
+                        .unwrap_or_else(|| die("--target-cycles needs a number > 0")),
+                );
+            }
+            "--check" => {
+                i += 1;
+                check = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--check needs a baseline file"))
+                        .clone(),
+                );
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t: &f64| t >= 0.0)
+                    .unwrap_or_else(|| die("--tolerance needs a fraction >= 0"));
+            }
             "--workload" => {
                 i += 1;
                 let w = args
@@ -263,11 +319,55 @@ fn main() {
                 }
             }
             "metrics" => {
-                let m = measure_metrics(&psb_sched::Model::ALL, &params);
+                let mut m = measure_metrics(&psb_sched::Model::ALL, &params);
+                if deterministic {
+                    for row in &mut m {
+                        row.zero_host();
+                    }
+                }
                 if json {
                     println!("{}", to_json_pretty(&m));
                 } else {
                     print!("{}", psb_eval::render_metrics(&m));
+                }
+            }
+            "bench" => {
+                let bp = BenchParams {
+                    deterministic,
+                    jobs: params.jobs,
+                    ..bench_params.clone()
+                };
+                let report = run_bench(&bp);
+                eprint!("{}", render_bench(&report));
+                let mut failed = false;
+                if let Some(path) = &check {
+                    let text = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+                    let baseline = Json::parse(&text)
+                        .unwrap_or_else(|e| die(&format!("{path}: bad baseline JSON: {e}")));
+                    let outcome = check_report(&report, &baseline, tolerance);
+                    for note in &outcome.notes {
+                        eprintln!("note: {note}");
+                    }
+                    // GitHub Actions reads workflow commands from stdout.
+                    for warning in &outcome.warnings {
+                        println!("::warning title=bench regression::{warning}");
+                    }
+                    for failure in &outcome.failures {
+                        eprintln!("FAIL: {failure}");
+                    }
+                    if outcome.passed() {
+                        eprintln!(
+                            "bench check vs {path}: ok ({} warning(s))",
+                            outcome.warnings.len()
+                        );
+                    } else {
+                        failed = true;
+                    }
+                }
+                emit(format!("{}\n", to_json_pretty(&report)));
+                if failed {
+                    std::process::exit(1);
                 }
             }
             "trace" => {
@@ -332,9 +432,11 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
-        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|trace|profile|fuzz|all] \
+        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|bench|trace|profile|fuzz|all] \
          [--size N] [--quick] [--json] [--jobs N] [--train-seed S] [--eval-seed S] \
-         [--workload W] [--model M] [--out FILE] \
+         [--workload W] [--model M] [--out FILE] [--deterministic] \
+         [--engine predecoded|legacy|both] [--check BASELINE.json] [--tolerance FRAC] \
+         [--target-cycles N] \
          [--seed S] [--runs N] [--time-budget SECS] [--corpus DIR] [--inject-recovery-bug]"
     );
     std::process::exit(2);

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+mod bench;
 mod experiments;
 mod fuzz;
 mod json;
@@ -31,6 +32,10 @@ mod render;
 mod runner;
 mod trace;
 
+pub use bench::{
+    check_report, parse_engines, render_bench, run_bench, BenchCheck, BenchParams, BenchPoint,
+    BenchReport, EngineAggregate, HostSample, BENCH_SCHEMA_VERSION, KERNELS,
+};
 pub use experiments::{
     ablation_counter, ablation_shadow, ablation_unroll, code_size, fig6, fig7, fig8, interaction,
     mix, sensitivity, summary, table2, table3, AblationResult, CodeSizeRow, Fig8Cell, Fig8Result,
@@ -44,7 +49,7 @@ pub use render::{
 };
 pub use runner::{
     geometric_mean, measure_metrics, parallel_map, run_workload, BenchResult, EvalParams,
-    ModelResult, RunMetrics, BENCHMARKS,
+    MetricsHost, ModelResult, RunMetrics, BENCHMARKS,
 };
 pub use trace::{
     chrome_trace, collect_profiles, collect_traces, obs_points, parse_model, render_profile,

@@ -28,7 +28,7 @@ pub fn render_metrics(rows: &[RunMetrics]) -> String {
             r.commits,
             r.squashes,
             r.recoveries,
-            r.wall_seconds,
+            r.host.wall_seconds,
             r.cycles_per_second()
         )
         .unwrap();

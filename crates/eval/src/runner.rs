@@ -313,11 +313,24 @@ pub fn run_workload(name: &str, models: &[Model], params: &EvalParams) -> BenchR
 /// The paper's six benchmark names in Table 2 order.
 pub const BENCHMARKS: [&str; 6] = ["compress", "eqntott", "espresso", "grep", "li", "nroff"];
 
+/// Host-dependent timing of one metrics run, grouped so `--deterministic`
+/// can zero it out wholesale and leave the rest of the record
+/// byte-comparable across hosts and runs.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct MetricsHost {
+    /// Wall-clock seconds for the VLIW simulation (schedule + profile
+    /// excluded), rounded to microsecond precision so serialized metrics
+    /// diff cleanly between runs.
+    pub wall_seconds: f64,
+}
+
 /// Simulator-throughput metrics for one (workload, model) run.
 ///
 /// Unlike the experiment results, these include wall-clock timing, so they
 /// vary run to run and are reported by a dedicated `repro metrics`
 /// subcommand rather than mixed into the comparable experiment JSON.
+/// Every host-dependent value lives under [`RunMetrics::host`]; the
+/// remaining fields are deterministic.
 #[derive(Clone, PartialEq, Debug)]
 pub struct RunMetrics {
     /// Workload name.
@@ -332,18 +345,22 @@ pub struct RunMetrics {
     pub squashes: u64,
     /// Speculative-exception recoveries taken.
     pub recoveries: u64,
-    /// Wall-clock seconds for the VLIW simulation (schedule + profile
-    /// excluded), rounded to microsecond precision so serialized metrics
-    /// diff cleanly between runs.
-    pub wall_seconds: f64,
+    /// Host-dependent timing (zeroed by `--deterministic`).
+    pub host: MetricsHost,
 }
 
 impl RunMetrics {
     /// Simulated cycles per wall-clock second — always derived from the
-    /// stored (rounded) `wall_seconds`, never carried as a separate field,
-    /// so the two can't disagree.
+    /// stored (rounded) wall time, never carried as a separate field, so
+    /// the two can't disagree.
     pub fn cycles_per_second(&self) -> f64 {
-        self.cycles as f64 / self.wall_seconds.max(1e-9)
+        self.cycles as f64 / self.host.wall_seconds.max(1e-9)
+    }
+
+    /// Zeroes the host-dependent sub-object (the `--deterministic`
+    /// contract used by CI `cmp` steps).
+    pub fn zero_host(&mut self) {
+        self.host = MetricsHost::default();
     }
 }
 
@@ -356,8 +373,13 @@ impl ToJson for RunMetrics {
             ("commits", self.commits.to_json()),
             ("squashes", self.squashes.to_json()),
             ("recoveries", self.recoveries.to_json()),
-            ("wall_seconds", self.wall_seconds.to_json()),
-            ("cycles_per_second", self.cycles_per_second().to_json()),
+            (
+                "host",
+                Json::obj(vec![
+                    ("wall_seconds", self.host.wall_seconds.to_json()),
+                    ("cycles_per_second", self.cycles_per_second().to_json()),
+                ]),
+            ),
         ])
     }
 }
@@ -395,7 +417,9 @@ pub fn measure_metrics(models: &[Model], params: &EvalParams) -> Vec<RunMetrics>
             commits: res.commits,
             squashes: res.squashes,
             recoveries: res.recoveries,
-            wall_seconds: (wall * 1e6).round() / 1e6,
+            host: MetricsHost {
+                wall_seconds: (wall * 1e6).round() / 1e6,
+            },
         }
     })
 }

@@ -238,6 +238,90 @@ fn profile_text_mode_reports_hotspots() {
 }
 
 #[test]
+fn bench_baseline_matches_the_schema() {
+    // The committed CI baseline doubles as the schema fixture: `repro
+    // bench --check` diffs new reports against it field by field, so any
+    // drift in the emitter shows up here first.  (The bench itself runs
+    // in release CI; re-running it under a debug test binary would blow
+    // the tier-1 time budget.)
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../baselines/bench_baseline.json");
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let doc = text.trim_end();
+    assert_json(doc);
+    // Document-level schema.
+    assert!(doc.contains("\"schema_version\": 1"), "schema_version");
+    assert!(doc.contains("\"suite\": \"quick\""), "quick suite baseline");
+    for key in ["\"points\"", "\"totals\"", "\"kernel_suite\""] {
+        assert!(doc.contains(key), "missing {key}");
+    }
+    // Per-point schema.
+    for key in [
+        "\"kind\"",
+        "\"name\"",
+        "\"model\"",
+        "\"engine\"",
+        "\"iterations\"",
+        "\"cycles\"",
+        "\"commits\"",
+        "\"squashes\"",
+        "\"recoveries\"",
+        "\"host\"",
+        "\"wall_seconds\"",
+        "\"cycles_per_second\"",
+    ] {
+        assert!(doc.contains(key), "missing point key {key}");
+    }
+    // Totals carry the headline aggregate and the host footprint.
+    for key in [
+        "\"sim_cycles_total\"",
+        "\"wall_seconds_total\"",
+        "\"peak_rss_kb\"",
+    ] {
+        assert!(doc.contains(key), "missing totals key {key}");
+    }
+    // The fixed matrix must cover all four kernels and all six workloads.
+    for name in ["dotprod", "gcd"] {
+        assert!(
+            doc.contains(&format!("\"name\": \"{name}\"")),
+            "kernel {name}"
+        );
+    }
+    for w in ["compress", "eqntott", "espresso", "grep", "li", "nroff"] {
+        assert!(doc.contains(&format!("\"name\": \"{w}\"")), "workload {w}");
+    }
+}
+
+#[test]
+fn bench_deterministic_is_byte_stable_and_zeroes_host_timings() {
+    // `--deterministic` must zero every host-side (wall-clock) field so
+    // byte-equality comparisons across runs and machines are meaningful.
+    // `--target-cycles` shrinks the per-point budget: this binary is a
+    // debug build, and the simulated work is identical at any budget.
+    let base = &[
+        "bench",
+        "--quick",
+        "--deterministic",
+        "--target-cycles",
+        "1000",
+    ];
+    let one = stdout_of(base);
+    let two = stdout_of(base);
+    assert_eq!(
+        one, two,
+        "deterministic bench output must be byte-identical across runs"
+    );
+    let doc = one.trim_end();
+    assert_json(doc);
+    assert!(doc.contains("\"wall_seconds\": 0"), "wall not zeroed");
+    assert!(doc.contains("\"cycles_per_second\": 0"), "rate not zeroed");
+    assert!(doc.contains("\"peak_rss_kb\": 0"), "rss not zeroed");
+    assert!(doc.contains("\"suite\": \"quick\""), "quick suite expected");
+    assert!(doc.contains("\"engine\": \"predecoded\""), "default engine");
+}
+
+#[test]
 fn bad_selections_exit_with_usage() {
     for args in [
         &["trace", "--workload", "nope"][..],

@@ -80,11 +80,22 @@ impl fmt::Display for Cond {
 /// One CCR instance holds the *current condition*; the machine keeps a
 /// second instance (the *future CCR*) during speculative-exception recovery
 /// (Section 3.5).
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// The entries are stored as two bitmasks — `spec` (bit `i` set once
+/// `c{i}` has been specified) and `vals` (its boolean value, only
+/// meaningful under a set `spec` bit and kept zero otherwise, so equality
+/// stays structural).  That makes the register `Copy` and lets
+/// [`Predicate::eval`](crate::Predicate::eval) and the commit hardware's
+/// wakeup scan ([`Ccr::changed_mask`]) run as plain mask arithmetic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Ccr {
-    vals: [Cond; MAX_CONDS],
+    spec: u8,
+    vals: u8,
     len: usize,
 }
+
+// The two u8 masks must cover every CCR slot.
+const _: () = assert!(MAX_CONDS <= 8, "CCR masks are u8");
 
 impl Ccr {
     /// Creates a CCR with `k` entries, all `Unspecified`.
@@ -95,7 +106,8 @@ impl Ccr {
     pub fn new(k: usize) -> Ccr {
         assert!((1..=MAX_CONDS).contains(&k), "CCR size {k} out of range");
         Ccr {
-            vals: [Cond::Unspecified; MAX_CONDS],
+            spec: 0,
+            vals: 0,
             len: k,
         }
     }
@@ -112,6 +124,26 @@ impl Ccr {
         self.len == 0
     }
 
+    /// Bitmask of specified entries (bit `i` set once `c{i}` was set).
+    #[inline]
+    pub fn spec_mask(&self) -> u8 {
+        self.spec
+    }
+
+    /// Bitmask of entry values (bit `i` set when `c{i}` is `True`; only
+    /// meaningful under a set [`Ccr::spec_mask`] bit).
+    #[inline]
+    pub fn vals_mask(&self) -> u8 {
+        self.vals
+    }
+
+    /// Bitmask of the conditions whose state differs from `other`'s —
+    /// the wakeup signal the condition-indexed commit scan keys on.
+    #[inline]
+    pub fn changed_mask(&self, other: &Ccr) -> u8 {
+        (self.spec ^ other.spec) | (self.vals ^ other.vals)
+    }
+
     /// Reads one entry.
     ///
     /// # Panics
@@ -124,7 +156,12 @@ impl Ccr {
             "condition {c} outside CCR of size {}",
             self.len
         );
-        self.vals[c.index()]
+        let b = 1u8 << c.index();
+        if self.spec & b == 0 {
+            Cond::Unspecified
+        } else {
+            Cond::from_bool(self.vals & b != 0)
+        }
     }
 
     /// Specifies one entry to `value`.
@@ -139,29 +176,36 @@ impl Ccr {
             "condition {c} outside CCR of size {}",
             self.len
         );
-        self.vals[c.index()] = Cond::from_bool(value);
+        let b = 1u8 << c.index();
+        self.spec |= b;
+        if value {
+            self.vals |= b;
+        } else {
+            self.vals &= !b;
+        }
     }
 
     /// Resets every entry to `Unspecified` (performed by hardware on every
     /// region exit).
     pub fn reset(&mut self) {
-        self.vals = [Cond::Unspecified; MAX_CONDS];
+        self.spec = 0;
+        self.vals = 0;
     }
 
     /// Iterates over `(name, value)` pairs for all entries.
     pub fn iter(&self) -> impl Iterator<Item = (CondReg, Cond)> + '_ {
-        (0..self.len).map(move |i| (CondReg::new(i), self.vals[i]))
+        (0..self.len).map(move |i| (CondReg::new(i), self.get(CondReg::new(i))))
     }
 }
 
 impl fmt::Display for Ccr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for i in 0..self.len {
+        for (i, (_, v)) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
-            write!(f, "{}", self.vals[i])?;
+            write!(f, "{v}")?;
         }
         write!(f, "}}")
     }

@@ -28,6 +28,13 @@ pub enum PredTerm {
 /// A predicate with all terms [`PredTerm::DontCare`] is the always-true
 /// predicate, printed `alw` as in the paper's figures.
 ///
+/// Internally the term vector is encoded as two condition bitmasks
+/// (`pos` and `neg`, one bit per CCR slot, mutually disjoint), which is
+/// exactly the masked-match hardware of Section 3.2: [`Predicate::eval`]
+/// is a handful of mask operations instead of a term-vector walk, and the
+/// commit hardware's wakeup lists subscribe on
+/// [`Predicate::cond_mask`].
+///
 /// # Example
 ///
 /// ```
@@ -42,7 +49,19 @@ pub enum PredTerm {
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Predicate {
-    terms: [PredTerm; MAX_CONDS],
+    /// Conditions required true.  Disjoint from `neg` by construction, so
+    /// the representation is canonical and `Eq`/`Hash` stay structural.
+    pos: u8,
+    /// Conditions required false.
+    neg: u8,
+}
+
+// The two u8 masks must cover every CCR slot.
+const _: () = assert!(MAX_CONDS <= 8, "predicate masks are u8");
+
+#[inline]
+fn bit(c: CondReg) -> u8 {
+    1u8 << c.index()
 }
 
 impl Predicate {
@@ -56,7 +75,8 @@ impl Predicate {
     /// true, replacing any previous term for `c`.
     #[must_use]
     pub fn and_pos(mut self, c: CondReg) -> Predicate {
-        self.terms[c.index()] = PredTerm::Pos;
+        self.pos |= bit(c);
+        self.neg &= !bit(c);
         self
     }
 
@@ -64,75 +84,100 @@ impl Predicate {
     /// false, replacing any previous term for `c`.
     #[must_use]
     pub fn and_neg(mut self, c: CondReg) -> Predicate {
-        self.terms[c.index()] = PredTerm::Neg;
+        self.neg |= bit(c);
+        self.pos &= !bit(c);
         self
     }
 
     /// Returns a copy with the term for `c` set to `term`.
     #[must_use]
-    pub fn with_term(mut self, c: CondReg, term: PredTerm) -> Predicate {
-        self.terms[c.index()] = term;
-        self
+    pub fn with_term(self, c: CondReg, term: PredTerm) -> Predicate {
+        match term {
+            PredTerm::Pos => self.and_pos(c),
+            PredTerm::Neg => self.and_neg(c),
+            PredTerm::DontCare => self.without(c),
+        }
     }
 
     /// Returns a copy with the term for `c` removed (set to don't-care).
     #[must_use]
     pub fn without(mut self, c: CondReg) -> Predicate {
-        self.terms[c.index()] = PredTerm::DontCare;
+        self.pos &= !bit(c);
+        self.neg &= !bit(c);
         self
     }
 
     /// The term for condition `c`.
     #[inline]
     pub fn term(&self, c: CondReg) -> PredTerm {
-        self.terms[c.index()]
+        if self.pos & bit(c) != 0 {
+            PredTerm::Pos
+        } else if self.neg & bit(c) != 0 {
+            PredTerm::Neg
+        } else {
+            PredTerm::DontCare
+        }
     }
 
     /// Whether this is the always-true predicate.
+    #[inline]
     pub fn is_always(&self) -> bool {
-        self.terms.iter().all(|t| *t == PredTerm::DontCare)
+        (self.pos | self.neg) == 0
     }
 
     /// Number of conditions the predicate depends on (its *speculation
     /// depth* — the quantity swept in Figure 8 of the paper).
+    #[inline]
     pub fn depth(&self) -> usize {
-        self.terms
-            .iter()
-            .filter(|t| **t != PredTerm::DontCare)
-            .count()
+        (self.pos | self.neg).count_ones() as usize
+    }
+
+    /// Bitmask of the conditions the predicate participates in (bit `i`
+    /// set when `c{i}` appears positively or negated).  This is what a
+    /// buffered entry's wakeup subscription keys on.
+    #[inline]
+    pub fn cond_mask(&self) -> u8 {
+        self.pos | self.neg
     }
 
     /// Iterates over the `(condition, term)` pairs that are not don't-care.
     pub fn terms(&self) -> impl Iterator<Item = (CondReg, PredTerm)> + '_ {
-        self.terms
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| **t != PredTerm::DontCare)
-            .map(|(i, t)| (CondReg::new(i), *t))
+        let (pos, neg) = (self.pos, self.neg);
+        (0..MAX_CONDS).filter_map(move |i| {
+            let b = 1u8 << i;
+            if pos & b != 0 {
+                Some((CondReg::new(i), PredTerm::Pos))
+            } else if neg & b != 0 {
+                Some((CondReg::new(i), PredTerm::Neg))
+            } else {
+                None
+            }
+        })
     }
 
     /// Evaluates the predicate against a CCR: the masked match operation of
-    /// Section 3.2.
+    /// Section 3.2 — two mask comparisons, no per-term walk.
     ///
     /// Returns [`Cond::Unspecified`] if any participating condition is
     /// unspecified and no participating condition already mismatches;
     /// [`Cond::False`] as soon as one specified condition mismatches;
     /// [`Cond::True`] when every participating condition matches.
+    ///
+    /// Conditions outside the CCR's range read as unspecified, like the
+    /// mask hardware would behave; validated programs never contain them.
+    #[inline]
     pub fn eval(&self, ccr: &Ccr) -> Cond {
-        let mut acc = Cond::True;
-        for (c, term) in self.terms() {
-            let v = ccr.get(c);
-            let want = match term {
-                PredTerm::Pos => v,
-                PredTerm::Neg => v.not(),
-                PredTerm::DontCare => unreachable!(),
-            };
-            acc = acc.and(want);
-            if acc == Cond::False {
-                return Cond::False;
-            }
+        let spec = ccr.spec_mask();
+        let vals = ccr.vals_mask();
+        // A specified condition mismatching makes the predicate false even
+        // while other participating conditions are still unspecified.
+        if ((self.pos & spec & !vals) | (self.neg & spec & vals)) != 0 {
+            Cond::False
+        } else if ((self.pos | self.neg) & !spec) != 0 {
+            Cond::Unspecified
+        } else {
+            Cond::True
         }
-        acc
     }
 
     /// Logical conjunction of two predicates.
@@ -140,46 +185,38 @@ impl Predicate {
     /// Returns `None` if they conflict (one requires `c`, the other `!c`);
     /// the conjunction is then unsatisfiable.
     pub fn conjoin(&self, other: &Predicate) -> Option<Predicate> {
-        let mut out = *self;
-        for i in 0..MAX_CONDS {
-            match (self.terms[i], other.terms[i]) {
-                (PredTerm::DontCare, t) => out.terms[i] = t,
-                (t, PredTerm::DontCare) => out.terms[i] = t,
-                (a, b) if a == b => out.terms[i] = a,
-                _ => return None,
-            }
+        if self.disjoint(other) {
+            return None;
         }
-        Some(out)
+        Some(Predicate {
+            pos: self.pos | other.pos,
+            neg: self.neg | other.neg,
+        })
     }
 
     /// Whether `self` implies `other`: every environment satisfying `self`
     /// satisfies `other`.  For ANDed predicates this holds exactly when
     /// `other`'s terms are a subset of `self`'s terms.
+    #[inline]
     pub fn implies(&self, other: &Predicate) -> bool {
-        (0..MAX_CONDS).all(|i| match other.terms[i] {
-            PredTerm::DontCare => true,
-            t => self.terms[i] == t,
-        })
+        (other.pos & !self.pos) == 0 && (other.neg & !self.neg) == 0
     }
 
     /// Whether `self` and `other` are *disjoint*: no assignment of
     /// conditions satisfies both.  For ANDed predicates this holds exactly
     /// when some condition appears positively in one and negated in the
     /// other.
+    #[inline]
     pub fn disjoint(&self, other: &Predicate) -> bool {
-        (0..MAX_CONDS).any(|i| {
-            matches!(
-                (self.terms[i], other.terms[i]),
-                (PredTerm::Pos, PredTerm::Neg) | (PredTerm::Neg, PredTerm::Pos)
-            )
-        })
+        ((self.pos & other.neg) | (self.neg & other.pos)) != 0
     }
 
     /// The greatest CCR entry index used, if any (used to size machine CCRs).
     pub fn max_cond_index(&self) -> Option<usize> {
-        (0..MAX_CONDS)
-            .rev()
-            .find(|&i| self.terms[i] != PredTerm::DontCare)
+        match self.pos | self.neg {
+            0 => None,
+            m => Some(7 - m.leading_zeros() as usize),
+        }
     }
 }
 

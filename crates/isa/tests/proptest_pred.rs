@@ -130,7 +130,7 @@ proptest! {
                 continue;
             }
             for v in [true, false] {
-                let mut refined = ccr.clone();
+                let mut refined = ccr;
                 refined.set(CondReg::new(i), v);
                 let after = p.eval(&refined);
                 match before {
