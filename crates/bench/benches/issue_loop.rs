@@ -9,23 +9,28 @@
 //! with one mask intersection.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use psb_core::{Engine, MachineConfig, VliwMachine};
-use psb_isa::VliwProgram;
+use psb_compile::{compile_fresh, CompileRequest, CompiledArtifact, ProfileSource};
+use psb_core::{Engine, MachineConfig};
 use psb_scalar::{ScalarConfig, ScalarMachine};
-use psb_sched::{schedule, Model, SchedConfig};
+use psb_sched::{Model, SchedConfig};
 use std::hint::black_box;
 
-fn scheduled(name: &str) -> VliwProgram {
+fn compiled(name: &str) -> CompiledArtifact {
     let w = psb_workloads::by_name(name, 3, 512).unwrap();
     let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
         .run()
         .unwrap()
         .edge_profile;
-    schedule(&w.program, &profile, &SchedConfig::new(Model::RegionPred)).unwrap()
+    compile_fresh(&CompileRequest {
+        program: &w.program,
+        profile: ProfileSource::Provided(&profile),
+        sched: SchedConfig::new(Model::RegionPred),
+    })
+    .unwrap()
 }
 
 fn bench_engines(c: &mut Criterion, name: &'static str) {
-    let vliw = scheduled(name);
+    let art = compiled(name);
     let mut g = c.benchmark_group(format!("issue_loop_{name}"));
     for (label, engine) in [
         ("legacy", Engine::Legacy),
@@ -36,7 +41,7 @@ fn bench_engines(c: &mut Criterion, name: &'static str) {
             ..MachineConfig::default()
         };
         g.bench_function(label, |b| {
-            b.iter(|| black_box(VliwMachine::run_program(black_box(&vliw), cfg.clone())))
+            b.iter(|| black_box(black_box(&art).run(cfg.clone())))
         });
     }
     g.finish();

@@ -3,14 +3,30 @@
 //! delay" match operation), plus simulator throughput on real kernels.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use psb_compile::{compile_fresh, CompileRequest, CompiledArtifact, ProfileSource};
 use psb_core::{
     CommitScan, CountersSink, EventLog, MachineConfig, NullSink, PredicatedRegFile, ShadowMode,
-    VliwMachine,
 };
 use psb_isa::{Ccr, CondReg, Predicate, Reg};
 use psb_scalar::{ScalarConfig, ScalarMachine};
-use psb_sched::{schedule, Model, SchedConfig};
+use psb_sched::{Model, SchedConfig};
 use std::hint::black_box;
+
+/// One region-pred artifact for a 512-element workload, compiled through
+/// the real pipeline (profiled on the same input the machine benches run).
+fn region_pred_artifact(name: &str) -> CompiledArtifact {
+    let w = psb_workloads::by_name(name, 3, 512).unwrap();
+    let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
+        .run()
+        .unwrap()
+        .edge_profile;
+    compile_fresh(&CompileRequest {
+        program: &w.program,
+        profile: ProfileSource::Provided(&profile),
+        sched: SchedConfig::new(Model::RegionPred),
+    })
+    .unwrap()
+}
 
 fn bench_predicate_eval(c: &mut Criterion) {
     let p = Predicate::always()
@@ -79,12 +95,7 @@ fn bench_commit_scan(c: &mut Criterion) {
 /// Same comparison end to end: a whole kernel simulated under each scan
 /// strategy (identical architecture, different simulator cost).
 fn bench_machine_commit_scan(c: &mut Criterion) {
-    let w = psb_workloads::by_name("li", 3, 512).unwrap();
-    let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
-        .run()
-        .unwrap()
-        .edge_profile;
-    let vliw = schedule(&w.program, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
+    let art = region_pred_artifact("li");
     let mut g = c.benchmark_group("machine_commit_scan_li");
     for (label, scan) in [
         ("naive", CommitScan::Naive),
@@ -92,26 +103,16 @@ fn bench_machine_commit_scan(c: &mut Criterion) {
     ] {
         let cfg = MachineConfig::default().with_commit_scan(scan);
         g.bench_function(label, |b| {
-            b.iter(|| black_box(VliwMachine::run_program(black_box(&vliw), cfg.clone())))
+            b.iter(|| black_box(black_box(&art).run(cfg.clone())))
         });
     }
     g.finish();
 }
 
 fn machine_throughput(c: &mut Criterion, name: &'static str) {
-    let w = psb_workloads::by_name(name, 3, 512).unwrap();
-    let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
-        .run()
-        .unwrap()
-        .edge_profile;
-    let vliw = schedule(&w.program, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
+    let art = region_pred_artifact(name);
     c.bench_function(format!("machine_throughput_{name}"), |b| {
-        b.iter(|| {
-            black_box(VliwMachine::run_program(
-                black_box(&vliw),
-                MachineConfig::default(),
-            ))
-        })
+        b.iter(|| black_box(black_box(&art).run(MachineConfig::default())))
     });
 }
 
@@ -125,59 +126,49 @@ fn bench_machine(c: &mut Criterion) {
 /// return constant `false`, so every instrumentation site monomorphizes
 /// away), while the counters sink pays only its sampling cost.
 fn bench_trace_sink_overhead(c: &mut Criterion) {
-    let w = psb_workloads::by_name("li", 3, 512).unwrap();
-    let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
-        .run()
-        .unwrap()
-        .edge_profile;
-    let vliw = schedule(&w.program, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
+    let art = region_pred_artifact("li");
     let mut g = c.benchmark_group("trace_sink_li");
     g.bench_function("baseline", |b| {
-        b.iter(|| {
-            black_box(VliwMachine::run_program(
-                black_box(&vliw),
-                MachineConfig::default(),
-            ))
-        })
+        b.iter(|| black_box(black_box(&art).run(MachineConfig::default())))
     });
     g.bench_function("null_sink", |b| {
-        b.iter(|| {
-            black_box(VliwMachine::run_with_sink(
-                black_box(&vliw),
-                MachineConfig::default(),
-                NullSink,
-            ))
-        })
+        b.iter(|| black_box(black_box(&art).run_with_sink(MachineConfig::default(), NullSink)))
     });
     g.bench_function("counters_sink", |b| {
         b.iter(|| {
-            black_box(VliwMachine::run_with_sink(
-                black_box(&vliw),
-                MachineConfig::default(),
-                CountersSink::new(),
-            ))
+            black_box(black_box(&art).run_with_sink(MachineConfig::default(), CountersSink::new()))
         })
     });
     g.finish();
 }
 
-fn bench_scheduler(c: &mut Criterion) {
+fn bench_compile(c: &mut Criterion) {
+    // schedule + decode cost (the profile is provided, so the scalar
+    // training run is excluded from the timed region).
     let w = psb_workloads::by_name("espresso", 3, 512).unwrap();
     let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
         .run()
         .unwrap()
         .edge_profile;
-    let cfg = SchedConfig::new(Model::RegionPred);
-    c.bench_function("scheduler_region_pred_espresso", |b| {
-        b.iter(|| black_box(schedule(black_box(&w.program), &profile, &cfg).unwrap()))
+    c.bench_function("compile_fresh_region_pred_espresso", |b| {
+        b.iter(|| {
+            black_box(
+                compile_fresh(&CompileRequest {
+                    program: black_box(&w.program),
+                    profile: ProfileSource::Provided(&profile),
+                    sched: SchedConfig::new(Model::RegionPred),
+                })
+                .unwrap(),
+            )
+        })
     });
 }
 
-fn bench_scheduler_scaling(c: &mut Criterion) {
+fn bench_compile_scaling(c: &mut Criterion) {
     // Compiler throughput vs region size: unrolling multiplies the blocks
     // a single region must cover.
     let w = psb_workloads::by_name("espresso", 3, 256).unwrap();
-    let mut g = c.benchmark_group("scheduler_scaling_by_unroll");
+    let mut g = c.benchmark_group("compile_scaling_by_unroll");
     for factor in [1usize, 2, 4, 8] {
         let prog = psb_ir::unroll_loops(&w.program, factor);
         let profile = ScalarMachine::new(&prog, ScalarConfig::default())
@@ -189,7 +180,16 @@ fn bench_scheduler_scaling(c: &mut Criterion) {
         cfg.depth = 8;
         cfg.max_blocks = 64;
         g.bench_function(format!("unroll_{factor}"), |b| {
-            b.iter(|| black_box(schedule(black_box(&prog), &profile, &cfg).unwrap()))
+            b.iter(|| {
+                black_box(
+                    compile_fresh(&CompileRequest {
+                        program: black_box(&prog),
+                        profile: ProfileSource::Provided(&profile),
+                        sched: cfg.clone(),
+                    })
+                    .unwrap(),
+                )
+            })
         });
     }
     g.finish();
@@ -200,6 +200,6 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_predicate_eval, bench_regfile_commit, bench_commit_scan,
         bench_machine_commit_scan, bench_machine, bench_trace_sink_overhead,
-        bench_scheduler, bench_scheduler_scaling
+        bench_compile, bench_compile_scaling
 }
 criterion_main!(mechanism);

@@ -1,0 +1,294 @@
+//! The thread-safe, memoizing artifact store.
+//!
+//! A sweep fans (workload × model × config) points out over worker
+//! threads; many points share a compile key (the same schedule measured
+//! under several machine configurations, engines or penalties), and every
+//! model of one workload shares a training profile.  The cache memoizes
+//! both levels — compiled artifacts keyed by the full request, edge
+//! profiles keyed by the training program — behind sharded mutexes.
+//!
+//! # Concurrency discipline
+//!
+//! Lookups are **single-flight**: the first thread to miss a key installs
+//! a pending marker and compiles with the shard unlocked; concurrent
+//! requests for the same key block on the shard's condvar until the
+//! artifact lands, rather than compiling a duplicate.  This keeps the
+//! hit/miss counters deterministic — a sweep with N distinct points
+//! records exactly N misses at *any* `--jobs` count — which CI relies on.
+//! A failed compile removes the marker and wakes the waiters, who retry
+//! (and re-fail) themselves.
+//!
+//! Eviction is FIFO per shard, only used by bounded caches (the fuzz
+//! harness caps its cache so million-case sweeps stay in memory); the
+//! experiment drivers use unbounded caches whose lifetime is one sweep.
+
+use crate::CompiledArtifact;
+use psb_scalar::EdgeProfile;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shard count; keys are avalanched, so low bits select uniformly.
+const SHARDS: usize = 8;
+
+#[derive(Debug)]
+enum Slot<V> {
+    /// A thread is compiling this key; wait on the shard condvar.
+    Pending,
+    /// The finished value.
+    Ready(V),
+}
+
+#[derive(Debug)]
+struct ShardState<V> {
+    map: HashMap<u64, Slot<V>>,
+    /// Ready keys in completion order (FIFO eviction victims).
+    order: VecDeque<u64>,
+}
+
+#[derive(Debug)]
+struct Shard<V> {
+    state: Mutex<ShardState<V>>,
+    ready: Condvar,
+}
+
+/// A sharded, single-flight memo table.
+#[derive(Debug)]
+struct SingleFlight<V> {
+    shards: Vec<Shard<V>>,
+    /// Per-shard capacity (`None` = unbounded).
+    shard_capacity: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> SingleFlight<V> {
+    fn new(capacity: Option<usize>) -> SingleFlight<V> {
+        SingleFlight {
+            shards: (0..SHARDS)
+                .map(|_| Shard {
+                    state: Mutex::new(ShardState {
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                    }),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+            shard_capacity: capacity.map(|c| c.div_ceil(SHARDS).max(1)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn entries(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().expect("cache shard poisoned").order.len() as u64)
+            .sum()
+    }
+
+    /// Returns the memoized value for `key`, or runs `compute` exactly
+    /// once per key across all threads (modulo failures and eviction).
+    fn get_or_compute<E>(&self, key: u64, compute: impl FnOnce() -> Result<V, E>) -> Result<V, E> {
+        let shard = &self.shards[key as usize % SHARDS];
+        let mut st = shard.state.lock().expect("cache shard poisoned");
+        loop {
+            match st.map.get(&key) {
+                Some(Slot::Ready(v)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(v.clone());
+                }
+                Some(Slot::Pending) => {
+                    st = shard.ready.wait(st).expect("cache shard poisoned");
+                }
+                None => break,
+            }
+        }
+        st.map.insert(key, Slot::Pending);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+
+        let result = compute();
+
+        let mut st = shard.state.lock().expect("cache shard poisoned");
+        match result {
+            Ok(v) => {
+                st.map.insert(key, Slot::Ready(v.clone()));
+                st.order.push_back(key);
+                if let Some(cap) = self.shard_capacity {
+                    // The key just pushed is never the front while another
+                    // entry exists, so the insert itself survives.
+                    while st.order.len() > cap {
+                        let oldest = st.order.pop_front().expect("len > cap >= 1");
+                        if st.map.remove(&oldest).is_some() {
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                shard.ready.notify_all();
+                Ok(v)
+            }
+            Err(e) => {
+                st.map.remove(&key);
+                shard.ready.notify_all();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// A training profile memo entry: the profile plus what producing it
+/// cost, so cache-served compiles report the original stage timing.
+#[derive(Clone, Debug)]
+pub(crate) struct ProfileEntry {
+    /// The recorded edge profile.
+    pub profile: EdgeProfile,
+    /// Wall seconds of the scalar training run (rounded).
+    pub seconds: f64,
+    /// Dynamic branches the run recorded.
+    pub branches: u64,
+}
+
+/// Thread-safe memoizing store for [`CompiledArtifact`]s and training
+/// profiles, shared by all workers of a sweep.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    artifacts: SingleFlight<Arc<CompiledArtifact>>,
+    profiles: SingleFlight<Arc<ProfileEntry>>,
+}
+
+impl ArtifactCache {
+    /// An unbounded cache (the experiment drivers: one sweep, one cache).
+    pub fn new() -> ArtifactCache {
+        ArtifactCache {
+            artifacts: SingleFlight::new(None),
+            profiles: SingleFlight::new(None),
+        }
+    }
+
+    /// A cache holding at most ~`capacity` artifacts (FIFO eviction), for
+    /// open-ended consumers like the fuzz harness.
+    pub fn with_capacity(capacity: usize) -> ArtifactCache {
+        ArtifactCache {
+            artifacts: SingleFlight::new(Some(capacity)),
+            profiles: SingleFlight::new(Some(capacity)),
+        }
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.artifacts.hits.load(Ordering::Relaxed),
+            misses: self.artifacts.misses.load(Ordering::Relaxed),
+            evictions: self.artifacts.evictions.load(Ordering::Relaxed),
+            entries: self.artifacts.entries(),
+            profile_hits: self.profiles.hits.load(Ordering::Relaxed),
+            profile_misses: self.profiles.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn artifact<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<Arc<CompiledArtifact>, E>,
+    ) -> Result<Arc<CompiledArtifact>, E> {
+        self.artifacts.get_or_compute(key, compute)
+    }
+
+    pub(crate) fn profile<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<Arc<ProfileEntry>, E>,
+    ) -> Result<Arc<ProfileEntry>, E> {
+        self.profiles.get_or_compute(key, compute)
+    }
+}
+
+impl Default for ArtifactCache {
+    fn default() -> ArtifactCache {
+        ArtifactCache::new()
+    }
+}
+
+/// Counter snapshot surfaced by `repro compile` / the bench cache check
+/// (rendered to JSON by the eval crate, like an `ObsReport`).
+///
+/// With single-flight lookups and no eviction pressure, `misses` equals
+/// the number of *distinct* compile requests regardless of thread count —
+/// the deterministic property CI asserts on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Artifact requests served from the cache.
+    pub hits: u64,
+    /// Artifact requests that compiled (one per distinct key).
+    pub misses: u64,
+    /// Artifacts evicted by a bounded cache's FIFO.
+    pub evictions: u64,
+    /// Artifacts currently resident.
+    pub entries: u64,
+    /// Training-profile stage requests served from the memo.
+    pub profile_hits: u64,
+    /// Training-profile stage requests that ran the scalar machine.
+    pub profile_misses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flight_computes_each_key_once() {
+        let sf: SingleFlight<u64> = SingleFlight::new(None);
+        let computed = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for key in 0..16u64 {
+                        let v = sf
+                            .get_or_compute::<()>(key, || {
+                                computed.fetch_add(1, Ordering::Relaxed);
+                                // Widen the race window so waiters really
+                                // do find a Pending marker.
+                                std::thread::sleep(std::time::Duration::from_millis(1));
+                                Ok(key * 10)
+                            })
+                            .unwrap();
+                        assert_eq!(v, key * 10);
+                    }
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 16, "duplicate compute");
+        assert_eq!(sf.misses.load(Ordering::Relaxed), 16);
+        assert_eq!(sf.hits.load(Ordering::Relaxed), 8 * 16 - 16);
+    }
+
+    #[test]
+    fn failures_release_the_pending_marker() {
+        let sf: SingleFlight<u64> = SingleFlight::new(None);
+        assert_eq!(
+            sf.get_or_compute(7, || Err::<u64, &str>("boom")),
+            Err("boom")
+        );
+        // The key is retryable, not wedged.
+        assert_eq!(sf.get_or_compute::<&str>(7, || Ok(42)), Ok(42));
+        assert_eq!(sf.get_or_compute::<&str>(7, || Ok(0)), Ok(42));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_fifo() {
+        let sf: SingleFlight<u64> = SingleFlight::new(Some(SHARDS));
+        // Shard capacity is 1: a second distinct key in one shard evicts
+        // the first.  Keys k and k + SHARDS land in the same shard.
+        sf.get_or_compute::<()>(3, || Ok(1)).unwrap();
+        sf.get_or_compute::<()>(3 + SHARDS as u64, || Ok(2))
+            .unwrap();
+        assert_eq!(sf.evictions.load(Ordering::Relaxed), 1);
+        // The evicted key recomputes.
+        sf.get_or_compute::<()>(3, || Ok(10)).unwrap();
+        assert_eq!(sf.misses.load(Ordering::Relaxed), 3);
+        assert_eq!(sf.entries(), 1);
+    }
+}

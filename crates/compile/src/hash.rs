@@ -1,0 +1,107 @@
+//! Content hashing for compile requests and artifacts.
+//!
+//! The workspace is offline (no serde, no external hashers), so identity
+//! is derived from the deterministic `Debug` rendering of the hashed
+//! values, streamed through FNV-1a and finished with a splitmix64-style
+//! avalanche.  Every hashed type renders its `Debug` form from plain
+//! scalars, `Vec`s and `BTreeSet`s — no iteration-order-unstable
+//! container is involved — so a given value hashes identically across
+//! runs, hosts, threads and `--jobs` counts.
+
+use std::fmt::{self, Write};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// splitmix64 finalizer: avalanches the FNV state so that requests
+/// differing only in a late field still spread across cache shards.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Streaming FNV-1a hasher usable as a [`fmt::Write`] sink, so arbitrary
+/// `Debug` output is hashed without materializing the rendered string.
+#[derive(Clone, Debug)]
+pub struct DebugHasher {
+    state: u64,
+}
+
+impl DebugHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> DebugHasher {
+        DebugHasher { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes into the running FNV-1a state.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes one `Debug`-rendered value followed by a separator byte, so
+    /// adjacent fields cannot alias across their boundary.
+    pub fn field(&mut self, value: &dyn fmt::Debug) {
+        write!(self, "{value:?}").expect("DebugHasher::write_str is infallible");
+        self.write_bytes(&[0x1f]);
+    }
+
+    /// The finalized 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        splitmix64(self.state)
+    }
+}
+
+impl Default for DebugHasher {
+    fn default() -> DebugHasher {
+        DebugHasher::new()
+    }
+}
+
+impl Write for DebugHasher {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.write_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Hashes a sequence of `Debug` fields into one digest.
+pub fn hash_fields(fields: &[&dyn fmt::Debug]) -> u64 {
+    let mut h = DebugHasher::new();
+    for f in fields {
+        h.field(*f);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_input_same_digest() {
+        let a = hash_fields(&[&1u64, &"x", &vec![1, 2, 3]]);
+        let b = hash_fields(&[&1u64, &"x", &vec![1, 2, 3]]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn field_boundaries_matter() {
+        // Without separators, ["ab", "c"] and ["a", "bc"] would collide.
+        assert_ne!(hash_fields(&[&"ab", &"c"]), hash_fields(&[&"a", &"bc"]));
+        assert_ne!(hash_fields(&[&1u8]), hash_fields(&[&1u8, &1u8]));
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_every_byte() {
+        let base = hash_fields(&[&vec![0u8; 64]]);
+        for i in 0..64 {
+            let mut v = vec![0u8; 64];
+            v[i] = 1;
+            assert_ne!(base, hash_fields(&[&v]), "byte {i} ignored");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The differential oracle for the artifact cache: on randomly generated
+//! fuzz programs, under every scheduling model, a cache-served artifact
+//! must be byte-equal to one produced by the uncached `compile_fresh`
+//! path — same content hash, same program, same decoded arena — and the
+//! two paths must agree on failures too.  Also proves the request keys
+//! of the seven models never collide on one program.
+
+use proptest::prelude::*;
+use psb_compile::{
+    compile, compile_fresh, ArtifactCache, CompileError, CompileRequest, ProfileSource,
+};
+use psb_fuzz::gen_case;
+use psb_scalar::{ScalarConfig, ScalarMachine};
+use psb_sched::{Model, SchedConfig};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn cached_artifacts_are_byte_equal_to_fresh(seed in 0u64..500) {
+        let case = gen_case(seed);
+        let scfg = ScalarConfig {
+            fault_once_addrs: case.fault_once.clone(),
+            ..ScalarConfig::default()
+        };
+        let cache = ArtifactCache::new();
+        let mut keys = HashSet::new();
+        for model in Model::ALL {
+            let req = CompileRequest {
+                program: &case.program,
+                profile: ProfileSource::Train {
+                    program: &case.program,
+                    config: scfg.clone(),
+                },
+                sched: SchedConfig::new(model),
+            };
+            prop_assert!(
+                keys.insert(req.key()),
+                "cross-model key collision under {}", model
+            );
+            match (compile(&req, &cache), compile_fresh(&req)) {
+                (Ok(cached), Ok(fresh)) => {
+                    // The second lookup must be served from cache — the
+                    // very same Arc, not a recompile.
+                    let again = compile(&req, &cache).unwrap();
+                    prop_assert!(
+                        Arc::ptr_eq(&cached, &again),
+                        "second lookup recompiled under {}", model
+                    );
+                    prop_assert!(
+                        cached.same_content(&fresh),
+                        "cached != fresh under {}", model
+                    );
+                    prop_assert_eq!(cached.content_hash, fresh.content_hash);
+                    prop_assert_eq!(&cached.program, &fresh.program);
+                    prop_assert_eq!(cached.decoded.as_ref(), fresh.decoded.as_ref());
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "paths fail differently"),
+                (cached, fresh) => prop_assert!(
+                    false,
+                    "cache/fresh disagree under {}: cached ok={}, fresh ok={}",
+                    model, cached.is_ok(), fresh.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+/// A provided profile equal to what the training run would produce gives
+/// an identical artifact (stage timings aside) with a *different* key —
+/// the key hashes the source of the profile, not just its value.
+#[test]
+fn provided_profile_matches_training_run() {
+    let case = gen_case(7);
+    let scalar = ScalarMachine::new(&case.program, ScalarConfig::default())
+        .run()
+        .expect("seed 7 runs clean");
+    let trained = compile_fresh(&CompileRequest {
+        program: &case.program,
+        profile: ProfileSource::Train {
+            program: &case.program,
+            config: ScalarConfig::default(),
+        },
+        sched: SchedConfig::new(Model::RegionPred),
+    })
+    .unwrap();
+    let provided = compile_fresh(&CompileRequest {
+        program: &case.program,
+        profile: ProfileSource::Provided(&scalar.edge_profile),
+        sched: SchedConfig::new(Model::RegionPred),
+    })
+    .unwrap();
+    assert_eq!(trained.content_hash, provided.content_hash);
+    assert_eq!(trained.profile, provided.profile);
+    assert_eq!(trained.program, provided.program);
+    assert_ne!(
+        trained.request_key, provided.request_key,
+        "the request key encodes the profile source"
+    );
+    assert_eq!(provided.stats.profile_seconds, 0.0);
+}
+
+/// A failing training run surfaces as a typed profile-stage error.
+#[test]
+fn profile_stage_failure_is_typed() {
+    let case = gen_case(0);
+    let err = compile_fresh(&CompileRequest {
+        program: &case.program,
+        profile: ProfileSource::Train {
+            program: &case.program,
+            config: ScalarConfig {
+                max_cycles: 1,
+                ..ScalarConfig::default()
+            },
+        },
+        sched: SchedConfig::new(Model::RegionPred),
+    })
+    .unwrap_err();
+    assert!(
+        matches!(err, CompileError::Profile(_)),
+        "expected a profile-stage error, got {err}"
+    );
+}

@@ -35,6 +35,7 @@ use psb_isa::{
 };
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// A failed VLIW run.
 #[derive(Clone, PartialEq, Debug)]
@@ -197,8 +198,10 @@ struct PendingStore {
 pub struct VliwMachine<'p, S: TraceSink = EventLog> {
     prog: &'p VliwProgram,
     /// The program decoded once into dense `Copy` arenas; read every cycle
-    /// by [`Engine::Predecoded`], ignored by [`Engine::Legacy`].
-    decoded: DecodedProgram,
+    /// by [`Engine::Predecoded`], ignored by [`Engine::Legacy`].  Shared
+    /// (`Arc`) so a compiled artifact's arena is borrowed by every machine
+    /// built over it instead of being re-lowered per construction.
+    decoded: Arc<DecodedProgram>,
     cfg: MachineConfig,
     regs: PredicatedRegFile,
     sb: PredicatedStoreBuffer,
@@ -252,6 +255,22 @@ impl<'p> VliwMachine<'p> {
     pub fn run_program(prog: &VliwProgram, cfg: MachineConfig) -> Result<VliwResult, VliwError> {
         VliwMachine::new(prog, cfg)?.run()
     }
+
+    /// Like [`VliwMachine::run_program`], but borrows a pre-decoded arena
+    /// (e.g. a compiled artifact's) instead of re-lowering `prog`.
+    ///
+    /// # Errors
+    ///
+    /// See [`VliwMachine::run`]; additionally [`VliwError::Malformed`] if
+    /// `decoded` does not match `prog`.
+    pub fn run_program_decoded(
+        prog: &VliwProgram,
+        decoded: Arc<DecodedProgram>,
+        cfg: MachineConfig,
+    ) -> Result<VliwResult, VliwError> {
+        let sink = EventLog::new(cfg.record_events);
+        VliwMachine::with_sink_decoded(prog, decoded, cfg, sink)?.run()
+    }
 }
 
 impl<'p, S: TraceSink> VliwMachine<'p, S> {
@@ -266,6 +285,39 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
         cfg: MachineConfig,
         sink: S,
     ) -> Result<VliwMachine<'p, S>, VliwError> {
+        Self::validate_for(prog, &cfg)?;
+        let decoded = Arc::new(DecodedProgram::decode(prog));
+        Ok(Self::build(prog, decoded, cfg, sink))
+    }
+
+    /// Creates a machine over `prog` that shares a pre-decoded arena
+    /// instead of re-lowering the program at construction.  `decoded`
+    /// must be the decoding of `prog` (a compiled artifact guarantees
+    /// this by construction).
+    ///
+    /// # Errors
+    ///
+    /// [`VliwError::Malformed`] if the program fails validation, exceeds
+    /// the configured issue width or function-unit counts, or the arena's
+    /// word count does not match the program's.
+    pub fn with_sink_decoded(
+        prog: &'p VliwProgram,
+        decoded: Arc<DecodedProgram>,
+        cfg: MachineConfig,
+        sink: S,
+    ) -> Result<VliwMachine<'p, S>, VliwError> {
+        Self::validate_for(prog, &cfg)?;
+        if decoded.words.len() != prog.words.len() {
+            return Err(VliwError::Malformed(
+                "pre-decoded arena does not match the program".to_string(),
+            ));
+        }
+        Ok(Self::build(prog, decoded, cfg, sink))
+    }
+
+    /// The construction-time checks shared by every constructor: program
+    /// validation plus issue-width and function-unit admission.
+    fn validate_for(prog: &VliwProgram, cfg: &MachineConfig) -> Result<(), VliwError> {
         prog.validate().map_err(VliwError::Malformed)?;
         for (addr, word) in prog.words.iter().enumerate() {
             if word.slots.len() > cfg.issue_width {
@@ -287,13 +339,23 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 )));
             }
         }
+        Ok(())
+    }
+
+    /// Assembles the machine once validation has passed.
+    fn build(
+        prog: &'p VliwProgram,
+        decoded: Arc<DecodedProgram>,
+        cfg: MachineConfig,
+        sink: S,
+    ) -> VliwMachine<'p, S> {
         let mut regs =
             PredicatedRegFile::new(NUM_REGS, cfg.shadow_mode).with_commit_scan(cfg.commit_scan);
         for &(r, v) in &prog.init_regs {
             regs.init(r, v);
         }
-        Ok(VliwMachine {
-            decoded: DecodedProgram::decode(prog),
+        VliwMachine {
+            decoded,
             regs,
             sb: PredicatedStoreBuffer::new(cfg.store_buffer_size).with_commit_scan(cfg.commit_scan),
             memory: Memory::from_image(&prog.memory),
@@ -309,7 +371,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
             cfg,
             prog,
             stats: RunStats::default(),
-        })
+        }
     }
 
     /// Creates a machine over `prog` with `sink` and runs it to
@@ -325,6 +387,21 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
         sink: S,
     ) -> Result<(VliwResult, S), VliwError> {
         VliwMachine::with_sink(prog, cfg, sink)?.run_into_sink()
+    }
+
+    /// Like [`VliwMachine::run_with_sink`], but borrows a pre-decoded
+    /// arena instead of re-lowering `prog`.
+    ///
+    /// # Errors
+    ///
+    /// See [`VliwMachine::with_sink_decoded`] and [`VliwMachine::run`].
+    pub fn run_with_sink_decoded(
+        prog: &VliwProgram,
+        decoded: Arc<DecodedProgram>,
+        cfg: MachineConfig,
+        sink: S,
+    ) -> Result<(VliwResult, S), VliwError> {
+        VliwMachine::with_sink_decoded(prog, decoded, cfg, sink)?.run_into_sink()
     }
 
     fn read_src(&self, s: Src, reader_pred: &Predicate) -> i64 {

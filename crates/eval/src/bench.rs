@@ -20,14 +20,20 @@
 
 use crate::json::{Json, ToJson};
 use crate::runner::parallel_map;
-use psb_core::{Engine, MachineConfig, ShadowMode, VliwMachine};
-use psb_sched::{schedule, Model, SchedConfig};
+use psb_compile::{compile, ArtifactCache, CacheStats, CompileRequest, ProfileSource};
+use psb_core::{Engine, MachineConfig, ShadowMode};
+use psb_scalar::ScalarConfig;
+use psb_sched::{Model, SchedConfig};
 use std::path::PathBuf;
 use std::time::Instant;
 
 /// Version stamped into `BENCH.json`; bump on any schema change (a
 /// version mismatch against the baseline is a hard check failure).
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// v2: compile-phase timings come from `psb_compile::CompileStats`
+/// (`host` gains `decode_seconds`; kernel points report
+/// `profile_seconds` 0 because their profile is a byproduct of the
+/// golden cross-check run).
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// The four checked-in assembly kernels forming the kernel suite.
 pub const KERNELS: [&str; 4] = ["dotprod", "gcd", "matmul", "sort"];
@@ -100,10 +106,15 @@ impl BenchParams {
 /// throughput denominator).
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct HostSample {
-    /// Seconds spent producing the training profile (scalar golden runs).
+    /// Seconds the pipeline's profile stage spent in the scalar training
+    /// run (0 for kernel points, whose profile is a byproduct of the
+    /// golden cross-check run, and for cache-served compiles the
+    /// original compile's timing).
     pub profile_seconds: f64,
     /// Seconds spent in the scheduler.
     pub schedule_seconds: f64,
+    /// Seconds spent lowering the schedule into the pre-decoded arena.
+    pub decode_seconds: f64,
     /// Seconds spent simulating (all iterations of the VLIW machine).
     pub wall_seconds: f64,
     /// Simulated cycles per wall-clock second over the execute phase.
@@ -115,6 +126,7 @@ impl ToJson for HostSample {
         Json::obj(vec![
             ("profile_seconds", self.profile_seconds.to_json()),
             ("schedule_seconds", self.schedule_seconds.to_json()),
+            ("decode_seconds", self.decode_seconds.to_json()),
             ("wall_seconds", self.wall_seconds.to_json()),
             ("cycles_per_second", self.cycles_per_second.to_json()),
         ])
@@ -321,7 +333,7 @@ fn peak_rss_kb() -> u64 {
     }
 }
 
-fn run_point(spec: &PointSpec) -> BenchPoint {
+fn run_point(spec: &PointSpec, cache: &ArtifactCache) -> BenchPoint {
     let (program, fault_once) = match spec.kind {
         "kernel" => {
             let path = asm_dir().join(format!("{}.asm", spec.name));
@@ -336,42 +348,46 @@ fn run_point(spec: &PointSpec) -> BenchPoint {
         }
     };
 
-    // Profile phase: scalar golden run.  It supplies both the edge
-    // profile the scheduler trains on and the observable end state the
-    // timed runs are cross-checked against.  Workloads train on a
-    // distinct seed, like the experiment harness.
-    let profile_start = Instant::now();
-    let scfg = psb_scalar::ScalarConfig {
+    // Golden scalar run: supplies the observable end state the timed runs
+    // are cross-checked against, and (for kernels) doubles as the edge
+    // profile — so kernel points report `profile_seconds` 0, the profile
+    // being free.  Workloads train inside the pipeline on a distinct
+    // seed, like the experiment harness.
+    let scfg = ScalarConfig {
         fault_once_addrs: fault_once.clone(),
-        ..psb_scalar::ScalarConfig::default()
+        ..ScalarConfig::default()
     };
     let scalar = psb_scalar::ScalarMachine::new(&program, scfg)
         .run()
         .unwrap_or_else(|e| panic!("{}: scalar run failed: {e}", spec.name));
-    let profile = if spec.kind == "kernel" {
-        scalar.edge_profile.clone()
-    } else {
-        let train = psb_workloads::by_name(&spec.name, 11, spec.size)
-            .unwrap_or_else(|| panic!("unknown workload {}", spec.name));
-        psb_scalar::ScalarMachine::new(&train.program, psb_scalar::ScalarConfig::default())
-            .run()
-            .unwrap_or_else(|e| panic!("{}: train run failed: {e}", spec.name))
-            .edge_profile
-    };
-    let profile_seconds = profile_start.elapsed().as_secs_f64();
 
-    // Schedule phase.
-    let sched_start = Instant::now();
+    // Compile phase (profile → schedule → decode) through the shared
+    // pipeline; per-stage timings come from the artifact's CompileStats.
+    let train = (spec.kind != "kernel").then(|| {
+        psb_workloads::by_name(&spec.name, 11, spec.size)
+            .unwrap_or_else(|| panic!("unknown workload {}", spec.name))
+    });
     let sched_cfg = SchedConfig::new(spec.model);
-    let vliw = schedule(&program, &profile, &sched_cfg)
-        .unwrap_or_else(|e| panic!("{}/{}: scheduling failed: {e}", spec.name, spec.model));
-    let schedule_seconds = sched_start.elapsed().as_secs_f64();
+    let single_shadow = sched_cfg.single_shadow;
+    let req = CompileRequest {
+        program: &program,
+        profile: match &train {
+            Some(t) => ProfileSource::Train {
+                program: &t.program,
+                config: ScalarConfig::default(),
+            },
+            None => ProfileSource::Provided(&scalar.edge_profile),
+        },
+        sched: sched_cfg,
+    };
+    let art = compile(&req, cache)
+        .unwrap_or_else(|e| panic!("{}/{}: compile failed: {e}", spec.name, spec.model));
 
     // Execute phase: the timed loop.  Every iteration simulates the same
     // deterministic run; the first is cross-checked against the golden
     // model so a throughput number can never come from incorrect code.
     let mcfg = MachineConfig {
-        shadow_mode: if sched_cfg.single_shadow {
+        shadow_mode: if single_shadow {
             ShadowMode::Single
         } else {
             ShadowMode::Infinite
@@ -381,7 +397,8 @@ fn run_point(spec: &PointSpec) -> BenchPoint {
         ..MachineConfig::default()
     };
     let exec_start = Instant::now();
-    let first = VliwMachine::run_program(&vliw, mcfg.clone())
+    let first = art
+        .run(mcfg.clone())
         .unwrap_or_else(|e| panic!("{}/{}: machine error: {e}", spec.name, spec.model));
     assert_eq!(
         first.observable(&program.live_out),
@@ -394,7 +411,7 @@ fn run_point(spec: &PointSpec) -> BenchPoint {
     let (commits, squashes, recoveries) = (first.commits, first.squashes, first.recoveries);
     let iterations = spec.target_cycles.div_ceil(cycles.max(1)).max(1);
     for _ in 1..iterations {
-        VliwMachine::run_program(&vliw, mcfg.clone())
+        art.run(mcfg.clone())
             .unwrap_or_else(|e| panic!("{}/{}: machine error: {e}", spec.name, spec.model));
     }
     let wall_seconds = exec_start.elapsed().as_secs_f64();
@@ -410,21 +427,31 @@ fn run_point(spec: &PointSpec) -> BenchPoint {
         squashes,
         recoveries,
         host: HostSample {
-            profile_seconds: round6(profile_seconds),
-            schedule_seconds: round6(schedule_seconds),
+            profile_seconds: art.stats.profile_seconds,
+            schedule_seconds: art.stats.schedule_seconds,
+            decode_seconds: art.stats.decode_seconds,
             wall_seconds: round6(wall_seconds),
             cycles_per_second: round6(cycles as f64 * iterations as f64 / wall_seconds.max(1e-9)),
         },
     }
 }
 
-/// Runs the fixed bench matrix and assembles the report.
+/// Runs the fixed bench matrix and assembles the report, compiling each
+/// point through a private artifact cache.
 ///
 /// # Panics
 ///
-/// Panics on any kernel load, schedule, or machine failure, and on golden
+/// Panics on any kernel load, compile, or machine failure, and on golden
 /// model divergence — a bench result must never describe broken code.
 pub fn run_bench(params: &BenchParams) -> BenchReport {
+    run_bench_with_cache(params, &ArtifactCache::new())
+}
+
+/// [`run_bench`] against a caller-supplied artifact cache, so repeated
+/// runs (the `--cache-check` smoke test) can measure cache effectiveness.
+/// Because the compile key excludes the engine and the execution config,
+/// an engine sweep compiles each (program × model) point exactly once.
+pub fn run_bench_with_cache(params: &BenchParams, cache: &ArtifactCache) -> BenchReport {
     let mut specs = Vec::new();
     for &engine in &params.engines {
         for name in KERNELS {
@@ -454,7 +481,7 @@ pub fn run_bench(params: &BenchParams) -> BenchReport {
     }
 
     let start = Instant::now();
-    let points = parallel_map(&specs, params.jobs, run_point);
+    let points = parallel_map(&specs, params.jobs, |spec| run_point(spec, cache));
     let wall_seconds_total = round6(start.elapsed().as_secs_f64());
 
     let mut kernel_suite = Vec::new();
@@ -487,6 +514,64 @@ pub fn run_bench(params: &BenchParams) -> BenchReport {
         report.zero_host();
     }
     report
+}
+
+/// Result of [`cache_effectiveness_check`]: the second-pass report plus
+/// the cache counters after each pass and any detected problems.
+#[derive(Clone, Debug)]
+pub struct CacheCheck {
+    /// The second (fully cache-served) run's report.
+    pub report: BenchReport,
+    /// Cache counters after the first pass (all compiles are misses).
+    pub first_pass: CacheStats,
+    /// Cache counters after the second pass (must add only hits).
+    pub second_pass: CacheStats,
+    /// Hard failures; empty means the cache is effective.
+    pub problems: Vec<String>,
+}
+
+/// CI smoke test for cache effectiveness: runs the bench matrix twice
+/// against one shared cache and checks that the second pass compiles
+/// nothing (no new artifact or profile misses, exactly one hit per
+/// point) and reports byte-identically.  Only meaningful with
+/// `--deterministic` params — otherwise wall timings legitimately differ
+/// between passes and the byte comparison fails.
+pub fn cache_effectiveness_check(params: &BenchParams) -> CacheCheck {
+    let cache = ArtifactCache::new();
+    let first = run_bench_with_cache(params, &cache);
+    let first_pass = cache.stats();
+    let second = run_bench_with_cache(params, &cache);
+    let second_pass = cache.stats();
+
+    let mut problems = Vec::new();
+    if second_pass.misses != first_pass.misses {
+        problems.push(format!(
+            "second pass recompiled {} artifact(s); the cache is not effective",
+            second_pass.misses - first_pass.misses
+        ));
+    }
+    if second_pass.profile_misses != first_pass.profile_misses {
+        problems.push(format!(
+            "second pass re-ran {} training profile(s)",
+            second_pass.profile_misses - first_pass.profile_misses
+        ));
+    }
+    let second_hits = second_pass.hits - first_pass.hits;
+    let requests = second.points.len() as u64;
+    if second_hits != requests {
+        problems.push(format!(
+            "second pass: expected {requests} cache hits (one per point), saw {second_hits}"
+        ));
+    }
+    if first.to_json().pretty() != second.to_json().pretty() {
+        problems.push("second pass produced a byte-different report".to_string());
+    }
+    CacheCheck {
+        report: second,
+        first_pass,
+        second_pass,
+        problems,
+    }
 }
 
 /// Outcome of a baseline comparison: hard failures gate CI, warnings are
@@ -779,12 +864,28 @@ mod tests {
             target_cycles: 1,
             size: 0,
         };
-        let a = run_point(&spec);
-        let b = run_point(&spec);
+        // Fresh caches so the second call exercises a full recompile,
+        // not a cache hit.
+        let a = run_point(&spec, &ArtifactCache::new());
+        let b = run_point(&spec, &ArtifactCache::new());
         assert!(a.cycles > 0);
         assert_eq!(
             (a.cycles, a.commits, a.squashes),
             (b.cycles, b.commits, b.squashes)
         );
+    }
+
+    #[test]
+    fn cache_check_passes_on_a_tiny_deterministic_run() {
+        let params = BenchParams {
+            quick: true,
+            deterministic: true,
+            target_cycles: Some(1),
+            ..BenchParams::default()
+        };
+        let cc = cache_effectiveness_check(&params);
+        assert!(cc.problems.is_empty(), "{:?}", cc.problems);
+        assert_eq!(cc.second_pass.misses, cc.first_pass.misses);
+        assert!(cc.first_pass.misses > 0);
     }
 }

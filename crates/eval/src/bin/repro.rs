@@ -27,13 +27,25 @@
 //! and written into `--corpus` (default `corpus/regressions`), and the
 //! exit status is non-zero if any case failed.
 //!
+//! `compile` runs the compilation pipeline by itself, reporting per-stage
+//! timings, artifact sizes and content hashes, and cache counters:
+//!
+//! ```text
+//! repro compile [--workload W[,W...]] [--model M|all] [--size N]
+//!               [--deterministic] [--json] [--jobs N] [--out FILE]
+//! ```
+//!
 //! `bench` runs the fixed throughput matrix and emits `BENCH.json`:
 //!
 //! ```text
 //! repro bench [--quick] [--deterministic] [--engine predecoded|legacy|both]
-//!             [--check BASELINE.json] [--tolerance FRAC] [--jobs N]
-//!             [--target-cycles N] [--out FILE]
+//!             [--check BASELINE.json] [--cache-check] [--tolerance FRAC]
+//!             [--jobs N] [--target-cycles N] [--out FILE]
 //! ```
+//!
+//! `--cache-check` (requires `--deterministic`) runs the matrix twice
+//! against one shared artifact cache and fails unless the second pass is
+//! served entirely from cache with a byte-identical report.
 //!
 //! The JSON goes to `--out` (or stdout); a human summary goes to stderr.
 //! With `--check`, deterministic drift or schema breakage against the
@@ -43,12 +55,13 @@
 //! `metrics`), so CI can byte-compare two runs.
 
 use psb_eval::{
-    ablation_counter, ablation_shadow, ablation_unroll, check_report, chrome_trace, code_size,
-    collect_profiles, collect_traces, fig6, fig7, fig8, interaction, measure_metrics, mix,
-    obs_points, parse_engines, parse_model, render_ablation, render_bench, render_code_size,
-    render_fig8, render_figure, render_interaction, render_mix, render_profile, render_sensitivity,
-    render_table2, render_table3, run_bench, run_fuzz, sensitivity, summary, table2, table3,
-    to_json_pretty, BenchParams, EvalParams, FuzzParams, Json,
+    ablation_counter, ablation_shadow, ablation_unroll, cache_effectiveness_check, check_report,
+    chrome_trace, code_size, collect_profiles, collect_traces, compile_sweep, fig6, fig7, fig8,
+    interaction, measure_metrics, mix, obs_points, parse_engines, parse_model, render_ablation,
+    render_bench, render_code_size, render_compile, render_fig8, render_figure, render_interaction,
+    render_mix, render_profile, render_sensitivity, render_table2, render_table3, run_bench,
+    run_fuzz, sensitivity, summary, table2, table3, to_json_pretty, BenchParams, EvalParams,
+    FuzzParams, Json,
 };
 
 fn main() {
@@ -60,9 +73,10 @@ fn main() {
     let mut json = false;
     let mut deterministic = false;
     let mut check: Option<String> = None;
+    let mut cache_check = false;
     let mut tolerance = 0.2;
-    let mut workload: Option<String> = None;
-    let mut model: Option<psb_sched::Model> = None;
+    let mut workloads: Vec<String> = Vec::new();
+    let mut models: Vec<psb_sched::Model> = Vec::new();
     let mut out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -143,21 +157,29 @@ fn main() {
             }
             "--workload" => {
                 i += 1;
-                let w = args
-                    .get(i)
-                    .unwrap_or_else(|| die("--workload needs a benchmark name"));
-                if !psb_eval::BENCHMARKS.contains(&w.as_str()) {
-                    die(&format!("unknown workload {w}"));
+                let list = args.get(i).unwrap_or_else(|| {
+                    die("--workload needs a benchmark name (comma-separated ok)")
+                });
+                for w in list.split(',').filter(|w| !w.is_empty()) {
+                    if !psb_eval::BENCHMARKS.contains(&w) {
+                        die(&format!("unknown workload {w}"));
+                    }
+                    workloads.push(w.to_string());
                 }
-                workload = Some(w.clone());
             }
             "--model" => {
                 i += 1;
                 let m = args
                     .get(i)
-                    .unwrap_or_else(|| die("--model needs a model name"));
-                model = Some(parse_model(m).unwrap_or_else(|| die(&format!("unknown model {m}"))));
+                    .unwrap_or_else(|| die("--model needs a model name (or `all`)"));
+                if m == "all" {
+                    models = psb_sched::Model::ALL.to_vec();
+                } else {
+                    models
+                        .push(parse_model(m).unwrap_or_else(|| die(&format!("unknown model {m}"))));
+                }
             }
+            "--cache-check" => cache_check = true,
             "--out" => {
                 i += 1;
                 out = Some(
@@ -331,15 +353,52 @@ fn main() {
                     print!("{}", psb_eval::render_metrics(&m));
                 }
             }
+            "compile" => {
+                let mut sweep = compile_sweep(&workloads, &models, &params);
+                if deterministic {
+                    sweep.zero_host();
+                }
+                eprint!("{}", render_compile(&sweep));
+                if json {
+                    emit(format!("{}\n", to_json_pretty(&sweep)));
+                }
+            }
             "bench" => {
                 let bp = BenchParams {
                     deterministic,
                     jobs: params.jobs,
                     ..bench_params.clone()
                 };
-                let report = run_bench(&bp);
-                eprint!("{}", render_bench(&report));
                 let mut failed = false;
+                let report = if cache_check {
+                    if !deterministic {
+                        die(
+                            "--cache-check requires --deterministic (the byte comparison \
+                             is only meaningful with host timings zeroed)",
+                        );
+                    }
+                    let cc = cache_effectiveness_check(&bp);
+                    for problem in &cc.problems {
+                        eprintln!("FAIL: cache check: {problem}");
+                        failed = true;
+                    }
+                    eprintln!(
+                        "cache check: first pass {} miss(es), second pass +{} hit(s), \
+                         +{} miss(es): {}",
+                        cc.first_pass.misses,
+                        cc.second_pass.hits - cc.first_pass.hits,
+                        cc.second_pass.misses - cc.first_pass.misses,
+                        if cc.problems.is_empty() {
+                            "ok"
+                        } else {
+                            "FAILED"
+                        }
+                    );
+                    cc.report
+                } else {
+                    run_bench(&bp)
+                };
+                eprint!("{}", render_bench(&report));
                 if let Some(path) = &check {
                     let text = std::fs::read_to_string(path)
                         .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
@@ -371,7 +430,7 @@ fn main() {
                 }
             }
             "trace" => {
-                let points = obs_points(workload.as_deref(), model);
+                let points = obs_points(&workloads, &models);
                 if points.is_empty() {
                     die("no run points selected");
                 }
@@ -379,7 +438,7 @@ fn main() {
                 emit(format!("{}\n", chrome_trace(&traces).pretty()));
             }
             "profile" => {
-                let points = obs_points(workload.as_deref(), model);
+                let points = obs_points(&workloads, &models);
                 if points.is_empty() {
                     die("no run points selected");
                 }
@@ -432,10 +491,10 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
-        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|bench|trace|profile|fuzz|all] \
+        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|compile|bench|trace|profile|fuzz|all] \
          [--size N] [--quick] [--json] [--jobs N] [--train-seed S] [--eval-seed S] \
-         [--workload W] [--model M] [--out FILE] [--deterministic] \
-         [--engine predecoded|legacy|both] [--check BASELINE.json] [--tolerance FRAC] \
+         [--workload W[,W...]] [--model M|all] [--out FILE] [--deterministic] \
+         [--engine predecoded|legacy|both] [--check BASELINE.json] [--cache-check] [--tolerance FRAC] \
          [--target-cycles N] \
          [--seed S] [--runs N] [--time-budget SECS] [--corpus DIR] [--inject-recovery-bug]"
     );

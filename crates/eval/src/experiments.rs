@@ -4,8 +4,9 @@ use crate::json::{Json, ToJson};
 use crate::runner::{
     geometric_mean, parallel_map, run_scalar, run_workload, BenchResult, EvalParams, BENCHMARKS,
 };
+use psb_compile::{compile, ArtifactCache, CompileRequest, ProfileSource};
 use psb_isa::Resources;
-use psb_scalar::successive_accuracy;
+use psb_scalar::{successive_accuracy, ScalarConfig};
 use psb_sched::Model;
 
 /// One row of the Table 2 reproduction.
@@ -107,8 +108,9 @@ impl ToJson for FigureResult {
 }
 
 fn figure(models: &[Model], params: &EvalParams) -> FigureResult {
+    let cache = ArtifactCache::new();
     let benches: Vec<BenchResult> = parallel_map(&BENCHMARKS, params.jobs, |n| {
-        run_workload(n, models, params)
+        run_workload(n, models, params, &cache)
     });
     let geomeans = models
         .iter()
@@ -203,6 +205,7 @@ pub fn fig8(params: &EvalParams) -> Fig8Result {
                 .flat_map(move |&d| BENCHMARKS.iter().map(move |&n| (w, d, n)))
         })
         .collect();
+    let cache = ArtifactCache::new();
     let speedups = parallel_map(&points, params.jobs, |&(width, depth, name)| {
         let p = EvalParams {
             issue_width: width,
@@ -211,7 +214,7 @@ pub fn fig8(params: &EvalParams) -> Fig8Result {
             depth,
             ..params.clone()
         };
-        run_workload(name, &[Model::RegionPred], &p).models[0].speedup
+        run_workload(name, &[Model::RegionPred], &p, &cache).models[0].speedup
     });
     let cells = points
         .chunks(BENCHMARKS.len())
@@ -261,10 +264,11 @@ fn ablation(
 ) -> AblationResult {
     let mut vparams = params.clone();
     variant(&mut vparams);
+    let cache = ArtifactCache::new();
     let pairs = parallel_map(&BENCHMARKS, params.jobs, |n| {
         (
-            run_workload(n, &[model], params).models[0].speedup,
-            run_workload(n, &[model], &vparams).models[0].speedup,
+            run_workload(n, &[model], params, &cache).models[0].speedup,
+            run_workload(n, &[model], &vparams, &cache).models[0].speedup,
         )
     });
     let (base, var): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
@@ -349,9 +353,10 @@ impl InteractionResult {
 /// ability is not beneficial" with squashing hardware only — the win
 /// appears when unconstrained motion and buffering are combined.
 pub fn interaction(params: &EvalParams) -> InteractionResult {
+    let cache = ArtifactCache::new();
     let geo = |model: Model| {
         let sp = parallel_map(&BENCHMARKS, params.jobs, |n| {
-            run_workload(n, &[model], params).models[0].speedup
+            run_workload(n, &[model], params, &cache).models[0].speedup
         });
         geometric_mean(&sp)
     };
@@ -442,11 +447,15 @@ impl ToJson for SensitivityRow {
 /// taxes every region transfer) and neither is store-buffer bound at the
 /// paper's 16 entries.
 pub fn sensitivity(params: &EvalParams) -> Vec<SensitivityRow> {
+    // One cache across every setting: the jump-penalty and store-buffer
+    // sweeps vary only machine parameters, so all their rows share the
+    // same artifacts and only the first row compiles.
+    let cache = ArtifactCache::new();
     let mut rows = Vec::new();
     let mut measure = |setting: String, p: &EvalParams| {
         let geo = |model: Model| {
             let sp = parallel_map(&BENCHMARKS, params.jobs, |n| {
-                run_workload(n, &[model], p).models[0].speedup
+                run_workload(n, &[model], p, &cache).models[0].speedup
             });
             geometric_mean(&sp)
         };
@@ -501,15 +510,11 @@ impl ToJson for CodeSizeRow {
 /// renaming copies (linear models), condition-sets and duplicated join
 /// blocks (predicated models), and boosting's extra branches.
 pub fn code_size(params: &EvalParams) -> Vec<CodeSizeRow> {
-    use psb_scalar::{ScalarConfig, ScalarMachine};
-    use psb_sched::{schedule, SchedConfig, ScheduleStats};
+    use psb_sched::SchedConfig;
+    let cache = ArtifactCache::new();
     parallel_map(&BENCHMARKS, params.jobs, |name| {
         let train = psb_workloads::by_name(name, params.train_seed, params.size).unwrap();
         let eval = psb_workloads::by_name(name, params.eval_seed, params.size).unwrap();
-        let profile = ScalarMachine::new(&train.program, ScalarConfig::default())
-            .run()
-            .unwrap()
-            .edge_profile;
         let mut per_model = Vec::new();
         let mut expansion = Vec::new();
         for model in Model::ALL {
@@ -518,10 +523,17 @@ pub fn code_size(params: &EvalParams) -> Vec<CodeSizeRow> {
             cfg.resources = params.resources;
             cfg.num_conds = params.num_conds;
             cfg.depth = params.depth.min(params.num_conds);
-            let v = schedule(&eval.program, &profile, &cfg).unwrap();
-            let s = ScheduleStats::analyze(&v);
-            per_model.push(s.ops);
-            expansion.push(s.expansion_over(&eval.program));
+            let req = CompileRequest {
+                program: &eval.program,
+                profile: ProfileSource::Train {
+                    program: &train.program,
+                    config: ScalarConfig::default(),
+                },
+                sched: cfg,
+            };
+            let art = compile(&req, &cache).unwrap();
+            per_model.push(art.sched_stats.ops);
+            expansion.push(art.sched_stats.expansion_over(&eval.program));
         }
         CodeSizeRow {
             name: name.to_string(),
@@ -539,10 +551,10 @@ pub fn code_size(params: &EvalParams) -> Vec<CodeSizeRow> {
 /// with the kernels' innermost loops unrolled 3x, letting one region span
 /// several former iterations.
 pub fn ablation_unroll(params: &EvalParams) -> AblationResult {
-    use psb_core::{MachineConfig, VliwMachine};
+    use psb_core::MachineConfig;
     use psb_ir::unroll_loops;
-    use psb_scalar::{ScalarConfig, ScalarMachine};
-    use psb_sched::{schedule, SchedConfig};
+    use psb_scalar::ScalarMachine;
+    use psb_sched::SchedConfig;
 
     let wide = EvalParams {
         issue_width: 8,
@@ -551,8 +563,9 @@ pub fn ablation_unroll(params: &EvalParams) -> AblationResult {
         depth: 8,
         ..params.clone()
     };
+    let cache = ArtifactCache::new();
     let pairs = parallel_map(&BENCHMARKS, params.jobs, |&name| {
-        let base = run_workload(name, &[Model::RegionPred], &wide).models[0].speedup;
+        let base = run_workload(name, &[Model::RegionPred], &wide, &cache).models[0].speedup;
 
         // The unrolled variant: transform both training and evaluation
         // programs before profiling and scheduling.
@@ -560,10 +573,6 @@ pub fn ablation_unroll(params: &EvalParams) -> AblationResult {
         let eval = psb_workloads::by_name(name, wide.eval_seed, wide.size).expect("known");
         let train_u = unroll_loops(&train.program, 3);
         let eval_u = unroll_loops(&eval.program, 3);
-        let profile = ScalarMachine::new(&train_u, ScalarConfig::default())
-            .run()
-            .unwrap()
-            .edge_profile;
         let scalar = ScalarMachine::new(&eval_u, ScalarConfig::default())
             .run()
             .unwrap();
@@ -573,12 +582,20 @@ pub fn ablation_unroll(params: &EvalParams) -> AblationResult {
         cfg.num_conds = 8;
         cfg.depth = 8;
         cfg.max_blocks = 32;
-        let vliw =
-            schedule(&eval_u, &profile, &cfg).unwrap_or_else(|e| panic!("{name}/unrolled: {e}"));
+        let req = CompileRequest {
+            program: &eval_u,
+            profile: ProfileSource::Train {
+                program: &train_u,
+                config: ScalarConfig::default(),
+            },
+            sched: cfg,
+        };
+        let art = compile(&req, &cache).unwrap_or_else(|e| panic!("{name}/unrolled: {e}"));
         let mut mc = MachineConfig::full_issue(8);
         mc.store_buffer_size = 32;
-        let res =
-            VliwMachine::run_program(&vliw, mc).unwrap_or_else(|e| panic!("{name}/unrolled: {e}"));
+        let res = art
+            .run(mc)
+            .unwrap_or_else(|e| panic!("{name}/unrolled: {e}"));
         assert_eq!(
             res.observable(&eval_u.live_out),
             scalar.observable(&eval_u.live_out),

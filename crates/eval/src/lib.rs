@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod bench;
+mod compile_cmd;
 mod experiments;
 mod fuzz;
 mod json;
@@ -33,9 +34,11 @@ mod runner;
 mod trace;
 
 pub use bench::{
-    check_report, parse_engines, render_bench, run_bench, BenchCheck, BenchParams, BenchPoint,
-    BenchReport, EngineAggregate, HostSample, BENCH_SCHEMA_VERSION, KERNELS,
+    cache_effectiveness_check, check_report, parse_engines, render_bench, run_bench,
+    run_bench_with_cache, BenchCheck, BenchParams, BenchPoint, BenchReport, CacheCheck,
+    EngineAggregate, HostSample, BENCH_SCHEMA_VERSION, KERNELS,
 };
+pub use compile_cmd::{compile_sweep, render_compile, CompileHost, CompileRow, CompileSweep};
 pub use experiments::{
     ablation_counter, ablation_shadow, ablation_unroll, code_size, fig6, fig7, fig8, interaction,
     mix, sensitivity, summary, table2, table3, AblationResult, CodeSizeRow, Fig8Cell, Fig8Result,

@@ -1,10 +1,11 @@
 //! Core measurement machinery: run one workload under one model and
 //! collect cycle counts, with golden-model cross-checking.
 
-use psb_core::{MachineConfig, ShadowMode, VliwMachine, VliwResult};
+use psb_compile::{compile, ArtifactCache, CompileRequest, ProfileSource};
+use psb_core::{MachineConfig, ShadowMode, VliwResult};
 use psb_isa::Resources;
 use psb_scalar::{RunResult, ScalarConfig, ScalarMachine};
-use psb_sched::{schedule, Model, SchedConfig};
+use psb_sched::{Model, SchedConfig};
 use psb_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -249,13 +250,13 @@ pub fn run_scalar(w: &Workload) -> RunResult {
         .unwrap_or_else(|e| panic!("{}: scalar run failed: {e}", w.name))
 }
 
-/// Schedules and runs one model over a workload pair, cross-checking the
-/// observable state against `scalar` (the golden run on the same
-/// evaluation input).
+/// Compiles and runs one model over a workload pair through the shared
+/// artifact cache, cross-checking the observable state against `scalar`
+/// (the golden run on the same evaluation input).
 ///
 /// # Panics
 ///
-/// Panics if scheduling fails, the machine faults, or the result diverges
+/// Panics if compilation fails, the machine faults, or the result diverges
 /// from the golden model — all indicate bugs, not measurement noise.
 pub fn run_model(
     train: &Workload,
@@ -263,12 +264,20 @@ pub fn run_model(
     scalar: &RunResult,
     model: Model,
     params: &EvalParams,
+    cache: &ArtifactCache,
 ) -> (ModelResult, VliwResult) {
-    let profile = run_scalar(train).edge_profile;
-    let cfg = params.sched_config(model);
-    let vliw = schedule(&eval.program, &profile, &cfg)
-        .unwrap_or_else(|e| panic!("{}/{model}: scheduling failed: {e}", eval.name));
-    let res = VliwMachine::run_program(&vliw, params.machine_config())
+    let req = CompileRequest {
+        program: &eval.program,
+        profile: ProfileSource::Train {
+            program: &train.program,
+            config: ScalarConfig::default(),
+        },
+        sched: params.sched_config(model),
+    };
+    let art = compile(&req, cache)
+        .unwrap_or_else(|e| panic!("{}/{model}: compile failed: {e}", eval.name));
+    let res = art
+        .run(params.machine_config())
         .unwrap_or_else(|e| panic!("{}/{model}: machine error: {e}", eval.name));
     assert_eq!(
         res.observable(&eval.program.live_out),
@@ -282,7 +291,7 @@ pub fn run_model(
             model: model.name().to_string(),
             vliw_cycles: res.cycles,
             speedup,
-            static_ops: vliw.static_ops(),
+            static_ops: art.program.static_ops(),
             squashed_ops: res.ops_squashed,
             recoveries: res.recoveries,
         },
@@ -291,8 +300,13 @@ pub fn run_model(
 }
 
 /// Runs `models` over one named workload (training and evaluation inputs
-/// from the two seeds).
-pub fn run_workload(name: &str, models: &[Model], params: &EvalParams) -> BenchResult {
+/// from the two seeds), compiling through `cache`.
+pub fn run_workload(
+    name: &str,
+    models: &[Model],
+    params: &EvalParams,
+    cache: &ArtifactCache,
+) -> BenchResult {
     let train = psb_workloads::by_name(name, params.train_seed, params.size)
         .unwrap_or_else(|| panic!("unknown workload {name}"));
     let eval = psb_workloads::by_name(name, params.eval_seed, params.size)
@@ -300,7 +314,7 @@ pub fn run_workload(name: &str, models: &[Model], params: &EvalParams) -> BenchR
     let scalar = run_scalar(&eval);
     let models = models
         .iter()
-        .map(|&m| run_model(&train, &eval, &scalar, m, params).0)
+        .map(|&m| run_model(&train, &eval, &scalar, m, params, cache).0)
         .collect();
     BenchResult {
         name: name.to_string(),
@@ -391,18 +405,26 @@ pub fn measure_metrics(models: &[Model], params: &EvalParams) -> Vec<RunMetrics>
         .iter()
         .flat_map(|&n| models.iter().map(move |&m| (n, m)))
         .collect();
+    let cache = ArtifactCache::new();
     parallel_map(&points, params.jobs, |&(name, model)| {
         let train = psb_workloads::by_name(name, params.train_seed, params.size)
             .unwrap_or_else(|| panic!("unknown workload {name}"));
         let eval = psb_workloads::by_name(name, params.eval_seed, params.size)
             .unwrap_or_else(|| panic!("unknown workload {name}"));
         let scalar = run_scalar(&eval);
-        let profile = run_scalar(&train).edge_profile;
-        let cfg = params.sched_config(model);
-        let vliw = schedule(&eval.program, &profile, &cfg)
-            .unwrap_or_else(|e| panic!("{name}/{model}: scheduling failed: {e}"));
+        let req = CompileRequest {
+            program: &eval.program,
+            profile: ProfileSource::Train {
+                program: &train.program,
+                config: ScalarConfig::default(),
+            },
+            sched: params.sched_config(model),
+        };
+        let art =
+            compile(&req, &cache).unwrap_or_else(|e| panic!("{name}/{model}: compile failed: {e}"));
         let start = std::time::Instant::now();
-        let res = VliwMachine::run_program(&vliw, params.machine_config())
+        let res = art
+            .run(params.machine_config())
             .unwrap_or_else(|e| panic!("{name}/{model}: machine error: {e}"));
         let wall = start.elapsed().as_secs_f64();
         assert_eq!(
@@ -468,11 +490,14 @@ mod tests {
     #[test]
     fn run_one_model_produces_speedup() {
         let params = EvalParams::quick();
-        let res = run_workload("grep", &[Model::RegionPred], &params);
+        let cache = ArtifactCache::new();
+        let res = run_workload("grep", &[Model::RegionPred], &params, &cache);
         assert_eq!(res.models.len(), 1);
         assert!(
             res.models[0].speedup > 1.0,
             "region predicating must beat scalar"
         );
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 0));
     }
 }

@@ -18,12 +18,13 @@
 //! speculative exceptions are instant events (`ph:"i"`).
 
 use crate::json::{Json, ToJson};
-use crate::runner::{parallel_map, run_scalar, EvalParams, BENCHMARKS};
-use psb_core::{
-    CountersSink, Event, Histogram, MachineConfig, ObsReport, OccupancyStats, VliwMachine,
-};
-use psb_sched::{schedule, Model};
+use crate::runner::{parallel_map, EvalParams, BENCHMARKS};
+use psb_compile::{compile, ArtifactCache, CompileRequest, CompiledArtifact, ProfileSource};
+use psb_core::{CountersSink, Event, Histogram, MachineConfig, ObsReport, OccupancyStats};
+use psb_scalar::ScalarConfig;
+use psb_sched::Model;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// One traced or profiled (workload, model) point.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,15 +37,23 @@ pub struct ObsPoint {
 
 /// Expands the `--workload` / `--model` selection into run points: every
 /// selected workload crossed with every selected model, in stable
-/// (benchmark-table, `Model::ALL`) order.
-pub fn obs_points(workload: Option<&str>, model: Option<Model>) -> Vec<ObsPoint> {
-    let workloads: Vec<&'static str> = match workload {
-        Some(w) => BENCHMARKS.iter().copied().filter(|&n| n == w).collect(),
-        None => BENCHMARKS.to_vec(),
+/// (benchmark-table, `Model::ALL`) order.  An empty workload list means
+/// every benchmark; an empty model list means the paper's headline
+/// region-predicating model.
+pub fn obs_points(workloads: &[String], models: &[Model]) -> Vec<ObsPoint> {
+    let workloads: Vec<&'static str> = if workloads.is_empty() {
+        BENCHMARKS.to_vec()
+    } else {
+        BENCHMARKS
+            .iter()
+            .copied()
+            .filter(|n| workloads.iter().any(|w| w == n))
+            .collect()
     };
-    let models: Vec<Model> = match model {
-        Some(m) => vec![m],
-        None => vec![Model::RegionPred],
+    let models: Vec<Model> = if models.is_empty() {
+        vec![Model::RegionPred]
+    } else {
+        models.to_vec()
     };
     workloads
         .iter()
@@ -62,16 +71,26 @@ pub fn parse_model(name: &str) -> Option<Model> {
     Model::ALL.iter().copied().find(|m| m.name() == name)
 }
 
-fn schedule_point(p: &ObsPoint, params: &EvalParams) -> (psb_isa::VliwProgram, MachineConfig) {
+fn compile_point(
+    p: &ObsPoint,
+    params: &EvalParams,
+    cache: &ArtifactCache,
+) -> (Arc<CompiledArtifact>, MachineConfig) {
     let train = psb_workloads::by_name(p.workload, params.train_seed, params.size)
         .unwrap_or_else(|| panic!("unknown workload {}", p.workload));
     let eval = psb_workloads::by_name(p.workload, params.eval_seed, params.size)
         .unwrap_or_else(|| panic!("unknown workload {}", p.workload));
-    let profile = run_scalar(&train).edge_profile;
-    let cfg = params.sched_config(p.model);
-    let vliw = schedule(&eval.program, &profile, &cfg)
-        .unwrap_or_else(|e| panic!("{}/{}: scheduling failed: {e}", p.workload, p.model));
-    (vliw, params.machine_config())
+    let req = CompileRequest {
+        program: &eval.program,
+        profile: ProfileSource::Train {
+            program: &train.program,
+            config: ScalarConfig::default(),
+        },
+        sched: params.sched_config(p.model),
+    };
+    let art = compile(&req, cache)
+        .unwrap_or_else(|e| panic!("{}/{}: compile failed: {e}", p.workload, p.model));
+    (art, params.machine_config())
 }
 
 /// One run's recorded event stream (for the Chrome trace exporter).
@@ -89,10 +108,12 @@ pub struct RunTrace {
 
 /// Runs every point with event recording on and collects the logs.
 pub fn collect_traces(points: &[ObsPoint], params: &EvalParams) -> Vec<RunTrace> {
+    let cache = ArtifactCache::new();
     parallel_map(points, params.jobs, |p| {
-        let (vliw, mut mcfg) = schedule_point(p, params);
+        let (art, mut mcfg) = compile_point(p, params, &cache);
         mcfg.record_events = true;
-        let res = VliwMachine::run_program(&vliw, mcfg)
+        let res = art
+            .run(mcfg)
             .unwrap_or_else(|e| panic!("{}/{}: machine error: {e}", p.workload, p.model));
         RunTrace {
             workload: p.workload.to_string(),
@@ -118,9 +139,11 @@ pub struct RunProfile {
 
 /// Runs every point under a [`CountersSink`] and collects the reports.
 pub fn collect_profiles(points: &[ObsPoint], params: &EvalParams) -> Vec<RunProfile> {
+    let cache = ArtifactCache::new();
     parallel_map(points, params.jobs, |p| {
-        let (vliw, mcfg) = schedule_point(p, params);
-        let (res, sink) = VliwMachine::run_with_sink(&vliw, mcfg, CountersSink::new())
+        let (art, mcfg) = compile_point(p, params, &cache);
+        let (res, sink) = art
+            .run_with_sink(mcfg, CountersSink::new())
             .unwrap_or_else(|e| panic!("{}/{}: machine error: {e}", p.workload, p.model));
         RunProfile {
             workload: p.workload.to_string(),
@@ -425,11 +448,16 @@ mod tests {
 
     #[test]
     fn points_expand_and_filter() {
-        assert_eq!(obs_points(None, None).len(), BENCHMARKS.len());
-        let one = obs_points(Some("grep"), Some(Model::Trace));
+        assert_eq!(obs_points(&[], &[]).len(), BENCHMARKS.len());
+        let one = obs_points(&["grep".to_string()], &[Model::Trace]);
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].workload, "grep");
-        assert!(obs_points(Some("nope"), None).is_empty());
+        assert!(obs_points(&["nope".to_string()], &[]).is_empty());
+        let pair = obs_points(
+            &["grep".to_string(), "li".to_string()],
+            &Model::ALL,
+        );
+        assert_eq!(pair.len(), 2 * Model::ALL.len());
         assert_eq!(parse_model("region-pred"), Some(Model::RegionPred));
         assert_eq!(parse_model("bogus"), None);
     }
@@ -440,7 +468,7 @@ mod tests {
             size: 96,
             ..EvalParams::default()
         };
-        let points = obs_points(Some("grep"), None);
+        let points = obs_points(&["grep".to_string()], &[]);
         let traces = collect_traces(&points, &params);
         let profiles = collect_profiles(&points, &params);
         assert_eq!(traces.len(), 1);

@@ -251,7 +251,7 @@ fn bench_baseline_matches_the_schema() {
     let doc = text.trim_end();
     assert_json(doc);
     // Document-level schema.
-    assert!(doc.contains("\"schema_version\": 1"), "schema_version");
+    assert!(doc.contains("\"schema_version\": 2"), "schema_version");
     assert!(doc.contains("\"suite\": \"quick\""), "quick suite baseline");
     for key in ["\"points\"", "\"totals\"", "\"kernel_suite\""] {
         assert!(doc.contains(key), "missing {key}");
@@ -268,6 +268,9 @@ fn bench_baseline_matches_the_schema() {
         "\"squashes\"",
         "\"recoveries\"",
         "\"host\"",
+        "\"profile_seconds\"",
+        "\"schedule_seconds\"",
+        "\"decode_seconds\"",
         "\"wall_seconds\"",
         "\"cycles_per_second\"",
     ] {
@@ -316,9 +319,55 @@ fn bench_deterministic_is_byte_stable_and_zeroes_host_timings() {
     assert_json(doc);
     assert!(doc.contains("\"wall_seconds\": 0"), "wall not zeroed");
     assert!(doc.contains("\"cycles_per_second\": 0"), "rate not zeroed");
+    assert!(doc.contains("\"profile_seconds\": 0"), "profile not zeroed");
+    assert!(
+        doc.contains("\"schedule_seconds\": 0"),
+        "schedule not zeroed"
+    );
+    assert!(doc.contains("\"decode_seconds\": 0"), "decode not zeroed");
     assert!(doc.contains("\"peak_rss_kb\": 0"), "rss not zeroed");
     assert!(doc.contains("\"suite\": \"quick\""), "quick suite expected");
     assert!(doc.contains("\"engine\": \"predecoded\""), "default engine");
+}
+
+#[test]
+fn compile_sweep_is_jobs_deterministic_and_counts_misses() {
+    // 2 workloads × 7 models = 14 distinct artifacts; the single-flight
+    // cache must report exactly 14 misses at any --jobs count, with the
+    // whole document byte-identical.
+    let base = &[
+        "compile",
+        "--workload",
+        "grep,li",
+        "--model",
+        "all",
+        "--json",
+        "--deterministic",
+        "--size",
+        "96",
+    ];
+    let one = stdout_of(&[base, &["--jobs", "1"][..]].concat());
+    let four = stdout_of(&[base, &["--jobs", "4"][..]].concat());
+    assert_eq!(
+        one, four,
+        "compile output must be byte-identical across --jobs"
+    );
+    let doc = one.trim_end();
+    assert_json(doc);
+    assert!(doc.contains("\"misses\": 14"), "expected exactly 14 misses");
+    assert!(doc.contains("\"hits\": 0"), "sweep points are all distinct");
+    assert!(doc.contains("\"entries\": 14"), "14 cached artifacts");
+    // The scalar training run is shared across the seven models of each
+    // workload by the profile-stage memo.
+    assert!(
+        doc.contains("\"profile_misses\": 2"),
+        "one train run per workload"
+    );
+    assert!(
+        doc.contains("\"content_hash\""),
+        "rows carry artifact hashes"
+    );
+    assert!(doc.contains("\"profile_seconds\": 0"), "host zeroed");
 }
 
 #[test]

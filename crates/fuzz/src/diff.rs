@@ -2,18 +2,27 @@
 //!
 //! One fuzz case runs through the whole toolchain for every scheduling
 //! model: scalar golden execution (which also yields the edge profile the
-//! schedulers train on) → `schedule` → [`VliwMachine`] with an attached
-//! [`InvariantSink`].  A case passes only if every model's VLIW execution
-//! reproduces `observable(live_out)` *and* its event stream satisfies all
-//! online invariants — the latter catches bugs that cancel out by the end
-//! of the run (a stale shadow clobbering a value that is dead afterwards,
-//! a lost exception whose handler would have been a no-op, …).
+//! schedulers train on) → [`psb_compile::compile`] → the artifact's
+//! machine with an attached [`InvariantSink`].  A case passes only if
+//! every model's VLIW execution reproduces `observable(live_out)` *and*
+//! its event stream satisfies all online invariants — the latter catches
+//! bugs that cancel out by the end of the run (a stale shadow clobbering
+//! a value that is dead afterwards, a lost exception whose handler would
+//! have been a no-op, …).
 
 use crate::gen::FuzzCase;
-use psb_core::{InvariantSink, MachineConfig, ShadowMode, VliwMachine};
+use psb_compile::{compile, ArtifactCache, CompileError, CompileRequest, ProfileSource};
+use psb_core::{InvariantSink, MachineConfig, ShadowMode};
 use psb_scalar::{ScalarConfig, ScalarMachine};
-use psb_sched::{schedule, Model, SchedConfig};
+use psb_sched::{Model, SchedConfig};
 use std::fmt;
+use std::sync::Arc;
+
+/// Default artifact-cache capacity for fuzzing.  Bounded (unlike the
+/// experiment sweeps) because a long fuzz run visits millions of distinct
+/// programs; FIFO eviction keeps memory flat while the shrinker's
+/// repeated trials on the *same* mutated program still hit.
+const FUZZ_CACHE_CAPACITY: usize = 512;
 
 /// Configuration of one differential run.
 #[derive(Clone, Debug)]
@@ -30,6 +39,10 @@ pub struct DiffConfig {
     /// accidentally creates an infinite loop fails fast instead of
     /// spinning for the default two hundred million cycles.
     pub max_cycles: Option<u64>,
+    /// The artifact cache shared by every case run under this config
+    /// (bounded — see [`DiffConfig::default`]).  Cloning the config
+    /// shares the cache, so parallel sweep workers deduplicate compiles.
+    pub cache: Arc<ArtifactCache>,
 }
 
 impl Default for DiffConfig {
@@ -38,23 +51,25 @@ impl Default for DiffConfig {
             models: Model::ALL.to_vec(),
             inject_recovery_bug: false,
             max_cycles: None,
+            cache: Arc::new(ArtifactCache::with_capacity(FUZZ_CACHE_CAPACITY)),
         }
     }
 }
 
-/// Why a case failed.  Everything a failure message needs is captured as
-/// text so reports stay deterministic and the shrinker only has to
-/// preserve "still fails", not a specific variant.
+/// Why a case failed.  Divergence and invariant details are captured as
+/// text so reports stay deterministic; compile failures keep the typed
+/// [`CompileError`] so shrinker trials can distinguish a pipeline
+/// rejection from a machine divergence.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum FuzzFailure {
     /// The scalar golden model itself rejected the program.
     Scalar(String),
-    /// A scheduler rejected the program.
-    Schedule {
+    /// The compilation pipeline rejected the program for one model.
+    Compile {
         /// The model that failed.
         model: Model,
-        /// The scheduler error.
-        message: String,
+        /// The stage-tagged pipeline error.
+        error: CompileError,
     },
     /// The VLIW machine raised a hard error.
     Machine {
@@ -83,7 +98,7 @@ impl fmt::Display for FuzzFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FuzzFailure::Scalar(m) => write!(f, "scalar: {m}"),
-            FuzzFailure::Schedule { model, message } => write!(f, "{model}: schedule: {message}"),
+            FuzzFailure::Compile { model, error } => write!(f, "{model}: compile: {error}"),
             FuzzFailure::Machine { model, message } => write!(f, "{model}: machine: {message}"),
             FuzzFailure::Diverged { model, detail } => write!(f, "{model}: diverged: {detail}"),
             FuzzFailure::Invariant { model, detail } => write!(f, "{model}: invariant: {detail}"),
@@ -145,14 +160,18 @@ pub fn run_case(case: &FuzzCase, cfg: &DiffConfig) -> Result<CaseStats, FuzzFail
     let mut stats = CaseStats::default();
     for &model in &cfg.models {
         let sched_cfg = SchedConfig::new(model);
-        let vliw = schedule(prog, &scalar.edge_profile, &sched_cfg).map_err(|e| {
-            FuzzFailure::Schedule {
-                model,
-                message: e.to_string(),
-            }
-        })?;
+        let single_shadow = sched_cfg.single_shadow;
+        let req = CompileRequest {
+            program: prog,
+            // The golden run above already produced the profile; reuse it
+            // instead of paying for a second scalar execution per model.
+            profile: ProfileSource::Provided(&scalar.edge_profile),
+            sched: sched_cfg,
+        };
+        let art =
+            compile(&req, &cfg.cache).map_err(|error| FuzzFailure::Compile { model, error })?;
         let mut mcfg = MachineConfig {
-            shadow_mode: if sched_cfg.single_shadow {
+            shadow_mode: if single_shadow {
                 ShadowMode::Single
             } else {
                 ShadowMode::Infinite
@@ -164,9 +183,10 @@ pub fn run_case(case: &FuzzCase, cfg: &DiffConfig) -> Result<CaseStats, FuzzFail
         if let Some(cap) = cfg.max_cycles {
             mcfg.max_cycles = cap;
         }
-        let sink = InvariantSink::new(vliw.num_conds, sched_cfg.single_shadow);
-        let (res, mut sink) =
-            VliwMachine::run_with_sink(&vliw, mcfg, sink).map_err(|e| FuzzFailure::Machine {
+        let sink = InvariantSink::new(art.program.num_conds, single_shadow);
+        let (res, mut sink) = art
+            .run_with_sink(mcfg, sink)
+            .map_err(|e| FuzzFailure::Machine {
                 model,
                 message: e.to_string(),
             })?;
@@ -213,6 +233,12 @@ mod tests {
         assert!(
             recoveries > 0,
             "no recovery episode in 30 seeds: generator too tame"
+        );
+        let cs = cfg.cache.stats();
+        assert_eq!(
+            cs.misses,
+            30 * Model::ALL.len() as u64,
+            "every (case, model) point is a distinct compile"
         );
     }
 

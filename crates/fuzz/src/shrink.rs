@@ -37,7 +37,7 @@ pub fn class_of(f: &FuzzFailure) -> FailureClass {
             kind: 0,
             model: None,
         },
-        FuzzFailure::Schedule { model, .. } => FailureClass {
+        FuzzFailure::Compile { model, .. } => FailureClass {
             kind: 1,
             model: Some(*model),
         },

@@ -10,14 +10,15 @@
 //! registers and memory — under every scheduling model.
 
 use proptest::prelude::*;
-use psb_core::{Engine, MachineConfig, ShadowMode, VliwMachine, VliwResult};
+use psb_compile::{compile_fresh, CompileRequest, CompiledArtifact, ProfileSource};
+use psb_core::{Engine, MachineConfig, ShadowMode, VliwResult};
 use psb_fuzz::gen_case;
 use psb_scalar::{ScalarConfig, ScalarMachine};
-use psb_sched::{schedule, Model, SchedConfig};
+use psb_sched::{Model, SchedConfig};
 
-/// Runs one scheduled program under `engine` with event recording on.
+/// Runs one compiled artifact under `engine` with event recording on.
 fn run_engine(
-    vliw: &psb_isa::VliwProgram,
+    art: &CompiledArtifact,
     single_shadow: bool,
     fault_once: &std::collections::BTreeSet<i64>,
     engine: Engine,
@@ -33,7 +34,7 @@ fn run_engine(
         engine,
         ..MachineConfig::default()
     };
-    VliwMachine::run_program(vliw, cfg).expect("engine run succeeds")
+    art.run(cfg).expect("engine run succeeds")
 }
 
 proptest! {
@@ -55,11 +56,16 @@ proptest! {
 
         for model in Model::ALL {
             let sched_cfg = SchedConfig::new(model);
-            let vliw = schedule(prog, &scalar.edge_profile, &sched_cfg)
-                .expect("generated case schedules");
-            let legacy = run_engine(&vliw, sched_cfg.single_shadow, &case.fault_once, Engine::Legacy);
+            let single_shadow = sched_cfg.single_shadow;
+            let art = compile_fresh(&CompileRequest {
+                program: prog,
+                profile: ProfileSource::Provided(&scalar.edge_profile),
+                sched: sched_cfg,
+            })
+            .expect("generated case compiles");
+            let legacy = run_engine(&art, single_shadow, &case.fault_once, Engine::Legacy);
             let decoded =
-                run_engine(&vliw, sched_cfg.single_shadow, &case.fault_once, Engine::Predecoded);
+                run_engine(&art, single_shadow, &case.fault_once, Engine::Predecoded);
             // VliwResult equality covers cycles, all RunStats counters,
             // final registers, final memory AND the recorded event log.
             prop_assert_eq!(
@@ -91,20 +97,15 @@ fn corpus_cases_are_engine_independent() {
         .unwrap_or_else(|e| panic!("{name}: scalar run failed: {e}"));
         for model in Model::ALL {
             let sched_cfg = SchedConfig::new(model);
-            let vliw = schedule(prog, &scalar.edge_profile, &sched_cfg)
-                .unwrap_or_else(|e| panic!("{name}: {model} failed to schedule: {e}"));
-            let legacy = run_engine(
-                &vliw,
-                sched_cfg.single_shadow,
-                &case.fault_once,
-                Engine::Legacy,
-            );
-            let decoded = run_engine(
-                &vliw,
-                sched_cfg.single_shadow,
-                &case.fault_once,
-                Engine::Predecoded,
-            );
+            let single_shadow = sched_cfg.single_shadow;
+            let art = compile_fresh(&CompileRequest {
+                program: prog,
+                profile: ProfileSource::Provided(&scalar.edge_profile),
+                sched: sched_cfg,
+            })
+            .unwrap_or_else(|e| panic!("{name}: {model} failed to compile: {e}"));
+            let legacy = run_engine(&art, single_shadow, &case.fault_once, Engine::Legacy);
+            let decoded = run_engine(&art, single_shadow, &case.fault_once, Engine::Predecoded);
             assert_eq!(legacy, decoded, "{name}: engine divergence under {model}");
         }
     }

@@ -158,7 +158,7 @@ impl SchedConfig {
 }
 
 /// A scheduling failure.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SchedError {
     /// The produced program failed validation (a scheduler bug).
     Invalid(String),

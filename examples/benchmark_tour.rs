@@ -6,11 +6,13 @@
 //! cargo run --release --example benchmark_tour
 //! ```
 
+use psb::compile::ArtifactCache;
 use psb::eval::{geometric_mean, run_workload, EvalParams};
 use psb::sched::Model;
 
 fn main() {
     let params = EvalParams::quick();
+    let cache = ArtifactCache::new();
     println!(
         "speedup over the scalar machine (size {}, {}-issue, K={}, D={})\n",
         params.size, params.issue_width, params.num_conds, params.depth
@@ -23,7 +25,7 @@ fn main() {
 
     let mut per_model: Vec<Vec<f64>> = vec![Vec::new(); Model::ALL.len()];
     for name in ["compress", "eqntott", "espresso", "grep", "li", "nroff"] {
-        let res = run_workload(name, &Model::ALL, &params);
+        let res = run_workload(name, &Model::ALL, &params, &cache);
         print!("{:<10}", res.name);
         for (i, m) in res.models.iter().enumerate() {
             print!(" {:>14.2}", m.speedup);

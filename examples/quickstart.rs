@@ -5,10 +5,11 @@
 //! cargo run --example quickstart
 //! ```
 
-use psb::core::{MachineConfig, VliwMachine};
+use psb::compile::{compile_fresh, CompileRequest, ProfileSource};
+use psb::core::MachineConfig;
 use psb::isa::{AluOp, CmpOp, MemTag, ProgramBuilder, Reg};
 use psb::scalar::{ScalarConfig, ScalarMachine};
-use psb::sched::{schedule, Model, SchedConfig};
+use psb::sched::{Model, SchedConfig};
 
 fn main() {
     // A little branchy kernel: sum positive table entries, square the
@@ -54,12 +55,22 @@ fn main() {
         scalar.cycles, scalar.regs[2]
     );
 
-    // 2. Schedule for the predicating machine and run.
-    let cfg = SchedConfig::new(Model::RegionPred);
-    let vliw = schedule(&program, &scalar.edge_profile, &cfg).expect("schedule");
-    println!("\nscheduled code ({} words):\n{vliw}", vliw.words.len());
+    // 2. Compile (profile -> schedule -> decode) for the predicating
+    //    machine and run.
+    let art = compile_fresh(&CompileRequest {
+        program: &program,
+        profile: ProfileSource::Provided(&scalar.edge_profile),
+        sched: SchedConfig::new(Model::RegionPred),
+    })
+    .expect("compile");
+    println!(
+        "\nscheduled code ({} words, artifact {}):\n{}",
+        art.program.words.len(),
+        art.hash_hex(),
+        art.program
+    );
 
-    let result = VliwMachine::run_program(&vliw, MachineConfig::default()).expect("vliw run");
+    let result = art.run(MachineConfig::default()).expect("vliw run");
     println!(
         "region predicating: {:>4} cycles, acc = {}",
         result.cycles, result.regs[2]

@@ -8,11 +8,12 @@
 //! cargo run --release --example unrolling_study
 //! ```
 
-use psb::core::{MachineConfig, VliwMachine};
+use psb::compile::{compile_fresh, CompileRequest, ProfileSource};
+use psb::core::MachineConfig;
 use psb::ir::unroll_loops;
 use psb::isa::Resources;
 use psb::scalar::{ScalarConfig, ScalarMachine};
-use psb::sched::{schedule, Model, SchedConfig, ScheduleStats};
+use psb::sched::{Model, SchedConfig};
 
 fn main() {
     let name = "espresso";
@@ -32,21 +33,25 @@ fn main() {
     for factor in 1..=6 {
         let train_u = unroll_loops(&train.program, factor);
         let eval_u = unroll_loops(&base.program, factor);
-        let profile = ScalarMachine::new(&train_u, ScalarConfig::default())
-            .run()
-            .unwrap()
-            .edge_profile;
         let mut cfg = SchedConfig::new(Model::RegionPred);
         cfg.issue_width = 8;
         cfg.resources = Resources::full_issue(8);
         cfg.num_conds = 8;
         cfg.depth = 8;
         cfg.max_blocks = 48;
-        let vliw = schedule(&eval_u, &profile, &cfg).expect("schedules");
-        let stats = ScheduleStats::analyze(&vliw);
+        let art = compile_fresh(&CompileRequest {
+            program: &eval_u,
+            profile: ProfileSource::Train {
+                program: &train_u,
+                config: ScalarConfig::default(),
+            },
+            sched: cfg,
+        })
+        .expect("compiles");
+        let stats = &art.sched_stats;
         let mut mc = MachineConfig::full_issue(8);
         mc.store_buffer_size = 32;
-        let res = VliwMachine::run_program(&vliw, mc).expect("runs");
+        let res = art.run(mc).expect("runs");
         assert_eq!(
             res.observable(&eval_u.live_out),
             ScalarMachine::new(&eval_u, ScalarConfig::default())

@@ -16,12 +16,13 @@
 //!   --events      print the machine event log (Table 1 style)
 //! ```
 
-use psb::core::{MachineConfig, VliwMachine};
+use psb::compile::{compile_fresh, CompileRequest, ProfileSource};
+use psb::core::MachineConfig;
 use psb::eval::render_table1;
 use psb::ir::{optimize, unroll_loops};
 use psb::isa::{parse_program, Resources, ScalarProgram};
 use psb::scalar::{ScalarConfig, ScalarMachine};
-use psb::sched::{schedule, Model, SchedConfig};
+use psb::sched::{Model, SchedConfig};
 use std::process::exit;
 
 struct Options {
@@ -161,13 +162,18 @@ fn main() {
     cfg.resources = resources;
     cfg.num_conds = opts.conds;
     cfg.depth = opts.depth.unwrap_or(opts.conds);
-    let vliw = schedule(&prog, &scalar.edge_profile, &cfg).unwrap_or_else(|e| {
-        eprintln!("psbsim: scheduling failed: {e}");
+    let req = CompileRequest {
+        program: &prog,
+        profile: ProfileSource::Provided(&scalar.edge_profile),
+        sched: cfg,
+    };
+    let art = compile_fresh(&req).unwrap_or_else(|e| {
+        eprintln!("psbsim: {e}");
         exit(1)
     });
 
     if opts.command == "disasm" {
-        print!("{vliw}");
+        print!("{}", art.program);
         return;
     }
     if opts.command != "run" {
@@ -180,7 +186,7 @@ fn main() {
         record_events: opts.events,
         ..MachineConfig::default()
     };
-    let res = VliwMachine::run_program(&vliw, mc).unwrap_or_else(|e| {
+    let res = art.run(mc).unwrap_or_else(|e| {
         eprintln!("psbsim: execution failed: {e}");
         exit(1)
     });
@@ -189,6 +195,7 @@ fn main() {
     }
     let ok = res.observable(&prog.live_out) == scalar.observable(&prog.live_out);
     println!("model:         {}", opts.model);
+    println!("artifact:      {}", art.hash_hex());
     println!("scalar cycles: {}", scalar.cycles);
     println!("vliw cycles:   {}", res.cycles);
     println!(

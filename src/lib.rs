@@ -8,6 +8,8 @@
 //! * [`core`] — the predicating VLIW machine (the paper's contribution).
 //! * [`scalar`] — the R3000-like scalar reference machine.
 //! * [`sched`] — the seven speculative instruction-scheduling models.
+//! * [`compile`] — the staged profile → schedule → decode pipeline with
+//!   its content-addressed artifact cache.
 //! * [`workloads`] — the six synthetic benchmark kernels.
 //! * [`eval`] — the experiment harness regenerating every table and figure.
 //!
@@ -25,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub use psb_compile as compile;
 pub use psb_core as core;
 pub use psb_eval as eval;
 pub use psb_ir as ir;

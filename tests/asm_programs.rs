@@ -1,10 +1,11 @@
 //! The shipped assembly corpus runs correctly under every model — the
 //! `psbsim` flow exercised as a library.
 
-use psb::core::{MachineConfig, VliwMachine};
+use psb::compile::{compile_fresh, CompileRequest, ProfileSource};
+use psb::core::MachineConfig;
 use psb::isa::parse_program;
 use psb::scalar::{ScalarConfig, ScalarMachine};
-use psb::sched::{schedule, Model, SchedConfig};
+use psb::sched::{Model, SchedConfig};
 
 fn check_file(path: &str, expect: &[(usize, i64)]) {
     let text = std::fs::read_to_string(path).expect("corpus file exists");
@@ -16,9 +17,14 @@ fn check_file(path: &str, expect: &[(usize, i64)]) {
         assert_eq!(scalar.regs[reg], value, "{path}: r{reg}");
     }
     for model in Model::ALL {
-        let vliw = schedule(&prog, &scalar.edge_profile, &SchedConfig::new(model))
-            .unwrap_or_else(|e| panic!("{path}/{model}: {e}"));
-        let res = VliwMachine::run_program(&vliw, MachineConfig::default())
+        let art = compile_fresh(&CompileRequest {
+            program: &prog,
+            profile: ProfileSource::Provided(&scalar.edge_profile),
+            sched: SchedConfig::new(model),
+        })
+        .unwrap_or_else(|e| panic!("{path}/{model}: {e}"));
+        let res = art
+            .run(MachineConfig::default())
             .unwrap_or_else(|e| panic!("{path}/{model}: {e}"));
         assert_eq!(
             res.observable(&prog.live_out),
@@ -90,14 +96,19 @@ fn matmul_benefits_from_width_and_unrolling() {
         sc.num_conds = 8;
         sc.depth = 8;
         sc.max_blocks = 32;
-        let vliw = schedule(p, &profile, &sc).unwrap();
+        let art = compile_fresh(&CompileRequest {
+            program: p,
+            profile: ProfileSource::Provided(&profile),
+            sched: sc,
+        })
+        .unwrap();
         let mc = MachineConfig {
             issue_width: width,
             resources: psb::isa::Resources::full_issue(width),
             store_buffer_size: 32,
             ..MachineConfig::default()
         };
-        VliwMachine::run_program(&vliw, mc).unwrap().cycles
+        art.run(mc).unwrap().cycles
     };
     let narrow = run_with(&prog, 4);
     let unrolled = psb::ir::unroll_loops(&prog, 3);

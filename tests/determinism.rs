@@ -2,9 +2,10 @@
 //! bit-identical programs, schedules and cycle counts — the property that
 //! makes EXPERIMENTS.md's numbers reproducible on any machine.
 
-use psb::core::{MachineConfig, VliwMachine};
+use psb::compile::{compile_fresh, CompileRequest, ProfileSource};
+use psb::core::MachineConfig;
 use psb::scalar::{ScalarConfig, ScalarMachine};
-use psb::sched::{schedule, Model, SchedConfig};
+use psb::sched::{Model, SchedConfig};
 use psb::workloads::by_name;
 
 #[test]
@@ -29,10 +30,22 @@ fn scheduling_is_deterministic() {
         .unwrap()
         .edge_profile;
     for model in Model::ALL {
-        let cfg = SchedConfig::new(model);
-        let a = schedule(&w.program, &profile, &cfg).unwrap();
-        let b = schedule(&w.program, &profile, &cfg).unwrap();
-        assert_eq!(a, b, "{model}: scheduling must be deterministic");
+        let req = CompileRequest {
+            program: &w.program,
+            profile: ProfileSource::Provided(&profile),
+            sched: SchedConfig::new(model),
+        };
+        let a = compile_fresh(&req).unwrap();
+        let b = compile_fresh(&req).unwrap();
+        assert_eq!(
+            a.program, b.program,
+            "{model}: scheduling must be deterministic"
+        );
+        assert_eq!(
+            a.content_hash, b.content_hash,
+            "{model}: the content hash must be stable"
+        );
+        assert!(a.same_content(&b), "{model}: artifacts must be byte-equal");
     }
 }
 
@@ -43,9 +56,14 @@ fn execution_is_deterministic() {
         .run()
         .unwrap()
         .edge_profile;
-    let vliw = schedule(&w.program, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
-    let a = VliwMachine::run_program(&vliw, MachineConfig::default()).unwrap();
-    let b = VliwMachine::run_program(&vliw, MachineConfig::default()).unwrap();
+    let art = compile_fresh(&CompileRequest {
+        program: &w.program,
+        profile: ProfileSource::Provided(&profile),
+        sched: SchedConfig::new(Model::RegionPred),
+    })
+    .unwrap();
+    let a = art.run(MachineConfig::default()).unwrap();
+    let b = art.run(MachineConfig::default()).unwrap();
     assert_eq!(a, b, "same program, same machine, same run");
 
     let s1 = ScalarMachine::new(&w.program, ScalarConfig::default())

@@ -3,10 +3,11 @@
 //! with separate training and evaluation inputs, on several machine
 //! shapes.
 
-use psb::core::{MachineConfig, ShadowMode, VliwMachine};
+use psb::compile::{compile_fresh, CompileRequest, ProfileSource};
+use psb::core::{MachineConfig, ShadowMode};
 use psb::isa::Resources;
 use psb::scalar::{ScalarConfig, ScalarMachine};
-use psb::sched::{schedule, Model, SchedConfig};
+use psb::sched::{Model, SchedConfig};
 use psb::workloads::{all_workloads_sized, by_name};
 
 const SIZE: usize = 256;
@@ -16,16 +17,20 @@ const EVAL_SEED: u64 = 99;
 fn check(name: &str, sched_cfg: &SchedConfig, machine_cfg: &MachineConfig) {
     let train = by_name(name, TRAIN_SEED, SIZE).expect("known workload");
     let eval = by_name(name, EVAL_SEED, SIZE).expect("known workload");
-    let profile = ScalarMachine::new(&train.program, ScalarConfig::default())
-        .run()
-        .expect("train run")
-        .edge_profile;
     let scalar = ScalarMachine::new(&eval.program, ScalarConfig::default())
         .run()
         .expect("eval run");
-    let vliw = schedule(&eval.program, &profile, sched_cfg)
-        .unwrap_or_else(|e| panic!("{name}/{}: schedule: {e}", sched_cfg.model));
-    let res = VliwMachine::run_program(&vliw, machine_cfg.clone())
+    let art = compile_fresh(&CompileRequest {
+        program: &eval.program,
+        profile: ProfileSource::Train {
+            program: &train.program,
+            config: ScalarConfig::default(),
+        },
+        sched: sched_cfg.clone(),
+    })
+    .unwrap_or_else(|e| panic!("{name}/{}: compile: {e}", sched_cfg.model));
+    let res = art
+        .run(machine_cfg.clone())
         .unwrap_or_else(|e| panic!("{name}/{}: machine: {e}", sched_cfg.model));
     assert_eq!(
         res.observable(&eval.program.live_out),
@@ -121,10 +126,15 @@ fn li_speculative_null_dereference_is_squashed() {
         .run()
         .unwrap()
         .edge_profile;
-    let vliw = schedule(&w.program, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
+    let art = compile_fresh(&CompileRequest {
+        program: &w.program,
+        profile: ProfileSource::Provided(&profile),
+        sched: SchedConfig::new(Model::RegionPred),
+    })
+    .unwrap();
     // The run completes (no fatal fault) even though the hoisted load
     // dereferences NULL speculatively at the end of the list.
-    let res = VliwMachine::run_program(&vliw, MachineConfig::default()).unwrap();
+    let res = art.run(MachineConfig::default()).unwrap();
     assert_eq!(
         res.recoveries, 0,
         "the squashed exception must never commit"
@@ -139,26 +149,25 @@ fn fault_recovery_on_benchmarks() {
         let train = by_name(name, TRAIN_SEED, SIZE).unwrap();
         let eval = by_name(name, EVAL_SEED, SIZE).unwrap();
         let faults: std::collections::BTreeSet<i64> = (16..80).step_by(7).collect();
-        let profile = ScalarMachine::new(&train.program, ScalarConfig::default())
-            .run()
-            .unwrap()
-            .edge_profile;
         let scfg = ScalarConfig {
             fault_once_addrs: faults.clone(),
             ..ScalarConfig::default()
         };
         let scalar = ScalarMachine::new(&eval.program, scfg).run().unwrap();
-        let vliw = schedule(
-            &eval.program,
-            &profile,
-            &SchedConfig::new(Model::RegionPred),
-        )
+        let art = compile_fresh(&CompileRequest {
+            program: &eval.program,
+            profile: ProfileSource::Train {
+                program: &train.program,
+                config: ScalarConfig::default(),
+            },
+            sched: SchedConfig::new(Model::RegionPred),
+        })
         .unwrap();
         let mc = MachineConfig {
             fault_once_addrs: faults,
             ..MachineConfig::default()
         };
-        let res = VliwMachine::run_program(&vliw, mc).unwrap();
+        let res = art.run(mc).unwrap();
         assert_eq!(
             res.observable(&eval.program.live_out),
             scalar.observable(&eval.program.live_out),
@@ -220,10 +229,15 @@ fn unrolled_workloads_match_golden_model() {
         sc.num_conds = 8;
         sc.depth = 8;
         sc.max_blocks = 32;
-        let vliw = schedule(&eval_u, &profile, &sc).unwrap();
+        let art = compile_fresh(&CompileRequest {
+            program: &eval_u,
+            profile: ProfileSource::Provided(&profile),
+            sched: sc,
+        })
+        .unwrap();
         let mut mc = MachineConfig::full_issue(8);
         mc.issue_width = 8;
-        let res = VliwMachine::run_program(&vliw, mc).unwrap();
+        let res = art.run(mc).unwrap();
         assert_eq!(
             res.observable(&eval_u.live_out),
             scalar.observable(&eval_u.live_out),
@@ -242,8 +256,13 @@ fn event_logs_audit_clean() {
             .run()
             .unwrap()
             .edge_profile;
-        let vliw = schedule(&w.program, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
-        let res = VliwMachine::run_program(&vliw, MachineConfig::default().with_events()).unwrap();
+        let art = compile_fresh(&CompileRequest {
+            program: &w.program,
+            profile: ProfileSource::Provided(&profile),
+            sched: SchedConfig::new(Model::RegionPred),
+        })
+        .unwrap();
+        let res = art.run(MachineConfig::default().with_events()).unwrap();
         let violations = psb::core::audit_events(&res.events);
         assert!(
             violations.is_empty(),
@@ -263,13 +282,18 @@ fn recovery_event_logs_audit_clean() {
         .run()
         .unwrap()
         .edge_profile;
-    let vliw = schedule(&w.program, &profile, &SchedConfig::new(Model::RegionPred)).unwrap();
+    let art = compile_fresh(&CompileRequest {
+        program: &w.program,
+        profile: ProfileSource::Provided(&profile),
+        sched: SchedConfig::new(Model::RegionPred),
+    })
+    .unwrap();
     let mc = MachineConfig {
         fault_once_addrs: faults,
         record_events: true,
         ..MachineConfig::default()
     };
-    let res = VliwMachine::run_program(&vliw, mc).unwrap();
+    let res = art.run(mc).unwrap();
     assert!(res.recoveries > 0, "the fault set must exercise recovery");
     let violations = psb::core::audit_events(&res.events);
     assert!(violations.is_empty(), "{:?}", violations.first());
