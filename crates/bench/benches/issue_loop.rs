@@ -1,12 +1,16 @@
-//! Issue-loop engine comparison: the pre-decoded arena hot path against
-//! the legacy per-cycle decode path, on real scheduled programs.
+//! Issue-loop engine comparison: the table-dispatched and pre-decoded
+//! hot paths against the legacy per-cycle decode path, on real scheduled
+//! programs.
 //!
-//! The two engines execute the identical architecture (the differential
-//! suite proves byte-equal results); what this group measures is pure
-//! simulator cost — the legacy path clones the `MultiOp` and walks
-//! `SlotOp::srcs()` allocations every cycle, while the pre-decoded path
-//! reads `Copy` slots from a dense arena and screens operand hazards
-//! with one mask intersection.
+//! The three engines execute the identical architecture (the
+//! differential suite proves byte-equal results); what this group
+//! measures is pure simulator cost — the legacy path clones the
+//! `MultiOp` and walks `SlotOp::srcs()` allocations every cycle, the
+//! pre-decoded path reads `Copy` slots from a dense arena and screens
+//! operand hazards with one mask intersection, and the tabled path
+//! additionally jumps through build-time-generated handler tables that
+//! fuse predicate evaluation, hazard masking and execution into one
+//! monomorphized call per slot.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psb_compile::{compile_fresh, CompileRequest, CompiledArtifact, ProfileSource};
@@ -35,6 +39,7 @@ fn bench_engines(c: &mut Criterion, name: &'static str) {
     for (label, engine) in [
         ("legacy", Engine::Legacy),
         ("predecoded", Engine::Predecoded),
+        ("tabled", Engine::Tabled),
     ] {
         let cfg = MachineConfig {
             engine,

@@ -16,7 +16,9 @@
 //! [`EdgeProfile`] (or adopts one the caller already has, via
 //! [`ProfileSource::Provided`]); [`Stage::Schedule`] invokes the
 //! model-specific VLIW scheduler; [`Stage::Decode`] lowers the schedule
-//! into the pre-decoded arena the machine's fast issue path reads.  The
+//! into the pre-decoded arena the machine's fast issue paths read —
+//! including the generated-dispatch indices (per-slot handler numbers and
+//! per-word issue classes) that drive the table-dispatched engine.  The
 //! product is an immutable [`CompiledArtifact`] carrying everything a
 //! consumer needs to *run* the program — including the decoded arena, so
 //! machine construction no longer re-lowers per run — plus per-stage

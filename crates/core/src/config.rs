@@ -38,20 +38,29 @@ pub enum CommitScan {
 
 /// Which issue-path implementation drives the machine.
 ///
-/// Both engines execute the same architecture and are held observably
+/// All engines execute the same architecture and are held observably
 /// identical by the engine-differential proptests and the fuzz harness.
 /// They differ only in simulator cost.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Engine {
+    /// Drive the issue loop from build-time-generated dispatch tables:
+    /// decode lowers every slot to a dense handler index (predicate
+    /// evaluation, hazard masking and execution fused into one handler
+    /// call) and every word to a specialisation class whose issue path
+    /// skips the store/control prepasses that cannot apply.  The issue
+    /// buffer is recycled across cycles, so steady-state issue is both
+    /// match-free and allocation-free.
+    #[default]
+    Tabled,
     /// Decode every VLIW word once at `run_program` entry into a dense
     /// arena (flat `Copy` slots, pre-computed source-register bitmasks,
     /// per-word issue metadata) and drive the per-cycle issue loop from
-    /// it — no allocation on the hot path.
-    #[default]
+    /// it — no allocation in the issue screen itself, one interpretive
+    /// op-kind match per slot.
     Predecoded,
     /// The original issue loop: clone the current `MultiOp` each cycle
     /// and materialise per-slot source lists on demand.  Kept as the
-    /// differential oracle for the pre-decoded engine.
+    /// differential oracle for the faster engines.
     Legacy,
 }
 
@@ -115,7 +124,7 @@ impl Default for MachineConfig {
             max_cycles: 200_000_000,
             record_events: false,
             commit_scan: CommitScan::Indexed,
-            engine: Engine::Predecoded,
+            engine: Engine::default(),
             defer_recovery_exit_commit: false,
         }
     }

@@ -11,12 +11,17 @@
 //! issue loop is then allocation-free and hazard screening is a single
 //! mask intersection per word.
 //!
-//! Both engines share the per-slot execution semantics
-//! (`VliwMachine::exec_slot_*`), so the decoded representation only
-//! changes *how fast* a word is inspected, never *what* it does; the
-//! differential fuzz harness holds the two engines to byte-identical
-//! event logs.
+//! On top of that, decode lowers every slot to a dense *handler index* and
+//! every word to a *class index* into the build-time-generated dispatch
+//! tables (see `dispatch.rs` / `build.rs`), so the tabled engine issues a
+//! word with one indirect call per slot and no per-slot op-kind match.
+//!
+//! All engines share the per-slot execution semantics
+//! (`VliwMachine::exec_*`), so the decoded representation only changes
+//! *how fast* a word is inspected, never *what* it does; the differential
+//! fuzz harness holds the engines to byte-identical event logs.
 
+use crate::dispatch;
 use psb_isa::{Op, Predicate, SlotOp, VliwProgram, NUM_REGS};
 
 // Source-register sets are u64 bitmasks.
@@ -33,6 +38,11 @@ pub struct DecodedSlot {
     /// Bit `r` set iff the operation reads register `r` (shadow or
     /// sequential source alike — both stall on an in-flight write).
     pub src_mask: u64,
+    /// Index into the generated slot-handler dispatch tables: the slot's
+    /// op kind fused with whether its predicate is `alw`.  Derived by
+    /// [`DecodedProgram::decode`] and re-checked at machine construction
+    /// by [`DecodedProgram::validate_dispatch`].
+    pub handler: u16,
 }
 
 /// Per-word metadata driving the issue loop's fast paths.
@@ -55,12 +65,18 @@ pub struct DecodedWord {
     /// Whether `addr + 1` is a region start, pre-resolving the
     /// fall-through region check's binary search.
     pub falls_into_region: bool,
+    /// Index into the generated word-issue dispatch table: one bit per
+    /// specialisation axis (conditional predicates present / store slots
+    /// present / control transfer present), selecting the streamlined
+    /// issue path that skips whichever prepasses cannot matter.
+    pub class: u8,
 }
 
 /// A program decoded once into dense slot and word arenas.
 ///
 /// Built by [`DecodedProgram::decode`] at machine construction
-/// ([`Engine::Predecoded`](crate::Engine::Predecoded) reads it on every
+/// ([`Engine::Tabled`](crate::Engine::Tabled) and
+/// [`Engine::Predecoded`](crate::Engine::Predecoded) read it on every
 /// cycle; [`Engine::Legacy`](crate::Engine::Legacy) ignores it and
 /// re-decodes per cycle as the differential oracle).
 #[derive(Clone, PartialEq, Debug, Default)]
@@ -92,9 +108,11 @@ impl DecodedProgram {
             let mut src_union = 0u64;
             let mut store_slots = 0u8;
             let mut has_control = false;
+            let mut any_cond = false;
             for slot in &word.slots {
                 let mask = src_mask(&slot.op);
                 src_union |= mask;
+                any_cond |= !slot.pred.is_always();
                 match slot.op {
                     SlotOp::Op(Op::Store { .. }) => store_slots += 1,
                     SlotOp::Jump { .. } | SlotOp::CmpBr { .. } | SlotOp::Halt => {
@@ -106,6 +124,10 @@ impl DecodedProgram {
                     pred: slot.pred,
                     op: slot.op,
                     src_mask: mask,
+                    handler: dispatch::slot_handler_index(
+                        dispatch::op_kind(&slot.op),
+                        slot.pred.is_always(),
+                    ),
                 });
             }
             let next = addr + 1;
@@ -117,6 +139,7 @@ impl DecodedProgram {
                 has_control,
                 falls_into_region: next < prog.words.len()
                     && prog.region_starts.binary_search(&next).is_ok(),
+                class: dispatch::word_class_index(any_cond, store_slots > 0, has_control),
             });
         }
         DecodedProgram { words, slots }
@@ -128,12 +151,87 @@ impl DecodedProgram {
         let a = word.first_slot as usize;
         a..a + word.num_slots as usize
     }
+
+    /// Checks that the arena's generated-dispatch lowering is exactly what
+    /// [`DecodedProgram::decode`] would produce for its own slots: every
+    /// slot's handler index and every word's class index (plus the
+    /// metadata the specialised issue paths rely on — store-slot count and
+    /// control flag) are re-derived and compared.
+    ///
+    /// Machine construction runs this before the first cycle, so a
+    /// corrupted or hand-constructed arena is rejected with a
+    /// [`Malformed`](crate::VliwError::Malformed) error at decode time —
+    /// the tabled engine never indexes a function-pointer table with an
+    /// unchecked value.
+    pub fn validate_dispatch(&self) -> Result<(), String> {
+        let mut next_slot = 0usize;
+        for (addr, w) in self.words.iter().enumerate() {
+            let a = w.first_slot as usize;
+            let n = w.num_slots as usize;
+            if a != next_slot {
+                return Err(format!(
+                    "word {addr}: slot range starts at {a}, expected {next_slot}"
+                ));
+            }
+            next_slot = a + n;
+            let Some(slots) = self.slots.get(a..a + n) else {
+                return Err(format!(
+                    "word {addr}: slot range {a}..{} out of bounds",
+                    a + n
+                ));
+            };
+            let mut any_cond = false;
+            let mut store_slots = 0u8;
+            let mut has_control = false;
+            for (k, s) in slots.iter().enumerate() {
+                let want =
+                    dispatch::slot_handler_index(dispatch::op_kind(&s.op), s.pred.is_always());
+                if s.handler != want {
+                    return Err(format!(
+                        "word {addr} slot {k}: dispatch handler index {} does not match \
+                         the operation (expected {want})",
+                        s.handler
+                    ));
+                }
+                any_cond |= !s.pred.is_always();
+                match s.op {
+                    SlotOp::Op(Op::Store { .. }) => store_slots += 1,
+                    SlotOp::Jump { .. } | SlotOp::CmpBr { .. } | SlotOp::Halt => {
+                        has_control = true;
+                    }
+                    _ => {}
+                }
+            }
+            if w.store_slots != store_slots || w.has_control != has_control {
+                return Err(format!(
+                    "word {addr}: store/control metadata ({}, {}) does not match its slots \
+                     (expected ({store_slots}, {has_control}))",
+                    w.store_slots, w.has_control
+                ));
+            }
+            let want = dispatch::word_class_index(any_cond, store_slots > 0, has_control);
+            if w.class != want {
+                return Err(format!(
+                    "word {addr}: dispatch word class {} does not match its slots \
+                     (expected {want})",
+                    w.class
+                ));
+            }
+        }
+        if next_slot != self.slots.len() {
+            return Err(format!(
+                "slot arena has {} slots but words cover {next_slot}",
+                self.slots.len()
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psb_isa::{AluOp, MemImage, MemTag, MultiOp, Reg, Slot, Src};
+    use psb_isa::{AluOp, CondReg, MemImage, MemTag, MultiOp, Reg, Slot, Src};
 
     fn prog() -> VliwProgram {
         let r = Reg::new;
@@ -193,6 +291,94 @@ mod tests {
         assert!(w2.has_control);
         assert!(!w2.falls_into_region, "no word past the end");
         assert_eq!(DecodedProgram::slot_range(w2), 3..4);
+    }
+
+    #[test]
+    fn decode_lowers_dispatch_indices() {
+        let d = DecodedProgram::decode(&prog());
+        // All predicates are `alw`, so every handler index is odd
+        // (kind * 2 + 1) and every word class has bit 0 clear.
+        assert_eq!(
+            d.slots[0].handler,
+            dispatch::slot_handler_index(dispatch::K_ALU, true)
+        );
+        assert_eq!(
+            d.slots[1].handler,
+            dispatch::slot_handler_index(dispatch::K_STORE, true)
+        );
+        assert_eq!(
+            d.slots[3].handler,
+            dispatch::slot_handler_index(dispatch::K_HALT, true)
+        );
+        assert_eq!(
+            d.words[0].class,
+            dispatch::word_class_index(false, true, false)
+        );
+        assert_eq!(
+            d.words[1].class,
+            dispatch::word_class_index(false, false, false)
+        );
+        assert_eq!(
+            d.words[2].class,
+            dispatch::word_class_index(false, false, true)
+        );
+        d.validate_dispatch().expect("decode output validates");
+    }
+
+    #[test]
+    fn conditional_predicates_set_the_cond_class_bit() {
+        let r = Reg::new;
+        let mut p = prog();
+        p.words[1] = MultiOp::new(vec![Slot {
+            pred: Predicate::always().and_pos(CondReg::new(0)),
+            op: SlotOp::Op(Op::Copy {
+                rd: r(1),
+                src: Src::imm(1),
+            }),
+        }]);
+        let d = DecodedProgram::decode(&p);
+        assert_eq!(
+            d.words[1].class,
+            dispatch::word_class_index(true, false, false)
+        );
+        assert_eq!(
+            d.slots[2].handler,
+            dispatch::slot_handler_index(dispatch::K_COPY, false)
+        );
+        d.validate_dispatch().expect("decode output validates");
+    }
+
+    #[test]
+    fn validate_dispatch_rejects_corruption() {
+        let mut d = DecodedProgram::decode(&prog());
+        d.slots[0].handler = 999;
+        let err = d.validate_dispatch().unwrap_err();
+        assert!(err.contains("dispatch handler index 999"), "{err}");
+
+        let mut d = DecodedProgram::decode(&prog());
+        d.words[2].class = 7;
+        let err = d.validate_dispatch().unwrap_err();
+        assert!(err.contains("dispatch word class 7"), "{err}");
+
+        let mut d = DecodedProgram::decode(&prog());
+        d.words[0].store_slots = 0;
+        let err = d.validate_dispatch().unwrap_err();
+        assert!(err.contains("store/control metadata"), "{err}");
+
+        let mut d = DecodedProgram::decode(&prog());
+        d.words[1].first_slot = 0;
+        assert!(d.validate_dispatch().is_err());
+
+        let mut d = DecodedProgram::decode(&prog());
+        d.slots.push(d.slots[0]);
+        let err = d.validate_dispatch().unwrap_err();
+        assert!(err.contains("slot arena"), "{err}");
+
+        // SetCond with a `cmp` that matches nothing? Not constructible —
+        // instead check that swapping ops without re-lowering is caught.
+        let mut d = DecodedProgram::decode(&prog());
+        d.slots[3].op = SlotOp::Op(Op::Nop);
+        assert!(d.validate_dispatch().is_err());
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Generated dispatch tables for [`Engine::Tabled`](crate::Engine::Tabled).
+//!
+//! The table layout lives in `build.rs`: it emits the op-kind constants,
+//! the `slot_handler_index` / `word_class_index` lowering functions, and
+//! the `macro_rules!` table macros into `$OUT_DIR/dispatch_tables.rs`,
+//! which this module includes. Decode (`decoded.rs`) lowers every slot to
+//! a handler index and every word to a class index with these functions;
+//! the machine (`machine.rs`) expands the table macros into associated
+//! consts of fused handlers. Because both sides derive from the same
+//! generated source, the lowering and the tables cannot drift — and
+//! [`DecodedProgram::validate_dispatch`](crate::DecodedProgram::validate_dispatch)
+//! re-derives the indices at machine construction so a corrupted arena is
+//! rejected before the issue loop ever indexes a function-pointer table.
+
+use psb_isa::{Op, SlotOp};
+
+include!(concat!(env!("OUT_DIR"), "/dispatch_tables.rs"));
+
+/// The dispatch kind of a slot operation (one of the generated `K_*`
+/// constants).
+pub(crate) fn op_kind(op: &SlotOp) -> u8 {
+    match op {
+        SlotOp::Op(Op::Nop) => K_NOP,
+        SlotOp::Op(Op::Alu { .. }) => K_ALU,
+        SlotOp::Op(Op::Copy { .. }) => K_COPY,
+        SlotOp::Op(Op::SetCond { .. }) => K_SET_COND,
+        SlotOp::Op(Op::Load { .. }) => K_LOAD,
+        SlotOp::Op(Op::Store { .. }) => K_STORE,
+        SlotOp::Jump { .. } => K_JUMP,
+        SlotOp::CmpBr { .. } => K_CMP_BR,
+        SlotOp::Halt => K_HALT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_indices_are_dense_and_in_range() {
+        for kind in 0..NUM_OP_KINDS as u8 {
+            for always in [false, true] {
+                let idx = slot_handler_index(kind, always);
+                assert_eq!(idx as usize, kind as usize * 2 + always as usize);
+                assert!((idx as usize) < NUM_SLOT_HANDLERS);
+            }
+        }
+    }
+
+    #[test]
+    fn word_classes_cover_all_axes() {
+        let mut seen = [false; NUM_WORD_CLASSES];
+        for cond in [false, true] {
+            for store in [false, true] {
+                for control in [false, true] {
+                    seen[word_class_index(cond, store, control) as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -57,6 +57,7 @@
 
 mod config;
 mod decoded;
+mod dispatch;
 mod event;
 mod invariant;
 mod machine;

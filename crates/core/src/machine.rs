@@ -24,14 +24,15 @@
 //!    otherwise the candidate becomes the CCR and control advances.
 
 use crate::config::{Engine, MachineConfig};
-use crate::decoded::DecodedProgram;
+use crate::decoded::{DecodedProgram, DecodedSlot};
+use crate::dispatch;
 use crate::event::{Event, EventLog, StateLoc};
 use crate::obs::{CycleSample, StallKind, TraceSink};
 use crate::regfile::PredicatedRegFile;
 use crate::storebuf::PredicatedStoreBuffer;
 use psb_isa::{
-    Ccr, Cond, CondReg, FuClass, MemFault, Memory, MultiOp, Op, Predicate, Reg, SlotOp, Src,
-    VliwProgram, NUM_REGS,
+    AluOp, Ccr, CmpOp, Cond, CondReg, FuClass, MemFault, Memory, MultiOp, Op, Predicate, Reg,
+    SlotOp, Src, VliwProgram, NUM_REGS,
 };
 use std::collections::BTreeSet;
 use std::fmt;
@@ -216,6 +217,10 @@ pub struct VliwMachine<'p, S: TraceSink = EventLog> {
     touched_faults: BTreeSet<i64>,
     sink: S,
     stats: RunStats,
+    /// Reusable issue buffer for the tabled engine: taken at issue,
+    /// recycled (cleared, allocations kept) at end of cycle, so
+    /// steady-state issue never touches the allocator.
+    scratch: CycleOut,
 }
 
 /// What `issue` decided for the end of the cycle.
@@ -233,6 +238,19 @@ enum IssueOutcome {
     Issued(CycleOut),
     Stalled(StallKind),
 }
+
+/// A fused normal-mode slot handler from the generated dispatch table
+/// (predicate evaluation + execution in one call).
+type SlotNormalFn<'p, S> =
+    fn(&mut VliwMachine<'p, S>, DecodedSlot, &mut CycleOut) -> Result<(), VliwError>;
+
+/// A fused recovery-mode slot handler from the generated dispatch table.
+type SlotRecoveryFn<'p, S> =
+    fn(&mut VliwMachine<'p, S>, DecodedSlot, &Ccr, &mut CycleOut) -> Result<(), VliwError>;
+
+/// A per-class specialised word-issue path from the generated dispatch
+/// table.
+type WordIssueFn<'p, S> = fn(&mut VliwMachine<'p, S>) -> Result<IssueOutcome, VliwError>;
 
 impl<'p> VliwMachine<'p> {
     /// Creates a machine over `prog` with the default [`EventLog`] sink
@@ -298,8 +316,11 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
     /// # Errors
     ///
     /// [`VliwError::Malformed`] if the program fails validation, exceeds
-    /// the configured issue width or function-unit counts, or the arena's
-    /// word count does not match the program's.
+    /// the configured issue width or function-unit counts, the arena's
+    /// word count does not match the program's, or the arena's generated
+    /// dispatch lowering fails
+    /// [`DecodedProgram::validate_dispatch`] — a corrupted table index is
+    /// rejected here, at construction, never at issue time.
     pub fn with_sink_decoded(
         prog: &'p VliwProgram,
         decoded: Arc<DecodedProgram>,
@@ -312,6 +333,9 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 "pre-decoded arena does not match the program".to_string(),
             ));
         }
+        decoded
+            .validate_dispatch()
+            .map_err(|e| VliwError::Malformed(format!("pre-decoded arena rejected: {e}")))?;
         Ok(Self::build(prog, decoded, cfg, sink))
     }
 
@@ -371,6 +395,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
             cfg,
             prog,
             stats: RunStats::default(),
+            scratch: CycleOut::default(),
         }
     }
 
@@ -474,8 +499,17 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
     /// state, reset the CCR, and record the new RPC.
     fn enter_region(&mut self, target: usize) {
         let cycle = self.cycle;
-        self.stats.squashes += self.regs.squash_spec(cycle, &mut self.sink);
-        self.stats.squashes += self.sb.squash_spec(cycle, &mut self.sink);
+        // Same inertness proof as the tabled commit-pass gate: squashing
+        // an empty file/buffer is observation-free, so the tabled engine
+        // skips the pass outright (the interpretive engines keep the
+        // literal hardware behaviour).
+        let tabled = matches!(self.cfg.engine, Engine::Tabled);
+        if !tabled || self.regs.has_buffered() {
+            self.stats.squashes += self.regs.squash_spec(cycle, &mut self.sink);
+        }
+        if !tabled || !self.sb.is_empty() {
+            self.stats.squashes += self.sb.squash_spec(cycle, &mut self.sink);
+        }
         // Resolve in-flight writes against the old region's conditions:
         // a specified-true pred will still land sequentially; everything
         // else is dead on this exit path.
@@ -621,14 +655,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 SlotOp::Jump { .. } | SlotOp::Halt | SlotOp::CmpBr { .. }
                     if v == Cond::Unspecified =>
                 {
-                    // In an in-order machine no later word can specify the
-                    // condition, so this can never resolve: the scheduler
-                    // must place condition-sets strictly before dependent
-                    // control transfers.
-                    return Err(VliwError::Malformed(format!(
-                        "word {}: control-transfer predicate {} unspecified at issue",
-                        self.pc, slot.pred
-                    )));
+                    return Err(self.control_unspecified_error(slot.pred));
                 }
                 SlotOp::Op(Op::Store { .. }) if v != Cond::False => store_count += 1,
                 _ => {}
@@ -688,10 +715,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                     SlotOp::Jump { .. } | SlotOp::Halt | SlotOp::CmpBr { .. }
                         if s.pred.eval(&self.ccr) == Cond::Unspecified =>
                     {
-                        return Err(VliwError::Malformed(format!(
-                            "word {}: control-transfer predicate {} unspecified at issue",
-                            self.pc, s.pred
-                        )));
+                        return Err(self.control_unspecified_error(s.pred));
                     }
                     SlotOp::Op(Op::Store { .. }) if s.pred.eval(&self.ccr) != Cond::False => {
                         store_count += 1;
@@ -719,10 +743,342 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
         Ok(IssueOutcome::Issued(out))
     }
 
+    // ------------------------------------------------------------------
+    // Shared per-op execution.  Every issue engine — legacy, pre-decoded
+    // and tabled — funnels live slots through these methods, so the
+    // per-op semantics cannot drift between engines.  The cold error
+    // constructors keep the exact diagnostic strings shared too.
+    // ------------------------------------------------------------------
+
+    #[cold]
+    fn double_jump_error(&self) -> VliwError {
+        VliwError::Malformed(format!("word {}: two taken jumps in one word", self.pc))
+    }
+
+    #[cold]
+    fn control_unspecified_error(&self, pred: Predicate) -> VliwError {
+        // In an in-order machine no later word can specify the condition,
+        // so this can never resolve: the scheduler must place
+        // condition-sets strictly before dependent control transfers.
+        VliwError::Malformed(format!(
+            "word {}: control-transfer predicate {pred} unspecified at issue",
+            self.pc
+        ))
+    }
+
+    #[cold]
+    fn recovery_jump_true_error(&self) -> VliwError {
+        VliwError::Malformed(format!(
+            "word {}: jump predicate true under the current condition during recovery",
+            self.pc
+        ))
+    }
+
+    #[cold]
+    fn recovery_unspecified_jump_error(&self) -> VliwError {
+        VliwError::Malformed(format!(
+            "word {}: unspecified jump predicate during recovery",
+            self.pc
+        ))
+    }
+
+    #[cold]
+    fn recovery_condset_error(&self) -> VliwError {
+        // Condition-sets carry `alw` predicates, so they can never be
+        // unspecified; validated at load time.
+        VliwError::Malformed(format!(
+            "word {}: predicated condition-set during recovery",
+            self.pc
+        ))
+    }
+
+    /// A slot's generated handler index disagrees with its operation.
+    /// Unreachable after [`DecodedProgram::validate_dispatch`]; kept as a
+    /// typed error so a table mismatch can never become a wrong-handler
+    /// silent misexecution.
+    #[cold]
+    fn dispatch_mismatch_error(&self) -> VliwError {
+        VliwError::Malformed(format!(
+            "word {}: dispatch table does not match the slot operation",
+            self.pc
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_alu(
+        &mut self,
+        pred: Predicate,
+        op: AluOp,
+        rd: Reg,
+        a: Src,
+        b: Src,
+        nonspec: bool,
+        out: &mut CycleOut,
+    ) {
+        let v = op.apply(self.read_src(a, &pred), self.read_src(b, &pred));
+        out.writes.push(PendingWrite {
+            dest: rd,
+            value: v,
+            pred,
+            nonspec,
+            exc: false,
+        });
+        self.stats.ops_executed += 1;
+    }
+
+    fn exec_copy(&mut self, pred: Predicate, rd: Reg, src: Src, nonspec: bool, out: &mut CycleOut) {
+        let v = self.read_src(src, &pred);
+        out.writes.push(PendingWrite {
+            dest: rd,
+            value: v,
+            pred,
+            nonspec,
+            exc: false,
+        });
+        self.stats.ops_executed += 1;
+    }
+
+    fn exec_setcond(
+        &mut self,
+        pred: Predicate,
+        c: CondReg,
+        cmp: CmpOp,
+        a: Src,
+        b: Src,
+        out: &mut CycleOut,
+    ) {
+        let v = cmp.apply(self.read_src(a, &pred), self.read_src(b, &pred));
+        out.conds.push((c, v));
+        self.stats.ops_executed += 1;
+    }
+
+    fn exec_load_normal(
+        &mut self,
+        pred: Predicate,
+        rd: Reg,
+        base: Src,
+        offset: i64,
+        nonspec: bool,
+    ) -> Result<(), VliwError> {
+        let addr = self.read_src(base, &pred).wrapping_add(offset);
+        let (value, exc) = match self.classify_access(addr) {
+            Ok(()) => (self.load_value(addr, &pred), false),
+            Err(fault) if nonspec => match fault {
+                Some(f) => {
+                    return Err(VliwError::Fault {
+                        word: self.pc,
+                        fault: f,
+                    })
+                }
+                None => {
+                    self.handle_fault(addr);
+                    (self.load_value(addr, &pred), false)
+                }
+            },
+            Err(_) => {
+                // Buffer the speculative exception.
+                let cycle = self.cycle;
+                self.sink.push(|| Event::ExcLatched { cycle, addr });
+                (0, true)
+            }
+        };
+        self.inflight.push(InFlight {
+            ready_end: self.cycle + self.cfg.load_latency - 1,
+            word: self.pc,
+            dest: rd,
+            value,
+            pred,
+            exc,
+        });
+        self.stats.ops_executed += 1;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_store_normal(
+        &mut self,
+        pred: Predicate,
+        base: Src,
+        offset: i64,
+        value: Src,
+        nonspec: bool,
+        out: &mut CycleOut,
+    ) -> Result<(), VliwError> {
+        let addr = self.read_src(base, &pred).wrapping_add(offset);
+        let v = self.read_src(value, &pred);
+        let exc = match self.classify_access(addr) {
+            Ok(()) => false,
+            Err(fault) if nonspec => match fault {
+                Some(f) => {
+                    return Err(VliwError::Fault {
+                        word: self.pc,
+                        fault: f,
+                    })
+                }
+                None => {
+                    self.handle_fault(addr);
+                    false
+                }
+            },
+            Err(_) => {
+                let cycle = self.cycle;
+                self.sink.push(|| Event::ExcLatched { cycle, addr });
+                true
+            }
+        };
+        out.stores.push(PendingStore {
+            addr,
+            value: v,
+            pred,
+            spec: !nonspec,
+            exc,
+        });
+        self.stats.ops_executed += 1;
+        Ok(())
+    }
+
+    fn exec_jump(
+        &mut self,
+        target: usize,
+        nonspec: bool,
+        out: &mut CycleOut,
+    ) -> Result<(), VliwError> {
+        if nonspec {
+            if out.jump.is_some() {
+                return Err(self.double_jump_error());
+            }
+            out.jump = Some(target);
+        }
+        self.stats.ops_executed += 1;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_cmpbr(
+        &mut self,
+        pred: Predicate,
+        c: Option<CondReg>,
+        cmp: CmpOp,
+        a: Src,
+        b: Src,
+        target: usize,
+        out: &mut CycleOut,
+    ) -> Result<(), VliwError> {
+        let v = cmp.apply(self.read_src(a, &pred), self.read_src(b, &pred));
+        if let Some(c) = c {
+            out.conds.push((c, v));
+        }
+        if v {
+            if out.jump.is_some() {
+                return Err(self.double_jump_error());
+            }
+            out.jump = Some(target);
+        }
+        self.stats.ops_executed += 1;
+        Ok(())
+    }
+
+    fn exec_halt(&mut self, out: &mut CycleOut) {
+        out.halt = true;
+        self.stats.ops_executed += 1;
+    }
+
+    fn exec_load_recovery(
+        &mut self,
+        pred: Predicate,
+        rd: Reg,
+        base: Src,
+        offset: i64,
+        future: &Ccr,
+    ) -> Result<(), VliwError> {
+        let addr = self.read_src(base, &pred).wrapping_add(offset);
+        let (value, exc) = match self.classify_access(addr) {
+            Ok(()) => (self.load_value(addr, &pred), false),
+            Err(fault) => match pred.eval(future) {
+                Cond::True => match fault {
+                    Some(f) => {
+                        return Err(VliwError::Fault {
+                            word: self.pc,
+                            fault: f,
+                        })
+                    }
+                    None => {
+                        // The original exception: handle it.
+                        self.handle_fault(addr);
+                        (self.load_value(addr, &pred), false)
+                    }
+                },
+                Cond::False => (0, false), // ignored exception
+                Cond::Unspecified => {
+                    // Re-buffered: still speculative in recovery.
+                    let cycle = self.cycle;
+                    self.sink.push(|| Event::ExcLatched { cycle, addr });
+                    (0, true)
+                }
+            },
+        };
+        self.inflight.push(InFlight {
+            ready_end: self.cycle + self.cfg.load_latency - 1,
+            word: self.pc,
+            dest: rd,
+            value,
+            pred,
+            exc,
+        });
+        self.stats.ops_executed += 1;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_store_recovery(
+        &mut self,
+        pred: Predicate,
+        base: Src,
+        offset: i64,
+        value: Src,
+        future: &Ccr,
+        out: &mut CycleOut,
+    ) -> Result<(), VliwError> {
+        let addr = self.read_src(base, &pred).wrapping_add(offset);
+        let v = self.read_src(value, &pred);
+        let exc = match self.classify_access(addr) {
+            Ok(()) => false,
+            Err(fault) => match pred.eval(future) {
+                Cond::True => match fault {
+                    Some(f) => {
+                        return Err(VliwError::Fault {
+                            word: self.pc,
+                            fault: f,
+                        })
+                    }
+                    None => {
+                        self.handle_fault(addr);
+                        false
+                    }
+                },
+                Cond::False => false,
+                Cond::Unspecified => {
+                    let cycle = self.cycle;
+                    self.sink.push(|| Event::ExcLatched { cycle, addr });
+                    true
+                }
+            },
+        };
+        out.stores.push(PendingStore {
+            addr,
+            value: v,
+            pred,
+            spec: true,
+            exc,
+        });
+        self.stats.ops_executed += 1;
+        Ok(())
+    }
+
     /// Executes one live (predicate not false) slot in normal mode,
-    /// accumulating its effects into `out`.  Shared verbatim by the legacy
-    /// and pre-decoded issue paths so the per-slot semantics cannot drift
-    /// between engines.
+    /// accumulating its effects into `out`.  Shared by the legacy and
+    /// pre-decoded issue paths; the tabled engine reaches the same
+    /// `exec_*` methods through its generated handler table.
     fn exec_slot_normal(
         &mut self,
         pred: Predicate,
@@ -732,143 +1088,27 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
     ) -> Result<(), VliwError> {
         match op {
             SlotOp::Op(Op::Nop) => {}
-            SlotOp::Op(Op::Alu { op, rd, a, b }) => {
-                let v = op.apply(self.read_src(a, &pred), self.read_src(b, &pred));
-                out.writes.push(PendingWrite {
-                    dest: rd,
-                    value: v,
-                    pred,
-                    nonspec,
-                    exc: false,
-                });
-                self.stats.ops_executed += 1;
-            }
-            SlotOp::Op(Op::Copy { rd, src }) => {
-                let v = self.read_src(src, &pred);
-                out.writes.push(PendingWrite {
-                    dest: rd,
-                    value: v,
-                    pred,
-                    nonspec,
-                    exc: false,
-                });
-                self.stats.ops_executed += 1;
-            }
-            SlotOp::Op(Op::SetCond { c, cmp, a, b }) => {
-                let v = cmp.apply(self.read_src(a, &pred), self.read_src(b, &pred));
-                out.conds.push((c, v));
-                self.stats.ops_executed += 1;
-            }
+            SlotOp::Op(Op::Alu { op, rd, a, b }) => self.exec_alu(pred, op, rd, a, b, nonspec, out),
+            SlotOp::Op(Op::Copy { rd, src }) => self.exec_copy(pred, rd, src, nonspec, out),
+            SlotOp::Op(Op::SetCond { c, cmp, a, b }) => self.exec_setcond(pred, c, cmp, a, b, out),
             SlotOp::Op(Op::Load {
                 rd, base, offset, ..
-            }) => {
-                let addr = self.read_src(base, &pred).wrapping_add(offset);
-                let (value, exc) = match self.classify_access(addr) {
-                    Ok(()) => (self.load_value(addr, &pred), false),
-                    Err(fault) if nonspec => match fault {
-                        Some(f) => {
-                            return Err(VliwError::Fault {
-                                word: self.pc,
-                                fault: f,
-                            })
-                        }
-                        None => {
-                            self.handle_fault(addr);
-                            (self.load_value(addr, &pred), false)
-                        }
-                    },
-                    Err(_) => {
-                        // Buffer the speculative exception.
-                        let cycle = self.cycle;
-                        self.sink.push(|| Event::ExcLatched { cycle, addr });
-                        (0, true)
-                    }
-                };
-                self.inflight.push(InFlight {
-                    ready_end: self.cycle + self.cfg.load_latency - 1,
-                    word: self.pc,
-                    dest: rd,
-                    value,
-                    pred,
-                    exc,
-                });
-                self.stats.ops_executed += 1;
-            }
+            }) => return self.exec_load_normal(pred, rd, base, offset, nonspec),
             SlotOp::Op(Op::Store {
                 base,
                 offset,
                 value,
                 ..
-            }) => {
-                let addr = self.read_src(base, &pred).wrapping_add(offset);
-                let v = self.read_src(value, &pred);
-                let exc = match self.classify_access(addr) {
-                    Ok(()) => false,
-                    Err(fault) if nonspec => match fault {
-                        Some(f) => {
-                            return Err(VliwError::Fault {
-                                word: self.pc,
-                                fault: f,
-                            })
-                        }
-                        None => {
-                            self.handle_fault(addr);
-                            false
-                        }
-                    },
-                    Err(_) => {
-                        let cycle = self.cycle;
-                        self.sink.push(|| Event::ExcLatched { cycle, addr });
-                        true
-                    }
-                };
-                out.stores.push(PendingStore {
-                    addr,
-                    value: v,
-                    pred,
-                    spec: !nonspec,
-                    exc,
-                });
-                self.stats.ops_executed += 1;
-            }
-            SlotOp::Jump { target } => {
-                if nonspec {
-                    if out.jump.is_some() {
-                        return Err(VliwError::Malformed(format!(
-                            "word {}: two taken jumps in one word",
-                            self.pc
-                        )));
-                    }
-                    out.jump = Some(target);
-                }
-                self.stats.ops_executed += 1;
-            }
+            }) => return self.exec_store_normal(pred, base, offset, value, nonspec, out),
+            SlotOp::Jump { target } => return self.exec_jump(target, nonspec, out),
             SlotOp::CmpBr {
                 c,
                 cmp,
                 a,
                 b,
                 target,
-            } => {
-                let v = cmp.apply(self.read_src(a, &pred), self.read_src(b, &pred));
-                if let Some(c) = c {
-                    out.conds.push((c, v));
-                }
-                if v {
-                    if out.jump.is_some() {
-                        return Err(VliwError::Malformed(format!(
-                            "word {}: two taken jumps in one word",
-                            self.pc
-                        )));
-                    }
-                    out.jump = Some(target);
-                }
-                self.stats.ops_executed += 1;
-            }
-            SlotOp::Halt => {
-                out.halt = true;
-                self.stats.ops_executed += 1;
-            }
+            } => return self.exec_cmpbr(pred, c, cmp, a, b, target, out),
+            SlotOp::Halt => self.exec_halt(out),
         }
         Ok(())
     }
@@ -907,11 +1147,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 if matches!(slot.op, SlotOp::Jump { .. } | SlotOp::Halt)
                     && slot.pred.eval(&self.ccr) == Cond::True
                 {
-                    return Err(VliwError::Malformed(format!(
-                        "word {}: jump predicate true under the current condition \
-                         during recovery",
-                        self.pc
-                    )));
+                    return Err(self.recovery_jump_true_error());
                 }
                 self.stats.ops_squashed += 1;
                 continue;
@@ -964,11 +1200,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 if matches!(s.op, SlotOp::Jump { .. } | SlotOp::Halt)
                     && s.pred.eval(&self.ccr) == Cond::True
                 {
-                    return Err(VliwError::Malformed(format!(
-                        "word {}: jump predicate true under the current condition \
-                         during recovery",
-                        self.pc
-                    )));
+                    return Err(self.recovery_jump_true_error());
                 }
                 self.stats.ops_squashed += 1;
                 continue;
@@ -980,8 +1212,9 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
 
     /// Executes one unspecified-predicate slot in recovery mode,
     /// accumulating its effects into `out`.  A re-raised exception is
-    /// judged against the *future* condition.  Shared verbatim by the
-    /// legacy and pre-decoded issue paths.
+    /// judged against the *future* condition.  Shared by the legacy and
+    /// pre-decoded issue paths; the tabled engine reaches the same
+    /// `exec_*` methods through its generated handler table.
     fn exec_slot_recovery(
         &mut self,
         pred: Predicate,
@@ -990,124 +1223,356 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
         out: &mut CycleOut,
     ) -> Result<(), VliwError> {
         match op {
-            SlotOp::Jump { .. } | SlotOp::Halt => {
-                return Err(VliwError::Malformed(format!(
-                    "word {}: unspecified jump predicate during recovery",
-                    self.pc
-                )));
-            }
+            SlotOp::Jump { .. } | SlotOp::Halt => Err(self.recovery_unspecified_jump_error()),
             SlotOp::CmpBr { .. } | SlotOp::Op(Op::SetCond { .. }) => {
-                // Condition-sets carry `alw` predicates, so they can
-                // never be unspecified; validated at load time.
-                return Err(VliwError::Malformed(format!(
-                    "word {}: predicated condition-set during recovery",
-                    self.pc
-                )));
+                Err(self.recovery_condset_error())
             }
-            SlotOp::Op(Op::Nop) => {}
+            SlotOp::Op(Op::Nop) => Ok(()),
             SlotOp::Op(Op::Alu { op, rd, a, b }) => {
-                let v = op.apply(self.read_src(a, &pred), self.read_src(b, &pred));
-                out.writes.push(PendingWrite {
-                    dest: rd,
-                    value: v,
-                    pred,
-                    nonspec: false,
-                    exc: false,
-                });
-                self.stats.ops_executed += 1;
+                self.exec_alu(pred, op, rd, a, b, false, out);
+                Ok(())
             }
             SlotOp::Op(Op::Copy { rd, src }) => {
-                let v = self.read_src(src, &pred);
-                out.writes.push(PendingWrite {
-                    dest: rd,
-                    value: v,
-                    pred,
-                    nonspec: false,
-                    exc: false,
-                });
-                self.stats.ops_executed += 1;
+                self.exec_copy(pred, rd, src, false, out);
+                Ok(())
             }
             SlotOp::Op(Op::Load {
                 rd, base, offset, ..
-            }) => {
-                let addr = self.read_src(base, &pred).wrapping_add(offset);
-                let (value, exc) = match self.classify_access(addr) {
-                    Ok(()) => (self.load_value(addr, &pred), false),
-                    Err(fault) => match pred.eval(future) {
-                        Cond::True => match fault {
-                            Some(f) => {
-                                return Err(VliwError::Fault {
-                                    word: self.pc,
-                                    fault: f,
-                                })
-                            }
-                            None => {
-                                // The original exception: handle it.
-                                self.handle_fault(addr);
-                                (self.load_value(addr, &pred), false)
-                            }
-                        },
-                        Cond::False => (0, false), // ignored exception
-                        Cond::Unspecified => {
-                            // Re-buffered: still speculative in recovery.
-                            let cycle = self.cycle;
-                            self.sink.push(|| Event::ExcLatched { cycle, addr });
-                            (0, true)
-                        }
-                    },
-                };
-                self.inflight.push(InFlight {
-                    ready_end: self.cycle + self.cfg.load_latency - 1,
-                    word: self.pc,
-                    dest: rd,
-                    value,
-                    pred,
-                    exc,
-                });
-                self.stats.ops_executed += 1;
-            }
+            }) => self.exec_load_recovery(pred, rd, base, offset, future),
             SlotOp::Op(Op::Store {
                 base,
                 offset,
                 value,
                 ..
-            }) => {
-                let addr = self.read_src(base, &pred).wrapping_add(offset);
-                let v = self.read_src(value, &pred);
-                let exc = match self.classify_access(addr) {
-                    Ok(()) => false,
-                    Err(fault) => match pred.eval(future) {
-                        Cond::True => match fault {
-                            Some(f) => {
-                                return Err(VliwError::Fault {
-                                    word: self.pc,
-                                    fault: f,
-                                })
-                            }
-                            None => {
-                                self.handle_fault(addr);
-                                false
-                            }
-                        },
-                        Cond::False => false,
-                        Cond::Unspecified => {
-                            let cycle = self.cycle;
-                            self.sink.push(|| Event::ExcLatched { cycle, addr });
-                            true
-                        }
-                    },
+            }) => self.exec_store_recovery(pred, base, offset, value, future, out),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tabled engine: build-time-generated dispatch.
+    //
+    // `build.rs` emits the table macros and the index functions decode
+    // uses to lower each slot/word; the associated consts below expand
+    // those macros into dense function-pointer tables.  Each table entry
+    // is a monomorphisation of `h_normal`/`h_recovery`/`wi_normal` over
+    // const generics, so the op-kind match and the specialisation
+    // branches below constant-fold away — one direct-called handler per
+    // (kind, always) pair and per word class, with predicate evaluation,
+    // hazard screening and execution fused into the single call.
+    // ------------------------------------------------------------------
+
+    /// Normal-mode slot handlers, indexed by [`DecodedSlot::handler`].
+    const SLOT_NORMAL: [SlotNormalFn<'p, S>; dispatch::NUM_SLOT_HANDLERS] =
+        dispatch::slot_normal_table!();
+
+    /// Recovery-mode slot handlers, indexed by [`DecodedSlot::handler`].
+    const SLOT_RECOVERY: [SlotRecoveryFn<'p, S>; dispatch::NUM_SLOT_HANDLERS] =
+        dispatch::slot_recovery_table!();
+
+    /// Specialised normal-mode issue paths, indexed by
+    /// [`DecodedWord::class`](crate::DecodedWord::class).
+    const WORD_NORMAL: [WordIssueFn<'p, S>; dispatch::NUM_WORD_CLASSES] =
+        dispatch::word_normal_table!();
+
+    /// One generated normal-mode slot handler: predicate evaluation fused
+    /// with execution for op kind `KIND`.  `ALWAYS` instantiations skip
+    /// the CCR evaluation entirely (an `alw` predicate is always true).
+    fn h_normal<const KIND: u8, const ALWAYS: bool>(
+        &mut self,
+        s: DecodedSlot,
+        out: &mut CycleOut,
+    ) -> Result<(), VliwError> {
+        let pv = if ALWAYS {
+            Cond::True
+        } else {
+            s.pred.eval(&self.ccr)
+        };
+        if pv == Cond::False {
+            self.stats.ops_squashed += 1;
+            return Ok(());
+        }
+        let nonspec = pv == Cond::True;
+        match KIND {
+            dispatch::K_NOP => Ok(()),
+            dispatch::K_ALU => {
+                let SlotOp::Op(Op::Alu { op, rd, a, b }) = s.op else {
+                    return Err(self.dispatch_mismatch_error());
                 };
-                out.stores.push(PendingStore {
-                    addr,
-                    value: v,
-                    pred,
-                    spec: true,
-                    exc,
-                });
-                self.stats.ops_executed += 1;
+                self.exec_alu(s.pred, op, rd, a, b, nonspec, out);
+                Ok(())
+            }
+            dispatch::K_COPY => {
+                let SlotOp::Op(Op::Copy { rd, src }) = s.op else {
+                    return Err(self.dispatch_mismatch_error());
+                };
+                self.exec_copy(s.pred, rd, src, nonspec, out);
+                Ok(())
+            }
+            dispatch::K_SET_COND => {
+                let SlotOp::Op(Op::SetCond { c, cmp, a, b }) = s.op else {
+                    return Err(self.dispatch_mismatch_error());
+                };
+                self.exec_setcond(s.pred, c, cmp, a, b, out);
+                Ok(())
+            }
+            dispatch::K_LOAD => {
+                let SlotOp::Op(Op::Load {
+                    rd, base, offset, ..
+                }) = s.op
+                else {
+                    return Err(self.dispatch_mismatch_error());
+                };
+                self.exec_load_normal(s.pred, rd, base, offset, nonspec)
+            }
+            dispatch::K_STORE => {
+                let SlotOp::Op(Op::Store {
+                    base,
+                    offset,
+                    value,
+                    ..
+                }) = s.op
+                else {
+                    return Err(self.dispatch_mismatch_error());
+                };
+                self.exec_store_normal(s.pred, base, offset, value, nonspec, out)
+            }
+            dispatch::K_JUMP => {
+                let SlotOp::Jump { target } = s.op else {
+                    return Err(self.dispatch_mismatch_error());
+                };
+                self.exec_jump(target, nonspec, out)
+            }
+            dispatch::K_CMP_BR => {
+                let SlotOp::CmpBr {
+                    c,
+                    cmp,
+                    a,
+                    b,
+                    target,
+                } = s.op
+                else {
+                    return Err(self.dispatch_mismatch_error());
+                };
+                self.exec_cmpbr(s.pred, c, cmp, a, b, target, out)
+            }
+            dispatch::K_HALT => {
+                self.exec_halt(out);
+                Ok(())
+            }
+            _ => Err(self.dispatch_mismatch_error()),
+        }
+    }
+
+    /// One generated recovery-mode slot handler, the fused counterpart of
+    /// the squash/re-execute split in
+    /// [`issue_recovery_decoded`](Self::issue_recovery_decoded) +
+    /// [`exec_slot_recovery`](Self::exec_slot_recovery).
+    fn h_recovery<const KIND: u8, const ALWAYS: bool>(
+        &mut self,
+        s: DecodedSlot,
+        future: &Ccr,
+        out: &mut CycleOut,
+    ) -> Result<(), VliwError> {
+        let pv = if ALWAYS {
+            Cond::True
+        } else {
+            s.pred.eval(&self.ccr)
+        };
+        if pv != Cond::Unspecified {
+            // Category 1: already updated the sequential state, or must
+            // not update any state.  Jumps and halts here always carry
+            // specified-false predicates (a true one would have left the
+            // region originally).
+            if (KIND == dispatch::K_JUMP || KIND == dispatch::K_HALT) && pv == Cond::True {
+                return Err(self.recovery_jump_true_error());
+            }
+            self.stats.ops_squashed += 1;
+            return Ok(());
+        }
+        match KIND {
+            dispatch::K_JUMP | dispatch::K_HALT => Err(self.recovery_unspecified_jump_error()),
+            dispatch::K_CMP_BR | dispatch::K_SET_COND => Err(self.recovery_condset_error()),
+            dispatch::K_NOP => Ok(()),
+            dispatch::K_ALU => {
+                let SlotOp::Op(Op::Alu { op, rd, a, b }) = s.op else {
+                    return Err(self.dispatch_mismatch_error());
+                };
+                self.exec_alu(s.pred, op, rd, a, b, false, out);
+                Ok(())
+            }
+            dispatch::K_COPY => {
+                let SlotOp::Op(Op::Copy { rd, src }) = s.op else {
+                    return Err(self.dispatch_mismatch_error());
+                };
+                self.exec_copy(s.pred, rd, src, false, out);
+                Ok(())
+            }
+            dispatch::K_LOAD => {
+                let SlotOp::Op(Op::Load {
+                    rd, base, offset, ..
+                }) = s.op
+                else {
+                    return Err(self.dispatch_mismatch_error());
+                };
+                self.exec_load_recovery(s.pred, rd, base, offset, future)
+            }
+            dispatch::K_STORE => {
+                let SlotOp::Op(Op::Store {
+                    base,
+                    offset,
+                    value,
+                    ..
+                }) = s.op
+                else {
+                    return Err(self.dispatch_mismatch_error());
+                };
+                self.exec_store_recovery(s.pred, base, offset, value, future, out)
+            }
+            _ => Err(self.dispatch_mismatch_error()),
+        }
+    }
+
+    /// One generated normal-mode word-issue path, specialised by word
+    /// class: `COND` = any slot carries a conditional predicate, `STORE` =
+    /// the word contains store slots, `CONTROL` = it contains a control
+    /// transfer.  Classes without a given feature skip that prepass
+    /// entirely — e.g. an all-`alw`, store-and-control-free word goes
+    /// straight from the mask hazard screen to its slot handlers.
+    fn wi_normal<const COND: bool, const STORE: bool, const CONTROL: bool>(
+        &mut self,
+    ) -> Result<IssueOutcome, VliwError> {
+        let w = self.decoded.words[self.pc];
+        let range = DecodedProgram::slot_range(&w);
+        // Operand hazard: the union mask screens the whole word; only on a
+        // hit does the precise, predicate-gated per-slot check run.
+        if !self.inflight.is_empty() {
+            let inflight = self.inflight_dest_mask();
+            if w.src_union & inflight != 0 {
+                for i in range.clone() {
+                    let s = self.decoded.slots[i];
+                    if s.src_mask & inflight != 0
+                        && (!COND || s.pred.eval(&self.ccr) != Cond::False)
+                    {
+                        self.stats.stall_operand += 1;
+                        return Ok(IssueOutcome::Stalled(StallKind::Operand));
+                    }
+                }
             }
         }
-        Ok(())
+        if CONTROL || STORE {
+            if COND {
+                // Conditional predicates present: the full store/control
+                // prepass, as in `issue_normal_decoded`.
+                let mut store_count = 0;
+                for i in range.clone() {
+                    let s = self.decoded.slots[i];
+                    match s.op {
+                        SlotOp::Jump { .. } | SlotOp::Halt | SlotOp::CmpBr { .. }
+                            if CONTROL && s.pred.eval(&self.ccr) == Cond::Unspecified =>
+                        {
+                            return Err(self.control_unspecified_error(s.pred));
+                        }
+                        SlotOp::Op(Op::Store { .. })
+                            if STORE && s.pred.eval(&self.ccr) != Cond::False =>
+                        {
+                            store_count += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                if STORE && self.sb.would_overflow(store_count) {
+                    self.stats.stall_sb_full += 1;
+                    return Ok(IssueOutcome::Stalled(StallKind::SbFull));
+                }
+            } else if STORE && self.sb.would_overflow(w.store_slots as usize) {
+                // Every predicate is `alw` (evaluates true), so every
+                // store slot counts and no control transfer can be
+                // unspecified — the prepass reduces to one overflow check
+                // against the pre-counted store slots.
+                self.stats.stall_sb_full += 1;
+                return Ok(IssueOutcome::Stalled(StallKind::SbFull));
+            }
+        }
+
+        let mut out = self.take_scratch();
+        self.stats.words_issued += 1;
+        for i in range {
+            let s = self.decoded.slots[i];
+            Self::SLOT_NORMAL[s.handler as usize](self, s, &mut out)?;
+        }
+        Ok(IssueOutcome::Issued(out))
+    }
+
+    /// Issues the word at PC in normal mode via the generated dispatch
+    /// tables: the word's class selects a specialised issue path, which
+    /// calls one fused handler per slot.
+    #[inline]
+    fn issue_normal_tabled(&mut self) -> Result<IssueOutcome, VliwError> {
+        Self::WORD_NORMAL[self.decoded.words[self.pc].class as usize](self)
+    }
+
+    /// Issues the word at PC in recovery mode via the generated dispatch
+    /// tables — recovery cycles are rare, so only the per-slot dispatch is
+    /// tabled; the screening prepasses match
+    /// [`issue_recovery_decoded`](Self::issue_recovery_decoded).
+    fn issue_recovery_tabled(&mut self, future: &Ccr) -> Result<IssueOutcome, VliwError> {
+        let w = self.decoded.words[self.pc];
+        let range = DecodedProgram::slot_range(&w);
+        if !self.inflight.is_empty() {
+            let inflight = self.inflight_dest_mask();
+            if w.src_union & inflight != 0 {
+                for i in range.clone() {
+                    let s = self.decoded.slots[i];
+                    if s.src_mask & inflight != 0 && s.pred.eval(&self.ccr) != Cond::False {
+                        self.stats.stall_operand += 1;
+                        return Ok(IssueOutcome::Stalled(StallKind::Operand));
+                    }
+                }
+            }
+        }
+        if w.store_slots > 0 {
+            let mut store_count = 0;
+            for i in range.clone() {
+                let s = self.decoded.slots[i];
+                if let SlotOp::Op(Op::Store { .. }) = s.op {
+                    if s.pred.eval(&self.ccr) == Cond::Unspecified {
+                        store_count += 1;
+                    }
+                }
+            }
+            if self.sb.would_overflow(store_count) {
+                self.stats.stall_sb_full += 1;
+                return Ok(IssueOutcome::Stalled(StallKind::SbFull));
+            }
+        }
+
+        let mut out = self.take_scratch();
+        self.stats.words_issued += 1;
+        for i in range {
+            let s = self.decoded.slots[i];
+            Self::SLOT_RECOVERY[s.handler as usize](self, s, future, &mut out)?;
+        }
+        Ok(IssueOutcome::Issued(out))
+    }
+
+    /// Takes the reusable issue buffer (empty, but with its vector
+    /// allocations intact from the previous cycle's
+    /// [`recycle`](Self::recycle)).
+    #[inline]
+    fn take_scratch(&mut self) -> CycleOut {
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// Returns an issue buffer to the scratch slot for the next cycle,
+    /// clearing its contents but keeping its allocations.
+    #[inline]
+    fn recycle(&mut self, mut out: CycleOut) {
+        out.writes.clear();
+        out.stores.clear();
+        out.conds.clear();
+        out.jump = None;
+        out.halt = false;
+        self.scratch = out;
     }
 
     /// Emits the end-of-cycle [`CycleSample`].  The occupancy reads only
@@ -1156,18 +1621,33 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
     ///
     /// See [`VliwMachine::run`].
     pub fn run_into_sink(mut self) -> Result<(VliwResult, S), VliwError> {
+        // The tabled engine's cycle driver proves the commit hardware
+        // inert before invoking it: a pass over an empty register file or
+        // store buffer commits nothing, squashes nothing and emits no
+        // events, so skipping it is observation-free (the three-way
+        // engine differential holds the logs byte-equal).  The
+        // interpretive engines keep the paper's literal always-on pass,
+        // exactly as [`CommitScan::Naive`] stays the reference strategy
+        // for the indexed scan.
+        let tabled = matches!(self.cfg.engine, Engine::Tabled);
         loop {
             if self.cycle > self.cfg.max_cycles {
                 return Err(VliwError::CycleLimit(self.cfg.max_cycles));
             }
             // 1. Commit pass.
             let ccr = self.ccr;
-            let (rc, rs) = self.regs.tick(&ccr, self.cycle, &mut self.sink);
-            let (sc, ss) = self.sb.tick(&ccr, self.cycle, &mut self.sink);
-            self.stats.commits += rc + sc;
-            self.stats.squashes += rs + ss;
-            // 2. Store retire.
-            self.sb.retire(&mut self.memory, self.cfg.retire_per_cycle);
+            if !tabled || self.regs.has_buffered() {
+                let (rc, rs) = self.regs.tick(&ccr, self.cycle, &mut self.sink);
+                self.stats.commits += rc;
+                self.stats.squashes += rs;
+            }
+            if !tabled || !self.sb.is_empty() {
+                let (sc, ss) = self.sb.tick(&ccr, self.cycle, &mut self.sink);
+                self.stats.commits += sc;
+                self.stats.squashes += ss;
+                // 2. Store retire.
+                self.sb.retire(&mut self.memory, self.cfg.retire_per_cycle);
+            }
             // 3. Recovery exit.
             if let Mode::Recovery { epc, ref future } = self.mode {
                 if self.pc == epc {
@@ -1204,12 +1684,14 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 }
                 match self.mode {
                     Mode::Normal => match self.cfg.engine {
+                        Engine::Tabled => self.issue_normal_tabled()?,
                         Engine::Predecoded => self.issue_normal_decoded()?,
                         Engine::Legacy => self.issue_normal()?,
                     },
                     Mode::Recovery { ref future, .. } => {
                         let future = *future;
                         match self.cfg.engine {
+                            Engine::Tabled => self.issue_recovery_tabled(&future)?,
                             Engine::Predecoded => self.issue_recovery_decoded(&future)?,
                             Engine::Legacy => self.issue_recovery(&future)?,
                         }
@@ -1240,6 +1722,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                     // (writes, stores and control) — it will fully
                     // re-execute at the EPC after recovery.
                     self.enter_recovery(issued_word, candidate);
+                    self.recycle(out);
                     self.end_cycle(issued_word, None);
                     continue;
                 }
@@ -1278,7 +1761,9 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 let next = self.pc + 1;
                 let falls_into_region = match self.cfg.engine {
                     // Pre-resolved at decode time — no per-cycle search.
-                    Engine::Predecoded => self.decoded.words[self.pc].falls_into_region,
+                    Engine::Tabled | Engine::Predecoded => {
+                        self.decoded.words[self.pc].falls_into_region
+                    }
                     Engine::Legacy => {
                         next < self.prog.words.len()
                             && self.prog.region_starts.binary_search(&next).is_ok()
@@ -1290,6 +1775,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                     self.pc = next;
                 }
             }
+            self.recycle(out);
             self.end_cycle(issued_word, None);
         }
     }

@@ -69,6 +69,10 @@ pub struct PredicatedRegFile {
     /// Buffered slots with the E flag set (fast path for
     /// [`PredicatedRegFile::has_exception_commit`]).
     exc_count: usize,
+    /// Total buffered slots across all registers (fast path for
+    /// [`PredicatedRegFile::has_buffered`] — the tabled engine's cycle
+    /// driver skips the commit pass when nothing is buffered).
+    buffered: usize,
 }
 
 impl PredicatedRegFile {
@@ -83,6 +87,7 @@ impl PredicatedRegFile {
             subs: vec![BTreeSet::new(); MAX_CONDS],
             pending: BTreeSet::new(),
             exc_count: 0,
+            buffered: 0,
         }
     }
 
@@ -173,6 +178,7 @@ impl PredicatedRegFile {
                     *slot = SpecSlot { value, pred, exc };
                 } else {
                     e.spec.push(SpecSlot { value, pred, exc });
+                    self.buffered += 1;
                 }
             }
             ShadowMode::Infinite => {
@@ -183,6 +189,7 @@ impl PredicatedRegFile {
                     *slot = SpecSlot { value, pred, exc };
                 } else {
                     e.spec.push(SpecSlot { value, pred, exc });
+                    self.buffered += 1;
                 }
             }
         }
@@ -215,7 +222,8 @@ impl PredicatedRegFile {
     /// enter recovery before this pass runs; reaching one here is a
     /// simulator bug.
     pub fn tick(&mut self, ccr: &Ccr, cycle: u64, sink: &mut impl TraceSink) -> (u64, u64) {
-        match self.scan {
+        debug_assert_eq!(self.buffered, self.spec_count(), "buffered counter drift");
+        let (commits, squashes) = match self.scan {
             CommitScan::Naive => {
                 let mut commits = 0;
                 let mut squashes = 0;
@@ -234,7 +242,10 @@ impl PredicatedRegFile {
                 (commits, squashes)
             }
             CommitScan::Indexed => self.tick_indexed(ccr, cycle, sink),
-        }
+        };
+        // Every resolved slot left the buffer (kept ones stayed).
+        self.buffered -= (commits + squashes) as usize;
+        (commits, squashes)
     }
 
     fn tick_indexed(&mut self, ccr: &Ccr, cycle: u64, sink: &mut impl TraceSink) -> (u64, u64) {
@@ -326,6 +337,7 @@ impl PredicatedRegFile {
             }
         }
         self.exc_count = 0;
+        self.buffered = 0;
         if self.scan == CommitScan::Indexed {
             for set in &mut self.subs {
                 set.clear();
@@ -333,6 +345,16 @@ impl PredicatedRegFile {
             self.pending.clear();
         }
         squashes
+    }
+
+    /// Whether any speculative value is buffered anywhere in the file —
+    /// O(1), so a cycle driver can skip the commit pass (and a region
+    /// exit its squash pass) when the answer is no.  Both passes are
+    /// observation-free on an empty file: no commits, no squashes, no
+    /// events.
+    #[inline]
+    pub fn has_buffered(&self) -> bool {
+        self.buffered > 0
     }
 
     /// The newest buffered speculative value of `r`, if any, as

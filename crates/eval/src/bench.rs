@@ -288,19 +288,24 @@ fn round6(x: f64) -> f64 {
     (x * 1e6).round() / 1e6
 }
 
-fn engine_name(e: Engine) -> &'static str {
+/// The stable lowercase report name of an engine (`--engine` vocabulary).
+pub fn engine_name(e: Engine) -> &'static str {
     match e {
+        Engine::Tabled => "tabled",
         Engine::Predecoded => "predecoded",
         Engine::Legacy => "legacy",
     }
 }
 
-/// Parses an `--engine` argument (`predecoded`, `legacy`, or `both`).
+/// Parses an `--engine` argument (`tabled`, `predecoded`, `legacy`,
+/// `both` — the two interpretive engines — or `all`).
 pub fn parse_engines(s: &str) -> Option<Vec<Engine>> {
     match s {
+        "tabled" => Some(vec![Engine::Tabled]),
         "predecoded" => Some(vec![Engine::Predecoded]),
         "legacy" => Some(vec![Engine::Legacy]),
         "both" => Some(vec![Engine::Legacy, Engine::Predecoded]),
+        "all" => Some(vec![Engine::Legacy, Engine::Predecoded, Engine::Tabled]),
         _ => None,
     }
 }
@@ -641,6 +646,7 @@ pub fn check_report(current: &BenchReport, baseline: &Json, tolerance: f64) -> B
     }
 
     let mut matched = 0usize;
+    let mut wall_skipped = 0usize;
     for bp in base_points {
         let Some(key) = point_key(bp) else {
             check
@@ -705,7 +711,18 @@ pub fn check_report(current: &BenchReport, baseline: &Json, tolerance: f64) -> B
                     (1.0 - ratio) * 100.0
                 ));
             }
+        } else {
+            // A `--deterministic` baseline (or current run) zeroes its
+            // host timings; comparing against it would flag 100% drift
+            // on every point.  Skip — but say so, once, below.
+            wall_skipped += 1;
         }
+    }
+    if wall_skipped > 0 {
+        check.notes.push(format!(
+            "wall-time comparison skipped for {wall_skipped} point(s): baseline or current \
+             run has zeroed host timings (--deterministic); counters were still checked"
+        ));
     }
     if matched < current.points.len() {
         check.notes.push(format!(
@@ -840,6 +857,28 @@ mod tests {
         let check = check_report(&fast, &baseline, 0.2);
         assert!(check.passed() && check.warnings.is_empty());
         assert!(check.notes.iter().any(|n| n.contains("improved")));
+    }
+
+    #[test]
+    fn zeroed_baseline_skips_wall_drift_with_a_note() {
+        // A --deterministic baseline carries zeroed host timings.  A
+        // later timed run must not be flagged for "drifting" from 0.0s —
+        // the wall comparison is skipped, with an explicit note.
+        let r = tiny_report();
+        let baseline = Json::parse(&r.to_json().pretty()).unwrap();
+        let mut timed = r.clone();
+        timed.points[0].host.wall_seconds = 3.7;
+        let check = check_report(&timed, &baseline, 0.2);
+        assert!(check.passed(), "{:?}", check.failures);
+        assert!(check.warnings.is_empty(), "{:?}", check.warnings);
+        assert!(
+            check
+                .notes
+                .iter()
+                .any(|n| n.contains("wall-time comparison skipped for 1 point(s)")),
+            "{:?}",
+            check.notes
+        );
     }
 
     #[test]

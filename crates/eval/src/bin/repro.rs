@@ -20,6 +20,7 @@
 //! ```text
 //! repro fuzz [--seed S] [--runs N] [--time-budget SECS] [--jobs N]
 //!            [--corpus DIR] [--inject-recovery-bug]
+//!            [--engine tabled|predecoded|legacy]
 //! ```
 //!
 //! The report (stdout) is byte-identical at any `--jobs` count for a
@@ -38,7 +39,8 @@
 //! `bench` runs the fixed throughput matrix and emits `BENCH.json`:
 //!
 //! ```text
-//! repro bench [--quick] [--deterministic] [--engine predecoded|legacy|both]
+//! repro bench [--quick] [--deterministic]
+//!             [--engine tabled|predecoded|legacy|both|all]
 //!             [--check BASELINE.json] [--cache-check] [--tolerance FRAC]
 //!             [--jobs N] [--target-cycles N] [--out FILE]
 //! ```
@@ -125,10 +127,17 @@ fn main() {
                 i += 1;
                 let e = args
                     .get(i)
-                    .unwrap_or_else(|| die("--engine needs predecoded|legacy|both"));
+                    .unwrap_or_else(|| die("--engine needs tabled|predecoded|legacy|both|all"));
                 bench_params.engines = parse_engines(e).unwrap_or_else(|| {
-                    die(&format!("unknown engine {e} (predecoded|legacy|both)"))
+                    die(&format!(
+                        "unknown engine {e} (tabled|predecoded|legacy|both|all)"
+                    ))
                 });
+                // `repro fuzz` drives one engine per sweep; multi-engine
+                // selections (`both`, `all`) stay bench-only.
+                if let [single] = bench_params.engines[..] {
+                    fuzz_params.engine = single;
+                }
             }
             "--target-cycles" => {
                 i += 1;
@@ -494,7 +503,7 @@ fn die(msg: &str) -> ! {
         "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|compile|bench|trace|profile|fuzz|all] \
          [--size N] [--quick] [--json] [--jobs N] [--train-seed S] [--eval-seed S] \
          [--workload W[,W...]] [--model M|all] [--out FILE] [--deterministic] \
-         [--engine predecoded|legacy|both] [--check BASELINE.json] [--cache-check] [--tolerance FRAC] \
+         [--engine tabled|predecoded|legacy|both|all] [--check BASELINE.json] [--cache-check] [--tolerance FRAC] \
          [--target-cycles N] \
          [--seed S] [--runs N] [--time-budget SECS] [--corpus DIR] [--inject-recovery-bug]"
     );

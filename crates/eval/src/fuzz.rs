@@ -12,6 +12,7 @@
 //! sweeps are the mode CI compares byte-for-byte.
 
 use crate::runner::parallel_map;
+use psb_core::Engine;
 use psb_fuzz::{gen_case, run_case, shrink_case, write_repro, CaseStats, DiffConfig, FuzzFailure};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -32,6 +33,9 @@ pub struct FuzzParams {
     pub corpus_dir: PathBuf,
     /// Activate the machine's test-only deferred-recovery-exit-commit bug.
     pub inject_recovery_bug: bool,
+    /// Issue engine driving the VLIW side of every case (the nightly
+    /// sweep rotates this so each engine gets long-run fuzz coverage).
+    pub engine: Engine,
 }
 
 impl Default for FuzzParams {
@@ -43,6 +47,7 @@ impl Default for FuzzParams {
             jobs: 1,
             corpus_dir: PathBuf::from("corpus/regressions"),
             inject_recovery_bug: false,
+            engine: Engine::default(),
         }
     }
 }
@@ -71,6 +76,7 @@ fn mix(seed: u64, i: u64) -> u64 {
 pub fn run_fuzz(p: &FuzzParams) -> FuzzOutcome {
     let cfg = DiffConfig {
         inject_recovery_bug: p.inject_recovery_bug,
+        engine: p.engine,
         ..DiffConfig::default()
     };
     let start = Instant::now();
@@ -125,6 +131,12 @@ pub fn run_fuzz(p: &FuzzParams) -> FuzzOutcome {
         "  models         {} ({})",
         model_names.len(),
         model_names.join(" ")
+    )
+    .unwrap();
+    writeln!(
+        report,
+        "  engine         {}",
+        crate::bench::engine_name(p.engine)
     )
     .unwrap();
     writeln!(

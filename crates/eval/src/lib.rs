@@ -34,7 +34,7 @@ mod runner;
 mod trace;
 
 pub use bench::{
-    cache_effectiveness_check, check_report, parse_engines, render_bench, run_bench,
+    cache_effectiveness_check, check_report, engine_name, parse_engines, render_bench, run_bench,
     run_bench_with_cache, BenchCheck, BenchParams, BenchPoint, BenchReport, CacheCheck,
     EngineAggregate, HostSample, BENCH_SCHEMA_VERSION, KERNELS,
 };

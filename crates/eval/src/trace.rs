@@ -453,10 +453,7 @@ mod tests {
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].workload, "grep");
         assert!(obs_points(&["nope".to_string()], &[]).is_empty());
-        let pair = obs_points(
-            &["grep".to_string(), "li".to_string()],
-            &Model::ALL,
-        );
+        let pair = obs_points(&["grep".to_string(), "li".to_string()], &Model::ALL);
         assert_eq!(pair.len(), 2 * Model::ALL.len());
         assert_eq!(parse_model("region-pred"), Some(Model::RegionPred));
         assert_eq!(parse_model("bogus"), None);

@@ -327,7 +327,69 @@ fn bench_deterministic_is_byte_stable_and_zeroes_host_timings() {
     assert!(doc.contains("\"decode_seconds\": 0"), "decode not zeroed");
     assert!(doc.contains("\"peak_rss_kb\": 0"), "rss not zeroed");
     assert!(doc.contains("\"suite\": \"quick\""), "quick suite expected");
-    assert!(doc.contains("\"engine\": \"predecoded\""), "default engine");
+    assert!(doc.contains("\"engine\": \"tabled\""), "default engine");
+}
+
+#[test]
+fn bench_engines_agree_cycle_for_cycle() {
+    // Under `--deterministic` the only engine-dependent report field is
+    // the engine name itself: renaming it must make single-engine runs
+    // byte-identical, because every counter (cycles, commits, squashes,
+    // recoveries, iterations) is engine-independent by construction.
+    let run = |engine: &str| {
+        stdout_of(&[
+            "bench",
+            "--quick",
+            "--deterministic",
+            "--target-cycles",
+            "1000",
+            "--engine",
+            engine,
+        ])
+    };
+    let tabled = run("tabled");
+    let predecoded = run("predecoded");
+    let legacy = run("legacy");
+    assert_eq!(
+        tabled,
+        predecoded.replace("\"engine\": \"predecoded\"", "\"engine\": \"tabled\""),
+        "tabled and predecoded engines disagree"
+    );
+    assert_eq!(
+        tabled,
+        legacy.replace("\"engine\": \"legacy\"", "\"engine\": \"tabled\""),
+        "tabled and legacy engines disagree"
+    );
+}
+
+#[test]
+fn bench_check_skips_wall_drift_against_deterministic_baselines() {
+    // A zeroed (--deterministic) baseline must not produce phantom
+    // wall-drift warnings; the check says explicitly that the wall
+    // comparison was skipped and still exits 0.
+    let dir = std::env::temp_dir().join("repro_cli_bench_check");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("bench_baseline.json");
+    let base = &[
+        "bench",
+        "--quick",
+        "--deterministic",
+        "--target-cycles",
+        "1000",
+    ];
+    stdout_of(&[base, &["--out", baseline.to_str().unwrap()][..]].concat());
+    let out = repro(&[base, &["--check", baseline.to_str().unwrap()][..]].concat());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "check failed:\n{stderr}");
+    assert!(
+        stderr.contains("wall-time comparison skipped"),
+        "missing skip note:\n{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("::warning"),
+        "phantom wall-drift warnings:\n{stdout}"
+    );
 }
 
 #[test]

@@ -8,13 +8,59 @@
 //! recording the failure the repro was minimized from.  Entries are
 //! deterministic text, so re-minimizing the same bug produces an
 //! identical diff.
+//!
+//! Loading is hostile-entry safe: a corpus directory may contain entries
+//! that are not loadable repros at all (subdirectories named `*.asm`,
+//! non-UTF-8 file names, dangling symlinks).  [`scan_corpus`] skips those
+//! with a per-entry reason instead of panicking or mangling names, and
+//! reserves hard errors ([`CorpusError`]) for real corpus corruption — an
+//! entry that *is* a repro file but fails to parse.
 
 use crate::gen::FuzzCase;
 use psb_isa::parse_program;
 use std::collections::BTreeSet;
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// A corpus entry (or the directory scan itself) that failed to load.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CorpusError {
+    /// The offending path (the directory itself for scan failures).
+    pub path: PathBuf,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl CorpusError {
+    fn new(path: &Path, message: impl Into<String>) -> CorpusError {
+        CorpusError {
+            path: path.to_path_buf(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// The outcome of scanning a corpus directory: the loadable cases plus
+/// every entry that was skipped, with the reason.
+#[derive(Clone, Debug, Default)]
+pub struct CorpusScan {
+    /// Successfully loaded repros, sorted by path for deterministic
+    /// replay order.
+    pub cases: Vec<(PathBuf, FuzzCase)>,
+    /// Entries skipped because they are not loadable corpus members
+    /// (non-UTF-8 names, non-files), with a human-readable reason each.
+    pub skipped: Vec<(PathBuf, String)>,
+}
 
 /// Writes `case` into `dir` as `<name>.asm` (+ `<name>.cfg` when the case
 /// carries fault addresses or a failure note), creating `dir` if needed.
@@ -54,16 +100,17 @@ pub fn write_repro(dir: &Path, case: &FuzzCase, failure: Option<&str>) -> io::Re
 ///
 /// # Errors
 ///
-/// A rendered message on I/O failure, assembly parse failure, or an
+/// A [`CorpusError`] on I/O failure, assembly parse failure, or an
 /// unrecognized sidecar directive.
-pub fn load_repro(asm_path: &Path) -> Result<FuzzCase, String> {
-    let text = fs::read_to_string(asm_path).map_err(|e| format!("{}: {e}", asm_path.display()))?;
-    let program = parse_program(&text).map_err(|e| format!("{}: {e}", asm_path.display()))?;
+pub fn load_repro(asm_path: &Path) -> Result<FuzzCase, CorpusError> {
+    let text =
+        fs::read_to_string(asm_path).map_err(|e| CorpusError::new(asm_path, e.to_string()))?;
+    let program = parse_program(&text).map_err(|e| CorpusError::new(asm_path, e.to_string()))?;
     let mut fault_once = BTreeSet::new();
     let cfg_path = asm_path.with_extension("cfg");
     if cfg_path.exists() {
-        let cfg =
-            fs::read_to_string(&cfg_path).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+        let cfg = fs::read_to_string(&cfg_path)
+            .map_err(|e| CorpusError::new(&cfg_path, e.to_string()))?;
         for (lineno, line) in cfg.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -72,15 +119,17 @@ pub fn load_repro(asm_path: &Path) -> Result<FuzzCase, String> {
             match line.split_whitespace().collect::<Vec<_>>().as_slice() {
                 ["fault_once", addr] => {
                     let a: i64 = addr.parse().map_err(|_| {
-                        format!("{}:{}: bad address {addr}", cfg_path.display(), lineno + 1)
+                        CorpusError::new(
+                            &cfg_path,
+                            format!("line {}: bad address {addr}", lineno + 1),
+                        )
                     })?;
                     fault_once.insert(a);
                 }
                 _ => {
-                    return Err(format!(
-                        "{}:{}: unknown directive: {line}",
-                        cfg_path.display(),
-                        lineno + 1
+                    return Err(CorpusError::new(
+                        &cfg_path,
+                        format!("line {}: unknown directive: {line}", lineno + 1),
                     ))
                 }
             }
@@ -92,24 +141,65 @@ pub fn load_repro(asm_path: &Path) -> Result<FuzzCase, String> {
     })
 }
 
-/// Loads every `.asm` entry under `dir`, sorted by file name so replay
-/// order (and therefore replay reports) is deterministic.
+/// Scans `dir` for `.asm` repros, sorted by path so replay order (and
+/// therefore replay reports) is deterministic.
+///
+/// Directory entries with an `.asm` extension that are not loadable
+/// repros — entries whose file name is not valid UTF-8 (reports would
+/// silently mangle them) and entries that are not regular files (e.g. a
+/// subdirectory named `foo.asm`, or a dangling symlink) — are *skipped*
+/// and reported in [`CorpusScan::skipped`] rather than treated as
+/// corruption.  Entries without an `.asm` extension (such as `.cfg`
+/// sidecars) are ignored silently, as before.
 ///
 /// # Errors
 ///
-/// A rendered message if the directory cannot be read or any entry fails
-/// to load.
-pub fn load_corpus(dir: &Path) -> Result<Vec<(PathBuf, FuzzCase)>, String> {
+/// A [`CorpusError`] if the directory cannot be read, or if a scanned
+/// repro file fails to parse (a corrupt corpus is an error, not a skip).
+pub fn scan_corpus(dir: &Path) -> Result<CorpusScan, CorpusError> {
     let mut paths: Vec<PathBuf> = fs::read_dir(dir)
-        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .map_err(|e| CorpusError::new(dir, e.to_string()))?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|x| x == "asm"))
         .collect();
     paths.sort();
-    paths
-        .into_iter()
-        .map(|p| load_repro(&p).map(|c| (p, c)))
-        .collect()
+    let mut scan = CorpusScan::default();
+    for p in paths {
+        if p.file_name().and_then(|n| n.to_str()).is_none() {
+            scan.skipped
+                .push((p, "file name is not valid UTF-8".to_string()));
+            continue;
+        }
+        match fs::metadata(&p) {
+            Ok(m) if m.is_file() => {}
+            Ok(_) => {
+                scan.skipped.push((p, "not a regular file".to_string()));
+                continue;
+            }
+            Err(e) => {
+                scan.skipped.push((p, format!("unreadable: {e}")));
+                continue;
+            }
+        }
+        let case = load_repro(&p)?;
+        scan.cases.push((p, case));
+    }
+    Ok(scan)
+}
+
+/// Loads every `.asm` entry under `dir`, sorted by file name.  Skipped
+/// entries (see [`scan_corpus`]) are reported on stderr rather than
+/// aborting the load.
+///
+/// # Errors
+///
+/// See [`scan_corpus`].
+pub fn load_corpus(dir: &Path) -> Result<Vec<(PathBuf, FuzzCase)>, CorpusError> {
+    let scan = scan_corpus(dir)?;
+    for (path, reason) in &scan.skipped {
+        eprintln!("corpus: skipping {}: {reason}", path.display());
+    }
+    Ok(scan.cases)
 }
 
 #[cfg(test)]
@@ -142,14 +232,57 @@ mod tests {
         for seed in [3u64, 1, 2] {
             write_repro(&dir, &gen_case(seed), None).unwrap();
         }
-        let names: Vec<String> = load_corpus(&dir)
-            .unwrap()
-            .iter()
-            .map(|(p, _)| p.file_name().unwrap().to_string_lossy().into_owned())
-            .collect();
-        let mut sorted = names.clone();
+        let loaded = load_corpus(&dir).unwrap();
+        let mut sorted: Vec<PathBuf> = loaded.iter().map(|(p, _)| p.clone()).collect();
         sorted.sort();
-        assert_eq!(names, sorted);
+        assert_eq!(
+            loaded.iter().map(|(p, _)| p).collect::<Vec<_>>(),
+            sorted.iter().collect::<Vec<_>>()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hostile_entries_are_skipped_with_report() {
+        let dir = temp_dir("hostile");
+        let good = write_repro(&dir, &gen_case(11), None).unwrap();
+        // A subdirectory masquerading as a repro.
+        fs::create_dir_all(dir.join("imposter.asm")).unwrap();
+        // A non-UTF-8 file name (Unix lets us create one directly).
+        #[cfg(unix)]
+        {
+            use std::ffi::OsStr;
+            use std::os::unix::ffi::OsStrExt;
+            let bad = dir.join(OsStr::from_bytes(b"bad\xff.asm"));
+            fs::write(&bad, "not even parsed").unwrap();
+        }
+        let scan = scan_corpus(&dir).unwrap();
+        assert_eq!(scan.cases.len(), 1);
+        assert_eq!(scan.cases[0].0, good);
+        let expected_skips = if cfg!(unix) { 2 } else { 1 };
+        assert_eq!(scan.skipped.len(), expected_skips, "{:?}", scan.skipped);
+        assert!(scan
+            .skipped
+            .iter()
+            .any(|(p, reason)| p.ends_with("imposter.asm") && reason == "not a regular file"));
+        #[cfg(unix)]
+        assert!(scan
+            .skipped
+            .iter()
+            .any(|(_, reason)| reason == "file name is not valid UTF-8"));
+        // The convenience wrapper must not panic or error on the same dir.
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_repro_is_an_error_not_a_skip() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("broken.asm"), "this is not assembly").unwrap();
+        let err = scan_corpus(&dir).unwrap_err();
+        assert!(err.path.ends_with("broken.asm"), "{err}");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::gen::FuzzCase;
 use psb_compile::{compile, ArtifactCache, CompileError, CompileRequest, ProfileSource};
-use psb_core::{InvariantSink, MachineConfig, ShadowMode};
+use psb_core::{Engine, InvariantSink, MachineConfig, ShadowMode};
 use psb_scalar::{ScalarConfig, ScalarMachine};
 use psb_sched::{Model, SchedConfig};
 use std::fmt;
@@ -39,6 +39,10 @@ pub struct DiffConfig {
     /// accidentally creates an infinite loop fails fast instead of
     /// spinning for the default two hundred million cycles.
     pub max_cycles: Option<u64>,
+    /// The issue engine driving the VLIW side of the differential
+    /// (default: [`Engine::default`]).  The nightly sweep rotates this so
+    /// every engine's issue path gets long-run fuzz coverage.
+    pub engine: Engine,
     /// The artifact cache shared by every case run under this config
     /// (bounded — see [`DiffConfig::default`]).  Cloning the config
     /// shares the cache, so parallel sweep workers deduplicate compiles.
@@ -51,6 +55,7 @@ impl Default for DiffConfig {
             models: Model::ALL.to_vec(),
             inject_recovery_bug: false,
             max_cycles: None,
+            engine: Engine::default(),
             cache: Arc::new(ArtifactCache::with_capacity(FUZZ_CACHE_CAPACITY)),
         }
     }
@@ -178,6 +183,7 @@ pub fn run_case(case: &FuzzCase, cfg: &DiffConfig) -> Result<CaseStats, FuzzFail
             },
             fault_once_addrs: case.fault_once.clone(),
             defer_recovery_exit_commit: cfg.inject_recovery_bug,
+            engine: cfg.engine,
             ..MachineConfig::default()
         };
         if let Some(cap) = cfg.max_cycles {

@@ -7,6 +7,7 @@
 //! at least one recovery episode on the speculating models).  A failure
 //! here means a previously-fixed bug has regressed.
 
+use psb_core::Engine;
 use psb_fuzz::{load_corpus, run_case, DiffConfig};
 use std::path::PathBuf;
 
@@ -33,6 +34,29 @@ fn corpus_replays_clean_on_every_model() {
     assert!(
         recoveries > 0,
         "the recovery-stress repros must exercise at least one recovery"
+    );
+}
+
+#[test]
+fn corpus_replays_clean_on_the_tabled_engine() {
+    // Pin the tabled engine explicitly (independent of the workspace
+    // default) so the generated-dispatch issue path always replays the
+    // full regression corpus, recoveries included.
+    let corpus = load_corpus(&corpus_dir()).expect("regression corpus present");
+    let cfg = DiffConfig {
+        engine: Engine::Tabled,
+        ..DiffConfig::default()
+    };
+    let mut recoveries = 0;
+    for (path, case) in &corpus {
+        match run_case(case, &cfg) {
+            Ok(stats) => recoveries += stats.recoveries,
+            Err(f) => panic!("{} failed on Engine::Tabled: {f}", path.display()),
+        }
+    }
+    assert!(
+        recoveries > 0,
+        "the tabled engine must replay the recovery-stress repros"
     );
 }
 

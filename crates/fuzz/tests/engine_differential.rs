@@ -1,11 +1,13 @@
-//! Differential proof that the pre-decoded issue path is observably
-//! identical to the legacy one.
+//! Differential proof that the pre-decoded and table-dispatched issue
+//! paths are observably identical to the legacy one.
 //!
 //! The pre-decoded engine replaces the per-cycle `MultiOp` clone and
-//! `SlotOp::srcs()` walk with a decoded arena and mask screens; this
-//! property holds it to the strongest available equality: on randomly
+//! `SlotOp::srcs()` walk with a decoded arena and mask screens; the
+//! tabled engine goes further and drives issue entirely from generated
+//! function-pointer tables with fused per-slot handlers.  This property
+//! holds all three to the strongest available equality: on randomly
 //! generated fuzz programs (speculative exceptions, recoveries, region
-//! exits included), both engines must produce **byte-identical event
+//! exits included), every engine must produce **byte-identical event
 //! logs** and equal [`VliwResult`]s — cycles, every counter, final
 //! registers and memory — under every scheduling model.
 
@@ -66,11 +68,16 @@ proptest! {
             let legacy = run_engine(&art, single_shadow, &case.fault_once, Engine::Legacy);
             let decoded =
                 run_engine(&art, single_shadow, &case.fault_once, Engine::Predecoded);
+            let tabled = run_engine(&art, single_shadow, &case.fault_once, Engine::Tabled);
             // VliwResult equality covers cycles, all RunStats counters,
             // final registers, final memory AND the recorded event log.
             prop_assert_eq!(
                 &legacy, &decoded,
-                "engine divergence on seed {} model {}", seed, model
+                "legacy/predecoded divergence on seed {} model {}", seed, model
+            );
+            prop_assert_eq!(
+                &legacy, &tabled,
+                "legacy/tabled divergence on seed {} model {}", seed, model
             );
         }
     }
@@ -106,7 +113,15 @@ fn corpus_cases_are_engine_independent() {
             .unwrap_or_else(|e| panic!("{name}: {model} failed to compile: {e}"));
             let legacy = run_engine(&art, single_shadow, &case.fault_once, Engine::Legacy);
             let decoded = run_engine(&art, single_shadow, &case.fault_once, Engine::Predecoded);
-            assert_eq!(legacy, decoded, "{name}: engine divergence under {model}");
+            let tabled = run_engine(&art, single_shadow, &case.fault_once, Engine::Tabled);
+            assert_eq!(
+                legacy, decoded,
+                "{name}: legacy/predecoded divergence under {model}"
+            );
+            assert_eq!(
+                legacy, tabled,
+                "{name}: legacy/tabled divergence under {model}"
+            );
         }
     }
 }

@@ -214,17 +214,23 @@ pub fn build_dag(ops: &mut [SchedOp], policy: &Policy) -> Dag {
         }
 
         // --- Memory dependences. ---
+        // `mem_tag()` is `Some` exactly when `is_mem()`, but the type
+        // system does not guarantee it, and a panic here would abort the
+        // differential fuzz harness mid-shrink.  Route through the checked
+        // accessor so a malformed op degrades to "no ordering edge"
+        // (caught downstream by the machine's validation) instead.
         if let SlotOp::Op(mop) = op.slot_op {
-            if mop.is_mem() {
-                let tag = mop.mem_tag().expect("mem op has a tag");
+            if let Some(tag) = mop.mem_tag() {
                 let j_store = matches!(mop, Op::Store { .. });
                 for &i in &mem_ops {
                     let SlotOp::Op(iop) = ops[i].slot_op else {
                         continue;
                     };
-                    if !iop.mem_tag().expect("mem op").may_alias(tag)
-                        || ops[i].home.disjoint(&op.home)
-                    {
+                    let Some(itag) = iop.mem_tag() else {
+                        debug_assert!(false, "mem_ops holds a non-memory op");
+                        continue;
+                    };
+                    if !itag.may_alias(tag) || ops[i].home.disjoint(&op.home) {
                         continue;
                     }
                     let i_store = matches!(iop, Op::Store { .. });
