@@ -3,13 +3,17 @@
 //! delay" match operation), plus simulator throughput on real kernels.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use psb_compile::{compile_fresh, CompileRequest, CompiledArtifact, ProfileSource};
+use psb_compile::{
+    compile_fresh, compile_with, ArtifactCache, CompileRequest, CompiledArtifact, ProfileSource,
+};
 use psb_core::{
     CommitScan, CountersSink, EventLog, MachineConfig, NullSink, PredicatedRegFile, ShadowMode,
 };
+use psb_eval::{parallel_map, parallel_map_t};
 use psb_isa::{Ccr, CondReg, Predicate, Reg};
 use psb_scalar::{ScalarConfig, ScalarMachine};
 use psb_sched::{Model, SchedConfig};
+use psb_telemetry::Recorder;
 use std::hint::black_box;
 
 /// One region-pred artifact for a 512-element workload, compiled through
@@ -142,6 +146,74 @@ fn bench_trace_sink_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Guard for the host-telemetry tentpole, mirroring `trace_sink_li`: a
+/// `parallel_map` with the default `NullTelemetry` must cost the same as
+/// a bare sequential loop (`enabled()` is a constant `false`, so every
+/// instrumentation site — clock reads, labels, span pushes —
+/// monomorphizes away), while the `Recorder` pays only two clock reads
+/// and a buffer push per task.
+fn bench_telemetry_pmap_overhead(c: &mut Criterion) {
+    let items: Vec<u64> = (0..256).collect();
+    // Enough work per item that a task is not a pure function call, small
+    // enough that fixed per-task overhead would still show in the numbers.
+    let work = |&x: &u64| -> u64 {
+        let mut acc = x;
+        for i in 0..64u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc
+    };
+    let mut g = c.benchmark_group("telemetry_pmap");
+    g.bench_function("bare_loop", |b| {
+        b.iter(|| black_box(black_box(&items).iter().map(work).collect::<Vec<_>>()))
+    });
+    g.bench_function("null_telemetry", |b| {
+        b.iter(|| black_box(parallel_map(black_box(&items), 1, work)))
+    });
+    g.bench_function("recorder", |b| {
+        b.iter(|| {
+            let tel = Recorder::new(false);
+            black_box(parallel_map_t(
+                black_box(&items),
+                1,
+                &tel,
+                |i, _| format!("item{i}"),
+                work,
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// Same guard for the compile cache's hit path: `compile` (the
+/// `NullTelemetry` wrapper) against `compile_with` + `Recorder` on a warm
+/// cache, where per-call cost is just key hash + shard lock + `Arc`
+/// clone and any residual instrumentation cost would be proportionally
+/// largest.
+fn bench_telemetry_cache_hit_overhead(c: &mut Criterion) {
+    let w = psb_workloads::by_name("grep", 3, 256).unwrap();
+    let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
+        .run()
+        .unwrap()
+        .edge_profile;
+    let req = CompileRequest {
+        program: &w.program,
+        profile: ProfileSource::Provided(&profile),
+        sched: SchedConfig::new(Model::RegionPred),
+    };
+    let cache = ArtifactCache::new();
+    compile_with(&req, &cache, &Recorder::new(false)).unwrap(); // warm
+    let mut g = c.benchmark_group("telemetry_cache_hit");
+    g.bench_function("null_telemetry", |b| {
+        b.iter(|| black_box(psb_compile::compile(black_box(&req), &cache).unwrap()))
+    });
+    g.bench_function("recorder", |b| {
+        let tel = Recorder::new(false);
+        b.iter(|| black_box(compile_with(black_box(&req), &cache, &tel).unwrap()))
+    });
+    g.finish();
+}
+
 fn bench_compile(c: &mut Criterion) {
     // schedule + decode cost (the profile is provided, so the scalar
     // training run is excluded from the timed region).
@@ -200,6 +272,7 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_predicate_eval, bench_regfile_commit, bench_commit_scan,
         bench_machine_commit_scan, bench_machine, bench_trace_sink_overhead,
+        bench_telemetry_pmap_overhead, bench_telemetry_cache_hit_overhead,
         bench_compile, bench_compile_scaling
 }
 criterion_main!(mechanism);

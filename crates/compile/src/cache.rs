@@ -24,12 +24,39 @@
 
 use crate::CompiledArtifact;
 use psb_scalar::EdgeProfile;
+use psb_telemetry::Telemetry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Shard count; keys are avalanched, so low bits select uniformly.
-const SHARDS: usize = 8;
+pub const SHARD_COUNT: usize = 8;
+const SHARDS: usize = SHARD_COUNT;
+
+/// Per-shard telemetry histogram names, fixed at compile time so the
+/// hot path never allocates a metric name.  The array type pins the
+/// literal count to [`SHARD_COUNT`].
+macro_rules! shard_names {
+    ($prefix:literal) => {
+        [
+            concat!($prefix, "0"),
+            concat!($prefix, "1"),
+            concat!($prefix, "2"),
+            concat!($prefix, "3"),
+            concat!($prefix, "4"),
+            concat!($prefix, "5"),
+            concat!($prefix, "6"),
+            concat!($prefix, "7"),
+        ]
+    };
+}
+
+static ARTIFACT_LOCK_WAIT: [&str; SHARDS] = shard_names!("cache.artifact.lock_wait_ns.shard");
+static ARTIFACT_FLIGHT_WAIT: [&str; SHARDS] =
+    shard_names!("cache.artifact.singleflight_wait_ns.shard");
+static PROFILE_LOCK_WAIT: [&str; SHARDS] = shard_names!("cache.profile.lock_wait_ns.shard");
+static PROFILE_FLIGHT_WAIT: [&str; SHARDS] =
+    shard_names!("cache.profile.singleflight_wait_ns.shard");
 
 #[derive(Debug)]
 enum Slot<V> {
@@ -50,6 +77,9 @@ struct ShardState<V> {
 struct Shard<V> {
     state: Mutex<ShardState<V>>,
     ready: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// A sharded, single-flight memo table.
@@ -58,9 +88,6 @@ struct SingleFlight<V> {
     shards: Vec<Shard<V>>,
     /// Per-shard capacity (`None` = unbounded).
     shard_capacity: Option<usize>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
 }
 
 impl<V: Clone> SingleFlight<V> {
@@ -73,13 +100,53 @@ impl<V: Clone> SingleFlight<V> {
                         order: VecDeque::new(),
                     }),
                     ready: Condvar::new(),
+                    hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
+                    evictions: AtomicU64::new(0),
                 })
                 .collect(),
             shard_capacity: capacity.map(|c| c.div_ceil(SHARDS).max(1)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Per-shard counter snapshot (shard index = array index).
+    fn shard_stats(&self) -> [ShardStats; SHARDS] {
+        let mut out = [ShardStats::default(); SHARDS];
+        for (stats, shard) in out.iter_mut().zip(&self.shards) {
+            *stats = ShardStats {
+                hits: shard.hits.load(Ordering::Relaxed),
+                misses: shard.misses.load(Ordering::Relaxed),
+                evictions: shard.evictions.load(Ordering::Relaxed),
+                entries: shard
+                    .state
+                    .lock()
+                    .expect("cache shard poisoned")
+                    .order
+                    .len() as u64,
+            };
+        }
+        out
+    }
+
+    fn hits(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn misses(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.misses.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.evictions.load(Ordering::Relaxed))
+            .sum()
     }
 
     fn entries(&self) -> u64 {
@@ -91,28 +158,57 @@ impl<V: Clone> SingleFlight<V> {
 
     /// Returns the memoized value for `key`, or runs `compute` exactly
     /// once per key across all threads (modulo failures and eviction).
-    fn get_or_compute<E>(&self, key: u64, compute: impl FnOnce() -> Result<V, E>) -> Result<V, E> {
-        let shard = &self.shards[key as usize % SHARDS];
+    ///
+    /// Contention telemetry goes through the host-only channels: how
+    /// long this thread waited for the shard mutex (`lock_wait`) and,
+    /// when it found a `Pending` marker, how long it parked on the
+    /// condvar behind another thread's compile (`flight_wait`).  Both
+    /// are scheduling-dependent by nature, so a deterministic-mode
+    /// recorder drops them; a `NullTelemetry` carrier compiles all of
+    /// this to the bare lock operations.
+    fn get_or_compute<E, T: Telemetry>(
+        &self,
+        key: u64,
+        tel: &T,
+        lock_wait: &[&'static str; SHARDS],
+        flight_wait: &[&'static str; SHARDS],
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        let idx = key as usize % SHARDS;
+        let shard = &self.shards[idx];
+        let lock_start = tel.now_ns();
         let mut st = shard.state.lock().expect("cache shard poisoned");
+        tel.observe_host(lock_wait[idx], tel.now_ns().saturating_sub(lock_start));
+        let mut wait_start = None;
         loop {
             match st.map.get(&key) {
                 Some(Slot::Ready(v)) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(start) = wait_start {
+                        tel.observe_host(flight_wait[idx], tel.now_ns().saturating_sub(start));
+                    }
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(v.clone());
                 }
                 Some(Slot::Pending) => {
+                    wait_start.get_or_insert_with(|| tel.now_ns());
                     st = shard.ready.wait(st).expect("cache shard poisoned");
                 }
                 None => break,
             }
         }
+        if let Some(start) = wait_start {
+            // Waited behind a compile that failed; this thread retries.
+            tel.observe_host(flight_wait[idx], tel.now_ns().saturating_sub(start));
+        }
         st.map.insert(key, Slot::Pending);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         drop(st);
 
         let result = compute();
 
+        let lock_start = tel.now_ns();
         let mut st = shard.state.lock().expect("cache shard poisoned");
+        tel.observe_host(lock_wait[idx], tel.now_ns().saturating_sub(lock_start));
         match result {
             Ok(v) => {
                 st.map.insert(key, Slot::Ready(v.clone()));
@@ -123,7 +219,7 @@ impl<V: Clone> SingleFlight<V> {
                     while st.order.len() > cap {
                         let oldest = st.order.pop_front().expect("len > cap >= 1");
                         if st.map.remove(&oldest).is_some() {
-                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                            shard.evictions.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
@@ -177,32 +273,43 @@ impl ArtifactCache {
         }
     }
 
-    /// Snapshot of the hit/miss/eviction counters.
+    /// Snapshot of the hit/miss/eviction counters, with the artifact
+    /// side's per-shard breakdown.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.artifacts.hits.load(Ordering::Relaxed),
-            misses: self.artifacts.misses.load(Ordering::Relaxed),
-            evictions: self.artifacts.evictions.load(Ordering::Relaxed),
+            hits: self.artifacts.hits(),
+            misses: self.artifacts.misses(),
+            evictions: self.artifacts.evictions(),
             entries: self.artifacts.entries(),
-            profile_hits: self.profiles.hits.load(Ordering::Relaxed),
-            profile_misses: self.profiles.misses.load(Ordering::Relaxed),
+            profile_hits: self.profiles.hits(),
+            profile_misses: self.profiles.misses(),
+            shards: self.artifacts.shard_stats(),
         }
     }
 
-    pub(crate) fn artifact<E>(
+    pub(crate) fn artifact<E, T: Telemetry>(
         &self,
         key: u64,
+        tel: &T,
         compute: impl FnOnce() -> Result<Arc<CompiledArtifact>, E>,
     ) -> Result<Arc<CompiledArtifact>, E> {
-        self.artifacts.get_or_compute(key, compute)
+        self.artifacts.get_or_compute(
+            key,
+            tel,
+            &ARTIFACT_LOCK_WAIT,
+            &ARTIFACT_FLIGHT_WAIT,
+            compute,
+        )
     }
 
-    pub(crate) fn profile<E>(
+    pub(crate) fn profile<E, T: Telemetry>(
         &self,
         key: u64,
+        tel: &T,
         compute: impl FnOnce() -> Result<Arc<ProfileEntry>, E>,
     ) -> Result<Arc<ProfileEntry>, E> {
-        self.profiles.get_or_compute(key, compute)
+        self.profiles
+            .get_or_compute(key, tel, &PROFILE_LOCK_WAIT, &PROFILE_FLIGHT_WAIT, compute)
     }
 }
 
@@ -232,11 +339,44 @@ pub struct CacheStats {
     pub profile_hits: u64,
     /// Training-profile stage requests that ran the scalar machine.
     pub profile_misses: u64,
+    /// The artifact side's counters broken down by shard (index =
+    /// shard number).  Which shard a key lands in is a stable function
+    /// of the key, so this breakdown is as jobs-deterministic as the
+    /// totals.
+    pub shards: [ShardStats; SHARD_COUNT],
+}
+
+/// One shard's slice of the artifact cache counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ShardStats {
+    /// Requests this shard served from its map.
+    pub hits: u64,
+    /// Requests this shard compiled.
+    pub misses: u64,
+    /// Entries this shard's FIFO evicted.
+    pub evictions: u64,
+    /// Entries currently resident in this shard.
+    pub entries: u64,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use psb_telemetry::{NullTelemetry, Recorder};
+
+    fn get<V: Clone, E>(
+        sf: &SingleFlight<V>,
+        key: u64,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        sf.get_or_compute(
+            key,
+            &NullTelemetry,
+            &ARTIFACT_LOCK_WAIT,
+            &ARTIFACT_FLIGHT_WAIT,
+            compute,
+        )
+    }
 
     #[test]
     fn single_flight_computes_each_key_once() {
@@ -246,35 +386,36 @@ mod tests {
             for _ in 0..8 {
                 s.spawn(|| {
                     for key in 0..16u64 {
-                        let v = sf
-                            .get_or_compute::<()>(key, || {
-                                computed.fetch_add(1, Ordering::Relaxed);
-                                // Widen the race window so waiters really
-                                // do find a Pending marker.
-                                std::thread::sleep(std::time::Duration::from_millis(1));
-                                Ok(key * 10)
-                            })
-                            .unwrap();
+                        let v = get::<_, ()>(&sf, key, || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            // Widen the race window so waiters really
+                            // do find a Pending marker.
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                            Ok(key * 10)
+                        })
+                        .unwrap();
                         assert_eq!(v, key * 10);
                     }
                 });
             }
         });
         assert_eq!(computed.load(Ordering::Relaxed), 16, "duplicate compute");
-        assert_eq!(sf.misses.load(Ordering::Relaxed), 16);
-        assert_eq!(sf.hits.load(Ordering::Relaxed), 8 * 16 - 16);
+        assert_eq!(sf.misses(), 16);
+        assert_eq!(sf.hits(), 8 * 16 - 16);
+        // Shard counters sum to the totals and attribute by key.
+        let shards = sf.shard_stats();
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), 16);
+        assert_eq!(shards.iter().map(|s| s.entries).sum::<u64>(), 16);
+        assert_eq!(shards[3].misses, 2, "keys 3 and 11 land in shard 3");
     }
 
     #[test]
     fn failures_release_the_pending_marker() {
         let sf: SingleFlight<u64> = SingleFlight::new(None);
-        assert_eq!(
-            sf.get_or_compute(7, || Err::<u64, &str>("boom")),
-            Err("boom")
-        );
+        assert_eq!(get(&sf, 7, || Err::<u64, &str>("boom")), Err("boom"));
         // The key is retryable, not wedged.
-        assert_eq!(sf.get_or_compute::<&str>(7, || Ok(42)), Ok(42));
-        assert_eq!(sf.get_or_compute::<&str>(7, || Ok(0)), Ok(42));
+        assert_eq!(get::<_, &str>(&sf, 7, || Ok(42)), Ok(42));
+        assert_eq!(get::<_, &str>(&sf, 7, || Ok(0)), Ok(42));
     }
 
     #[test]
@@ -282,13 +423,67 @@ mod tests {
         let sf: SingleFlight<u64> = SingleFlight::new(Some(SHARDS));
         // Shard capacity is 1: a second distinct key in one shard evicts
         // the first.  Keys k and k + SHARDS land in the same shard.
-        sf.get_or_compute::<()>(3, || Ok(1)).unwrap();
-        sf.get_or_compute::<()>(3 + SHARDS as u64, || Ok(2))
-            .unwrap();
-        assert_eq!(sf.evictions.load(Ordering::Relaxed), 1);
+        get::<_, ()>(&sf, 3, || Ok(1)).unwrap();
+        get::<_, ()>(&sf, 3 + SHARDS as u64, || Ok(2)).unwrap();
+        assert_eq!(sf.evictions(), 1);
         // The evicted key recomputes.
-        sf.get_or_compute::<()>(3, || Ok(10)).unwrap();
-        assert_eq!(sf.misses.load(Ordering::Relaxed), 3);
+        get::<_, ()>(&sf, 3, || Ok(10)).unwrap();
+        assert_eq!(sf.misses(), 3);
         assert_eq!(sf.entries(), 1);
+        // Both evictions (key 3 by key 11, then key 11 by the refilled
+        // key 3) happened in shard 3.
+        assert_eq!(sf.shard_stats()[3].evictions, 2);
+        assert_eq!(sf.evictions(), 2);
+    }
+
+    #[test]
+    fn contended_waits_reach_host_telemetry_only() {
+        let rec = Recorder::new(false);
+        let sf: SingleFlight<u64> = SingleFlight::new(None);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let v = sf
+                        .get_or_compute::<(), _>(
+                            9,
+                            &rec,
+                            &ARTIFACT_LOCK_WAIT,
+                            &ARTIFACT_FLIGHT_WAIT,
+                            || {
+                                std::thread::sleep(std::time::Duration::from_millis(5));
+                                Ok(90)
+                            },
+                        )
+                        .unwrap();
+                    assert_eq!(v, 90);
+                });
+            }
+        });
+        let rep = rec.report();
+        // Key 9 -> shard 1.  Lock waits are observed on every
+        // acquisition; single-flight waits only by threads that really
+        // parked behind the Pending marker (0 to 3 of the losers,
+        // depending on scheduling).
+        let lock = rep
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "cache.artifact.lock_wait_ns.shard1")
+            .expect("lock-wait histogram");
+        assert!(lock.1.count >= 4);
+        if let Some(flight) = rep
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "cache.artifact.singleflight_wait_ns.shard1")
+        {
+            assert!(flight.1.count <= 3);
+        }
+        // In deterministic mode the same workload records nothing.
+        let det = Recorder::new(true);
+        let sf2: SingleFlight<u64> = SingleFlight::new(None);
+        sf2.get_or_compute::<(), _>(9, &det, &ARTIFACT_LOCK_WAIT, &ARTIFACT_FLIGHT_WAIT, || {
+            Ok(1)
+        })
+        .unwrap();
+        assert!(det.report().histograms.is_empty());
     }
 }

@@ -36,7 +36,7 @@
 mod cache;
 mod hash;
 
-pub use cache::{ArtifactCache, CacheStats};
+pub use cache::{ArtifactCache, CacheStats, ShardStats, SHARD_COUNT};
 pub use hash::{hash_fields, DebugHasher};
 
 use cache::ProfileEntry;
@@ -44,6 +44,7 @@ use psb_core::{DecodedProgram, MachineConfig, TraceSink, VliwError, VliwMachine,
 use psb_isa::{ScalarProgram, VliwProgram};
 use psb_scalar::{EdgeProfile, ScalarConfig, ScalarMachine};
 use psb_sched::{schedule, SchedConfig, SchedError, ScheduleStats};
+use psb_telemetry::{round_us, NullTelemetry, Telemetry};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -291,21 +292,28 @@ impl CompiledArtifact {
     }
 }
 
-/// Rounds a wall-clock duration to microseconds, the eval crate's
-/// reporting precision.
-fn round6(seconds: f64) -> f64 {
-    (seconds * 1e6).round() / 1e6
-}
-
-/// Runs the profile stage uncached.
-fn profile_stage(source: &ProfileSource<'_>) -> Result<ProfileEntry, CompileError> {
+/// Runs the profile stage uncached, recording a `Stage::Profile` span
+/// and a `compile.profile_ns` sample when a training run actually
+/// happens (provided profiles cost nothing and record nothing).
+fn profile_stage<T: Telemetry>(
+    source: &ProfileSource<'_>,
+    tel: &T,
+) -> Result<ProfileEntry, CompileError> {
     match source {
         ProfileSource::Train { program, config } => {
+            let _sp = tel.span("compile", || {
+                format!(
+                    "profile:{:016x}",
+                    CompileRequest::profile_key(program, config)
+                )
+            });
             let start = Instant::now();
             let result = ScalarMachine::new(program, config.clone())
                 .run()
                 .map_err(|e| CompileError::Profile(e.to_string()))?;
-            let seconds = round6(start.elapsed().as_secs_f64());
+            let elapsed = start.elapsed();
+            tel.observe("compile.profile_ns", elapsed.as_nanos() as u64);
+            let seconds = round_us(elapsed.as_secs_f64());
             let branches = result.edge_profile.total();
             Ok(ProfileEntry {
                 profile: result.edge_profile,
@@ -322,18 +330,31 @@ fn profile_stage(source: &ProfileSource<'_>) -> Result<ProfileEntry, CompileErro
 }
 
 /// Runs the schedule and decode stages over a resolved profile and
-/// assembles the artifact.
-fn finish_compile(
+/// assembles the artifact, with one span and one `compile.*_ns` sample
+/// per stage.  Both stages run only on an artifact-cache miss, so the
+/// record counts are jobs-deterministic.
+fn finish_compile<T: Telemetry>(
     req: &CompileRequest<'_>,
     entry: &ProfileEntry,
+    tel: &T,
 ) -> Result<CompiledArtifact, CompileError> {
+    let request_key = req.key();
+
+    let sp = tel.span("compile", || format!("schedule:{request_key:016x}"));
     let start = Instant::now();
     let program = schedule(req.program, &entry.profile, &req.sched)?;
-    let schedule_seconds = round6(start.elapsed().as_secs_f64());
+    let elapsed = start.elapsed();
+    drop(sp);
+    tel.observe("compile.schedule_ns", elapsed.as_nanos() as u64);
+    let schedule_seconds = round_us(elapsed.as_secs_f64());
 
+    let sp = tel.span("compile", || format!("decode:{request_key:016x}"));
     let start = Instant::now();
     let decoded = Arc::new(DecodedProgram::decode(&program));
-    let decode_seconds = round6(start.elapsed().as_secs_f64());
+    let elapsed = start.elapsed();
+    drop(sp);
+    tel.observe("compile.decode_ns", elapsed.as_nanos() as u64);
+    let decode_seconds = round_us(elapsed.as_secs_f64());
 
     let sched_stats = ScheduleStats::analyze(&program);
 
@@ -346,7 +367,7 @@ fn finish_compile(
     let content_hash = h.finish();
 
     Ok(CompiledArtifact {
-        request_key: req.key(),
+        request_key,
         content_hash,
         stats: CompileStats {
             profile_seconds: entry.seconds,
@@ -380,15 +401,33 @@ pub fn compile(
     req: &CompileRequest<'_>,
     cache: &ArtifactCache,
 ) -> Result<Arc<CompiledArtifact>, CompileError> {
-    cache.artifact(req.key(), || {
+    compile_with(req, cache, &NullTelemetry)
+}
+
+/// [`compile`] with host telemetry threaded through: stage spans and
+/// `compile.*_ns` histograms on cache misses (jobs-deterministic
+/// counts), shard lock-wait and single-flight-wait histograms on every
+/// lookup (host-only, dropped in deterministic mode).
+///
+/// # Errors
+///
+/// [`CompileError`] from whichever stage failed.  Failures are not
+/// cached; a later identical request retries the compile.
+pub fn compile_with<T: Telemetry>(
+    req: &CompileRequest<'_>,
+    cache: &ArtifactCache,
+    tel: &T,
+) -> Result<Arc<CompiledArtifact>, CompileError> {
+    cache.artifact(req.key(), tel, || {
         let entry = match &req.profile {
-            ProfileSource::Train { program, config } => cache
-                .profile(CompileRequest::profile_key(program, config), || {
-                    profile_stage(&req.profile).map(Arc::new)
-                })?,
-            ProfileSource::Provided(_) => Arc::new(profile_stage(&req.profile)?),
+            ProfileSource::Train { program, config } => {
+                cache.profile(CompileRequest::profile_key(program, config), tel, || {
+                    profile_stage(&req.profile, tel).map(Arc::new)
+                })?
+            }
+            ProfileSource::Provided(_) => Arc::new(profile_stage(&req.profile, tel)?),
         };
-        finish_compile(req, &entry).map(Arc::new)
+        finish_compile(req, &entry, tel).map(Arc::new)
     })
 }
 
@@ -401,6 +440,6 @@ pub fn compile(
 ///
 /// [`CompileError`] from whichever stage failed.
 pub fn compile_fresh(req: &CompileRequest<'_>) -> Result<CompiledArtifact, CompileError> {
-    let entry = profile_stage(&req.profile)?;
-    finish_compile(req, &entry)
+    let entry = profile_stage(&req.profile, &NullTelemetry)?;
+    finish_compile(req, &entry, &NullTelemetry)
 }

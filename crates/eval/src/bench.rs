@@ -19,11 +19,13 @@
 //! wall time advisory.
 
 use crate::json::{Json, ToJson};
-use crate::runner::parallel_map;
-use psb_compile::{compile, ArtifactCache, CacheStats, CompileRequest, ProfileSource};
+use crate::runner::parallel_map_t;
+use crate::trace::RunTrace;
+use psb_compile::{compile_with, ArtifactCache, CacheStats, CompileRequest, ProfileSource};
 use psb_core::{Engine, MachineConfig, ShadowMode};
 use psb_scalar::ScalarConfig;
 use psb_sched::{Model, SchedConfig};
+use psb_telemetry::{round_us, NullTelemetry, Telemetry};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -284,10 +286,6 @@ struct PointSpec {
     size: usize,
 }
 
-fn round6(x: f64) -> f64 {
-    (x * 1e6).round() / 1e6
-}
-
 /// The stable lowercase report name of an engine (`--engine` vocabulary).
 pub fn engine_name(e: Engine) -> &'static str {
     match e {
@@ -338,7 +336,12 @@ fn peak_rss_kb() -> u64 {
     }
 }
 
-fn run_point(spec: &PointSpec, cache: &ArtifactCache) -> BenchPoint {
+fn run_point<T: Telemetry>(
+    spec: &PointSpec,
+    cache: &ArtifactCache,
+    tel: &T,
+    collect_guest: bool,
+) -> (BenchPoint, Option<RunTrace>) {
     let (program, fault_once) = match spec.kind {
         "kernel" => {
             let path = asm_dir().join(format!("{}.asm", spec.name));
@@ -385,7 +388,7 @@ fn run_point(spec: &PointSpec, cache: &ArtifactCache) -> BenchPoint {
         },
         sched: sched_cfg,
     };
-    let art = compile(&req, cache)
+    let art = compile_with(&req, cache, tel)
         .unwrap_or_else(|e| panic!("{}/{}: compile failed: {e}", spec.name, spec.model));
 
     // Execute phase: the timed loop.  Every iteration simulates the same
@@ -420,8 +423,26 @@ fn run_point(spec: &PointSpec, cache: &ArtifactCache) -> BenchPoint {
             .unwrap_or_else(|e| panic!("{}/{}: machine error: {e}", spec.name, spec.model));
     }
     let wall_seconds = exec_start.elapsed().as_secs_f64();
+    tel.observe("bench.execute_ns", (wall_seconds * 1e9) as u64);
 
-    BenchPoint {
+    // An extra untimed run with event recording on, for the merged
+    // host+guest `--telemetry` timeline.  Only requested for one engine
+    // per matrix point — the event stream is engine-independent.
+    let guest = collect_guest.then(|| {
+        let mut gcfg = mcfg.clone();
+        gcfg.record_events = true;
+        let res = art
+            .run(gcfg)
+            .unwrap_or_else(|e| panic!("{}/{}: machine error: {e}", spec.name, spec.model));
+        RunTrace {
+            workload: spec.name.clone(),
+            model: spec.model.name().to_string(),
+            cycles: res.cycles,
+            events: res.events,
+        }
+    });
+
+    let point = BenchPoint {
         kind: spec.kind.to_string(),
         name: spec.name.clone(),
         model: spec.model.name().to_string(),
@@ -435,10 +456,11 @@ fn run_point(spec: &PointSpec, cache: &ArtifactCache) -> BenchPoint {
             profile_seconds: art.stats.profile_seconds,
             schedule_seconds: art.stats.schedule_seconds,
             decode_seconds: art.stats.decode_seconds,
-            wall_seconds: round6(wall_seconds),
-            cycles_per_second: round6(cycles as f64 * iterations as f64 / wall_seconds.max(1e-9)),
+            wall_seconds: round_us(wall_seconds),
+            cycles_per_second: round_us(cycles as f64 * iterations as f64 / wall_seconds.max(1e-9)),
         },
-    }
+    };
+    (point, guest)
 }
 
 /// Runs the fixed bench matrix and assembles the report, compiling each
@@ -457,6 +479,20 @@ pub fn run_bench(params: &BenchParams) -> BenchReport {
 /// Because the compile key excludes the engine and the execution config,
 /// an engine sweep compiles each (program × model) point exactly once.
 pub fn run_bench_with_cache(params: &BenchParams, cache: &ArtifactCache) -> BenchReport {
+    run_bench_with_cache_t(params, cache, &NullTelemetry, false).0
+}
+
+/// [`run_bench_with_cache`] with instrumentation: per-point task spans
+/// and compile-stage telemetry flow into `tel`, and `collect_guests`
+/// additionally records one event-traced guest run per matrix point of
+/// the first selected engine (for the merged `--telemetry` timeline).
+/// Guest traces come back in fixed matrix order.
+pub fn run_bench_with_cache_t<T: Telemetry>(
+    params: &BenchParams,
+    cache: &ArtifactCache,
+    tel: &T,
+    collect_guests: bool,
+) -> (BenchReport, Vec<RunTrace>) {
     let mut specs = Vec::new();
     for &engine in &params.engines {
         for name in KERNELS {
@@ -486,8 +522,31 @@ pub fn run_bench_with_cache(params: &BenchParams, cache: &ArtifactCache) -> Benc
     }
 
     let start = Instant::now();
-    let points = parallel_map(&specs, params.jobs, |spec| run_point(spec, cache));
-    let wall_seconds_total = round6(start.elapsed().as_secs_f64());
+    let first_engine = params.engines.first().map(|&e| engine_name(e));
+    let results = parallel_map_t(
+        &specs,
+        params.jobs,
+        tel,
+        |_, spec| {
+            format!(
+                "{}/{}/{}",
+                spec.name,
+                spec.model.name(),
+                engine_name(spec.engine)
+            )
+        },
+        |spec| {
+            let collect = collect_guests && Some(engine_name(spec.engine)) == first_engine;
+            run_point(spec, cache, tel, collect)
+        },
+    );
+    let wall_seconds_total = round_us(start.elapsed().as_secs_f64());
+    let mut points = Vec::with_capacity(results.len());
+    let mut guests = Vec::new();
+    for (p, g) in results {
+        points.push(p);
+        guests.extend(g);
+    }
 
     let mut kernel_suite = Vec::new();
     for &engine in &params.engines {
@@ -501,8 +560,8 @@ pub fn run_bench_with_cache(params: &BenchParams, cache: &ArtifactCache) -> Benc
         kernel_suite.push(EngineAggregate {
             engine: ename.to_string(),
             sim_cycles_total: sim,
-            wall_seconds: round6(wall),
-            cycles_per_second: round6(sim as f64 / wall.max(1e-9)),
+            wall_seconds: round_us(wall),
+            cycles_per_second: round_us(sim as f64 / wall.max(1e-9)),
         });
     }
     let sim_cycles_total = points.iter().map(|p| p.cycles * p.iterations).sum();
@@ -518,7 +577,7 @@ pub fn run_bench_with_cache(params: &BenchParams, cache: &ArtifactCache) -> Benc
     if params.deterministic {
         report.zero_host();
     }
-    report
+    (report, guests)
 }
 
 /// Result of [`cache_effectiveness_check`]: the second-pass report plus
@@ -542,10 +601,16 @@ pub struct CacheCheck {
 /// `--deterministic` params — otherwise wall timings legitimately differ
 /// between passes and the byte comparison fails.
 pub fn cache_effectiveness_check(params: &BenchParams) -> CacheCheck {
+    cache_effectiveness_check_t(params, &NullTelemetry)
+}
+
+/// [`cache_effectiveness_check`] with both passes instrumented (task
+/// spans and compile/cache telemetry for each pass flow into `tel`).
+pub fn cache_effectiveness_check_t<T: Telemetry>(params: &BenchParams, tel: &T) -> CacheCheck {
     let cache = ArtifactCache::new();
-    let first = run_bench_with_cache(params, &cache);
+    let first = run_bench_with_cache_t(params, &cache, tel, false).0;
     let first_pass = cache.stats();
-    let second = run_bench_with_cache(params, &cache);
+    let second = run_bench_with_cache_t(params, &cache, tel, false).0;
     let second_pass = cache.stats();
 
     let mut problems = Vec::new();
@@ -905,13 +970,17 @@ mod tests {
         };
         // Fresh caches so the second call exercises a full recompile,
         // not a cache hit.
-        let a = run_point(&spec, &ArtifactCache::new());
-        let b = run_point(&spec, &ArtifactCache::new());
+        let (a, ga) = run_point(&spec, &ArtifactCache::new(), &NullTelemetry, false);
+        let (b, gb) = run_point(&spec, &ArtifactCache::new(), &NullTelemetry, true);
         assert!(a.cycles > 0);
         assert_eq!(
             (a.cycles, a.commits, a.squashes),
             (b.cycles, b.commits, b.squashes)
         );
+        assert!(ga.is_none());
+        let guest = gb.expect("guest trace requested");
+        assert_eq!(guest.cycles, b.cycles);
+        assert!(!guest.events.is_empty());
     }
 
     #[test]

@@ -55,16 +55,30 @@
 //! prints GitHub `::warning` annotations and still exits 0.
 //! `--deterministic` zeroes every host-dependent field (also honoured by
 //! `metrics`), so CI can byte-compare two runs.
+//!
+//! `--telemetry [FILE]` (on `bench`, `compile`, and `fuzz`) records
+//! host-side instrumentation — compile stage spans, cache lock/wait
+//! histograms, worker-pool task spans — and writes a merged host+guest
+//! Chrome trace to FILE (default `telemetry.json`; load in Perfetto)
+//! plus a percentile report to `FILE.report.json`.  The path operand is
+//! optional: the next token is consumed only if it doesn't start with
+//! `-`, so put the subcommand before the flag.  Combined with
+//! `--deterministic`, wall-derived values are zeroed and host-only
+//! records dropped, making both files byte-identical at any `--jobs`.
 
+use psb_compile::ArtifactCache;
 use psb_eval::{
-    ablation_counter, ablation_shadow, ablation_unroll, cache_effectiveness_check, check_report,
-    chrome_trace, code_size, collect_profiles, collect_traces, compile_sweep, fig6, fig7, fig8,
-    interaction, measure_metrics, mix, obs_points, parse_engines, parse_model, render_ablation,
-    render_bench, render_code_size, render_compile, render_fig8, render_figure, render_interaction,
-    render_mix, render_profile, render_sensitivity, render_table2, render_table3, run_bench,
-    run_fuzz, sensitivity, summary, table2, table3, to_json_pretty, BenchParams, EvalParams,
-    FuzzParams, Json,
+    ablation_counter, ablation_shadow, ablation_unroll, cache_effectiveness_check,
+    cache_effectiveness_check_t, check_report, chrome_trace, code_size, collect_profiles,
+    collect_traces, compile_sweep, compile_sweep_t, fig6, fig7, fig8, interaction, measure_metrics,
+    merged_chrome_trace, mix, obs_points, parse_engines, parse_jobs, parse_model,
+    record_cache_stats, render_ablation, render_bench, render_code_size, render_compile,
+    render_fig8, render_figure, render_interaction, render_mix, render_profile, render_sensitivity,
+    render_table2, render_table3, render_telemetry, run_bench, run_bench_with_cache_t, run_fuzz,
+    run_fuzz_t, sensitivity, summary, table2, table3, telemetry_report_json, to_json_pretty,
+    BenchParams, EvalParams, FuzzParams, Json, RunTrace,
 };
+use psb_telemetry::Recorder;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +94,7 @@ fn main() {
     let mut workloads: Vec<String> = Vec::new();
     let mut models: Vec<psb_sched::Model> = Vec::new();
     let mut out: Option<String> = None;
+    let mut telemetry: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -220,11 +235,21 @@ fn main() {
             }
             "--jobs" => {
                 i += 1;
-                params.jobs = args
+                let v = args
                     .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("--jobs needs a number >= 1"));
+                params.jobs = parse_jobs(v).unwrap_or_else(|e| die(&e.to_string()));
+            }
+            "--telemetry" => {
+                // The path operand is optional: consume the next token
+                // only when it doesn't look like a flag.
+                telemetry = Some(match args.get(i + 1) {
+                    Some(p) if !p.starts_with('-') => {
+                        i += 1;
+                        p.clone()
+                    }
+                    _ => "telemetry.json".to_string(),
+                });
             }
             w if !w.starts_with('-') => what = w.to_string(),
             other => die(&format!("unknown flag {other}")),
@@ -363,13 +388,21 @@ fn main() {
                 }
             }
             "compile" => {
-                let mut sweep = compile_sweep(&workloads, &models, &params);
+                let tel = telemetry.as_ref().map(|_| Recorder::new(deterministic));
+                let mut sweep = match &tel {
+                    Some(rec) => compile_sweep_t(&workloads, &models, &params, rec),
+                    None => compile_sweep(&workloads, &models, &params),
+                };
                 if deterministic {
                     sweep.zero_host();
                 }
                 eprint!("{}", render_compile(&sweep));
                 if json {
                     emit(format!("{}\n", to_json_pretty(&sweep)));
+                }
+                if let (Some(path), Some(rec)) = (&telemetry, &tel) {
+                    record_cache_stats(rec, &sweep.cache);
+                    emit_telemetry(path, rec, &[]);
                 }
             }
             "bench" => {
@@ -379,6 +412,8 @@ fn main() {
                     ..bench_params.clone()
                 };
                 let mut failed = false;
+                let tel = telemetry.as_ref().map(|_| Recorder::new(deterministic));
+                let mut guests: Vec<RunTrace> = Vec::new();
                 let report = if cache_check {
                     if !deterministic {
                         die(
@@ -386,7 +421,10 @@ fn main() {
                              is only meaningful with host timings zeroed)",
                         );
                     }
-                    let cc = cache_effectiveness_check(&bp);
+                    let cc = match &tel {
+                        Some(rec) => cache_effectiveness_check_t(&bp, rec),
+                        None => cache_effectiveness_check(&bp),
+                    };
                     for problem in &cc.problems {
                         eprintln!("FAIL: cache check: {problem}");
                         failed = true;
@@ -403,9 +441,34 @@ fn main() {
                             "FAILED"
                         }
                     );
+                    let s = &cc.second_pass;
+                    eprintln!(
+                        "cache after both passes: {} hit(s), {} miss(es), {} entrie(s), \
+                         {} eviction(s), {} profile run(s)",
+                        s.hits, s.misses, s.entries, s.evictions, s.profile_misses
+                    );
+                    let shards: Vec<String> = s
+                        .shards
+                        .iter()
+                        .enumerate()
+                        .map(|(i, sh)| format!("{i}:{}/{}/{}", sh.hits, sh.misses, sh.entries))
+                        .collect();
+                    eprintln!("cache shards (hits/misses/entries): {}", shards.join(" "));
+                    if let Some(rec) = &tel {
+                        record_cache_stats(rec, &cc.second_pass);
+                    }
                     cc.report
                 } else {
-                    run_bench(&bp)
+                    match &tel {
+                        Some(rec) => {
+                            let cache = ArtifactCache::new();
+                            let (report, g) = run_bench_with_cache_t(&bp, &cache, rec, true);
+                            record_cache_stats(rec, &cache.stats());
+                            guests = g;
+                            report
+                        }
+                        None => run_bench(&bp),
+                    }
                 };
                 eprint!("{}", render_bench(&report));
                 if let Some(path) = &check {
@@ -434,6 +497,9 @@ fn main() {
                     }
                 }
                 emit(format!("{}\n", to_json_pretty(&report)));
+                if let (Some(path), Some(rec)) = (&telemetry, &tel) {
+                    emit_telemetry(path, rec, &guests);
+                }
                 if failed {
                     std::process::exit(1);
                 }
@@ -463,8 +529,15 @@ fn main() {
                     jobs: params.jobs,
                     ..fuzz_params.clone()
                 };
-                let outcome = run_fuzz(&p);
+                let tel = telemetry.as_ref().map(|_| Recorder::new(deterministic));
+                let outcome = match &tel {
+                    Some(rec) => run_fuzz_t(&p, rec),
+                    None => run_fuzz(&p),
+                };
                 print!("{}", outcome.report);
+                if let (Some(path), Some(rec)) = (&telemetry, &tel) {
+                    emit_telemetry(path, rec, &[]);
+                }
                 if outcome.failures > 0 {
                     std::process::exit(1);
                 }
@@ -497,6 +570,24 @@ fn main() {
     }
 }
 
+/// Writes the `--telemetry` outputs: the merged host+guest Chrome trace
+/// to `path`, the percentile report to `{path}.report.json`, and a text
+/// summary to stderr.
+fn emit_telemetry(path: &str, rec: &Recorder, guests: &[RunTrace]) {
+    let report = rec.report();
+    let trace = merged_chrome_trace(&report, guests);
+    std::fs::write(path, format!("{}\n", trace.pretty()))
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    let report_path = format!("{path}.report.json");
+    std::fs::write(
+        &report_path,
+        format!("{}\n", telemetry_report_json(&report).pretty()),
+    )
+    .unwrap_or_else(|e| die(&format!("cannot write {report_path}: {e}")));
+    eprint!("{}", render_telemetry(&report));
+    eprintln!("telemetry: merged trace -> {path}, report -> {report_path}");
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
@@ -504,7 +595,7 @@ fn die(msg: &str) -> ! {
          [--size N] [--quick] [--json] [--jobs N] [--train-seed S] [--eval-seed S] \
          [--workload W[,W...]] [--model M|all] [--out FILE] [--deterministic] \
          [--engine tabled|predecoded|legacy|both|all] [--check BASELINE.json] [--cache-check] [--tolerance FRAC] \
-         [--target-cycles N] \
+         [--target-cycles N] [--telemetry [FILE]] \
          [--seed S] [--runs N] [--time-budget SECS] [--corpus DIR] [--inject-recovery-bug]"
     );
     std::process::exit(2);

@@ -9,10 +9,12 @@
 //! `--jobs` value (the cache is single-flight).
 
 use crate::json::{Json, ToJson};
-use crate::runner::{parallel_map, EvalParams, BENCHMARKS};
-use psb_compile::{compile, ArtifactCache, CacheStats, CompileRequest, ProfileSource, Stage};
+use crate::runner::{parallel_map_t, EvalParams, BENCHMARKS};
+use crate::telemetry_export::cache_stats_json;
+use psb_compile::{compile_with, ArtifactCache, CacheStats, CompileRequest, ProfileSource, Stage};
 use psb_scalar::ScalarConfig;
 use psb_sched::Model;
+use psb_telemetry::{NullTelemetry, Telemetry};
 
 /// Host-dependent per-stage timings of one compile (zeroed by
 /// `--deterministic`).  Cache-served points report the original
@@ -97,17 +99,7 @@ impl ToJson for CompileSweep {
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("rows", self.rows.to_json()),
-            (
-                "cache",
-                Json::obj(vec![
-                    ("hits", self.cache.hits.to_json()),
-                    ("misses", self.cache.misses.to_json()),
-                    ("evictions", self.cache.evictions.to_json()),
-                    ("entries", self.cache.entries.to_json()),
-                    ("profile_hits", self.cache.profile_hits.to_json()),
-                    ("profile_misses", self.cache.profile_misses.to_json()),
-                ]),
-            ),
+            ("cache", cache_stats_json(&self.cache)),
         ])
     }
 }
@@ -121,6 +113,18 @@ impl ToJson for CompileSweep {
 /// Panics on an unknown workload name or a pipeline failure — the sweep
 /// only covers the checked-in benchmark set, which must compile.
 pub fn compile_sweep(workloads: &[String], models: &[Model], params: &EvalParams) -> CompileSweep {
+    compile_sweep_t(workloads, models, params, &NullTelemetry)
+}
+
+/// [`compile_sweep`] with instrumentation: per-point task spans, the
+/// compile stage spans/histograms, and the cache contention histograms
+/// all flow into `tel`.
+pub fn compile_sweep_t<T: Telemetry>(
+    workloads: &[String],
+    models: &[Model],
+    params: &EvalParams,
+    tel: &T,
+) -> CompileSweep {
     let workloads: Vec<String> = if workloads.is_empty() {
         BENCHMARKS.iter().map(|n| n.to_string()).collect()
     } else {
@@ -136,36 +140,42 @@ pub fn compile_sweep(workloads: &[String], models: &[Model], params: &EvalParams
         .flat_map(|n| models.iter().map(move |&m| (n.clone(), m)))
         .collect();
     let cache = ArtifactCache::new();
-    let rows = parallel_map(&points, params.jobs, |(name, model)| {
-        let train = psb_workloads::by_name(name, params.train_seed, params.size)
-            .unwrap_or_else(|| panic!("unknown workload {name}"));
-        let eval = psb_workloads::by_name(name, params.eval_seed, params.size)
-            .unwrap_or_else(|| panic!("unknown workload {name}"));
-        let req = CompileRequest {
-            program: &eval.program,
-            profile: ProfileSource::Train {
-                program: &train.program,
-                config: ScalarConfig::default(),
-            },
-            sched: params.sched_config(*model),
-        };
-        let art =
-            compile(&req, &cache).unwrap_or_else(|e| panic!("{name}/{model}: compile failed: {e}"));
-        CompileRow {
-            workload: name.clone(),
-            model: model.name().to_string(),
-            content_hash: art.hash_hex(),
-            words: art.stats.words,
-            slots: art.stats.slots,
-            regions: art.sched_stats.regions,
-            ops: art.sched_stats.ops,
-            host: CompileHost {
-                profile_seconds: art.stats.profile_seconds,
-                schedule_seconds: art.stats.schedule_seconds,
-                decode_seconds: art.stats.decode_seconds,
-            },
-        }
-    });
+    let rows = parallel_map_t(
+        &points,
+        params.jobs,
+        tel,
+        |_, (name, model)| format!("{name}/{}", model.name()),
+        |(name, model)| {
+            let train = psb_workloads::by_name(name, params.train_seed, params.size)
+                .unwrap_or_else(|| panic!("unknown workload {name}"));
+            let eval = psb_workloads::by_name(name, params.eval_seed, params.size)
+                .unwrap_or_else(|| panic!("unknown workload {name}"));
+            let req = CompileRequest {
+                program: &eval.program,
+                profile: ProfileSource::Train {
+                    program: &train.program,
+                    config: ScalarConfig::default(),
+                },
+                sched: params.sched_config(*model),
+            };
+            let art = compile_with(&req, &cache, tel)
+                .unwrap_or_else(|e| panic!("{name}/{model}: compile failed: {e}"));
+            CompileRow {
+                workload: name.clone(),
+                model: model.name().to_string(),
+                content_hash: art.hash_hex(),
+                words: art.stats.words,
+                slots: art.stats.slots,
+                regions: art.sched_stats.regions,
+                ops: art.sched_stats.ops,
+                host: CompileHost {
+                    profile_seconds: art.stats.profile_seconds,
+                    schedule_seconds: art.stats.schedule_seconds,
+                    decode_seconds: art.stats.decode_seconds,
+                },
+            }
+        },
+    );
     CompileSweep {
         rows,
         cache: cache.stats(),
@@ -212,10 +222,20 @@ pub fn render_compile(sweep: &CompileSweep) -> String {
     }
     writeln!(
         s,
-        "cache: {} miss(es) ({} distinct artifact(s)), {} hit(s), {} training profile run(s)",
-        sweep.cache.misses, sweep.cache.entries, sweep.cache.hits, sweep.cache.profile_misses
+        "cache: {} miss(es) ({} distinct artifact(s)), {} hit(s), {} eviction(s), \
+         {} training profile run(s)",
+        sweep.cache.misses,
+        sweep.cache.entries,
+        sweep.cache.hits,
+        sweep.cache.evictions,
+        sweep.cache.profile_misses
     )
     .unwrap();
+    write!(s, "cache shards (hits/misses/entries):").unwrap();
+    for (i, sh) in sweep.cache.shards.iter().enumerate() {
+        write!(s, " {i}:{}/{}/{}", sh.hits, sh.misses, sh.entries).unwrap();
+    }
+    writeln!(s).unwrap();
     s
 }
 
@@ -237,6 +257,11 @@ mod tests {
         // One scalar training run per workload, shared by all 7 models.
         assert_eq!(sweep.cache.profile_misses, 2);
         assert_eq!(sweep.cache.profile_hits, 2 * (Model::ALL.len() as u64 - 1));
+        // The shard breakdown partitions the totals.
+        let shard_misses: u64 = sweep.cache.shards.iter().map(|s| s.misses).sum();
+        let shard_entries: u64 = sweep.cache.shards.iter().map(|s| s.entries).sum();
+        assert_eq!(shard_misses, sweep.cache.misses);
+        assert_eq!(shard_entries, sweep.cache.entries);
         // Hashes are 16 hex digits and distinct across models of one
         // workload (the model is part of the schedule, hence the hash).
         let grep: Vec<&str> = sweep

@@ -11,9 +11,10 @@
 //! stops at the first chunk boundary past the budget), so fixed `--runs`
 //! sweeps are the mode CI compares byte-for-byte.
 
-use crate::runner::parallel_map;
+use crate::runner::parallel_map_t;
 use psb_core::Engine;
 use psb_fuzz::{gen_case, run_case, shrink_case, write_repro, CaseStats, DiffConfig, FuzzFailure};
+use psb_telemetry::{NullTelemetry, Telemetry};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -74,6 +75,15 @@ fn mix(seed: u64, i: u64) -> u64 {
 
 /// Runs the sweep described by `p` and renders the report.
 pub fn run_fuzz(p: &FuzzParams) -> FuzzOutcome {
+    run_fuzz_t(p, &NullTelemetry)
+}
+
+/// [`run_fuzz`] with instrumentation: per-case task spans flow into
+/// `tel`, plus `fuzz.cases` / `fuzz.failures` counters.  With a fixed
+/// `--runs` the counters are jobs-deterministic; a `--time-budget`
+/// sweep stops at a machine-dependent chunk boundary, so its telemetry
+/// (like its report) is only comparable on one host.
+pub fn run_fuzz_t<T: Telemetry>(p: &FuzzParams, tel: &T) -> FuzzOutcome {
     let cfg = DiffConfig {
         inject_recovery_bug: p.inject_recovery_bug,
         engine: p.engine,
@@ -96,10 +106,16 @@ pub fn run_fuzz(p: &FuzzParams) -> FuzzOutcome {
             p.runs - next
         };
         let idxs: Vec<usize> = (next..next + chunk_len).collect();
-        let chunk = parallel_map(&idxs, p.jobs, |&i| {
-            let case_seed = mix(p.seed, i as u64);
-            (case_seed, run_case(&gen_case(case_seed), &cfg))
-        });
+        let chunk = parallel_map_t(
+            &idxs,
+            p.jobs,
+            tel,
+            |_, &i| format!("case{i}"),
+            |&i| {
+                let case_seed = mix(p.seed, i as u64);
+                (case_seed, run_case(&gen_case(case_seed), &cfg))
+            },
+        );
         for (&i, (case_seed, r)) in idxs.iter().zip(chunk) {
             results.push((i, case_seed, r));
         }
@@ -172,6 +188,9 @@ pub fn run_fuzz(p: &FuzzParams) -> FuzzOutcome {
             None => writeln!(report, "  did not reproduce under the shrink cycle cap").unwrap(),
         }
     }
+
+    tel.counter("fuzz.cases", results.len() as u64);
+    tel.counter("fuzz.failures", failures.len() as u64);
 
     eprintln!(
         "fuzz: {} cases in {:.2}s ({:.0} cases/s, {} jobs)",

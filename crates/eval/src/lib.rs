@@ -31,28 +31,36 @@ mod fuzz;
 mod json;
 mod render;
 mod runner;
+mod telemetry_export;
 mod trace;
 
 pub use bench::{
-    cache_effectiveness_check, check_report, engine_name, parse_engines, render_bench, run_bench,
-    run_bench_with_cache, BenchCheck, BenchParams, BenchPoint, BenchReport, CacheCheck,
-    EngineAggregate, HostSample, BENCH_SCHEMA_VERSION, KERNELS,
+    cache_effectiveness_check, cache_effectiveness_check_t, check_report, engine_name,
+    parse_engines, render_bench, run_bench, run_bench_with_cache, run_bench_with_cache_t,
+    BenchCheck, BenchParams, BenchPoint, BenchReport, CacheCheck, EngineAggregate, HostSample,
+    BENCH_SCHEMA_VERSION, KERNELS,
 };
-pub use compile_cmd::{compile_sweep, render_compile, CompileHost, CompileRow, CompileSweep};
+pub use compile_cmd::{
+    compile_sweep, compile_sweep_t, render_compile, CompileHost, CompileRow, CompileSweep,
+};
 pub use experiments::{
     ablation_counter, ablation_shadow, ablation_unroll, code_size, fig6, fig7, fig8, interaction,
     mix, sensitivity, summary, table2, table3, AblationResult, CodeSizeRow, Fig8Cell, Fig8Result,
     FigureResult, InteractionResult, MixRow, SensitivityRow, Table2Row, Table3Row,
 };
-pub use fuzz::{run_fuzz, FuzzOutcome, FuzzParams};
+pub use fuzz::{run_fuzz, run_fuzz_t, FuzzOutcome, FuzzParams};
 pub use json::{to_json_pretty, Json, ToJson};
 pub use render::{
     render_ablation, render_code_size, render_fig8, render_figure, render_interaction,
     render_metrics, render_mix, render_sensitivity, render_table1, render_table2, render_table3,
 };
 pub use runner::{
-    geometric_mean, measure_metrics, parallel_map, run_workload, BenchResult, EvalParams,
-    MetricsHost, ModelResult, RunMetrics, BENCHMARKS,
+    geometric_mean, measure_metrics, parallel_map, parallel_map_t, parse_jobs, run_workload,
+    BenchResult, EvalParams, JobsParseError, MetricsHost, ModelResult, RunMetrics, BENCHMARKS,
+};
+pub use telemetry_export::{
+    cache_stats_json, merged_chrome_trace, record_cache_stats, render_telemetry,
+    telemetry_report_json, TELEMETRY_SCHEMA_VERSION,
 };
 pub use trace::{
     chrome_trace, collect_profiles, collect_traces, obs_points, parse_model, render_profile,

@@ -6,7 +6,9 @@ use psb_core::{MachineConfig, ShadowMode, VliwResult};
 use psb_isa::Resources;
 use psb_scalar::{RunResult, ScalarConfig, ScalarMachine};
 use psb_sched::{Model, SchedConfig};
+use psb_telemetry::{round_us, NullTelemetry, Telemetry};
 use psb_workloads::Workload;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::json::{Json, ToJson};
@@ -29,23 +31,81 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_t(items, jobs, &NullTelemetry, |_, _| String::new(), f)
+}
+
+/// [`parallel_map`] with the worker pool instrumented.
+///
+/// Per task (jobs-deterministic record counts): a `task` span named by
+/// `label(index, item)` — only invoked when telemetry is enabled — and a
+/// `pmap.task_ns` latency sample.  Host-only (dropped in deterministic
+/// mode): `pmap.queue_wait_ns` (map start → task start), a `pmap`
+/// span per worker, each worker's `pmap.worker_busy_ns`, and
+/// `pmap.worker_util_permille` (busy time over worker lifetime).
+///
+/// # Panics
+///
+/// See [`parallel_map`].
+pub fn parallel_map_t<T, R, F, L, Tel>(
+    items: &[T],
+    jobs: usize,
+    tel: &Tel,
+    label: L,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    L: Fn(usize, &T) -> String + Sync,
+    Tel: Telemetry,
+{
     let jobs = jobs.min(items.len());
+    tel.counter("pmap.items", items.len() as u64);
+    let epoch = tel.now_ns();
+    let run_one = |i: usize, item: &T| -> R {
+        let t_start = tel.now_ns();
+        tel.observe_host("pmap.queue_wait_ns", t_start.saturating_sub(epoch));
+        let r = f(item);
+        let dur = tel.now_ns().saturating_sub(t_start);
+        tel.observe("pmap.task_ns", dur);
+        if tel.enabled() {
+            tel.record_span("task", label(i, item), t_start, dur);
+        }
+        r
+    };
     if jobs <= 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run_one(i, item))
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(jobs);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..jobs)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                let run_one = &run_one;
+                let next = &next;
+                s.spawn(move || {
+                    let _worker_span = tel.span_host("pmap", || format!("worker{w}"));
+                    let born = tel.now_ns();
+                    let mut busy = 0u64;
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        out.push((i, f(&items[i])));
+                        let t0 = tel.now_ns();
+                        out.push((i, run_one(i, &items[i])));
+                        busy += tel.now_ns().saturating_sub(t0);
+                    }
+                    let lifetime = tel.now_ns().saturating_sub(born);
+                    if let Some(util) = busy.saturating_mul(1000).checked_div(lifetime) {
+                        tel.observe_host("pmap.worker_busy_ns", busy);
+                        tel.observe_host("pmap.worker_util_permille", util);
                     }
                     out
                 })
@@ -66,6 +126,41 @@ where
         .into_iter()
         .map(|o| o.expect("every index claimed exactly once"))
         .collect()
+}
+
+/// A rejected `--jobs` value: the one typed parse error every `repro`
+/// subcommand shares (0 and non-numeric are both invalid — the worker
+/// pool has no meaningful "zero threads" mode; pass 1 to run serially).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JobsParseError {
+    /// The offending command-line token.
+    pub value: String,
+}
+
+impl fmt::Display for JobsParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid --jobs value '{}': expected an integer >= 1",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for JobsParseError {}
+
+/// Parses a `--jobs` argument: any integer >= 1.
+///
+/// # Errors
+///
+/// [`JobsParseError`] for non-integers and for 0.
+pub fn parse_jobs(value: &str) -> Result<usize, JobsParseError> {
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(JobsParseError {
+            value: value.to_string(),
+        }),
+    }
 }
 
 /// Parameters shared by a whole experiment.
@@ -440,7 +535,7 @@ pub fn measure_metrics(models: &[Model], params: &EvalParams) -> Vec<RunMetrics>
             squashes: res.squashes,
             recoveries: res.recoveries,
             host: MetricsHost {
-                wall_seconds: (wall * 1e6).round() / 1e6,
+                wall_seconds: round_us(wall),
             },
         }
     })
@@ -478,6 +573,45 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn parallel_map_t_records_jobs_independent_telemetry() {
+        use psb_telemetry::Recorder;
+        let items: Vec<u64> = (0..24).collect();
+        let run = |jobs: usize| {
+            let rec = Recorder::new(true);
+            let out = parallel_map_t(&items, jobs, &rec, |i, _| format!("item{i}"), |&x| x + 1);
+            assert_eq!(out, (1..25).collect::<Vec<u64>>());
+            rec.report()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+        assert_eq!(serial.spans.len(), 24);
+        assert!(serial.spans.iter().all(|s| s.cat == "task"));
+        assert_eq!(serial.counters, vec![("pmap.items".to_string(), 24)]);
+        let task = serial
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "pmap.task_ns")
+            .expect("task latency histogram");
+        assert_eq!(task.1.count, 24);
+        // Host-only worker metrics must not leak into deterministic mode.
+        assert!(serial
+            .histograms
+            .iter()
+            .all(|(n, _)| !n.starts_with("pmap.worker")));
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers_only() {
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs("32"), Ok(32));
+        for bad in ["0", "-1", "", "four", "1.5"] {
+            let err = parse_jobs(bad).expect_err(bad);
+            assert_eq!(err.value, bad);
+            assert!(err.to_string().contains(bad));
+        }
     }
 
     #[test]

@@ -154,7 +154,7 @@ pub fn collect_profiles(points: &[ObsPoint], params: &EvalParams) -> Vec<RunProf
     })
 }
 
-fn instant(name: String, cat: &str, pid: usize, ts: u64) -> Json {
+pub(crate) fn instant(name: String, cat: &str, pid: usize, ts: u64) -> Json {
     Json::obj(vec![
         ("name", Json::Str(name)),
         ("cat", Json::Str(cat.to_string())),
@@ -166,7 +166,7 @@ fn instant(name: String, cat: &str, pid: usize, ts: u64) -> Json {
     ])
 }
 
-fn span(name: String, cat: &str, pid: usize, tid: i64, ts: u64, dur: u64) -> Json {
+pub(crate) fn span(name: String, cat: &str, pid: usize, tid: i64, ts: u64, dur: u64) -> Json {
     Json::obj(vec![
         ("name", Json::Str(name)),
         ("cat", Json::Str(cat.to_string())),
@@ -178,7 +178,7 @@ fn span(name: String, cat: &str, pid: usize, tid: i64, ts: u64, dur: u64) -> Jso
     ])
 }
 
-fn metadata(name: &str, pid: usize, tid: Option<i64>, value: &str) -> Json {
+pub(crate) fn metadata(name: &str, pid: usize, tid: Option<i64>, value: &str) -> Json {
     let mut fields = vec![
         ("name", Json::Str(name.to_string())),
         ("ph", Json::Str("M".to_string())),
@@ -194,74 +194,102 @@ fn metadata(name: &str, pid: usize, tid: Option<i64>, value: &str) -> Json {
     Json::obj(fields)
 }
 
+/// Emits one traced run's process metadata and events under `pid`,
+/// appending trace-event objects to `out`.
+///
+/// `max_events` caps the emitted span/instant count (metadata excluded);
+/// a truncated run gets a final `truncated` instant marker instead of
+/// the trailing region span.  [`chrome_trace`] passes `usize::MAX`; the
+/// merged host+guest exporter caps each guest run so a full bench sweep
+/// stays loadable in Perfetto.
+pub(crate) fn push_run_events(out: &mut Vec<Json>, t: &RunTrace, pid: usize, max_events: usize) {
+    out.push(metadata(
+        "process_name",
+        pid,
+        None,
+        &format!("{}/{}", t.workload, t.model),
+    ));
+    out.push(metadata("thread_name", pid, Some(0), "regions"));
+    out.push(metadata("thread_name", pid, Some(1), "recovery"));
+
+    let mut emitted = 0usize;
+    // Region spans: the run starts in the region at word 0; each
+    // RegionEnter closes the previous span.
+    let mut region = (0usize, 0u64); // (entry word, start cycle)
+    let mut recovery_start: Option<(u64, usize)> = None;
+    for e in &t.events {
+        if emitted >= max_events {
+            out.push(instant(
+                format!("truncated after {emitted} events"),
+                "meta",
+                pid,
+                region.1,
+            ));
+            return;
+        }
+        match *e {
+            Event::RegionEnter { cycle, addr } => {
+                out.push(span(
+                    format!("region W{}", region.0),
+                    "region",
+                    pid,
+                    0,
+                    region.1,
+                    cycle.saturating_sub(region.1),
+                ));
+                emitted += 1;
+                region = (addr, cycle);
+            }
+            Event::RecoveryStart { cycle, epc, .. } => {
+                recovery_start = Some((cycle, epc));
+            }
+            Event::RecoveryEnd { cycle } => {
+                if let Some((start, epc)) = recovery_start.take() {
+                    out.push(span(
+                        format!("recovery EPC=W{epc}"),
+                        "recovery",
+                        pid,
+                        1,
+                        start,
+                        cycle.saturating_sub(start),
+                    ));
+                    emitted += 1;
+                }
+            }
+            Event::Commit { cycle, loc } => {
+                out.push(instant(format!("commit {loc}"), "commit", pid, cycle));
+                emitted += 1;
+            }
+            Event::Squash { cycle, loc } => {
+                out.push(instant(format!("squash {loc}"), "squash", pid, cycle));
+                emitted += 1;
+            }
+            Event::FaultHandled { cycle, addr } => {
+                out.push(instant(format!("fault @{addr}"), "fault", pid, cycle));
+                emitted += 1;
+            }
+            Event::ExcLatched { cycle, addr } => {
+                out.push(instant(format!("exc latched @{addr}"), "fault", pid, cycle));
+                emitted += 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(span(
+        format!("region W{}", region.0),
+        "region",
+        pid,
+        0,
+        region.1,
+        t.cycles.saturating_sub(region.1),
+    ));
+}
+
 /// Builds the Chrome trace-event document for a set of traced runs.
 pub fn chrome_trace(traces: &[RunTrace]) -> Json {
     let mut out: Vec<Json> = Vec::new();
     for (pid, t) in traces.iter().enumerate() {
-        out.push(metadata(
-            "process_name",
-            pid,
-            None,
-            &format!("{}/{}", t.workload, t.model),
-        ));
-        out.push(metadata("thread_name", pid, Some(0), "regions"));
-        out.push(metadata("thread_name", pid, Some(1), "recovery"));
-
-        // Region spans: the run starts in the region at word 0; each
-        // RegionEnter closes the previous span.
-        let mut region = (0usize, 0u64); // (entry word, start cycle)
-        let mut recovery_start: Option<(u64, usize)> = None;
-        for e in &t.events {
-            match *e {
-                Event::RegionEnter { cycle, addr } => {
-                    out.push(span(
-                        format!("region W{}", region.0),
-                        "region",
-                        pid,
-                        0,
-                        region.1,
-                        cycle.saturating_sub(region.1),
-                    ));
-                    region = (addr, cycle);
-                }
-                Event::RecoveryStart { cycle, epc, .. } => {
-                    recovery_start = Some((cycle, epc));
-                }
-                Event::RecoveryEnd { cycle } => {
-                    if let Some((start, epc)) = recovery_start.take() {
-                        out.push(span(
-                            format!("recovery EPC=W{epc}"),
-                            "recovery",
-                            pid,
-                            1,
-                            start,
-                            cycle.saturating_sub(start),
-                        ));
-                    }
-                }
-                Event::Commit { cycle, loc } => {
-                    out.push(instant(format!("commit {loc}"), "commit", pid, cycle));
-                }
-                Event::Squash { cycle, loc } => {
-                    out.push(instant(format!("squash {loc}"), "squash", pid, cycle));
-                }
-                Event::FaultHandled { cycle, addr } => {
-                    out.push(instant(format!("fault @{addr}"), "fault", pid, cycle));
-                }
-                Event::ExcLatched { cycle, addr } => {
-                    out.push(instant(format!("exc latched @{addr}"), "fault", pid, cycle));
-                }
-                _ => {}
-            }
-        }
-        out.push(span(
-            format!("region W{}", region.0),
-            "region",
-            pid,
-            0,
-            region.1,
-            t.cycles.saturating_sub(region.1),
-        ));
+        push_run_events(&mut out, t, pid, usize::MAX);
     }
     Json::obj(vec![
         ("traceEvents", Json::Array(out)),

@@ -444,3 +444,82 @@ fn bad_selections_exit_with_usage() {
         assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
     }
 }
+
+#[test]
+fn jobs_zero_is_rejected_with_a_typed_error() {
+    for sub in ["bench", "compile", "fuzz", "trace", "profile"] {
+        let out = repro(&[sub, "--jobs", "0"]);
+        assert_eq!(out.status.code(), Some(2), "{sub} --jobs 0 must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("invalid --jobs value '0'"),
+            "{sub}: missing typed error:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn telemetry_deterministic_is_byte_identical_across_jobs() {
+    // The headline contract of the telemetry subsystem: under
+    // `--deterministic` the Perfetto trace and the metrics report must be
+    // byte-identical at any `--jobs` count.  Span/record *counts* stay
+    // jobs-deterministic; wall-clock payloads are zeroed; purely
+    // host-dependent records (queue wait, worker utilization) are dropped.
+    let dir = std::env::temp_dir().join("repro_cli_telemetry");
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |jobs: &str, tag: &str| {
+        let trace = dir.join(format!("trace_{tag}.json"));
+        let bench = dir.join(format!("bench_{tag}.json"));
+        let out = repro(&[
+            "bench",
+            "--quick",
+            "--deterministic",
+            "--target-cycles",
+            "1000",
+            "--jobs",
+            jobs,
+            "--telemetry",
+            trace.to_str().unwrap(),
+            "--out",
+            bench.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "bench --telemetry failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let report = dir.join(format!("trace_{tag}.json.report.json"));
+        (
+            std::fs::read_to_string(&trace).unwrap(),
+            std::fs::read_to_string(&report).unwrap(),
+        )
+    };
+    let (trace1, report1) = run("1", "j1");
+    let (trace4, report4) = run("4", "j4");
+    assert_eq!(
+        trace1, trace4,
+        "telemetry trace must be byte-identical across --jobs"
+    );
+    assert_eq!(
+        report1, report4,
+        "telemetry report must be byte-identical across --jobs"
+    );
+    assert_json(trace1.trim_end());
+    assert_json(report1.trim_end());
+    // The trace carries host spans (pid 0) and guest events (pid 1..).
+    assert!(trace1.contains("\"traceEvents\""));
+    assert!(trace1.contains("\"pid\": 0"), "host process missing");
+    assert!(trace1.contains("\"pid\": 1"), "guest process missing");
+    // The report carries the three instrumented layers.
+    assert!(report1.contains("\"schema_version\": 1"));
+    assert!(report1.contains("\"deterministic\": true"));
+    assert!(report1.contains("compile.profile_ns"), "compile layer");
+    assert!(report1.contains("pmap.task_ns"), "runner layer");
+    assert!(report1.contains("bench.execute_ns"), "bench layer");
+    assert!(report1.contains("cache.artifact.hits"), "cache counters");
+    // Host-only records must be absent in deterministic mode.
+    assert!(
+        !report1.contains("pmap.queue_wait_ns"),
+        "host-only histogram leaked into deterministic report"
+    );
+}

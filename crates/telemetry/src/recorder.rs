@@ -1,0 +1,317 @@
+//! The recording backend: per-thread span buffers plus a shared
+//! [`Registry`], merged into a [`TelemetryReport`] snapshot.
+//!
+//! Each thread that records through a [`Recorder`] lazily registers a
+//! private [`ThreadBuffer`]; recording a span only locks that thread's
+//! own buffer, so worker threads never contend with each other on the
+//! span path.  `report()` merges all buffers and sorts them with a
+//! total order, which is what makes deterministic-mode output
+//! byte-identical at any `--jobs`: with timestamps zeroed and
+//! host-dependent records dropped, the surviving records are a
+//! jobs-independent *set*, and the sort fixes their serialization
+//! order.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::{HistogramSummary, Registry};
+use crate::Telemetry;
+
+/// One completed span: category, name, wall window, and recording
+/// thread.  In deterministic mode `start_ns`, `dur_ns`, and `tid` are
+/// all zero.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpanRecord {
+    /// Coarse grouping for exporters ("compile", "task", ...).
+    pub cat: &'static str,
+    /// Span instance name (unique enough to read on a timeline).
+    pub name: String,
+    /// Start offset from the recorder's epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Recording thread's registration index (0 = first registrant).
+    pub tid: u64,
+}
+
+/// A single thread's span buffer.  Only its owning thread pushes;
+/// `report()` reads under the same lock.
+struct ThreadBuffer {
+    tid: u64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+struct TlsEntry {
+    recorder_id: u64,
+    buf: Arc<ThreadBuffer>,
+}
+
+thread_local! {
+    // One entry per (thread, recorder) pair.  Recorders are created
+    // once per driver invocation, so this stays tiny; entries for
+    // dropped recorders are unreachable garbage of a few words.
+    static TLS_BUFFERS: RefCell<Vec<TlsEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Merged snapshot of everything a [`Recorder`] captured, name-sorted
+/// and ready for the exporters.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TelemetryReport {
+    /// True when the recorder ran in deterministic mode (timestamps
+    /// zeroed, host-dependent records dropped).
+    pub deterministic: bool,
+    /// All spans from all threads, in a total deterministic order.
+    pub spans: Vec<SpanRecord>,
+    /// Counter snapshot, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge snapshot, name-sorted (always empty in deterministic mode).
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries, name-sorted.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+/// The recording [`Telemetry`] implementation: monotonic clock,
+/// per-thread span buffers, shared metrics registry.
+///
+/// `deterministic` mode keeps every *count* (span presence, histogram
+/// sample counts, counters) but zeroes every wall-clock-derived value
+/// and drops the `_host` record families entirely, so the resulting
+/// [`TelemetryReport`] is byte-identical however many worker threads
+/// produced it.
+pub struct Recorder {
+    id: u64,
+    deterministic: bool,
+    epoch: Instant,
+    threads: Mutex<Vec<Arc<ThreadBuffer>>>,
+    registry: Registry,
+}
+
+impl Recorder {
+    /// A fresh recorder; `deterministic` selects the zeroed-timestamp
+    /// mode described on the type.
+    pub fn new(deterministic: bool) -> Recorder {
+        Recorder {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            deterministic,
+            epoch: Instant::now(),
+            threads: Mutex::new(Vec::new()),
+            registry: Registry::new(),
+        }
+    }
+
+    /// This thread's buffer for this recorder, registering on first use.
+    fn with_buffer<R>(&self, f: impl FnOnce(&ThreadBuffer) -> R) -> R {
+        TLS_BUFFERS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            if let Some(e) = tls.iter().find(|e| e.recorder_id == self.id) {
+                return f(&e.buf);
+            }
+            let buf = {
+                let mut threads = self.threads.lock().expect("recorder poisoned");
+                let buf = Arc::new(ThreadBuffer {
+                    tid: threads.len() as u64,
+                    spans: Mutex::new(Vec::new()),
+                });
+                threads.push(Arc::clone(&buf));
+                buf
+            };
+            tls.push(TlsEntry {
+                recorder_id: self.id,
+                buf: Arc::clone(&buf),
+            });
+            f(&buf)
+        })
+    }
+
+    /// Merges every thread's spans with the registry into one report.
+    /// Non-destructive: recording may continue afterwards.
+    pub fn report(&self) -> TelemetryReport {
+        let mut spans = Vec::new();
+        for buf in self.threads.lock().expect("recorder poisoned").iter() {
+            spans.extend_from_slice(&buf.spans.lock().expect("recorder poisoned"));
+        }
+        if self.deterministic {
+            // Timestamps and tids are all zero; the record content is
+            // the only identity.  Full-record key => total order.
+            spans.sort_by(|a, b| {
+                (a.cat, &a.name, a.start_ns, a.dur_ns, a.tid)
+                    .cmp(&(b.cat, &b.name, b.start_ns, b.dur_ns, b.tid))
+            });
+        } else {
+            // Timeline order; name breaks exact-timestamp ties.
+            spans.sort_by(|a, b| {
+                (a.start_ns, a.tid, a.dur_ns, a.cat, &a.name)
+                    .cmp(&(b.start_ns, b.tid, b.dur_ns, b.cat, &b.name))
+            });
+        }
+        TelemetryReport {
+            deterministic: self.deterministic,
+            spans,
+            counters: self.registry.counters(),
+            gauges: self.registry.gauges(),
+            histograms: self.registry.histograms(),
+        }
+    }
+}
+
+impl Telemetry for Recorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn deterministic(&self) -> bool {
+        self.deterministic
+    }
+
+    fn now_ns(&self) -> u64 {
+        if self.deterministic {
+            0
+        } else {
+            self.epoch.elapsed().as_nanos() as u64
+        }
+    }
+
+    fn record_span(&self, cat: &'static str, name: String, start_ns: u64, dur_ns: u64) {
+        self.with_buffer(|buf| {
+            let tid = if self.deterministic { 0 } else { buf.tid };
+            buf.spans
+                .lock()
+                .expect("recorder poisoned")
+                .push(SpanRecord {
+                    cat,
+                    name,
+                    start_ns,
+                    dur_ns,
+                    tid,
+                });
+        });
+    }
+
+    fn record_span_host(&self, cat: &'static str, name: String, start_ns: u64, dur_ns: u64) {
+        if !self.deterministic {
+            self.record_span(cat, name, start_ns, dur_ns);
+        }
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        self.registry.counter(name, delta);
+    }
+
+    fn gauge_host(&self, name: &str, value: i64) {
+        if !self.deterministic {
+            self.registry.gauge(name, value);
+        }
+    }
+
+    fn observe(&self, name: &str, value: u64) {
+        // Deterministic mode keeps the sample count (jobs-independent)
+        // but zeroes the wall-derived value.
+        let v = if self.deterministic { 0 } else { value };
+        self.registry.observe(name, v);
+    }
+
+    fn observe_host(&self, name: &str, value: u64) {
+        if !self.deterministic {
+            self.registry.observe(name, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn spans_record_and_merge() {
+        let rec = Recorder::new(false);
+        {
+            let _outer = rec.span("test", || "outer".to_string());
+            let _inner = rec.span("test", || "inner".to_string());
+        }
+        let rep = rec.report();
+        assert_eq!(rep.spans.len(), 2);
+        // Outer starts first; inner (dropped first) ends first.
+        assert_eq!(rep.spans[0].name, "outer");
+        assert!(rep.spans[0].start_ns <= rep.spans[1].start_ns);
+        assert!(!rep.deterministic);
+    }
+
+    #[test]
+    fn deterministic_mode_zeroes_wall_values_and_drops_host_records() {
+        let rec = Recorder::new(true);
+        {
+            let _s = rec.span("cat", || "a".to_string());
+        }
+        let _ = rec.span_host("cat", || "host-only".to_string());
+        rec.counter("c", 3);
+        rec.gauge_host("g", 9);
+        rec.observe("h", 12345);
+        rec.observe_host("hh", 77);
+        let rep = rec.report();
+        assert_eq!(rep.spans.len(), 1);
+        assert_eq!(
+            rep.spans[0],
+            SpanRecord {
+                cat: "cat",
+                name: "a".to_string(),
+                start_ns: 0,
+                dur_ns: 0,
+                tid: 0,
+            }
+        );
+        assert_eq!(rep.counters, vec![("c".to_string(), 3)]);
+        assert!(rep.gauges.is_empty());
+        assert_eq!(rep.histograms.len(), 1);
+        assert_eq!(rep.histograms[0].0, "h");
+        assert_eq!(rep.histograms[0].1.count, 1);
+        assert_eq!(rep.histograms[0].1.max, 0);
+    }
+
+    #[test]
+    fn threads_get_distinct_buffers_and_all_spans_survive() {
+        let rec = Recorder::new(false);
+        thread::scope(|s| {
+            for i in 0..4 {
+                let rec = &rec;
+                s.spawn(move || {
+                    for j in 0..8 {
+                        let _sp = rec.span("worker", || format!("t{i}.{j}"));
+                    }
+                });
+            }
+        });
+        let rep = rec.report();
+        assert_eq!(rep.spans.len(), 32);
+        let mut tids: Vec<u64> = rep.spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_report_is_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let rec = Recorder::new(true);
+            thread::scope(|s| {
+                for chunk in (0..16).collect::<Vec<usize>>().chunks(16 / threads) {
+                    let chunk = chunk.to_vec();
+                    let rec = &rec;
+                    s.spawn(move || {
+                        for i in chunk {
+                            let _sp = rec.span("task", || format!("case{i}"));
+                            rec.observe("task.ns", (i as u64 + 1) * 1000);
+                            rec.counter("tasks", 1);
+                        }
+                    });
+                }
+            });
+            rec.report()
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the log-bucketed histogram's percentile bracket:
+//! for any sample stream and any percentile, the true nearest-rank
+//! percentile of the raw samples must lie inside
+//! `Histogram::percentile_bounds`, and `percentile()` (the upper side)
+//! must never under-report it.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use psb_telemetry::Histogram;
+
+/// Nearest-rank percentile of the raw samples (the definition the
+/// histogram brackets): the `ceil(p/100 · n)`-th smallest, 1-based,
+/// rank clamped to at least 1.
+fn true_percentile(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Spread draws across bucket scales so small and huge values both show
+/// up: a raw draw `v` in a wide range, right-shifted by a draw-dependent
+/// amount.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    vec(
+        (0u64..u64::MAX, 0u32..64).prop_map(|(v, sh)| v >> sh),
+        1..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn percentile_bounds_bracket_the_true_percentile(
+        xs in samples(),
+        p100 in 0u32..101,
+    ) {
+        let mut h = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let p = p100 as f64;
+        let truth = true_percentile(&xs, p);
+        let (lo, hi) = h.percentile_bounds(p);
+        prop_assert!(
+            lo <= truth && truth <= hi,
+            "p{p100} of {} samples: true {truth} outside [{lo}, {hi}]",
+            xs.len()
+        );
+        prop_assert!(h.percentile(p) >= truth);
+        prop_assert_eq!(h.percentile(p), hi);
+    }
+
+    #[test]
+    fn summary_percentiles_are_ordered_and_capped_by_max(xs in samples()) {
+        let mut h = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let s = h.summary();
+        prop_assert!(s.p50 <= s.p90);
+        prop_assert!(s.p90 <= s.p99);
+        prop_assert!(s.p99 <= s.max);
+        prop_assert_eq!(s.count, xs.len() as u64);
+        prop_assert_eq!(s.max, xs.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(s.min, xs.iter().copied().min().unwrap_or(0));
+    }
+
+    #[test]
+    fn merged_histograms_keep_the_bracket_property(
+        xs in samples(),
+        ys in samples(),
+        p100 in 0u32..101,
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &x in &xs {
+            a.record(x);
+        }
+        for &y in &ys {
+            b.record(y);
+        }
+        a.merge(&b);
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        let p = p100 as f64;
+        let truth = true_percentile(&all, p);
+        let (lo, hi) = a.percentile_bounds(p);
+        prop_assert!(lo <= truth && truth <= hi);
+    }
+}
