@@ -35,9 +35,13 @@
 
 mod cache;
 mod hash;
+mod store;
 
 pub use cache::{ArtifactCache, CacheStats, ShardStats, SHARD_COUNT};
 pub use hash::{hash_fields, DebugHasher};
+pub use store::{
+    decode_artifact, encode_artifact, DiskStore, StoreError, StoreStats, STORE_VERSION,
+};
 
 use cache::ProfileEntry;
 use psb_core::{DecodedProgram, MachineConfig, TraceSink, VliwError, VliwMachine, VliwResult};
@@ -418,17 +422,89 @@ pub fn compile_with<T: Telemetry>(
     cache: &ArtifactCache,
     tel: &T,
 ) -> Result<Arc<CompiledArtifact>, CompileError> {
-    cache.artifact(req.key(), tel, || {
-        let entry = match &req.profile {
-            ProfileSource::Train { program, config } => {
-                cache.profile(CompileRequest::profile_key(program, config), tel, || {
-                    profile_stage(&req.profile, tel).map(Arc::new)
-                })?
+    cache.artifact(req.key(), tel, || compile_miss(req, cache, tel))
+}
+
+/// The artifact-cache miss path shared by [`compile_with`] and
+/// [`compile_stored`]: resolve the (separately memoized) profile stage,
+/// then schedule and decode.
+fn compile_miss<T: Telemetry>(
+    req: &CompileRequest<'_>,
+    cache: &ArtifactCache,
+    tel: &T,
+) -> Result<Arc<CompiledArtifact>, CompileError> {
+    let entry = match &req.profile {
+        ProfileSource::Train { program, config } => {
+            cache.profile(CompileRequest::profile_key(program, config), tel, || {
+                profile_stage(&req.profile, tel).map(Arc::new)
+            })?
+        }
+        ProfileSource::Provided(_) => Arc::new(profile_stage(&req.profile, tel)?),
+    };
+    finish_compile(req, &entry, tel).map(Arc::new)
+}
+
+/// Where [`compile_stored`] found the artifact it returned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArtifactSource {
+    /// Served by the in-memory [`ArtifactCache`] (or by waiting on
+    /// another thread's in-flight compile of the same key).
+    Memory,
+    /// Loaded and validated from the [`DiskStore`].
+    Disk,
+    /// Compiled from scratch this call.
+    Compiled,
+}
+
+impl ArtifactSource {
+    /// Stable lowercase name (a JSON/report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactSource::Memory => "memory",
+            ArtifactSource::Disk => "disk",
+            ArtifactSource::Compiled => "compiled",
+        }
+    }
+}
+
+/// [`compile_with`] extended with a persistent [`DiskStore`] between the
+/// memory cache and the compiler: a memory miss first tries to load (and
+/// fully validate) a persisted artifact; a genuine compile persists its
+/// product for future processes.  Returns where the artifact came from
+/// alongside the artifact.
+///
+/// A store file that fails validation ([`StoreError`]) is *not* a
+/// request failure — the request falls through to a fresh compile whose
+/// save overwrites the bad file; the error is counted in the store's
+/// [`StoreStats`] and its `store.errors` counter.
+///
+/// # Errors
+///
+/// [`CompileError`] from whichever stage failed, as [`compile_with`].
+pub fn compile_stored<T: Telemetry>(
+    req: &CompileRequest<'_>,
+    cache: &ArtifactCache,
+    store: Option<&DiskStore>,
+    tel: &T,
+) -> Result<(Arc<CompiledArtifact>, ArtifactSource), CompileError> {
+    let source = std::cell::Cell::new(ArtifactSource::Memory);
+    let artifact = cache.artifact(req.key(), tel, || -> Result<_, CompileError> {
+        if let Some(store) = store {
+            if let Ok(Some(artifact)) = store.load(req, tel) {
+                source.set(ArtifactSource::Disk);
+                return Ok(artifact);
             }
-            ProfileSource::Provided(_) => Arc::new(profile_stage(&req.profile, tel)?),
-        };
-        finish_compile(req, &entry, tel).map(Arc::new)
-    })
+        }
+        source.set(ArtifactSource::Compiled);
+        let artifact = compile_miss(req, cache, tel)?;
+        if let Some(store) = store {
+            // Best-effort persist: an unwritable store must not fail
+            // the request; the failure is counted in StoreStats.
+            let _ = store.save(&artifact, tel);
+        }
+        Ok(artifact)
+    })?;
+    Ok((artifact, source.get()))
 }
 
 /// Compiles `req` without any cache — the differential oracle.

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|bench|trace|profile|fuzz|all]
+//! repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|bench|trace|profile|fuzz|serve|loadgen|all]
 //!       [--size N] [--quick] [--json] [--jobs N] [--workload W] [--model M] [--out FILE]
 //! ```
 //!
@@ -34,7 +34,12 @@
 //! ```text
 //! repro compile [--workload W[,W...]] [--model M|all] [--size N]
 //!               [--deterministic] [--json] [--jobs N] [--out FILE]
+//!               [--store DIR]
 //! ```
+//!
+//! With `--store DIR`, compiled artifacts persist into an on-disk store;
+//! a later process over the same directory fills from disk instead of
+//! recompiling (each row's `source` records which layer answered).
 //!
 //! `bench` runs the fixed throughput matrix and emits `BENCH.json`:
 //!
@@ -56,6 +61,21 @@
 //! `--deterministic` zeroes every host-dependent field (also honoured by
 //! `metrics`), so CI can byte-compare two runs.
 //!
+//! `serve` exposes the simulator as a service (see DESIGN.md §14):
+//!
+//! ```text
+//! repro serve [--addr HOST:PORT] [--jobs N] [--queue-depth N]
+//!             [--cycle-budget N] [--store DIR] [--deterministic]
+//! ```
+//!
+//! `loadgen` drives a running server with a deterministic request mix
+//! and reports latency percentiles and the cache hit rate:
+//!
+//! ```text
+//! repro loadgen [--addr HOST:PORT] [--requests N] [--jobs N]
+//!               [--seed S] [--deterministic] [--out FILE]
+//! ```
+//!
 //! `--telemetry [FILE]` (on `bench`, `compile`, and `fuzz`) records
 //! host-side instrumentation — compile stage spans, cache lock/wait
 //! histograms, worker-pool task spans — and writes a merged host+guest
@@ -66,196 +86,43 @@
 //! `--deterministic`, wall-derived values are zeroed and host-only
 //! records dropped, making both files byte-identical at any `--jobs`.
 
-use psb_compile::ArtifactCache;
+use psb_compile::{ArtifactCache, DiskStore};
 use psb_eval::{
     ablation_counter, ablation_shadow, ablation_unroll, cache_effectiveness_check,
     cache_effectiveness_check_t, check_report, chrome_trace, code_size, collect_profiles,
-    collect_traces, compile_sweep, compile_sweep_t, fig6, fig7, fig8, interaction, measure_metrics,
-    merged_chrome_trace, mix, obs_points, parse_engines, parse_jobs, parse_model,
-    record_cache_stats, render_ablation, render_bench, render_code_size, render_compile,
-    render_fig8, render_figure, render_interaction, render_mix, render_profile, render_sensitivity,
-    render_table2, render_table3, render_telemetry, run_bench, run_bench_with_cache_t, run_fuzz,
-    run_fuzz_t, sensitivity, summary, table2, table3, telemetry_report_json, to_json_pretty,
-    BenchParams, EvalParams, FuzzParams, Json, RunTrace,
+    collect_traces, compile_sweep, compile_sweep_stored, fig6, fig7, fig8, interaction,
+    measure_metrics, merged_chrome_trace, mix, obs_points, record_cache_stats, render_ablation,
+    render_bench, render_code_size, render_compile, render_fig8, render_figure, render_interaction,
+    render_mix, render_profile, render_sensitivity, render_table2, render_table3, render_telemetry,
+    run_bench, run_bench_with_cache_t, run_fuzz, run_fuzz_t, sensitivity, summary, table2, table3,
+    telemetry_report_json, to_json_pretty, BenchParams, Cli, FuzzParams, Json, RunTrace,
 };
-use psb_telemetry::Recorder;
+use psb_serve::{render_report, run_loadgen, serve, LoadgenConfig, ServeConfig};
+use psb_telemetry::{NullTelemetry, Recorder};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut what = "all".to_string();
-    let mut params = EvalParams::default();
-    let mut fuzz_params = FuzzParams::default();
-    let mut bench_params = BenchParams::default();
-    let mut json = false;
-    let mut deterministic = false;
-    let mut check: Option<String> = None;
-    let mut cache_check = false;
-    let mut tolerance = 0.2;
-    let mut workloads: Vec<String> = Vec::new();
-    let mut models: Vec<psb_sched::Model> = Vec::new();
-    let mut out: Option<String> = None;
-    let mut telemetry: Option<String> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--seed" => {
-                i += 1;
-                fuzz_params.seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--seed needs a number"));
-            }
-            "--runs" => {
-                i += 1;
-                fuzz_params.runs = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--runs needs a number"));
-            }
-            "--time-budget" => {
-                i += 1;
-                fuzz_params.time_budget = Some(
-                    args.get(i)
-                        .and_then(|s| s.parse().ok())
-                        .filter(|&t: &f64| t > 0.0)
-                        .unwrap_or_else(|| die("--time-budget needs seconds > 0")),
-                );
-            }
-            "--corpus" => {
-                i += 1;
-                fuzz_params.corpus_dir = args
-                    .get(i)
-                    .unwrap_or_else(|| die("--corpus needs a directory"))
-                    .into();
-            }
-            "--inject-recovery-bug" => fuzz_params.inject_recovery_bug = true,
-            "--quick" => {
-                params = EvalParams {
-                    size: params.size.min(512),
-                    ..params
-                };
-                bench_params.quick = true;
-            }
-            "--json" => json = true,
-            "--deterministic" => deterministic = true,
-            "--engine" => {
-                i += 1;
-                let e = args
-                    .get(i)
-                    .unwrap_or_else(|| die("--engine needs tabled|predecoded|legacy|both|all"));
-                bench_params.engines = parse_engines(e).unwrap_or_else(|| {
-                    die(&format!(
-                        "unknown engine {e} (tabled|predecoded|legacy|both|all)"
-                    ))
-                });
-                // `repro fuzz` drives one engine per sweep; multi-engine
-                // selections (`both`, `all`) stay bench-only.
-                if let [single] = bench_params.engines[..] {
-                    fuzz_params.engine = single;
-                }
-            }
-            "--target-cycles" => {
-                i += 1;
-                bench_params.target_cycles = Some(
-                    args.get(i)
-                        .and_then(|s| s.parse().ok())
-                        .filter(|&t| t > 0)
-                        .unwrap_or_else(|| die("--target-cycles needs a number > 0")),
-                );
-            }
-            "--check" => {
-                i += 1;
-                check = Some(
-                    args.get(i)
-                        .unwrap_or_else(|| die("--check needs a baseline file"))
-                        .clone(),
-                );
-            }
-            "--tolerance" => {
-                i += 1;
-                tolerance = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .filter(|&t: &f64| t >= 0.0)
-                    .unwrap_or_else(|| die("--tolerance needs a fraction >= 0"));
-            }
-            "--workload" => {
-                i += 1;
-                let list = args.get(i).unwrap_or_else(|| {
-                    die("--workload needs a benchmark name (comma-separated ok)")
-                });
-                for w in list.split(',').filter(|w| !w.is_empty()) {
-                    if !psb_eval::BENCHMARKS.contains(&w) {
-                        die(&format!("unknown workload {w}"));
-                    }
-                    workloads.push(w.to_string());
-                }
-            }
-            "--model" => {
-                i += 1;
-                let m = args
-                    .get(i)
-                    .unwrap_or_else(|| die("--model needs a model name (or `all`)"));
-                if m == "all" {
-                    models = psb_sched::Model::ALL.to_vec();
-                } else {
-                    models
-                        .push(parse_model(m).unwrap_or_else(|| die(&format!("unknown model {m}"))));
-                }
-            }
-            "--cache-check" => cache_check = true,
-            "--out" => {
-                i += 1;
-                out = Some(
-                    args.get(i)
-                        .unwrap_or_else(|| die("--out needs a file path"))
-                        .clone(),
-                );
-            }
-            "--size" => {
-                i += 1;
-                params.size = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--size needs a number"));
-            }
-            "--train-seed" => {
-                i += 1;
-                params.train_seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--train-seed needs a number"));
-            }
-            "--eval-seed" => {
-                i += 1;
-                params.eval_seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--eval-seed needs a number"));
-            }
-            "--jobs" => {
-                i += 1;
-                let v = args
-                    .get(i)
-                    .unwrap_or_else(|| die("--jobs needs a number >= 1"));
-                params.jobs = parse_jobs(v).unwrap_or_else(|e| die(&e.to_string()));
-            }
-            "--telemetry" => {
-                // The path operand is optional: consume the next token
-                // only when it doesn't look like a flag.
-                telemetry = Some(match args.get(i + 1) {
-                    Some(p) if !p.starts_with('-') => {
-                        i += 1;
-                        p.clone()
-                    }
-                    _ => "telemetry.json".to_string(),
-                });
-            }
-            w if !w.starts_with('-') => what = w.to_string(),
-            other => die(&format!("unknown flag {other}")),
-        }
-        i += 1;
-    }
+    let cli = Cli::parse(&args).unwrap_or_else(|e| die(&e));
+    let Cli {
+        what,
+        params,
+        fuzz_params,
+        bench_params,
+        json,
+        deterministic,
+        check,
+        cache_check,
+        tolerance,
+        workloads,
+        models,
+        out,
+        telemetry,
+        addr,
+        queue_depth,
+        cycle_budget,
+        store,
+        requests,
+    } = cli;
 
     let emit = |text: String| match &out {
         Some(path) => {
@@ -388,15 +255,33 @@ fn main() {
                 }
             }
             "compile" => {
+                let disk = store.as_ref().map(|dir| {
+                    DiskStore::open(dir).unwrap_or_else(|e| die(&format!("--store {dir}: {e}")))
+                });
                 let tel = telemetry.as_ref().map(|_| Recorder::new(deterministic));
-                let mut sweep = match &tel {
-                    Some(rec) => compile_sweep_t(&workloads, &models, &params, rec),
-                    None => compile_sweep(&workloads, &models, &params),
+                let mut sweep = match (&tel, &disk) {
+                    (Some(rec), _) => {
+                        compile_sweep_stored(&workloads, &models, &params, disk.as_ref(), rec)
+                    }
+                    (None, Some(_)) => compile_sweep_stored(
+                        &workloads,
+                        &models,
+                        &params,
+                        disk.as_ref(),
+                        &NullTelemetry,
+                    ),
+                    (None, None) => compile_sweep(&workloads, &models, &params),
                 };
                 if deterministic {
                     sweep.zero_host();
                 }
                 eprint!("{}", render_compile(&sweep));
+                if let Some(st) = &sweep.store {
+                    eprintln!(
+                        "store: {} hit(s), {} miss(es), {} write(s), {} error(s)",
+                        st.hits, st.misses, st.writes, st.errors
+                    );
+                }
                 if json {
                     emit(format!("{}\n", to_json_pretty(&sweep)));
                 }
@@ -542,6 +427,43 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "serve" => {
+                let config = ServeConfig {
+                    addr: addr.clone().unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+                    jobs: params.jobs,
+                    queue_depth,
+                    cycle_budget,
+                    store: store.clone().map(Into::into),
+                    deterministic,
+                };
+                let handle = serve(config).unwrap_or_else(|e| die(&e));
+                eprintln!("repro serve: listening on http://{}", handle.addr());
+                eprintln!("repro serve: GET /healthz | GET /metrics | POST /run | POST /compile");
+                // Serve until killed; workers own the listener.
+                loop {
+                    std::thread::park();
+                }
+            }
+            "loadgen" => {
+                let config = LoadgenConfig {
+                    addr: addr.clone().unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+                    requests,
+                    jobs: params.jobs,
+                    seed: fuzz_params.seed,
+                    deterministic,
+                };
+                let report = run_loadgen(&config).unwrap_or_else(|e| die(&e));
+                let failed = report
+                    .get("failed")
+                    .and_then(|f| f.as_i64())
+                    .unwrap_or(i64::MAX);
+                eprint!("{}", render_report(&report));
+                emit(format!("{}\n", report.pretty()));
+                if failed > 0 {
+                    eprintln!("repro loadgen: {failed} failed request(s)");
+                    std::process::exit(1);
+                }
+            }
             other => die(&format!("unknown experiment {other}")),
         }
         println!();
@@ -591,12 +513,13 @@ fn emit_telemetry(path: &str, rec: &Recorder, guests: &[RunTrace]) {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
-        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|compile|bench|trace|profile|fuzz|all] \
+        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|compile|bench|trace|profile|fuzz|serve|loadgen|all] \
          [--size N] [--quick] [--json] [--jobs N] [--train-seed S] [--eval-seed S] \
          [--workload W[,W...]] [--model M|all] [--out FILE] [--deterministic] \
          [--engine tabled|predecoded|legacy|both|all] [--check BASELINE.json] [--cache-check] [--tolerance FRAC] \
          [--target-cycles N] [--telemetry [FILE]] \
-         [--seed S] [--runs N] [--time-budget SECS] [--corpus DIR] [--inject-recovery-bug]"
+         [--seed S] [--runs N] [--time-budget SECS] [--corpus DIR] [--inject-recovery-bug] \
+         [--addr HOST:PORT] [--queue-depth N] [--cycle-budget N] [--store DIR] [--requests N]"
     );
     std::process::exit(2);
 }

@@ -11,7 +11,10 @@
 use crate::json::{Json, ToJson};
 use crate::runner::{parallel_map_t, EvalParams, BENCHMARKS};
 use crate::telemetry_export::cache_stats_json;
-use psb_compile::{compile_with, ArtifactCache, CacheStats, CompileRequest, ProfileSource, Stage};
+use psb_compile::{
+    compile_stored, ArtifactCache, CacheStats, CompileRequest, DiskStore, ProfileSource, Stage,
+    StoreStats,
+};
 use psb_scalar::ScalarConfig;
 use psb_sched::Model;
 use psb_telemetry::{NullTelemetry, Telemetry};
@@ -48,6 +51,9 @@ pub struct CompileRow {
     pub model: String,
     /// The artifact's content hash, as 16 hex digits — deterministic.
     pub content_hash: String,
+    /// Where the artifact came from: `"memory"`, `"disk"`, or
+    /// `"compiled"` (always `"compiled"` or `"memory"` without `--store`).
+    pub source: String,
     /// Instruction words in the scheduled program.
     pub words: usize,
     /// Decoded slots in the pre-decoded arena.
@@ -66,6 +72,7 @@ impl ToJson for CompileRow {
             ("workload", self.workload.to_json()),
             ("model", self.model.to_json()),
             ("content_hash", self.content_hash.to_json()),
+            ("source", self.source.to_json()),
             ("words", self.words.to_json()),
             ("slots", self.slots.to_json()),
             ("regions", self.regions.to_json()),
@@ -83,6 +90,8 @@ pub struct CompileSweep {
     pub rows: Vec<CompileRow>,
     /// Cache counters after the sweep (`misses` = distinct artifacts).
     pub cache: CacheStats,
+    /// On-disk store counters, when the sweep ran with `--store`.
+    pub store: Option<StoreStats>,
 }
 
 impl CompileSweep {
@@ -97,9 +106,18 @@ impl CompileSweep {
 
 impl ToJson for CompileSweep {
     fn to_json(&self) -> Json {
+        let store = self.store.as_ref().map(|st| {
+            Json::obj(vec![
+                ("hits", st.hits.to_json()),
+                ("misses", st.misses.to_json()),
+                ("errors", st.errors.to_json()),
+                ("writes", st.writes.to_json()),
+            ])
+        });
         Json::obj(vec![
             ("rows", self.rows.to_json()),
             ("cache", cache_stats_json(&self.cache)),
+            ("store", store.to_json()),
         ])
     }
 }
@@ -123,6 +141,22 @@ pub fn compile_sweep_t<T: Telemetry>(
     workloads: &[String],
     models: &[Model],
     params: &EvalParams,
+    tel: &T,
+) -> CompileSweep {
+    compile_sweep_stored(workloads, models, params, None, tel)
+}
+
+/// [`compile_sweep_t`] backed by a persistent on-disk artifact store:
+/// each point tries memory, then disk, then compiles (persisting the
+/// result), and its row records which layer answered.  This is the
+/// `repro compile --store DIR` path the cross-process persistence test
+/// drives — a second process over the same directory must fill from
+/// disk instead of recompiling.
+pub fn compile_sweep_stored<T: Telemetry>(
+    workloads: &[String],
+    models: &[Model],
+    params: &EvalParams,
+    store: Option<&DiskStore>,
     tel: &T,
 ) -> CompileSweep {
     let workloads: Vec<String> = if workloads.is_empty() {
@@ -158,12 +192,13 @@ pub fn compile_sweep_t<T: Telemetry>(
                 },
                 sched: params.sched_config(*model),
             };
-            let art = compile_with(&req, &cache, tel)
+            let (art, source) = compile_stored(&req, &cache, store, tel)
                 .unwrap_or_else(|e| panic!("{name}/{model}: compile failed: {e}"));
             CompileRow {
                 workload: name.clone(),
                 model: model.name().to_string(),
                 content_hash: art.hash_hex(),
+                source: source.name().to_string(),
                 words: art.stats.words,
                 slots: art.stats.slots,
                 regions: art.sched_stats.regions,
@@ -179,6 +214,7 @@ pub fn compile_sweep_t<T: Telemetry>(
     CompileSweep {
         rows,
         cache: cache.stats(),
+        store: store.map(|s| s.stats()),
     }
 }
 

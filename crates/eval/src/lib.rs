@@ -25,14 +25,19 @@
 #![warn(missing_docs)]
 
 mod bench;
+mod cli;
 mod compile_cmd;
 mod experiments;
 mod fuzz;
-mod json;
 mod render;
 mod runner;
 mod telemetry_export;
 mod trace;
+
+/// The shared JSON document model, promoted to `psb-serve` so the
+/// server decodes requests with the same parser the harness uses to
+/// emit and check reports (`crate::json::` paths keep working).
+pub use psb_serve::json;
 
 pub use bench::{
     cache_effectiveness_check, cache_effectiveness_check_t, check_report, engine_name,
@@ -40,8 +45,10 @@ pub use bench::{
     BenchCheck, BenchParams, BenchPoint, BenchReport, CacheCheck, EngineAggregate, HostSample,
     BENCH_SCHEMA_VERSION, KERNELS,
 };
+pub use cli::Cli;
 pub use compile_cmd::{
-    compile_sweep, compile_sweep_t, render_compile, CompileHost, CompileRow, CompileSweep,
+    compile_sweep, compile_sweep_stored, compile_sweep_t, render_compile, CompileHost, CompileRow,
+    CompileSweep,
 };
 pub use experiments::{
     ablation_counter, ablation_shadow, ablation_unroll, code_size, fig6, fig7, fig8, interaction,

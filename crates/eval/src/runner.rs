@@ -6,127 +6,16 @@ use psb_core::{MachineConfig, ShadowMode, VliwResult};
 use psb_isa::Resources;
 use psb_scalar::{RunResult, ScalarConfig, ScalarMachine};
 use psb_sched::{Model, SchedConfig};
-use psb_telemetry::{round_us, NullTelemetry, Telemetry};
+use psb_telemetry::round_us;
 use psb_workloads::Workload;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::json::{Json, ToJson};
 
-/// Applies `f` to every item, fanning out over `jobs` worker threads.
-///
-/// Results are returned in input order regardless of which worker produced
-/// them or when, so experiment output is identical for every job count
-/// (`jobs <= 1` doesn't spawn at all).  Workers pull indices from a shared
-/// counter, which balances uneven per-item cost — a worker that finishes a
-/// cheap workload early immediately picks up the next point.
-///
-/// # Panics
-///
-/// A panic on any worker (a golden-model divergence, say) is re-raised on
-/// the caller's thread once the scope joins.
-pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    parallel_map_t(items, jobs, &NullTelemetry, |_, _| String::new(), f)
-}
-
-/// [`parallel_map`] with the worker pool instrumented.
-///
-/// Per task (jobs-deterministic record counts): a `task` span named by
-/// `label(index, item)` — only invoked when telemetry is enabled — and a
-/// `pmap.task_ns` latency sample.  Host-only (dropped in deterministic
-/// mode): `pmap.queue_wait_ns` (map start → task start), a `pmap`
-/// span per worker, each worker's `pmap.worker_busy_ns`, and
-/// `pmap.worker_util_permille` (busy time over worker lifetime).
-///
-/// # Panics
-///
-/// See [`parallel_map`].
-pub fn parallel_map_t<T, R, F, L, Tel>(
-    items: &[T],
-    jobs: usize,
-    tel: &Tel,
-    label: L,
-    f: F,
-) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-    L: Fn(usize, &T) -> String + Sync,
-    Tel: Telemetry,
-{
-    let jobs = jobs.min(items.len());
-    tel.counter("pmap.items", items.len() as u64);
-    let epoch = tel.now_ns();
-    let run_one = |i: usize, item: &T| -> R {
-        let t_start = tel.now_ns();
-        tel.observe_host("pmap.queue_wait_ns", t_start.saturating_sub(epoch));
-        let r = f(item);
-        let dur = tel.now_ns().saturating_sub(t_start);
-        tel.observe("pmap.task_ns", dur);
-        if tel.enabled() {
-            tel.record_span("task", label(i, item), t_start, dur);
-        }
-        r
-    };
-    if jobs <= 1 {
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| run_one(i, item))
-            .collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(jobs);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..jobs)
-            .map(|w| {
-                let run_one = &run_one;
-                let next = &next;
-                s.spawn(move || {
-                    let _worker_span = tel.span_host("pmap", || format!("worker{w}"));
-                    let born = tel.now_ns();
-                    let mut busy = 0u64;
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        let t0 = tel.now_ns();
-                        out.push((i, run_one(i, &items[i])));
-                        busy += tel.now_ns().saturating_sub(t0);
-                    }
-                    let lifetime = tel.now_ns().saturating_sub(born);
-                    if let Some(util) = busy.saturating_mul(1000).checked_div(lifetime) {
-                        tel.observe_host("pmap.worker_busy_ns", busy);
-                        tel.observe_host("pmap.worker_util_permille", util);
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(part) => parts.push(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-    });
-    let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
-    for (i, r) in parts.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|o| o.expect("every index claimed exactly once"))
-        .collect()
-}
+/// The instrumented worker pool, re-exported from its home in
+/// `psb-telemetry` (it moved there so `psb-serve` can batch request
+/// execution onto the same pool without depending on the harness).
+pub use psb_telemetry::{parallel_map, parallel_map_t};
 
 /// A rejected `--jobs` value: the one typed parse error every `repro`
 /// subcommand shares (0 and non-numeric are both invalid — the worker
@@ -554,53 +443,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
+    fn parallel_map_reexport_preserves_order() {
+        // The pool's own unit tests live in psb-telemetry; this pins the
+        // re-export path the experiment code compiles against.
+        let items: Vec<u64> = (0..32).collect();
         let serial = parallel_map(&items, 1, |&x| x * x);
-        for jobs in [2, 3, 8, 200] {
-            assert_eq!(parallel_map(&items, jobs, |&x| x * x), serial);
-        }
-        assert_eq!(parallel_map(&[] as &[u64], 4, |&x| x), Vec::<u64>::new());
-    }
-
-    #[test]
-    fn parallel_map_propagates_worker_panics() {
-        let items: Vec<u64> = (0..16).collect();
-        let caught = std::panic::catch_unwind(|| {
-            parallel_map(&items, 4, |&x| {
-                assert!(x != 7, "boom at {x}");
-                x
-            })
-        });
-        assert!(caught.is_err());
-    }
-
-    #[test]
-    fn parallel_map_t_records_jobs_independent_telemetry() {
-        use psb_telemetry::Recorder;
-        let items: Vec<u64> = (0..24).collect();
-        let run = |jobs: usize| {
-            let rec = Recorder::new(true);
-            let out = parallel_map_t(&items, jobs, &rec, |i, _| format!("item{i}"), |&x| x + 1);
-            assert_eq!(out, (1..25).collect::<Vec<u64>>());
-            rec.report()
-        };
-        let serial = run(1);
-        assert_eq!(serial, run(4));
-        assert_eq!(serial.spans.len(), 24);
-        assert!(serial.spans.iter().all(|s| s.cat == "task"));
-        assert_eq!(serial.counters, vec![("pmap.items".to_string(), 24)]);
-        let task = serial
-            .histograms
-            .iter()
-            .find(|(n, _)| n == "pmap.task_ns")
-            .expect("task latency histogram");
-        assert_eq!(task.1.count, 24);
-        // Host-only worker metrics must not leak into deterministic mode.
-        assert!(serial
-            .histograms
-            .iter()
-            .all(|(n, _)| !n.starts_with("pmap.worker")));
+        assert_eq!(parallel_map(&items, 4, |&x| x * x), serial);
     }
 
     #[test]

@@ -22,138 +22,16 @@ fn stdout_of(args: &[&str]) -> String {
     String::from_utf8(out.stdout).expect("utf-8 output")
 }
 
-// --- a minimal JSON well-formedness checker ------------------------------
+// --- shared JSON parser ------------------------------------------------
 
-struct Parser<'a> {
-    s: &'a [u8],
-    i: usize,
-}
+use psb_eval::Json;
 
-impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Parser<'a> {
-        Parser {
-            s: s.as_bytes(),
-            i: 0,
-        }
-    }
-
-    fn ws(&mut self) {
-        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
-            self.i += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.ws();
-        self.s.get(self.i).copied()
-    }
-
-    fn eat(&mut self, b: u8) -> Result<(), String> {
-        match self.peek() {
-            Some(c) if c == b => {
-                self.i += 1;
-                Ok(())
-            }
-            other => Err(format!(
-                "expected {:?} at {}, found {other:?}",
-                b as char, self.i
-            )),
-        }
-    }
-
-    fn lit(&mut self, word: &str) -> Result<(), String> {
-        if self.s[self.i..].starts_with(word.as_bytes()) {
-            self.i += word.len();
-            Ok(())
-        } else {
-            Err(format!("bad literal at {}", self.i))
-        }
-    }
-
-    fn string(&mut self) -> Result<(), String> {
-        self.eat(b'"')?;
-        while let Some(&c) = self.s.get(self.i) {
-            self.i += 1;
-            match c {
-                b'"' => return Ok(()),
-                b'\\' => {
-                    self.i += 1; // escape target (\uXXXX digits are hex, fine to skip one-by-one)
-                }
-                _ => {}
-            }
-        }
-        Err("unterminated string".into())
-    }
-
-    fn number(&mut self) -> Result<(), String> {
-        let start = self.i;
-        if self.s.get(self.i) == Some(&b'-') {
-            self.i += 1;
-        }
-        while matches!(self.s.get(self.i), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.i += 1;
-        }
-        if self.i == start {
-            Err(format!("bad number at {start}"))
-        } else {
-            Ok(())
-        }
-    }
-
-    fn value(&mut self) -> Result<(), String> {
-        match self.peek() {
-            Some(b'{') => {
-                self.eat(b'{')?;
-                if self.peek() == Some(b'}') {
-                    return self.eat(b'}');
-                }
-                loop {
-                    self.ws();
-                    self.string()?;
-                    self.eat(b':')?;
-                    self.value()?;
-                    match self.peek() {
-                        Some(b',') => self.eat(b',')?,
-                        _ => break,
-                    }
-                }
-                self.eat(b'}')
-            }
-            Some(b'[') => {
-                self.eat(b'[')?;
-                if self.peek() == Some(b']') {
-                    return self.eat(b']');
-                }
-                loop {
-                    self.value()?;
-                    match self.peek() {
-                        Some(b',') => self.eat(b',')?,
-                        _ => break,
-                    }
-                }
-                self.eat(b']')
-            }
-            Some(b'"') => {
-                self.ws();
-                self.string()
-            }
-            Some(b't') => self.lit("true"),
-            Some(b'f') => self.lit("false"),
-            Some(b'n') => self.lit("null"),
-            Some(_) => self.number(),
-            None => Err("unexpected end".into()),
-        }
-    }
-}
-
-/// Asserts `text` is one well-formed JSON document.
-fn assert_json(text: &str) {
-    let mut p = Parser::new(text);
-    p.value()
-        .unwrap_or_else(|e| panic!("invalid JSON: {e}\n{}", &text[..text.len().min(400)]));
-    p.ws();
-    assert_eq!(p.i, p.s.len(), "trailing garbage after JSON document");
+/// Asserts `text` is one well-formed JSON document and returns it
+/// decoded.  (This used to be a second hand-rolled parser; it now goes
+/// through the shared `psb_serve::json` module like everything else.)
+fn assert_json(text: &str) -> Json {
+    Json::parse(text)
+        .unwrap_or_else(|e| panic!("invalid JSON: {e}\n{}", &text[..text.len().min(400)]))
 }
 
 // --- the tests -----------------------------------------------------------
@@ -447,7 +325,12 @@ fn bad_selections_exit_with_usage() {
 
 #[test]
 fn jobs_zero_is_rejected_with_a_typed_error() {
-    for sub in ["bench", "compile", "fuzz", "trace", "profile"] {
+    // The parse is hoisted ahead of dispatch (`psb_eval::Cli`), so the
+    // rejection must hold for every subcommand — including the server
+    // ones, which would otherwise spin up a pool with zero workers.
+    for sub in [
+        "bench", "compile", "fuzz", "trace", "profile", "serve", "loadgen",
+    ] {
         let out = repro(&[sub, "--jobs", "0"]);
         assert_eq!(out.status.code(), Some(2), "{sub} --jobs 0 must exit 2");
         let stderr = String::from_utf8_lossy(&out.stderr);
@@ -456,6 +339,154 @@ fn jobs_zero_is_rejected_with_a_typed_error() {
             "{sub}: missing typed error:\n{stderr}"
         );
     }
+}
+
+#[test]
+fn compile_store_fills_from_disk_across_processes() {
+    // The cross-process persistence contract: a second `repro compile
+    // --store DIR` process (fresh memory cache) must fill every point
+    // from disk instead of recompiling.
+    let dir = std::env::temp_dir().join(format!("repro_cli_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = &[
+        "compile",
+        "--workload",
+        "grep",
+        "--model",
+        "all",
+        "--size",
+        "96",
+        "--json",
+        "--deterministic",
+        "--store",
+        dir.to_str().unwrap(),
+    ];
+    let first = assert_json(stdout_of(base).trim_end());
+    let second = assert_json(stdout_of(base).trim_end());
+    let sources = |doc: &Json| -> Vec<String> {
+        doc.get("rows")
+            .and_then(Json::as_array)
+            .expect("rows")
+            .iter()
+            .map(|r| {
+                r.get("source")
+                    .and_then(Json::as_str)
+                    .expect("source")
+                    .to_string()
+            })
+            .collect()
+    };
+    assert_eq!(
+        sources(&first),
+        vec!["compiled"; 7],
+        "first process compiles"
+    );
+    assert_eq!(sources(&second), vec!["disk"; 7], "second process loads");
+    let store = |doc: &Json, key: &str| {
+        doc.get("store")
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_i64)
+            .unwrap_or(-1)
+    };
+    assert_eq!(store(&first, "writes"), 7);
+    assert_eq!(store(&first, "misses"), 7);
+    assert_eq!(store(&second, "hits"), 7);
+    assert_eq!(store(&second, "writes"), 0);
+    assert_eq!(store(&second, "errors"), 0);
+    // Content hashes are process-independent.
+    let hashes = |doc: &Json| -> Vec<String> {
+        doc.get("rows")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|r| {
+                r.get("content_hash")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string()
+            })
+            .collect()
+    };
+    assert_eq!(hashes(&first), hashes(&second));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Boots `repro serve` on an ephemeral port and returns the child plus
+/// the bound address parsed from its stderr banner.
+fn spawn_server(extra: &[&str]) -> (std::process::Child, String) {
+    use std::io::BufRead as _;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(
+            [
+                &["serve", "--addr", "127.0.0.1:0", "--deterministic"][..],
+                extra,
+            ]
+            .concat(),
+        )
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut lines = std::io::BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before its banner")
+            .expect("stderr readable");
+        if let Some(rest) = line.split("listening on http://").nth(1) {
+            break rest.trim().to_string();
+        }
+    };
+    // Keep draining stderr in the background so the child never blocks
+    // on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+#[test]
+fn loadgen_report_is_byte_identical_at_any_jobs() {
+    // The acceptance criterion of the serve PR: a fixed-seed loadgen run
+    // produces a byte-identical latency report at any --jobs, with zero
+    // failed requests and a mix-phase hit rate >= 90%.  Fresh server per
+    // run so both start cache-cold.
+    let drive = |jobs: &str| -> String {
+        let (mut child, addr) = spawn_server(&["--jobs", "2"]);
+        let report = stdout_of(&[
+            "loadgen",
+            "--addr",
+            &addr,
+            "--requests",
+            "64",
+            "--jobs",
+            jobs,
+            "--seed",
+            "42",
+            "--deterministic",
+        ]);
+        child.kill().expect("server stops");
+        let _ = child.wait();
+        report
+    };
+    let one = drive("1");
+    let four = drive("4");
+    assert_eq!(
+        one, four,
+        "loadgen report must be byte-identical across --jobs"
+    );
+    let doc = assert_json(one.trim_end());
+    assert_eq!(
+        doc.get("failed").and_then(Json::as_i64),
+        Some(0),
+        "no failed requests"
+    );
+    let hit_rate = doc.get("mix_hit_rate").and_then(Json::as_f64).unwrap();
+    assert!(hit_rate >= 0.9, "mix hit rate {hit_rate} < 0.9");
+    // The warm phase did all 8 compiles; the mix phase hit memory.
+    let warm_sources = doc.get("warm").and_then(|w| w.get("sources")).unwrap();
+    assert_eq!(warm_sources.get("compiled").and_then(Json::as_i64), Some(8));
+    let mix_sources = doc.get("mix").and_then(|m| m.get("sources")).unwrap();
+    assert_eq!(mix_sources.get("memory").and_then(Json::as_i64), Some(64));
+    assert_eq!(mix_sources.get("compiled").and_then(Json::as_i64), None);
 }
 
 #[test]

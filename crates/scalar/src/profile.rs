@@ -75,6 +75,20 @@ impl EdgeProfile {
     pub fn total(&self) -> u64 {
         self.taken.iter().sum::<u64>() + self.not_taken.iter().sum::<u64>()
     }
+
+    /// Number of blocks this profile covers (the length of the count
+    /// vectors), for codecs that serialize the profile block by block.
+    pub fn num_blocks(&self) -> usize {
+        self.taken.len()
+    }
+
+    /// Rebuilds a profile from per-block `(taken, not_taken)` counts —
+    /// the inverse of reading every block's [`EdgeProfile::counts`].
+    /// Used by the on-disk artifact store's codec.
+    pub fn from_counts(counts: Vec<(u64, u64)>) -> EdgeProfile {
+        let (taken, not_taken) = counts.into_iter().unzip();
+        EdgeProfile { taken, not_taken }
+    }
 }
 
 /// Computes the prediction accuracy for `1..=max_n` *successive* branches:

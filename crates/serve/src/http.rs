@@ -1,0 +1,418 @@
+//! A minimal HTTP/1.1 codec over blocking `std::io` streams.
+//!
+//! Hand-rolled on purpose: the container has no crates.io access and the
+//! server only needs the subset the loadgen client and the CI smoke job
+//! exercise — request line + headers, `Content-Length` bodies, keep-alive.
+//! No chunked encoding, no TLS, no HTTP/2; a request using a feature
+//! outside the subset gets a clean `400`/`413`, never a hang or a panic.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// The largest request head (request line + headers) we accept, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// The largest request body we accept, bytes.  Programs submitted as asm
+/// text are small; anything bigger is a client bug.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Why reading a request off the wire failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a request line.
+    /// Normal end of a keep-alive connection, not a protocol error.
+    Closed,
+    /// Socket-level failure (message of the underlying `io::Error`).
+    Io(String),
+    /// The request line was not `METHOD target HTTP/1.x`.
+    BadRequestLine(String),
+    /// A header line had no `:` separator.
+    BadHeader(String),
+    /// The head exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// `Content-Length` was missing on a method requiring a body, or
+    /// unparsable.
+    BadContentLength,
+    /// The declared body length exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+    /// The stream ended before `Content-Length` bytes arrived.
+    TruncatedBody,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Io(m) => write!(f, "i/o error: {m}"),
+            HttpError::BadRequestLine(l) => write!(f, "malformed request line: {l:?}"),
+            HttpError::BadHeader(l) => write!(f, "malformed header: {l:?}"),
+            HttpError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            HttpError::BadContentLength => write!(f, "missing or invalid Content-Length"),
+            HttpError::BodyTooLarge(n) => {
+                write!(f, "declared body of {n} bytes exceeds {MAX_BODY_BYTES}")
+            }
+            HttpError::TruncatedBody => write!(f, "connection closed mid-body"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e.to_string())
+    }
+}
+
+/// One parsed request: method, target path, lower-cased headers, body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Request {
+    /// `GET`, `POST`, … (as sent, upper-case expected).
+    pub method: String,
+    /// The request target (path + optional query, as sent).
+    pub target: String,
+    /// Headers with names lower-cased, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with the given lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to close the connection after this
+    /// exchange (`Connection: close`; HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one line terminated by `\n`, stripping the `\r\n` or `\n`.
+/// Returns `None` at clean EOF before any byte.
+fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::TruncatedBody);
+        }
+        let take = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => i + 1,
+            None => buf.len(),
+        };
+        if take > *budget {
+            return Err(HttpError::HeadTooLarge);
+        }
+        *budget -= take;
+        let done = buf[take - 1] == b'\n';
+        line.extend_from_slice(&buf[..take]);
+        r.consume(take);
+        if done {
+            while matches!(line.last(), Some(b'\n' | b'\r')) {
+                line.pop();
+            }
+            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+        }
+    }
+}
+
+/// Reads and parses one request (head + `Content-Length` body).
+///
+/// # Errors
+///
+/// [`HttpError::Closed`] at clean EOF (keep-alive connection done);
+/// other variants for protocol violations and socket failures.
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let line = match read_line(r, &mut budget)? {
+        None => return Err(HttpError::Closed),
+        Some(l) => l,
+    };
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if v.starts_with("HTTP/1.") => {
+            (m.to_string(), t.to_string(), v)
+        }
+        _ => return Err(HttpError::BadRequestLine(line)),
+    };
+    let _ = version;
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(r, &mut budget)? {
+            None => return Err(HttpError::TruncatedBody),
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(line.clone()))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let req = Request {
+        method,
+        target,
+        headers,
+        body: Vec::new(),
+    };
+    let len = match req.header("content-length") {
+        None if req.method == "POST" || req.method == "PUT" => {
+            return Err(HttpError::BadContentLength)
+        }
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadContentLength)?,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            HttpError::TruncatedBody
+        } else {
+            HttpError::Io(e.to_string())
+        }
+    })?;
+    Ok(Request { body, ..req })
+}
+
+/// One response to write: status, extra headers, body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length` (e.g.
+    /// `Retry-After` on 503).
+    pub headers: Vec<(String, String)>,
+    /// Response body (always JSON in this server).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status and body text.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The standard reason phrase for the status codes this server emits.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Writes the response (`close` adds `Connection: close`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_to<W: Write>(&self, w: &mut W, close: bool) -> io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
+        head.push_str("Content-Type: application/json\r\n");
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if close {
+            head.push_str("Connection: close\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Client side: writes one request (used by loadgen and the tests).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_request<W: Write>(
+    w: &mut W,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!("{method} {target} HTTP/1.1\r\n");
+    head.push_str("Host: psb-serve\r\n");
+    if !body.is_empty() || method == "POST" {
+        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Client side: reads one response (status, headers, body).
+///
+/// # Errors
+///
+/// [`HttpError`] on protocol violations, truncation, or socket failure.
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<Response, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let line = match read_line(r, &mut budget)? {
+        None => return Err(HttpError::Closed),
+        Some(l) => l,
+    };
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| HttpError::BadRequestLine(line.clone()))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(r, &mut budget)? {
+            None => return Err(HttpError::TruncatedBody),
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(line.clone()))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let len = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            HttpError::TruncatedBody
+        } else {
+            HttpError::Io(e.to_string())
+        }
+    })?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_headers() {
+        let req =
+            parse(b"POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"rest").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/run");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"{\"a\"");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn keep_alive_reads_back_to_back_requests() {
+        let wire =
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut r = BufReader::new(&wire[..]);
+        let a = read_request(&mut r).unwrap();
+        assert_eq!(a.target, "/healthz");
+        assert!(!a.wants_close());
+        let b = read_request(&mut r).unwrap();
+        assert_eq!(b.target, "/metrics");
+        assert!(b.wants_close());
+        assert_eq!(read_request(&mut r), Err(HttpError::Closed));
+    }
+
+    #[test]
+    fn rejects_protocol_violations_without_panicking() {
+        assert_eq!(parse(b""), Err(HttpError::Closed));
+        assert!(matches!(
+            parse(b"NOT-HTTP\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(HttpError::BadHeader(_))
+        ));
+        assert_eq!(
+            parse(b"POST /run HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadContentLength)
+        );
+        assert_eq!(
+            parse(b"POST /run HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(HttpError::BadContentLength)
+        );
+        assert_eq!(
+            parse(b"POST /run HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::TruncatedBody)
+        );
+        let huge = format!(
+            "POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(
+            parse(huge.as_bytes()),
+            Err(HttpError::BodyTooLarge(MAX_BODY_BYTES + 1))
+        );
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        assert_eq!(parse(long_line.as_bytes()), Err(HttpError::HeadTooLarge));
+    }
+
+    #[test]
+    fn response_round_trips_through_the_client_reader() {
+        let resp =
+            Response::json(503, "{\"error\":\"queue full\"}").with_header("Retry-After", "1");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        let back = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(back.status, 503);
+        assert_eq!(back.body, resp.body);
+        assert!(back
+            .headers
+            .iter()
+            .any(|(n, v)| n == "retry-after" && v == "1"));
+    }
+}

@@ -1,11 +1,23 @@
-//! Minimal JSON document model and pretty printer.
+//! Minimal JSON document model, pretty printer, and strict parser.
 //!
-//! The build container has no crates.io access, so the experiment
-//! harness serializes its result structs through this module instead of
+//! The build container has no crates.io access, so every JSON producer
+//! and consumer in the workspace goes through this module instead of
 //! `serde_json`.  The printer is deterministic: field order is the
 //! declaration order of each `ToJson` implementation, floats print via
 //! Rust's shortest round-trip formatting, and the layout (2-space
 //! indent) matches `serde_json::to_string_pretty`.
+//!
+//! The parser is the printer's inverse — `parse(v.pretty()) == v` for
+//! every value the printer can emit (property-tested in
+//! `tests/json_roundtrip.rs`) — and rejects malformed input with a
+//! typed [`JsonError`] carrying the byte offset, so the server can turn
+//! a bad request body into a 400 with a precise complaint instead of a
+//! stringly error.
+//!
+//! This module started life in `psb-eval` (PR 1) with an ad-hoc second
+//! parser in its CLI tests; both now live here so `psb-serve` can decode
+//! request bodies without depending on the experiment harness
+//! (`psb-eval` re-exports the module unchanged for its own reports).
 
 use std::fmt::Write as _;
 
@@ -28,23 +40,82 @@ pub enum Json {
     Object(Vec<(String, Json)>),
 }
 
+/// What went wrong at [`JsonError::offset`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JsonErrorKind {
+    /// The document ended mid-value.
+    UnexpectedEnd,
+    /// A specific punctuation byte was required.
+    Expected(char),
+    /// Either of two punctuation bytes was required (`,` or the closer).
+    ExpectedEither(char, char),
+    /// Bytes remained after the first complete document.
+    TrailingData,
+    /// A number failed to parse (overflow or malformed mantissa).
+    BadNumber,
+    /// A `\x` escape with an unknown `x`.
+    BadEscape,
+    /// A `\u` escape without four hex digits.
+    TruncatedEscape,
+    /// A string literal hit end-of-input before its closing quote.
+    UnterminatedString,
+    /// The input is not valid UTF-8.
+    InvalidUtf8,
+}
+
+/// A rejected JSON document: the byte offset of the problem plus its
+/// [`JsonErrorKind`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What was wrong there.
+    pub kind: JsonErrorKind,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let JsonError { offset, kind } = self;
+        match kind {
+            JsonErrorKind::UnexpectedEnd => write!(f, "{offset}: unexpected end of input"),
+            JsonErrorKind::Expected(c) => write!(f, "{offset}: expected '{c}'"),
+            JsonErrorKind::ExpectedEither(a, b) => {
+                write!(f, "{offset}: expected '{a}' or '{b}'")
+            }
+            JsonErrorKind::TrailingData => write!(f, "{offset}: trailing data after document"),
+            JsonErrorKind::BadNumber => write!(f, "{offset}: bad number"),
+            JsonErrorKind::BadEscape => write!(f, "{offset}: bad escape"),
+            JsonErrorKind::TruncatedEscape => write!(f, "{offset}: truncated \\u escape"),
+            JsonErrorKind::UnterminatedString => write!(f, "{offset}: unterminated string"),
+            JsonErrorKind::InvalidUtf8 => write!(f, "{offset}: invalid utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(offset: usize, kind: JsonErrorKind) -> Result<T, JsonError> {
+    Err(JsonError { offset, kind })
+}
+
 impl Json {
     /// Parses a JSON document (strict, no trailing garbage).
     ///
     /// The inverse of [`Json::pretty`], used to load checked-in baseline
-    /// files.  Numbers without a fraction or exponent parse as
-    /// [`Json::Int`], everything else as [`Json::Float`].
+    /// files and decode server request bodies.  Numbers without a
+    /// fraction or exponent parse as [`Json::Int`], everything else as
+    /// [`Json::Float`].
     ///
     /// # Errors
     ///
-    /// A rendered `offset: message` string on malformed input.
-    pub fn parse(text: &str) -> Result<Json, String> {
+    /// [`JsonError`] with the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0;
         let value = parse_value(bytes, &mut pos)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(format!("{pos}: trailing data after document"));
+            return err(pos, JsonErrorKind::TrailingData);
         }
         Ok(value)
     }
@@ -78,6 +149,14 @@ impl Json {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -176,19 +255,19 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
     if b.get(*pos) == Some(&c) {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("{}: expected '{}'", *pos, c as char))
+        err(*pos, JsonErrorKind::Expected(c as char))
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     skip_ws(b, pos);
     match b.get(*pos) {
-        None => Err(format!("{}: unexpected end of input", *pos)),
+        None => err(*pos, JsonErrorKind::UnexpectedEnd),
         Some(b'{') => {
             *pos += 1;
             let mut fields = Vec::new();
@@ -210,7 +289,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                         *pos += 1;
                         return Ok(Json::Object(fields));
                     }
-                    _ => return Err(format!("{}: expected ',' or '}}'", *pos)),
+                    _ => return err(*pos, JsonErrorKind::ExpectedEither(',', '}')),
                 }
             }
         }
@@ -231,7 +310,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                         *pos += 1;
                         return Ok(Json::Array(items));
                     }
-                    _ => return Err(format!("{}: expected ',' or ']'", *pos)),
+                    _ => return err(*pos, JsonErrorKind::ExpectedEither(',', ']')),
                 }
             }
         }
@@ -252,12 +331,12 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     expect(b, pos, b'"')?;
     let mut s = String::new();
     loop {
         match b.get(*pos) {
-            None => return Err(format!("{}: unterminated string", *pos)),
+            None => return err(*pos, JsonErrorKind::UnterminatedString),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(s);
@@ -277,22 +356,30 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                         let hex = b
                             .get(*pos + 1..*pos + 5)
                             .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or_else(|| format!("{}: truncated \\u escape", *pos))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("{}: bad \\u escape", *pos))?;
+                            .ok_or(JsonError {
+                                offset: *pos,
+                                kind: JsonErrorKind::TruncatedEscape,
+                            })?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| JsonError {
+                            offset: *pos,
+                            kind: JsonErrorKind::TruncatedEscape,
+                        })?;
                         // Surrogates never appear in our own output; map
                         // them to the replacement character on input.
                         s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 4;
                     }
-                    _ => return Err(format!("{}: bad escape", *pos)),
+                    _ => return err(*pos, JsonErrorKind::BadEscape),
                 }
                 *pos += 1;
             }
             Some(_) => {
                 // Consume one UTF-8 scalar (input is a &str, so slicing
                 // at char boundaries is safe).
-                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "bad utf-8".to_string())?;
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| JsonError {
+                    offset: *pos,
+                    kind: JsonErrorKind::InvalidUtf8,
+                })?;
                 let c = rest.chars().next().unwrap();
                 s.push(c);
                 *pos += c.len_utf8();
@@ -301,7 +388,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -317,16 +404,19 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
             _ => break,
         }
     }
-    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad utf-8".to_string())?;
-    if fractional {
-        text.parse::<f64>()
-            .map(Json::Float)
-            .map_err(|_| format!("{start}: bad number {text}"))
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| JsonError {
+        offset: start,
+        kind: JsonErrorKind::InvalidUtf8,
+    })?;
+    let parsed = if fractional {
+        text.parse::<f64>().ok().map(Json::Float)
     } else {
-        text.parse::<i64>()
-            .map(Json::Int)
-            .map_err(|_| format!("{start}: bad number {text}"))
-    }
+        text.parse::<i64>().ok().map(Json::Int)
+    };
+    parsed.ok_or(JsonError {
+        offset: start,
+        kind: JsonErrorKind::BadNumber,
+    })
 }
 
 fn push_indent(out: &mut String, levels: usize) {
@@ -492,20 +582,38 @@ mod tests {
 
     #[test]
     fn parse_accessors_navigate() {
-        let v = Json::parse(r#"{"a": {"b": [1, 2.5, "x"]}}"#).unwrap();
+        let v = Json::parse(r#"{"a": {"b": [1, 2.5, "x", true]}}"#).unwrap();
         let arr = v.get("a").and_then(|a| a.get("b")).unwrap();
         let items = arr.as_array().unwrap();
         assert_eq!(items[0].as_i64(), Some(1));
         assert_eq!(items[1].as_f64(), Some(2.5));
         assert_eq!(items[2].as_str(), Some("x"));
+        assert_eq!(items[3].as_bool(), Some(true));
         assert_eq!(v.get("missing"), None);
         assert_eq!(v.as_i64(), None);
     }
 
     #[test]
-    fn parse_rejects_malformed_documents() {
-        for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"open"] {
-            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+    fn parse_rejects_malformed_documents_with_offsets() {
+        use JsonErrorKind as K;
+        for (bad, offset, kind) in [
+            ("", 0, K::UnexpectedEnd),
+            ("{", 1, K::Expected('"')),
+            ("[1,]", 3, K::BadNumber),
+            ("{\"a\" 1}", 5, K::Expected(':')),
+            ("tru", 0, K::BadNumber),
+            ("1 2", 2, K::TrailingData),
+            ("\"open", 5, K::UnterminatedString),
+            ("{\"a\": 1; }", 7, K::ExpectedEither(',', '}')),
+            ("[1 2]", 3, K::ExpectedEither(',', ']')),
+            ("\"bad \\x escape\"", 6, K::BadEscape),
+            ("\"trunc \\u12\"", 8, K::TruncatedEscape),
+            ("99999999999999999999", 0, K::BadNumber),
+        ] {
+            let e = Json::parse(bad).expect_err(bad);
+            assert_eq!((e.offset, e.kind), (offset, kind), "input {bad:?}");
+            // Every error renders as `offset: message`.
+            assert!(e.to_string().starts_with(&format!("{offset}: ")));
         }
     }
 }

@@ -1,0 +1,40 @@
+//! psb-serve — simulation-as-a-service over the PSB pipeline.
+//!
+//! A zero-dependency, multi-tenant HTTP/1.1 + JSON server
+//! (`repro serve`) that accepts compile+run requests — a named workload
+//! or inline assembly, a model list, seeds and sizes — and returns
+//! metrics and trace artifacts from the same golden-checked pipeline the
+//! experiment harness runs.  Plus the matching deterministic closed-loop
+//! load generator (`repro loadgen`).
+//!
+//! Layer map:
+//!
+//! | Module | Job |
+//! |---|---|
+//! | [`json`] | The shared hand-rolled JSON document model (typed-error parser + serde-style printer) |
+//! | [`http`] | Minimal HTTP/1.1 codec over blocking `std::net` (keep-alive, `Content-Length`, size caps) |
+//! | [`api`] | Request decoding and execution against the compile cache hierarchy, with typed errors |
+//! | [`server`] | Acceptor + bounded admission queue + worker pool + `/metrics` |
+//! | [`loadgen`] | Seeded request mix, closed-loop clients, jobs-deterministic latency report |
+//!
+//! The server's caching hierarchy is the in-memory single-flight
+//! [`ArtifactCache`] backed by the persistent [`DiskStore`]
+//! (`psb-compile`), shared across every request and tenant: two tenants
+//! posting the same program, profile and scheduling configuration get
+//! one compile, and a server restart refills from disk instead of
+//! recompiling.
+//!
+//! [`ArtifactCache`]: psb_compile::ArtifactCache
+//! [`DiskStore`]: psb_compile::DiskStore
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod server;
+
+pub use api::{ApiError, SimRequest, Source};
+pub use loadgen::{render_report, run_loadgen, LoadgenConfig};
+pub use server::{metrics_summary, serve, ServeConfig, ServeHandle};

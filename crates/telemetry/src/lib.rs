@@ -25,9 +25,12 @@
 //! merge with.
 
 mod metrics;
+pub mod names;
+mod pool;
 mod recorder;
 
 pub use metrics::{Histogram, HistogramSummary, Registry};
+pub use pool::{parallel_map, parallel_map_t};
 pub use recorder::{Recorder, SpanRecord, TelemetryReport};
 
 /// The instrumentation interface threaded through host code paths.

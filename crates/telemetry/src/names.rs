@@ -1,0 +1,63 @@
+//! The shared vocabulary of server and store metric names.
+//!
+//! `psb-serve` records into a [`Registry`](crate::Registry) and renders
+//! the snapshot at `/metrics`; the loadgen client and the integration
+//! tests read the same snapshot back.  Keeping every name here as a
+//! `const` makes producer and consumer agree by construction, and keeps
+//! the deterministic/host split auditable in one place: names ending in
+//! `_ns` or `_depth` carry wall- or scheduling-dependent values and are
+//! only meaningful outside deterministic mode; everything else is a
+//! jobs-deterministic count.
+
+/// Requests fully processed, labelled by endpoint: `serve.requests.run`,
+/// `serve.requests.compile`, …
+pub const SERVE_REQUESTS_PREFIX: &str = "serve.requests.";
+
+/// Responses sent, labelled by status class: `serve.responses.200`,
+/// `serve.responses.400`, `serve.responses.503`, …
+pub const SERVE_RESPONSES_PREFIX: &str = "serve.responses.";
+
+/// Requests rejected at admission because the connection queue was at
+/// its depth limit (one 503 + `Retry-After` each).
+pub const SERVE_REJECTED_QUEUE: &str = "serve.rejected.queue_full";
+
+/// Requests rejected because a simulation hit its cycle budget (503).
+pub const SERVE_REJECTED_BUDGET: &str = "serve.rejected.over_budget";
+
+/// Model-runs served from the in-memory artifact cache.
+pub const SERVE_CACHE_MEMORY_HITS: &str = "serve.cache.memory_hits";
+
+/// Model-runs served by loading a persisted artifact from disk.
+pub const SERVE_CACHE_DISK_HITS: &str = "serve.cache.disk_hits";
+
+/// Model-runs that compiled from scratch.
+pub const SERVE_CACHE_COMPILES: &str = "serve.cache.compiles";
+
+/// End-to-end request latency histogram (host; nanoseconds).
+pub const SERVE_REQUEST_NS: &str = "serve.request_ns";
+
+/// Time a connection waited in the accept queue before a worker picked
+/// it up (host; nanoseconds) — the admission-control signal.
+pub const SERVE_QUEUE_WAIT_NS: &str = "serve.queue_wait_ns";
+
+/// Connections waiting in the accept queue, sampled at enqueue (host).
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+
+/// Artifacts served from the on-disk store.
+pub const STORE_HITS: &str = "store.hits";
+
+/// Store lookups that found no file for the key.
+pub const STORE_MISSES: &str = "store.misses";
+
+/// Store files that failed validation (corrupt, truncated, stale) and
+/// fell back to a fresh compile.
+pub const STORE_ERRORS: &str = "store.errors";
+
+/// Artifacts persisted to the store.
+pub const STORE_WRITES: &str = "store.writes";
+
+/// Wall time of a successful store load (host; nanoseconds).
+pub const STORE_LOAD_NS: &str = "store.load_ns";
+
+/// Wall time of a store save (host; nanoseconds).
+pub const STORE_SAVE_NS: &str = "store.save_ns";
