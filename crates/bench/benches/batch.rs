@@ -1,0 +1,84 @@
+//! Batched lockstep sweep execution against point-at-a-time solo runs.
+//!
+//! Both sides execute the identical architecture over the identical
+//! configuration grid (the batch differential suite proves every lane
+//! byte-equal to its solo run); what this group measures is the
+//! amortization the batch buys — one shared decoded arena serving all
+//! lanes, admission validated per distinct shape instead of per lane,
+//! and `NullSink` lanes whose trace calls monomorphize away — versus
+//! re-paying those fixed costs once per grid point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psb_compile::{compile_fresh, CompileRequest, CompiledArtifact, ProfileSource};
+use psb_core::{BatchedMachine, CommitScan, MachineConfig, NullSink};
+use psb_scalar::{ScalarConfig, ScalarMachine};
+use psb_sched::{Model, SchedConfig};
+use std::hint::black_box;
+
+fn compiled(name: &str) -> CompiledArtifact {
+    let w = psb_workloads::by_name(name, 3, 512).unwrap();
+    let profile = ScalarMachine::new(&w.program, ScalarConfig::default())
+        .run()
+        .unwrap()
+        .edge_profile;
+    compile_fresh(&CompileRequest {
+        program: &w.program,
+        profile: ProfileSource::Provided(&profile),
+        sched: SchedConfig::new(Model::RegionPred),
+    })
+    .unwrap()
+}
+
+/// The quick sweep's machine-dimension grid: sb × scan × latency,
+/// 8 lanes.
+fn grid() -> Vec<MachineConfig> {
+    let mut cfgs = Vec::new();
+    for sb in [4usize, 16] {
+        for scan in [CommitScan::Naive, CommitScan::Indexed] {
+            for lat in [2u64, 4] {
+                cfgs.push(MachineConfig {
+                    store_buffer_size: sb,
+                    commit_scan: scan,
+                    load_latency: lat,
+                    ..MachineConfig::default()
+                });
+            }
+        }
+    }
+    cfgs
+}
+
+fn bench_batch(c: &mut Criterion, name: &'static str) {
+    let art = compiled(name);
+    let cfgs = grid();
+    let mut g = c.benchmark_group(format!("sweep_grid_{name}"));
+    g.bench_function("solo_points", |b| {
+        b.iter(|| {
+            for cfg in &cfgs {
+                black_box(black_box(&art).run(cfg.clone()).unwrap());
+            }
+        })
+    });
+    g.bench_function("batched_lockstep", |b| {
+        b.iter(|| {
+            let lanes = cfgs.iter().map(|c| (c.clone(), NullSink)).collect();
+            let batch = BatchedMachine::with_sinks(&art.program, art.decoded.clone(), lanes);
+            for lane in black_box(batch.run()).lanes {
+                black_box(lane.unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_sweep_batch(c: &mut Criterion) {
+    bench_batch(c, "li");
+    bench_batch(c, "grep");
+}
+
+criterion_group! {
+    name = batch;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sweep_batch
+}
+criterion_main!(batch);

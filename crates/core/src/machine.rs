@@ -239,6 +239,23 @@ enum IssueOutcome {
     Stalled(StallKind),
 }
 
+/// What one call to [`VliwMachine::step_cycle`] did.
+///
+/// Lockstep drivers (the batched sweep engine in [`crate::batch`]) use
+/// this to decide whether a lane takes another cycle or retires; the
+/// solo [`VliwMachine::run_into_sink`] loop is the canonical consumer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// The machine took one architectural cycle (issue, stall or
+    /// recovery entry) and can step again.
+    Running,
+    /// The machine issued its halt word this cycle.  No further cycles
+    /// may be stepped; the caller must finish with
+    /// [`VliwMachine::finish`] to drain buffered state into a
+    /// [`VliwResult`].
+    Halted,
+}
+
 /// A fused normal-mode slot handler from the generated dispatch table
 /// (predicate evaluation + execution in one call).
 type SlotNormalFn<'p, S> =
@@ -341,7 +358,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
 
     /// The construction-time checks shared by every constructor: program
     /// validation plus issue-width and function-unit admission.
-    fn validate_for(prog: &VliwProgram, cfg: &MachineConfig) -> Result<(), VliwError> {
+    pub(crate) fn validate_for(prog: &VliwProgram, cfg: &MachineConfig) -> Result<(), VliwError> {
         prog.validate().map_err(VliwError::Malformed)?;
         for (addr, word) in prog.words.iter().enumerate() {
             if word.slots.len() > cfg.issue_width {
@@ -367,7 +384,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
     }
 
     /// Assembles the machine once validation has passed.
-    fn build(
+    pub(crate) fn build(
         prog: &'p VliwProgram,
         decoded: Arc<DecodedProgram>,
         cfg: MachineConfig,
@@ -1621,6 +1638,30 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
     ///
     /// See [`VliwMachine::run`].
     pub fn run_into_sink(mut self) -> Result<(VliwResult, S), VliwError> {
+        loop {
+            match self.step_cycle()? {
+                StepOutcome::Running => {}
+                StepOutcome::Halted => return self.finish(),
+            }
+        }
+    }
+
+    /// Takes exactly one architectural cycle: commit pass, store retire,
+    /// recovery-exit check, issue (or stall), writeback, and the
+    /// end-of-cycle sample.  This is the *entire* per-cycle semantics of
+    /// the machine — [`run_into_sink`](Self::run_into_sink) is a bare
+    /// loop over it, and the batched lockstep driver
+    /// ([`BatchedMachine`](crate::BatchedMachine)) interleaves calls
+    /// across lanes, so a lane's trajectory is byte-equal to a solo run
+    /// by construction rather than by re-implementation.
+    ///
+    /// After [`StepOutcome::Halted`] the caller must not step again;
+    /// finish with [`finish`](Self::finish).
+    ///
+    /// # Errors
+    ///
+    /// See [`VliwMachine::run`].
+    pub fn step_cycle(&mut self) -> Result<StepOutcome, VliwError> {
         // The tabled engine's cycle driver proves the commit hardware
         // inert before invoking it: a pass over an empty register file or
         // store buffer commits nothing, squashes nothing and emits no
@@ -1630,7 +1671,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
         // exactly as [`CommitScan::Naive`] stays the reference strategy
         // for the indexed scan.
         let tabled = matches!(self.cfg.engine, Engine::Tabled);
-        loop {
+        {
             if self.cycle > self.cfg.max_cycles {
                 return Err(VliwError::CycleLimit(self.cfg.max_cycles));
             }
@@ -1705,7 +1746,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 IssueOutcome::Issued(out) => out,
                 IssueOutcome::Stalled(kind) => {
                     self.end_cycle(issued_word, Some(kind));
-                    continue;
+                    return Ok(StepOutcome::Running);
                 }
             };
             if !out.conds.is_empty() {
@@ -1724,7 +1765,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                     self.enter_recovery(issued_word, candidate);
                     self.recycle(out);
                     self.end_cycle(issued_word, None);
-                    continue;
+                    return Ok(StepOutcome::Running);
                 }
                 for &(c, v) in &out.conds {
                     self.ccr.set(c, v);
@@ -1752,7 +1793,7 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 // The halt cycle is sampled before the drain (the drain's
                 // store-retire cycles have no PC to attribute).
                 self.take_sample(issued_word, None);
-                return self.drain();
+                return Ok(StepOutcome::Halted);
             }
             if let Some(target) = out.jump {
                 self.enter_region(target);
@@ -1778,11 +1819,21 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
             self.recycle(out);
             self.end_cycle(issued_word, None);
         }
+        Ok(StepOutcome::Running)
     }
 
     /// Halt: close the final region and drain the pipeline and store
-    /// buffer, charging one cycle per D-cache write beyond the halt cycle.
-    fn drain(mut self) -> Result<(VliwResult, S), VliwError> {
+    /// buffer, charging one cycle per D-cache write beyond the halt
+    /// cycle.  Must only be called after
+    /// [`step_cycle`](Self::step_cycle) returned
+    /// [`StepOutcome::Halted`]; consuming the machine makes stepping a
+    /// retired lane impossible by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`VliwError::Malformed`] if an unresolved speculative store is
+    /// still buffered at halt (an invariant violation).
+    pub fn finish(mut self) -> Result<(VliwResult, S), VliwError> {
         let cycle = self.cycle;
         self.stats.squashes += self.regs.squash_spec(cycle, &mut self.sink);
         self.stats.squashes += self.sb.squash_spec(cycle, &mut self.sink);

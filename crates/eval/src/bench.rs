@@ -308,7 +308,7 @@ pub fn parse_engines(s: &str) -> Option<Vec<Engine>> {
     }
 }
 
-fn asm_dir() -> PathBuf {
+pub(crate) fn asm_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../asm")
 }
 
@@ -661,6 +661,39 @@ impl BenchCheck {
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
     }
+
+    /// Renders the check outcome for stderr, naming `baseline_path` in
+    /// both the verdict line and every failure line — a drift report
+    /// must say which file it compared against, because CI jobs check
+    /// different baselines and "determinism breakage" is actionable
+    /// only with the file to rebaseline.  Warnings are *not* rendered
+    /// here: they go to stdout as GitHub `::warning` annotations.
+    pub fn render(&self, baseline_path: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for note in &self.notes {
+            writeln!(s, "note: {note}").unwrap();
+        }
+        for failure in &self.failures {
+            writeln!(s, "FAIL [{baseline_path}]: {failure}").unwrap();
+        }
+        if self.passed() {
+            writeln!(
+                s,
+                "check vs {baseline_path}: ok ({} warning(s))",
+                self.warnings.len()
+            )
+            .unwrap();
+        } else {
+            writeln!(
+                s,
+                "check vs {baseline_path}: FAILED ({} hard failure(s))",
+                self.failures.len()
+            )
+            .unwrap();
+        }
+        s
+    }
 }
 
 fn point_key(j: &Json) -> Option<(String, String, String, String)> {
@@ -944,6 +977,30 @@ mod tests {
             "{:?}",
             check.notes
         );
+    }
+
+    #[test]
+    fn rendered_failure_names_the_baseline_path() {
+        // A drift failure must say which baseline file it compared
+        // against — previously only the success path printed it.
+        let r = tiny_report();
+        let baseline = Json::parse(&r.to_json().pretty()).unwrap();
+        let mut drifted = r.clone();
+        drifted.points[0].cycles = 101;
+        let check = check_report(&drifted, &baseline, 0.2);
+        let rendered = check.render("baselines/bench_baseline.json");
+        assert!(
+            rendered.contains("FAIL [baselines/bench_baseline.json]: "),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("check vs baselines/bench_baseline.json: FAILED (1 hard failure(s))"),
+            "{rendered}"
+        );
+        // The success rendering keeps naming the file too.
+        let ok = check_report(&r, &baseline, 0.2).render("b.json");
+        assert!(ok.contains("check vs b.json: ok (0 warning(s))"), "{ok}");
+        assert!(!ok.contains("FAIL"), "{ok}");
     }
 
     #[test]

@@ -61,6 +61,25 @@
 //! `--deterministic` zeroes every host-dependent field (also honoured by
 //! `metrics`), so CI can byte-compare two runs.
 //!
+//! `sweep` explores a machine-configuration grid of one compiled
+//! artifact per (kernel × model) pair on the batched lockstep engine
+//! (see DESIGN.md §15), measuring the aggregate speedup over
+//! point-at-a-time execution and holding every lane byte-equal to its
+//! solo run:
+//!
+//! ```text
+//! repro sweep [--quick] [--deterministic] [--jobs N]
+//!             [--grid "dim=v1,v2;..."] [--batch-width N]
+//!             [--check BASELINE.json] [--tolerance FRAC] [--out FILE]
+//! ```
+//!
+//! Grid dimensions: `kernel`, `model`, `width`, `sb`, `scan`,
+//! `latency`, `batch` — unnamed dimensions keep the quick/full
+//! defaults.  The JSON report (`psb-sweep-v1`) is byte-identical at any
+//! `--jobs`; `--deterministic` zeroes the wall timings and speedup so
+//! CI can `cmp` runs and gate counters against
+//! `baselines/sweep_baseline.json`.
+//!
 //! `serve` exposes the simulator as a service (see DESIGN.md §14):
 //!
 //! ```text
@@ -89,13 +108,15 @@
 use psb_compile::{ArtifactCache, DiskStore};
 use psb_eval::{
     ablation_counter, ablation_shadow, ablation_unroll, cache_effectiveness_check,
-    cache_effectiveness_check_t, check_report, chrome_trace, code_size, collect_profiles,
-    collect_traces, compile_sweep, compile_sweep_stored, fig6, fig7, fig8, interaction,
-    measure_metrics, merged_chrome_trace, mix, obs_points, record_cache_stats, render_ablation,
-    render_bench, render_code_size, render_compile, render_fig8, render_figure, render_interaction,
-    render_mix, render_profile, render_sensitivity, render_table2, render_table3, render_telemetry,
-    run_bench, run_bench_with_cache_t, run_fuzz, run_fuzz_t, sensitivity, summary, table2, table3,
-    telemetry_report_json, to_json_pretty, BenchParams, Cli, FuzzParams, Json, RunTrace,
+    cache_effectiveness_check_t, check_report, check_sweep, chrome_trace, code_size,
+    collect_profiles, collect_traces, compile_sweep, compile_sweep_stored, fig6, fig7, fig8,
+    interaction, measure_metrics, merged_chrome_trace, mix, obs_points, parse_grid,
+    record_cache_stats, render_ablation, render_bench, render_code_size, render_compile,
+    render_fig8, render_figure, render_interaction, render_mix, render_profile, render_sensitivity,
+    render_sweep, render_table2, render_table3, render_telemetry, run_bench,
+    run_bench_with_cache_t, run_fuzz, run_fuzz_t, run_sweep, sensitivity, summary, table2, table3,
+    telemetry_report_json, to_json_pretty, BenchParams, Cli, FuzzParams, Json, RunTrace, SweepGrid,
+    SweepParams,
 };
 use psb_serve::{render_report, run_loadgen, serve, LoadgenConfig, ServeConfig};
 use psb_telemetry::{NullTelemetry, Recorder};
@@ -122,6 +143,8 @@ fn main() {
         cycle_budget,
         store,
         requests,
+        grid,
+        batch_width,
     } = cli;
 
     let emit = |text: String| match &out {
@@ -362,22 +385,14 @@ fn main() {
                     let baseline = Json::parse(&text)
                         .unwrap_or_else(|e| die(&format!("{path}: bad baseline JSON: {e}")));
                     let outcome = check_report(&report, &baseline, tolerance);
-                    for note in &outcome.notes {
-                        eprintln!("note: {note}");
-                    }
                     // GitHub Actions reads workflow commands from stdout.
                     for warning in &outcome.warnings {
                         println!("::warning title=bench regression::{warning}");
                     }
-                    for failure in &outcome.failures {
-                        eprintln!("FAIL: {failure}");
-                    }
-                    if outcome.passed() {
-                        eprintln!(
-                            "bench check vs {path}: ok ({} warning(s))",
-                            outcome.warnings.len()
-                        );
-                    } else {
+                    // Notes, failures and the verdict — every line names
+                    // the baseline file, failures included.
+                    eprint!("{}", outcome.render(path));
+                    if !outcome.passed() {
                         failed = true;
                     }
                 }
@@ -385,6 +400,47 @@ fn main() {
                 if let (Some(path), Some(rec)) = (&telemetry, &tel) {
                     emit_telemetry(path, rec, &guests);
                 }
+                if failed {
+                    std::process::exit(1);
+                }
+            }
+            "sweep" => {
+                let base = if bench_params.quick {
+                    SweepGrid::quick()
+                } else {
+                    SweepGrid::full()
+                };
+                let mut g = match &grid {
+                    Some(spec) => parse_grid(spec, base).unwrap_or_else(|e| die(&e)),
+                    None => base,
+                };
+                if let Some(b) = batch_width {
+                    g.batch_width = b;
+                }
+                let sp = SweepParams {
+                    quick: bench_params.quick,
+                    deterministic,
+                    jobs: params.jobs,
+                    grid: g,
+                };
+                let report = run_sweep(&sp);
+                eprint!("{}", render_sweep(&report));
+                let mut failed = false;
+                if let Some(path) = &check {
+                    let text = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+                    let baseline = Json::parse(&text)
+                        .unwrap_or_else(|e| die(&format!("{path}: bad baseline JSON: {e}")));
+                    let outcome = check_sweep(&report, &baseline, tolerance);
+                    for warning in &outcome.warnings {
+                        println!("::warning title=sweep regression::{warning}");
+                    }
+                    eprint!("{}", outcome.render(path));
+                    if !outcome.passed() {
+                        failed = true;
+                    }
+                }
+                emit(format!("{}\n", to_json_pretty(&report)));
                 if failed {
                     std::process::exit(1);
                 }
@@ -513,11 +569,11 @@ fn emit_telemetry(path: &str, rec: &Recorder, guests: &[RunTrace]) {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
-        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|compile|bench|trace|profile|fuzz|serve|loadgen|all] \
+        "usage: repro [table2|table3|fig6|fig7|fig8|ablation-shadow|ablation-counter|ablation-unroll|metrics|compile|bench|sweep|trace|profile|fuzz|serve|loadgen|all] \
          [--size N] [--quick] [--json] [--jobs N] [--train-seed S] [--eval-seed S] \
          [--workload W[,W...]] [--model M|all] [--out FILE] [--deterministic] \
          [--engine tabled|predecoded|legacy|both|all] [--check BASELINE.json] [--cache-check] [--tolerance FRAC] \
-         [--target-cycles N] [--telemetry [FILE]] \
+         [--target-cycles N] [--telemetry [FILE]] [--grid \"dim=v1,v2;...\"] [--batch-width N] \
          [--seed S] [--runs N] [--time-budget SECS] [--corpus DIR] [--inject-recovery-bug] \
          [--addr HOST:PORT] [--queue-depth N] [--cycle-budget N] [--store DIR] [--requests N]"
     );

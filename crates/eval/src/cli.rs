@@ -51,6 +51,10 @@ pub struct Cli {
     pub store: Option<String>,
     /// `--requests N` for `loadgen` (default 100).
     pub requests: usize,
+    /// `--grid SPEC` for `sweep` (dimension overrides, `dim=v1,v2;...`).
+    pub grid: Option<String>,
+    /// `--batch-width N` for `sweep` (lanes per lockstep batch).
+    pub batch_width: Option<usize>,
 }
 
 impl Default for Cli {
@@ -74,6 +78,8 @@ impl Default for Cli {
             cycle_budget: None,
             store: None,
             requests: 100,
+            grid: None,
+            batch_width: None,
         }
     }
 }
@@ -209,6 +215,15 @@ impl Cli {
                     cli.cycle_budget = Some(b);
                 }
                 "--store" => cli.store = Some(operand(&mut i, "a directory")?),
+                "--grid" => cli.grid = Some(operand(&mut i, "a grid spec (dim=v1,v2;...)")?),
+                "--batch-width" => {
+                    let v = operand(&mut i, "a number >= 1")?;
+                    let b: usize = num("--batch-width", &v, "a number >= 1")?;
+                    if b == 0 {
+                        return Err("--batch-width needs a number >= 1".to_string());
+                    }
+                    cli.batch_width = Some(b);
+                }
                 "--requests" => {
                     let v = operand(&mut i, "a number")?;
                     cli.requests = num("--requests", &v, "a number")?;
@@ -311,6 +326,34 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn sweep_flags_parse() {
+        let cli = parse(&[
+            "sweep",
+            "--grid",
+            "sb=2,4;scan=naive",
+            "--batch-width",
+            "12",
+            "--jobs",
+            "4",
+            "--deterministic",
+            "--check",
+            "baselines/sweep_baseline.json",
+        ])
+        .unwrap();
+        assert_eq!(cli.what, "sweep");
+        assert_eq!(cli.grid.as_deref(), Some("sb=2,4;scan=naive"));
+        assert_eq!(cli.batch_width, Some(12));
+        assert_eq!(cli.params.jobs, 4);
+        assert!(cli.deterministic);
+        assert_eq!(cli.check.as_deref(), Some("baselines/sweep_baseline.json"));
+        // The shared numeric validation applies to the new flag too.
+        for bad in ["0", "-3", "wide", ""] {
+            assert!(parse(&["sweep", "--batch-width", bad]).is_err(), "{bad}");
+        }
+        assert!(parse(&["sweep", "--grid"]).is_err());
     }
 
     #[test]

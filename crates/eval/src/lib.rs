@@ -31,6 +31,7 @@ mod experiments;
 mod fuzz;
 mod render;
 mod runner;
+mod sweep;
 mod telemetry_export;
 mod trace;
 
@@ -64,6 +65,10 @@ pub use render::{
 pub use runner::{
     geometric_mean, measure_metrics, parallel_map, parallel_map_t, parse_jobs, run_workload,
     BenchResult, EvalParams, JobsParseError, MetricsHost, ModelResult, RunMetrics, BENCHMARKS,
+};
+pub use sweep::{
+    check_sweep, parse_grid, render_sweep, run_sweep, SweepArtifact, SweepGrid, SweepHost,
+    SweepParams, SweepPoint, SweepReport, SWEEP_SCHEMA_VERSION,
 };
 pub use telemetry_export::{
     cache_stats_json, merged_chrome_trace, record_cache_stats, render_telemetry,
