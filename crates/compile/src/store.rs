@@ -155,16 +155,21 @@ pub struct StoreStats {
     pub errors: u64,
     /// Artifacts persisted.
     pub writes: u64,
+    /// Artifacts deleted to stay under the size cap.
+    pub evictions: u64,
 }
 
 /// A directory of persisted artifacts, shared across processes.
 #[derive(Debug)]
 pub struct DiskStore {
     root: PathBuf,
+    /// Total-size cap in bytes (`--store-max-bytes`); `None` = unbounded.
+    max_bytes: Option<u64>,
     hits: AtomicU64,
     misses: AtomicU64,
     errors: AtomicU64,
     writes: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl DiskStore {
@@ -174,6 +179,22 @@ impl DiskStore {
     ///
     /// [`StoreError::Io`] if the directory cannot be created.
     pub fn open(root: impl Into<PathBuf>) -> Result<DiskStore, StoreError> {
+        DiskStore::open_with_limit(root, None)
+    }
+
+    /// [`DiskStore::open`] with a total-size cap.  Every save that
+    /// pushes the store past `max_bytes` evicts oldest-modified `.psba`
+    /// files (never the one just written) until it fits again; hits
+    /// refresh a file's mtime, so eviction order approximates LRU
+    /// across processes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory cannot be created.
+    pub fn open_with_limit(
+        root: impl Into<PathBuf>,
+        max_bytes: Option<u64>,
+    ) -> Result<DiskStore, StoreError> {
         let root = root.into();
         std::fs::create_dir_all(&root).map_err(|e| StoreError::Io {
             path: root.clone(),
@@ -181,10 +202,12 @@ impl DiskStore {
         })?;
         Ok(DiskStore {
             root,
+            max_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         })
     }
 
@@ -205,6 +228,7 @@ impl DiskStore {
             misses: self.misses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -245,6 +269,16 @@ impl DiskStore {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 tel.counter(names::STORE_HITS, 1);
                 tel.observe_host(names::STORE_LOAD_NS, start.elapsed().as_nanos() as u64);
+                // Touch the file so size-capped stores evict least
+                // recently *used*, not least recently written.  Best
+                // effort — a failed touch only skews eviction order.
+                if self.max_bytes.is_some() {
+                    if let Ok(f) = std::fs::File::options().write(true).open(&path) {
+                        let now =
+                            std::fs::FileTimes::new().set_modified(std::time::SystemTime::now());
+                        let _ = f.set_times(now);
+                    }
+                }
                 Ok(Some(Arc::new(artifact)))
             }
             Err(e) => {
@@ -285,7 +319,51 @@ impl DiskStore {
         self.writes.fetch_add(1, Ordering::Relaxed);
         tel.counter(names::STORE_WRITES, 1);
         tel.observe_host(names::STORE_SAVE_NS, start.elapsed().as_nanos() as u64);
+        self.enforce_limit(&path, tel);
         Ok(())
+    }
+
+    /// Deletes oldest-modified `.psba` files until the store fits under
+    /// `max_bytes` again.  `keep` (the file just written) is never
+    /// evicted — a save must not immediately undo itself, even when one
+    /// artifact alone exceeds the cap.  Ties on mtime break on the file
+    /// name, so concurrent same-second writes still evict in a
+    /// deterministic order.  Best effort throughout: another process
+    /// racing a delete is not an error.
+    fn enforce_limit<T: Telemetry>(&self, keep: &Path, tel: &T) {
+        let Some(cap) = self.max_bytes else { return };
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        let mut total = 0u64;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|s| s.to_str()) != Some("psba") {
+                continue;
+            }
+            let Ok(md) = entry.metadata() else { continue };
+            total += md.len();
+            let mtime = md.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            files.push((mtime, path, md.len()));
+        }
+        if total <= cap {
+            return;
+        }
+        files.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        for (_, path, len) in files {
+            if total <= cap {
+                break;
+            }
+            if path == keep {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total -= len;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                tel.counter(names::STORE_EVICTIONS, 1);
+            }
+        }
     }
 }
 

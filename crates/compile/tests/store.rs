@@ -242,6 +242,81 @@ fn a_different_requests_file_is_rejected_as_key_mismatch() {
 }
 
 #[test]
+fn size_capped_store_evicts_oldest_artifacts() {
+    let dir = scratch("evict");
+    let fixtures = [
+        Fixture::new(Model::RegionPred),
+        Fixture::new(Model::TracePred),
+        Fixture::new(Model::Squash),
+    ];
+    // Fill an unbounded store with three distinct artifacts.
+    let store = DiskStore::open(&dir).expect("open store");
+    let mut arts = Vec::new();
+    for fx in &fixtures {
+        let cache = ArtifactCache::new();
+        let (art, _) =
+            compile_stored(&fx.request(), &cache, Some(&store), &NullTelemetry).expect("compile");
+        arts.push(art);
+    }
+    let paths: Vec<PathBuf> = fixtures
+        .iter()
+        .map(|fx| store.path_for(fx.request().key()))
+        .collect();
+    assert!(paths.iter().all(|p| p.exists()));
+    // Backdate the first two so eviction order is not at the mercy of
+    // filesystem timestamp granularity.
+    for (i, path) in paths[..2].iter().enumerate() {
+        let f = std::fs::File::options()
+            .write(true)
+            .open(path)
+            .expect("open");
+        let when =
+            std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(10 * (i as u64 + 1));
+        f.set_times(std::fs::FileTimes::new().set_modified(when))
+            .expect("backdate");
+    }
+
+    // Reopen capped at exactly the newest artifact's size: the next
+    // save must evict both older files (oldest first) and keep its own.
+    let cap = std::fs::metadata(&paths[2]).expect("md").len();
+    let capped = DiskStore::open_with_limit(&dir, Some(cap)).expect("reopen capped");
+    capped.save(&arts[2], &NullTelemetry).expect("resave");
+    assert!(!paths[0].exists(), "oldest artifact must be evicted");
+    assert!(!paths[1].exists(), "second-oldest artifact must be evicted");
+    assert!(
+        paths[2].exists(),
+        "the just-written artifact is never evicted"
+    );
+    assert_eq!(capped.stats().evictions, 2);
+
+    // The survivor still loads cleanly, and a hit refreshes its mtime
+    // (LRU, not FIFO): the file's mtime moves forward on load.
+    let before = std::fs::metadata(&paths[2])
+        .expect("md")
+        .modified()
+        .expect("mtime");
+    let f = std::fs::File::options()
+        .write(true)
+        .open(&paths[2])
+        .expect("open");
+    f.set_times(
+        std::fs::FileTimes::new()
+            .set_modified(std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(30)),
+    )
+    .expect("backdate survivor");
+    let loaded = capped
+        .load(&fixtures[2].request(), &NullTelemetry)
+        .expect("load")
+        .expect("hit");
+    assert_eq!(loaded.content_hash, arts[2].content_hash);
+    let after = std::fs::metadata(&paths[2])
+        .expect("md")
+        .modified()
+        .expect("mtime");
+    assert!(after >= before, "a hit must refresh the file's mtime");
+}
+
+#[test]
 fn stats_distinguish_misses_from_errors() {
     let fx = Fixture::new(Model::Boost);
     let dir = scratch("stats");

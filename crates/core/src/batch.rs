@@ -147,6 +147,16 @@ impl<'p, S: TraceSink> BatchedMachine<'p, S> {
                 results.push(Some(Err(e.clone())));
                 continue;
             }
+            // Memory-model validation is per-lane: the admission memo
+            // below keys on (width, resources) only, and two lanes that
+            // share those may still differ in (and mis-specify) caches.
+            if let Err(e) = cfg.memory.validate() {
+                lanes.push(None);
+                results.push(Some(Err(VliwError::Malformed(format!(
+                    "memory model: {e}"
+                )))));
+                continue;
+            }
             let key = (cfg.issue_width, cfg.resources);
             let verdict = match admitted.iter().find(|(k, _)| *k == key) {
                 Some((_, v)) => v.clone(),

@@ -1,5 +1,6 @@
 //! Machine configuration.
 
+use crate::mem::MemoryModel;
 use psb_isa::Resources;
 use std::collections::BTreeSet;
 
@@ -72,7 +73,12 @@ pub struct MachineConfig {
     /// Function-unit counts.
     pub resources: Resources,
     /// Load latency in cycles (the paper uses 2; all other ops take 1).
+    /// This is the [`MemoryModel::Perfect`] latency; cache models
+    /// replace it with per-access hit/miss latencies.
     pub load_latency: u64,
+    /// Memory timing model (perfect / fixed-latency / I$+D$ caches).
+    /// Defaults to [`MemoryModel::Perfect`], the paper's assumption.
+    pub memory: MemoryModel,
     /// Shadow-register provisioning.
     pub shadow_mode: ShadowMode,
     /// Store buffer capacity in entries.
@@ -114,6 +120,7 @@ impl Default for MachineConfig {
             issue_width: 4,
             resources: Resources::paper_base(),
             load_latency: 2,
+            memory: MemoryModel::Perfect,
             shadow_mode: ShadowMode::Single,
             store_buffer_size: 16,
             retire_per_cycle: 1,
@@ -140,6 +147,12 @@ impl MachineConfig {
     /// Selects the commit-pass strategy.
     pub fn with_commit_scan(mut self, scan: CommitScan) -> MachineConfig {
         self.commit_scan = scan;
+        self
+    }
+
+    /// Selects the memory timing model.
+    pub fn with_memory(mut self, memory: MemoryModel) -> MachineConfig {
+        self.memory = memory;
         self
     }
 
@@ -185,6 +198,7 @@ mod tests {
             }
         );
         assert_eq!(c.load_latency, 2);
+        assert_eq!(c.memory, MemoryModel::Perfect);
         assert_eq!(c.shadow_mode, ShadowMode::Single);
     }
 

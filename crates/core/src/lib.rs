@@ -62,6 +62,7 @@ mod dispatch;
 mod event;
 mod invariant;
 mod machine;
+mod mem;
 mod obs;
 mod regfile;
 mod storebuf;
@@ -72,6 +73,9 @@ pub use decoded::{DecodedProgram, DecodedSlot, DecodedWord};
 pub use event::{audit_events, AuditViolation, Event, EventLog, StateLoc};
 pub use invariant::{InvariantSink, InvariantViolation};
 pub use machine::{RunStats, StepOutcome, VliwError, VliwMachine, VliwResult};
+pub use mem::{
+    CacheConfig, CacheModel, CacheProbe, MemCounters, MemoryModel, MemorySystem, MissKind,
+};
 pub use obs::{
     CountersSink, CycleSample, Histogram, NullSink, ObsReport, OccupancyStats, RegionProfile,
     StallKind, TraceSink, WordProfile,

@@ -27,6 +27,7 @@ use crate::config::{Engine, MachineConfig};
 use crate::decoded::{DecodedProgram, DecodedSlot};
 use crate::dispatch;
 use crate::event::{Event, EventLog, StateLoc};
+use crate::mem::MemorySystem;
 use crate::obs::{CycleSample, StallKind, TraceSink};
 use crate::regfile::PredicatedRegFile;
 use crate::storebuf::PredicatedStoreBuffer;
@@ -112,6 +113,22 @@ pub struct RunStats {
     /// Buffered speculative entries squashed — by a false predicate, a
     /// region exit, recovery entry, or the final drain.
     pub squashes: u64,
+    /// Stall cycles waiting for instruction fetch (I$ miss or a
+    /// multi-cycle fixed fetch latency).  Always 0 under
+    /// [`MemoryModel::Perfect`](crate::MemoryModel::Perfect).
+    pub stall_ifetch: u64,
+    /// Operand-stall cycles attributable to an in-flight load that
+    /// missed the D$ (carved out of what would otherwise count as
+    /// `stall_operand`).  Always 0 under a perfect D$.
+    pub stall_load_miss: u64,
+    /// I$ probes (one per word fetch started).
+    pub icache_accesses: u64,
+    /// I$ misses.
+    pub icache_misses: u64,
+    /// D$ probes (one per load reaching memory).
+    pub dcache_accesses: u64,
+    /// D$ misses.
+    pub dcache_misses: u64,
 }
 
 /// The result of a completed VLIW run.
@@ -167,6 +184,9 @@ struct InFlight {
     value: i64,
     pred: Predicate,
     exc: bool,
+    /// True if this load missed the D$ — operand stalls blocked on it
+    /// are charged to memory ([`StallKind::LoadMiss`]).
+    missed: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -214,6 +234,13 @@ pub struct VliwMachine<'p, S: TraceSink = EventLog> {
     cycle: u64,
     busy_until: u64,
     inflight: Vec<InFlight>,
+    /// The memory timing model's per-machine state (cache contents and
+    /// the in-progress word fetch).
+    mem: MemorySystem,
+    /// Ready time of the most recently issued in-flight write — loads
+    /// return in order (a hit behind a miss waits; see
+    /// [`VliwMachine::push_inflight`]).
+    last_load_ready: u64,
     touched_faults: BTreeSet<i64>,
     sink: S,
     stats: RunStats,
@@ -359,6 +386,9 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
     /// The construction-time checks shared by every constructor: program
     /// validation plus issue-width and function-unit admission.
     pub(crate) fn validate_for(prog: &VliwProgram, cfg: &MachineConfig) -> Result<(), VliwError> {
+        cfg.memory
+            .validate()
+            .map_err(|e| VliwError::Malformed(format!("memory model: {e}")))?;
         prog.validate().map_err(VliwError::Malformed)?;
         for (addr, word) in prog.words.iter().enumerate() {
             if word.slots.len() > cfg.issue_width {
@@ -407,6 +437,8 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
             cycle: 1,
             busy_until: 0,
             inflight: Vec::new(),
+            mem: MemorySystem::new(&cfg.memory, cfg.load_latency),
+            last_load_ready: 0,
             touched_faults: BTreeSet::new(),
             sink,
             cfg,
@@ -475,11 +507,63 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
         self.sink.push(|| Event::FaultHandled { cycle, addr });
     }
 
-    /// A load's data: store-buffer forwarding first, then the D-cache.
-    fn load_value(&self, addr: i64, pred: &Predicate) -> i64 {
-        self.sb
-            .forward(addr, pred)
-            .unwrap_or_else(|| self.memory.read(addr).expect("address classified valid"))
+    /// A load's data and timing: store-buffer forwarding first (at the
+    /// memory model's bypass latency, no D$ probe), then real memory
+    /// (probing the D$ under a cache model).  Returns
+    /// `(value, latency, missed)`.
+    fn load_timed(&mut self, addr: i64, pred: &Predicate) -> (i64, u64, bool) {
+        match self.sb.forward(addr, pred) {
+            Some(v) => (v, self.mem.bypass_latency(), false),
+            None => {
+                let value = self.memory.read(addr).expect("address classified valid");
+                let (latency, missed) = self.mem.load_latency(addr);
+                (value, latency, missed)
+            }
+        }
+    }
+
+    /// Queues an in-flight register write with **in-order return**: its
+    /// ready time is clamped to be no earlier than the previously
+    /// issued write's, so variable per-access latencies (a D$ hit
+    /// issued behind a miss) cannot invert writeback order against
+    /// program order.  Under any uniform latency — every non-cache
+    /// model — ready times are already monotone in issue cycle, so the
+    /// clamp is a no-op and the pre-refactor trajectory is preserved
+    /// bit-for-bit.
+    fn push_inflight(
+        &mut self,
+        latency: u64,
+        dest: Reg,
+        value: i64,
+        pred: Predicate,
+        exc: bool,
+        missed: bool,
+    ) {
+        let ready_end = (self.cycle + latency - 1).max(self.last_load_ready);
+        self.last_load_ready = ready_end;
+        self.inflight.push(InFlight {
+            ready_end,
+            word: self.pc,
+            dest,
+            value,
+            pred,
+            exc,
+            missed,
+        });
+    }
+
+    /// Counts and classifies an operand stall: charged to
+    /// [`StallKind::LoadMiss`] when an in-flight load that missed the
+    /// D$ is among the writes being waited on, else to
+    /// [`StallKind::Operand`].
+    fn operand_stall(&mut self) -> StallKind {
+        if self.inflight.iter().any(|f| f.missed) {
+            self.stats.stall_load_miss += 1;
+            StallKind::LoadMiss
+        } else {
+            self.stats.stall_operand += 1;
+            StallKind::Operand
+        }
     }
 
     /// Bitmask of registers targeted by in-flight writes (the pre-decoded
@@ -491,12 +575,31 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
             .fold(0u64, |m, f| m | (1u64 << f.dest.index()))
     }
 
+    /// Bitmask of registers whose in-flight write matures in a *later*
+    /// cycle.  Entries maturing this cycle are excluded: they write back
+    /// before this word's direct writes apply, so program order holds
+    /// without an interlock.
+    #[inline]
+    fn waw_pending_mask(&self) -> u64 {
+        let cycle = self.cycle;
+        self.inflight
+            .iter()
+            .filter(|f| f.ready_end > cycle)
+            .fold(0u64, |m, f| m | (1u64 << f.dest.index()))
+    }
+
     /// Whether any in-flight write targets a register read by a live slot
-    /// of this word.
+    /// of this word (read-after-write), or written by one whose in-flight
+    /// write matures in a later cycle (the write-after-write interlock —
+    /// without it, a variable-latency load still in flight would land
+    /// *after* a newer direct write to the same register and clobber it;
+    /// under a uniform latency every in-flight entry matures by the next
+    /// word's issue cycle, so the interlock never fires there).
     fn operand_in_flight(&self, word: &MultiOp) -> bool {
         if self.inflight.is_empty() {
             return false;
         }
+        let pending = self.waw_pending_mask();
         for slot in &word.slots {
             if slot.pred.eval(&self.ccr) == Cond::False {
                 continue;
@@ -504,6 +607,41 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
             for s in slot.op.srcs() {
                 if let Some(r) = s.as_reg() {
                     if self.inflight.iter().any(|f| f.dest == r) {
+                        return true;
+                    }
+                }
+            }
+            if pending != 0 {
+                if let SlotOp::Op(op) = slot.op {
+                    if let Some(rd) = op.def_reg() {
+                        if pending & (1u64 << rd.index()) != 0 {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The write-after-write half of [`operand_in_flight`] on the decoded
+    /// arena: whether a live slot of `range` writes a register whose
+    /// in-flight write matures in a later cycle.  Shared by the
+    /// pre-decoded and tabled screens (their read-after-write half stays
+    /// mask-based on the fast path).
+    ///
+    /// [`operand_in_flight`]: Self::operand_in_flight
+    fn waw_in_flight_decoded(&self, range: std::ops::Range<usize>) -> bool {
+        let pending = self.waw_pending_mask();
+        if pending == 0 {
+            return false;
+        }
+        for i in range {
+            let s = self.decoded.slots[i];
+            if let SlotOp::Op(op) = s.op {
+                if let Some(rd) = op.def_reg() {
+                    if pending & (1u64 << rd.index()) != 0 && s.pred.eval(&self.ccr) != Cond::False
+                    {
                         return true;
                     }
                 }
@@ -662,8 +800,8 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
         let word = self.prog.words[self.pc].clone();
         // Stall checks.
         if self.operand_in_flight(&word) {
-            self.stats.stall_operand += 1;
-            return Ok(IssueOutcome::Stalled(StallKind::Operand));
+            let kind = self.operand_stall();
+            return Ok(IssueOutcome::Stalled(kind));
         }
         let mut store_count = 0;
         for slot in &word.slots {
@@ -715,10 +853,14 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 for i in range.clone() {
                     let s = self.decoded.slots[i];
                     if s.src_mask & inflight != 0 && s.pred.eval(&self.ccr) != Cond::False {
-                        self.stats.stall_operand += 1;
-                        return Ok(IssueOutcome::Stalled(StallKind::Operand));
+                        let kind = self.operand_stall();
+                        return Ok(IssueOutcome::Stalled(kind));
                     }
                 }
+            }
+            if self.waw_in_flight_decoded(range.clone()) {
+                let kind = self.operand_stall();
+                return Ok(IssueOutcome::Stalled(kind));
             }
         }
         // Store/control prepass, skipped when the word has neither (an
@@ -878,8 +1020,11 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
         nonspec: bool,
     ) -> Result<(), VliwError> {
         let addr = self.read_src(base, &pred).wrapping_add(offset);
-        let (value, exc) = match self.classify_access(addr) {
-            Ok(()) => (self.load_value(addr, &pred), false),
+        let (value, latency, exc, missed) = match self.classify_access(addr) {
+            Ok(()) => {
+                let (v, lat, missed) = self.load_timed(addr, &pred);
+                (v, lat, false, missed)
+            }
             Err(fault) if nonspec => match fault {
                 Some(f) => {
                     return Err(VliwError::Fault {
@@ -889,24 +1034,19 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 }
                 None => {
                     self.handle_fault(addr);
-                    (self.load_value(addr, &pred), false)
+                    let (v, lat, missed) = self.load_timed(addr, &pred);
+                    (v, lat, false, missed)
                 }
             },
             Err(_) => {
-                // Buffer the speculative exception.
+                // Buffer the speculative exception.  The access never
+                // reaches memory, so it does not probe the D$.
                 let cycle = self.cycle;
                 self.sink.push(|| Event::ExcLatched { cycle, addr });
-                (0, true)
+                (0, self.mem.bypass_latency(), true, false)
             }
         };
-        self.inflight.push(InFlight {
-            ready_end: self.cycle + self.cfg.load_latency - 1,
-            word: self.pc,
-            dest: rd,
-            value,
-            pred,
-            exc,
-        });
+        self.push_inflight(latency, rd, value, pred, exc, missed);
         self.stats.ops_executed += 1;
         Ok(())
     }
@@ -1009,8 +1149,11 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
         future: &Ccr,
     ) -> Result<(), VliwError> {
         let addr = self.read_src(base, &pred).wrapping_add(offset);
-        let (value, exc) = match self.classify_access(addr) {
-            Ok(()) => (self.load_value(addr, &pred), false),
+        let (value, latency, exc, missed) = match self.classify_access(addr) {
+            Ok(()) => {
+                let (v, lat, missed) = self.load_timed(addr, &pred);
+                (v, lat, false, missed)
+            }
             Err(fault) => match pred.eval(future) {
                 Cond::True => match fault {
                     Some(f) => {
@@ -1022,26 +1165,22 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                     None => {
                         // The original exception: handle it.
                         self.handle_fault(addr);
-                        (self.load_value(addr, &pred), false)
+                        let (v, lat, missed) = self.load_timed(addr, &pred);
+                        (v, lat, false, missed)
                     }
                 },
-                Cond::False => (0, false), // ignored exception
+                // Ignored and re-buffered exceptions never reach
+                // memory, so they do not probe the D$.
+                Cond::False => (0, self.mem.bypass_latency(), false, false),
                 Cond::Unspecified => {
                     // Re-buffered: still speculative in recovery.
                     let cycle = self.cycle;
                     self.sink.push(|| Event::ExcLatched { cycle, addr });
-                    (0, true)
+                    (0, self.mem.bypass_latency(), true, false)
                 }
             },
         };
-        self.inflight.push(InFlight {
-            ready_end: self.cycle + self.cfg.load_latency - 1,
-            word: self.pc,
-            dest: rd,
-            value,
-            pred,
-            exc,
-        });
+        self.push_inflight(latency, rd, value, pred, exc, missed);
         self.stats.ops_executed += 1;
         Ok(())
     }
@@ -1137,8 +1276,8 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
     fn issue_recovery(&mut self, future: &Ccr) -> Result<IssueOutcome, VliwError> {
         let word = self.prog.words[self.pc].clone();
         if self.operand_in_flight(&word) {
-            self.stats.stall_operand += 1;
-            return Ok(IssueOutcome::Stalled(StallKind::Operand));
+            let kind = self.operand_stall();
+            return Ok(IssueOutcome::Stalled(kind));
         }
         let mut store_count = 0;
         for slot in &word.slots {
@@ -1187,10 +1326,14 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 for i in range.clone() {
                     let s = self.decoded.slots[i];
                     if s.src_mask & inflight != 0 && s.pred.eval(&self.ccr) != Cond::False {
-                        self.stats.stall_operand += 1;
-                        return Ok(IssueOutcome::Stalled(StallKind::Operand));
+                        let kind = self.operand_stall();
+                        return Ok(IssueOutcome::Stalled(kind));
                     }
                 }
+            }
+            if self.waw_in_flight_decoded(range.clone()) {
+                let kind = self.operand_stall();
+                return Ok(IssueOutcome::Stalled(kind));
             }
         }
         if w.store_slots > 0 {
@@ -1470,10 +1613,14 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                     if s.src_mask & inflight != 0
                         && (!COND || s.pred.eval(&self.ccr) != Cond::False)
                     {
-                        self.stats.stall_operand += 1;
-                        return Ok(IssueOutcome::Stalled(StallKind::Operand));
+                        let kind = self.operand_stall();
+                        return Ok(IssueOutcome::Stalled(kind));
                     }
                 }
+            }
+            if self.waw_in_flight_decoded(range.clone()) {
+                let kind = self.operand_stall();
+                return Ok(IssueOutcome::Stalled(kind));
             }
         }
         if CONTROL || STORE {
@@ -1541,10 +1688,14 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 for i in range.clone() {
                     let s = self.decoded.slots[i];
                     if s.src_mask & inflight != 0 && s.pred.eval(&self.ccr) != Cond::False {
-                        self.stats.stall_operand += 1;
-                        return Ok(IssueOutcome::Stalled(StallKind::Operand));
+                        let kind = self.operand_stall();
+                        return Ok(IssueOutcome::Stalled(kind));
                     }
                 }
+            }
+            if self.waw_in_flight_decoded(range.clone()) {
+                let kind = self.operand_stall();
+                return Ok(IssueOutcome::Stalled(kind));
             }
         }
         if w.store_slots > 0 {
@@ -1723,18 +1874,26 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                         "execution fell off the program end".into(),
                     ));
                 }
-                match self.mode {
-                    Mode::Normal => match self.cfg.engine {
-                        Engine::Tabled => self.issue_normal_tabled()?,
-                        Engine::Predecoded => self.issue_normal_decoded()?,
-                        Engine::Legacy => self.issue_normal()?,
-                    },
-                    Mode::Recovery { ref future, .. } => {
-                        let future = *future;
-                        match self.cfg.engine {
-                            Engine::Tabled => self.issue_recovery_tabled(&future)?,
-                            Engine::Predecoded => self.issue_recovery_decoded(&future)?,
-                            Engine::Legacy => self.issue_recovery(&future)?,
+                // Front-end gate shared by all three engines: the word
+                // must have arrived from the I$ (or fixed-latency fetch)
+                // before it can issue.  Perfect memory never stalls here.
+                if self.mem.fetch_stalls(self.pc, self.cycle) {
+                    self.stats.stall_ifetch += 1;
+                    IssueOutcome::Stalled(StallKind::IFetch)
+                } else {
+                    match self.mode {
+                        Mode::Normal => match self.cfg.engine {
+                            Engine::Tabled => self.issue_normal_tabled()?,
+                            Engine::Predecoded => self.issue_normal_decoded()?,
+                            Engine::Legacy => self.issue_normal()?,
+                        },
+                        Mode::Recovery { ref future, .. } => {
+                            let future = *future;
+                            match self.cfg.engine {
+                                Engine::Tabled => self.issue_recovery_tabled(&future)?,
+                                Engine::Predecoded => self.issue_recovery_decoded(&future)?,
+                                Engine::Legacy => self.issue_recovery(&future)?,
+                            }
                         }
                     }
                 }
@@ -1860,6 +2019,13 @@ impl<'p, S: TraceSink> VliwMachine<'p, S> {
                 ));
             }
         }
+        // Fold the memory system's access/miss totals into the stats
+        // (all zero under non-cache models, keeping Perfect identical).
+        let mc = self.mem.counters();
+        self.stats.icache_accesses = mc.icache_accesses;
+        self.stats.icache_misses = mc.icache_misses;
+        self.stats.dcache_accesses = mc.dcache_accesses;
+        self.stats.dcache_misses = mc.dcache_misses;
         let mut sink = self.sink;
         Ok((
             VliwResult {

@@ -33,6 +33,14 @@ pub enum StallKind {
     /// The front end is busy: fault handler, rollback refill, or a taken
     /// jump penalty.
     Busy,
+    /// Instruction fetch has not delivered the word at PC yet (I$ miss
+    /// or a multi-cycle fixed fetch latency).  Never occurs under
+    /// perfect memory.
+    IFetch,
+    /// An operand stall whose blocking in-flight load missed the D$ —
+    /// the memory system's share of what would otherwise be
+    /// [`StallKind::Operand`].  Never occurs under a perfect D$.
+    LoadMiss,
 }
 
 impl fmt::Display for StallKind {
@@ -41,6 +49,8 @@ impl fmt::Display for StallKind {
             StallKind::Operand => write!(f, "operand"),
             StallKind::SbFull => write!(f, "sb-full"),
             StallKind::Busy => write!(f, "busy"),
+            StallKind::IFetch => write!(f, "ifetch"),
+            StallKind::LoadMiss => write!(f, "load-miss"),
         }
     }
 }
@@ -294,6 +304,10 @@ pub struct WordProfile {
     pub stall_sb_full: u64,
     /// Stall cycles with the front end busy while this word was next.
     pub stall_busy: u64,
+    /// Stall cycles waiting for instruction fetch at this word.
+    pub stall_ifetch: u64,
+    /// Operand-stall cycles at this word blocked on a D$-missing load.
+    pub stall_load_miss: u64,
     /// Recoveries whose exception commit point (EPC) was this word.
     pub recoveries: u64,
 }
@@ -301,7 +315,11 @@ pub struct WordProfile {
 impl WordProfile {
     /// Total stall cycles attributed to this word.
     pub fn stall_total(&self) -> u64 {
-        self.stall_operand + self.stall_sb_full + self.stall_busy
+        self.stall_operand
+            + self.stall_sb_full
+            + self.stall_busy
+            + self.stall_ifetch
+            + self.stall_load_miss
     }
 }
 
@@ -514,6 +532,8 @@ impl TraceSink for CountersSink {
                     StallKind::Operand => w.stall_operand += 1,
                     StallKind::SbFull => w.stall_sb_full += 1,
                     StallKind::Busy => w.stall_busy += 1,
+                    StallKind::IFetch => w.stall_ifetch += 1,
+                    StallKind::LoadMiss => w.stall_load_miss += 1,
                 }
                 self.report
                     .regions

@@ -258,7 +258,11 @@ proptest! {
 
         // Sample-driven counters against the machine's independent stats.
         let s = &logged.stats;
-        let total_stalls = s.stall_operand + s.stall_sb_full + s.stall_busy;
+        let total_stalls = s.stall_operand
+            + s.stall_sb_full
+            + s.stall_busy
+            + s.stall_ifetch
+            + s.stall_load_miss;
         prop_assert_eq!(report.stall_runs.sum(), total_stalls);
         let by_kind = |f: fn(&psb_core::WordProfile) -> u64| -> u64 {
             report.words.values().map(f).sum()
@@ -266,6 +270,8 @@ proptest! {
         prop_assert_eq!(by_kind(|w| w.stall_operand), s.stall_operand);
         prop_assert_eq!(by_kind(|w| w.stall_sb_full), s.stall_sb_full);
         prop_assert_eq!(by_kind(|w| w.stall_busy), s.stall_busy);
+        prop_assert_eq!(by_kind(|w| w.stall_ifetch), s.stall_ifetch);
+        prop_assert_eq!(by_kind(|w| w.stall_load_miss), s.stall_load_miss);
         prop_assert_eq!(
             report.regions.values().map(|r| r.stall_cycles).sum::<u64>(),
             total_stalls

@@ -22,7 +22,7 @@ use crate::json::{Json, ToJson};
 use crate::runner::parallel_map_t;
 use crate::trace::RunTrace;
 use psb_compile::{compile_with, ArtifactCache, CacheStats, CompileRequest, ProfileSource};
-use psb_core::{Engine, MachineConfig, ShadowMode};
+use psb_core::{Engine, MachineConfig, MemoryModel, ShadowMode};
 use psb_scalar::ScalarConfig;
 use psb_sched::{Model, SchedConfig};
 use psb_telemetry::{round_us, NullTelemetry, Telemetry};
@@ -35,7 +35,10 @@ use std::time::Instant;
 /// (`host` gains `decode_seconds`; kernel points report
 /// `profile_seconds` 0 because their profile is a byproduct of the
 /// golden cross-check run).
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// v3: the matrix runs under a configurable memory model (`--memory`):
+/// the report gains a top-level `memory` field and every point gains
+/// memory-stall and cache-miss counters (all deterministic, all gated).
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// The four checked-in assembly kernels forming the kernel suite.
 pub const KERNELS: [&str; 4] = ["dotprod", "gcd", "matmul", "sort"];
@@ -64,6 +67,11 @@ pub struct BenchParams {
     /// Meant for schema/determinism tests that need a fast run; throughput
     /// numbers from tiny budgets are timer noise.
     pub target_cycles: Option<u64>,
+    /// Memory timing model every matrix point runs under (`--memory`;
+    /// default perfect, the paper's machine).  A separate CI baseline
+    /// gates the cache-model matrix so the stall machinery stays on the
+    /// regression radar.
+    pub memory: MemoryModel,
 }
 
 impl Default for BenchParams {
@@ -74,6 +82,7 @@ impl Default for BenchParams {
             engines: vec![Engine::default()],
             jobs: 1,
             target_cycles: None,
+            memory: MemoryModel::Perfect,
         }
     }
 }
@@ -158,6 +167,19 @@ pub struct BenchPoint {
     pub squashes: u64,
     /// Recovery episodes of one run — deterministic.
     pub recoveries: u64,
+    /// Fetch-stall cycles of one run — deterministic.
+    pub stall_ifetch: u64,
+    /// Load-miss stall cycles of one run — deterministic.
+    pub stall_load_miss: u64,
+    /// I-cache accesses / misses of one run — deterministic (0 without
+    /// a cache model).
+    pub icache_accesses: u64,
+    /// I-cache misses of one run — deterministic.
+    pub icache_misses: u64,
+    /// D-cache accesses of one run — deterministic.
+    pub dcache_accesses: u64,
+    /// D-cache misses of one run — deterministic.
+    pub dcache_misses: u64,
     /// Host-dependent timing.
     pub host: HostSample,
 }
@@ -174,6 +196,12 @@ impl ToJson for BenchPoint {
             ("commits", self.commits.to_json()),
             ("squashes", self.squashes.to_json()),
             ("recoveries", self.recoveries.to_json()),
+            ("stall_ifetch", self.stall_ifetch.to_json()),
+            ("stall_load_miss", self.stall_load_miss.to_json()),
+            ("icache_accesses", self.icache_accesses.to_json()),
+            ("icache_misses", self.icache_misses.to_json()),
+            ("dcache_accesses", self.dcache_accesses.to_json()),
+            ("dcache_misses", self.dcache_misses.to_json()),
             ("host", self.host.to_json()),
         ])
     }
@@ -214,6 +242,10 @@ impl ToJson for EngineAggregate {
 pub struct BenchReport {
     /// `"full"` or `"quick"`.
     pub suite: String,
+    /// Memory model the matrix ran under (the `--memory` spec; a
+    /// mismatch against the baseline is a hard check failure — cache
+    /// numbers must never be gated against a perfect-memory baseline).
+    pub memory: String,
     /// All measured points, in fixed matrix order.
     pub points: Vec<BenchPoint>,
     /// Kernel-suite throughput per engine.
@@ -231,6 +263,7 @@ impl ToJson for BenchReport {
         Json::obj(vec![
             ("schema_version", BENCH_SCHEMA_VERSION.to_json()),
             ("suite", self.suite.to_json()),
+            ("memory", self.memory.to_json()),
             ("points", self.points.to_json()),
             (
                 "totals",
@@ -284,6 +317,9 @@ struct PointSpec {
     /// Workload input size (unused for kernels, which have intrinsic
     /// sizes baked into their `.asm`).
     size: usize,
+    /// Memory timing model (uniform across the matrix — see
+    /// [`BenchParams::memory`]).
+    memory: MemoryModel,
 }
 
 /// The stable lowercase report name of an engine (`--engine` vocabulary).
@@ -402,6 +438,7 @@ fn run_point<T: Telemetry>(
         },
         fault_once_addrs: fault_once,
         engine: spec.engine,
+        memory: spec.memory,
         ..MachineConfig::default()
     };
     let exec_start = Instant::now();
@@ -417,6 +454,9 @@ fn run_point<T: Telemetry>(
     );
     let cycles = first.cycles;
     let (commits, squashes, recoveries) = (first.commits, first.squashes, first.recoveries);
+    let (stall_ifetch, stall_load_miss) = (first.stall_ifetch, first.stall_load_miss);
+    let (icache_accesses, icache_misses) = (first.icache_accesses, first.icache_misses);
+    let (dcache_accesses, dcache_misses) = (first.dcache_accesses, first.dcache_misses);
     let iterations = spec.target_cycles.div_ceil(cycles.max(1)).max(1);
     for _ in 1..iterations {
         art.run(mcfg.clone())
@@ -452,6 +492,12 @@ fn run_point<T: Telemetry>(
         commits,
         squashes,
         recoveries,
+        stall_ifetch,
+        stall_load_miss,
+        icache_accesses,
+        icache_misses,
+        dcache_accesses,
+        dcache_misses,
         host: HostSample {
             profile_seconds: art.stats.profile_seconds,
             schedule_seconds: art.stats.schedule_seconds,
@@ -504,6 +550,7 @@ pub fn run_bench_with_cache_t<T: Telemetry>(
                     engine,
                     target_cycles: params.kernel_target_cycles(),
                     size: 0,
+                    memory: params.memory,
                 });
             }
         }
@@ -516,6 +563,7 @@ pub fn run_bench_with_cache_t<T: Telemetry>(
                     engine,
                     target_cycles: params.workload_target_cycles(),
                     size: params.workload_size(),
+                    memory: params.memory,
                 });
             }
         }
@@ -568,6 +616,7 @@ pub fn run_bench_with_cache_t<T: Telemetry>(
 
     let mut report = BenchReport {
         suite: if params.quick { "quick" } else { "full" }.to_string(),
+        memory: params.memory.to_string(),
         points,
         kernel_suite,
         sim_cycles_total,
@@ -733,6 +782,16 @@ pub fn check_report(current: &BenchReport, baseline: &Json, tolerance: f64) -> B
         )),
         None => check.failures.push("baseline has no suite".to_string()),
     }
+    match baseline.get("memory").and_then(Json::as_str) {
+        Some(m) if m == current.memory => {}
+        Some(m) => check.failures.push(format!(
+            "memory-model mismatch: baseline ran {m:?}, current ran {:?}",
+            current.memory
+        )),
+        None => check
+            .failures
+            .push("baseline has no memory model".to_string()),
+    }
 
     let empty = Vec::new();
     let base_points = baseline
@@ -778,6 +837,12 @@ pub fn check_report(current: &BenchReport, baseline: &Json, tolerance: f64) -> B
             ("commits", cur.commits),
             ("squashes", cur.squashes),
             ("recoveries", cur.recoveries),
+            ("stall_ifetch", cur.stall_ifetch),
+            ("stall_load_miss", cur.stall_load_miss),
+            ("icache_accesses", cur.icache_accesses),
+            ("icache_misses", cur.icache_misses),
+            ("dcache_accesses", cur.dcache_accesses),
+            ("dcache_misses", cur.dcache_misses),
         ] {
             match bp.get(field).and_then(Json::as_i64) {
                 Some(want) if want == got as i64 => {}
@@ -837,8 +902,9 @@ pub fn render_bench(report: &BenchReport) -> String {
     let mut s = String::new();
     writeln!(
         s,
-        "Bench suite `{}`: {} points, {} simulated cycles",
+        "Bench suite `{}` (memory {}): {} points, {} simulated cycles",
         report.suite,
+        report.memory,
         report.points.len(),
         report.sim_cycles_total
     )
@@ -872,6 +938,30 @@ pub fn render_bench(report: &BenchReport) -> String {
         )
         .unwrap();
     }
+    // Memory-stall attribution, aggregated — only when the model can
+    // stall at all (perfect memory reports all-zero counters).
+    let (si, sl): (u64, u64) = report.points.iter().fold((0, 0), |(a, b), p| {
+        (a + p.stall_ifetch, b + p.stall_load_miss)
+    });
+    if si + sl > 0 {
+        let (ia, im, da, dm) = report.points.iter().fold((0u64, 0u64, 0u64, 0u64), |t, p| {
+            (
+                t.0 + p.icache_accesses,
+                t.1 + p.icache_misses,
+                t.2 + p.dcache_accesses,
+                t.3 + p.dcache_misses,
+            )
+        });
+        let rate = |m: u64, a: u64| 100.0 * m as f64 / a.max(1) as f64;
+        writeln!(
+            s,
+            "memory stalls: {si} ifetch + {sl} load-miss cycles; \
+             I$ {im}/{ia} misses ({:.1}%), D$ {dm}/{da} misses ({:.1}%)",
+            rate(im, ia),
+            rate(dm, da)
+        )
+        .unwrap();
+    }
     writeln!(
         s,
         "total wall {:.3}s, peak RSS {} kB",
@@ -888,6 +978,7 @@ mod tests {
     fn tiny_report() -> BenchReport {
         BenchReport {
             suite: "quick".to_string(),
+            memory: "perfect".to_string(),
             points: vec![BenchPoint {
                 kind: "kernel".into(),
                 name: "gcd".into(),
@@ -898,6 +989,12 @@ mod tests {
                 commits: 5,
                 squashes: 2,
                 recoveries: 0,
+                stall_ifetch: 0,
+                stall_load_miss: 0,
+                icache_accesses: 0,
+                icache_misses: 0,
+                dcache_accesses: 0,
+                dcache_misses: 0,
                 host: HostSample::default(),
             }],
             kernel_suite: vec![EngineAggregate {
@@ -1014,6 +1111,41 @@ mod tests {
     }
 
     #[test]
+    fn memory_model_mismatch_hard_fails() {
+        // A cache-model run gated against a perfect-memory baseline (or
+        // vice versa) must fail loudly, not diff counters that can never
+        // match.
+        let r = tiny_report();
+        let baseline = Json::parse(&r.to_json().pretty()).unwrap();
+        let mut cached = r.clone();
+        cached.memory = "cache:off:64x2x4x1x10".to_string();
+        let check = check_report(&cached, &baseline, 0.2);
+        assert!(!check.passed());
+        assert!(
+            check.failures.iter().any(|f| f.contains("memory-model")),
+            "{:?}",
+            check.failures
+        );
+    }
+
+    #[test]
+    fn cache_model_point_reports_misses_and_stalls() {
+        let spec = PointSpec {
+            kind: "kernel",
+            name: "dotprod".to_string(),
+            model: Model::RegionPred,
+            engine: Engine::default(),
+            target_cycles: 1,
+            size: 0,
+            memory: MemoryModel::parse("cache:8x1x2x1x4:4x2x2x1x6").unwrap(),
+        };
+        let (p, _) = run_point(&spec, &ArtifactCache::new(), &NullTelemetry, false);
+        assert!(p.icache_accesses > 0 && p.dcache_accesses > 0);
+        assert!(p.icache_misses > 0, "cold I$ must miss");
+        assert!(p.stall_ifetch > 0, "I$ misses must stall fetch");
+    }
+
+    #[test]
     fn run_point_is_repeatable() {
         // The real matrix is too slow for a unit test; exercise the
         // plumbing on the smallest kernel subset via run_point directly.
@@ -1024,6 +1156,7 @@ mod tests {
             engine: Engine::default(),
             target_cycles: 1,
             size: 0,
+            memory: MemoryModel::Perfect,
         };
         // Fresh caches so the second call exercises a full recompile,
         // not a cache hit.

@@ -34,21 +34,30 @@
 //! ```text
 //! repro compile [--workload W[,W...]] [--model M|all] [--size N]
 //!               [--deterministic] [--json] [--jobs N] [--out FILE]
-//!               [--store DIR]
+//!               [--store DIR] [--store-max-bytes N]
 //! ```
 //!
 //! With `--store DIR`, compiled artifacts persist into an on-disk store;
 //! a later process over the same directory fills from disk instead of
 //! recompiling (each row's `source` records which layer answered).
+//! `--store-max-bytes N` caps the store's footprint: saves beyond the
+//! cap evict the least-recently-used artifacts (hits refresh recency),
+//! counted in the report's `store.evictions`.
 //!
 //! `bench` runs the fixed throughput matrix and emits `BENCH.json`:
 //!
 //! ```text
-//! repro bench [--quick] [--deterministic]
+//! repro bench [--quick] [--deterministic] [--memory SPEC]
 //!             [--engine tabled|predecoded|legacy|both|all]
 //!             [--check BASELINE.json] [--cache-check] [--tolerance FRAC]
 //!             [--jobs N] [--target-cycles N] [--out FILE]
 //! ```
+//!
+//! `--memory SPEC` selects the timing model every point runs under:
+//! `perfect` (default), `fixed:LOAD:FETCH`, or `cache[:I:D]` with each
+//! cache side a `SETSxWAYSxLINExHITxMISS` spec or `off`.  The model is
+//! stamped into the report and `--check` hard-fails on a mismatch, so a
+//! cache-model run can never be compared against a perfect baseline.
 //!
 //! `--cache-check` (requires `--deterministic`) runs the matrix twice
 //! against one shared artifact cache and fails unless the second pass is
@@ -74,18 +83,26 @@
 //! ```
 //!
 //! Grid dimensions: `kernel`, `model`, `width`, `sb`, `scan`,
-//! `latency`, `batch` — unnamed dimensions keep the quick/full
-//! defaults.  The JSON report (`psb-sweep-v1`) is byte-identical at any
-//! `--jobs`; `--deterministic` zeroes the wall timings and speedup so
-//! CI can `cmp` runs and gate counters against
+//! `latency`, `icache`, `dcache`, `batch` — unnamed dimensions keep the
+//! quick/full defaults.  `icache`/`dcache` values are cache specs or
+//! `off` (both off = the perfect-memory timing).  Numeric dimensions
+//! also accept ranges: `sb=1..64:pow2` walks powers of two,
+//! `latency=1..8` walks every value.  The JSON report (`psb-sweep-v1`)
+//! is byte-identical at any `--jobs`; `--deterministic` zeroes the wall
+//! timings and speedup so CI can `cmp` runs and gate counters against
 //! `baselines/sweep_baseline.json`.
 //!
 //! `serve` exposes the simulator as a service (see DESIGN.md §14):
 //!
 //! ```text
 //! repro serve [--addr HOST:PORT] [--jobs N] [--queue-depth N]
-//!             [--cycle-budget N] [--store DIR] [--deterministic]
+//!             [--cycle-budget N] [--store DIR] [--store-max-bytes N]
+//!             [--read-timeout-ms MS] [--deterministic]
 //! ```
+//!
+//! `--read-timeout-ms MS` (default 10000) bounds how long a keep-alive
+//! connection may sit silent before the server drops it (counted in
+//! `serve.read_timeouts`), so stalled clients can't pin worker threads.
 //!
 //! `loadgen` drives a running server with a deterministic request mix
 //! and reports latency percentiles and the cache hit rate:
@@ -145,7 +162,19 @@ fn main() {
         requests,
         grid,
         batch_width,
+        memory,
+        store_max_bytes,
+        read_timeout_ms,
     } = cli;
+    // `--memory` applies to every experiment that runs the machine;
+    // absent means the paper's perfect-memory timing.
+    let params = {
+        let mut p = params;
+        if let Some(m) = memory {
+            p.memory = m;
+        }
+        p
+    };
 
     let emit = |text: String| match &out {
         Some(path) => {
@@ -279,7 +308,8 @@ fn main() {
             }
             "compile" => {
                 let disk = store.as_ref().map(|dir| {
-                    DiskStore::open(dir).unwrap_or_else(|e| die(&format!("--store {dir}: {e}")))
+                    DiskStore::open_with_limit(dir, store_max_bytes)
+                        .unwrap_or_else(|e| die(&format!("--store {dir}: {e}")))
                 });
                 let tel = telemetry.as_ref().map(|_| Recorder::new(deterministic));
                 let mut sweep = match (&tel, &disk) {
@@ -301,8 +331,8 @@ fn main() {
                 eprint!("{}", render_compile(&sweep));
                 if let Some(st) = &sweep.store {
                     eprintln!(
-                        "store: {} hit(s), {} miss(es), {} write(s), {} error(s)",
-                        st.hits, st.misses, st.writes, st.errors
+                        "store: {} hit(s), {} miss(es), {} write(s), {} error(s), {} eviction(s)",
+                        st.hits, st.misses, st.writes, st.errors, st.evictions
                     );
                 }
                 if json {
@@ -317,6 +347,7 @@ fn main() {
                 let bp = BenchParams {
                     deterministic,
                     jobs: params.jobs,
+                    memory: memory.unwrap_or_default(),
                     ..bench_params.clone()
                 };
                 let mut failed = false;
@@ -490,6 +521,8 @@ fn main() {
                     queue_depth,
                     cycle_budget,
                     store: store.clone().map(Into::into),
+                    store_max_bytes,
+                    read_timeout_ms,
                     deterministic,
                 };
                 let handle = serve(config).unwrap_or_else(|e| die(&e));
@@ -575,7 +608,9 @@ fn die(msg: &str) -> ! {
          [--engine tabled|predecoded|legacy|both|all] [--check BASELINE.json] [--cache-check] [--tolerance FRAC] \
          [--target-cycles N] [--telemetry [FILE]] [--grid \"dim=v1,v2;...\"] [--batch-width N] \
          [--seed S] [--runs N] [--time-budget SECS] [--corpus DIR] [--inject-recovery-bug] \
-         [--addr HOST:PORT] [--queue-depth N] [--cycle-budget N] [--store DIR] [--requests N]"
+         [--memory perfect|fixed:LOAD:FETCH|cache[:I:D]] \
+         [--addr HOST:PORT] [--queue-depth N] [--cycle-budget N] [--store DIR] \
+         [--store-max-bytes N] [--read-timeout-ms MS] [--requests N]"
     );
     std::process::exit(2);
 }

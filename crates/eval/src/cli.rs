@@ -10,6 +10,7 @@
 
 use crate::runner::{parse_jobs, EvalParams};
 use crate::{parse_engines, parse_model, BenchParams, FuzzParams};
+use psb_core::MemoryModel;
 use psb_sched::Model;
 
 /// Everything one `repro` invocation asked for.
@@ -55,6 +56,15 @@ pub struct Cli {
     pub grid: Option<String>,
     /// `--batch-width N` for `sweep` (lanes per lockstep batch).
     pub batch_width: Option<usize>,
+    /// `--memory SPEC` for `bench` and the profiling subcommands
+    /// (`perfect | fixed:LOAD:FETCH | cache[:I:D]`).
+    pub memory: Option<MemoryModel>,
+    /// `--store-max-bytes N` for `serve` and `compile` (disk-store
+    /// size cap; oldest artifacts are evicted past it).
+    pub store_max_bytes: Option<u64>,
+    /// `--read-timeout-ms N` for `serve` (keep-alive read timeout;
+    /// default 10s — a stalled client cannot pin a worker forever).
+    pub read_timeout_ms: u64,
 }
 
 impl Default for Cli {
@@ -80,6 +90,9 @@ impl Default for Cli {
             requests: 100,
             grid: None,
             batch_width: None,
+            memory: None,
+            store_max_bytes: None,
+            read_timeout_ms: 10_000,
         }
     }
 }
@@ -215,6 +228,28 @@ impl Cli {
                     cli.cycle_budget = Some(b);
                 }
                 "--store" => cli.store = Some(operand(&mut i, "a directory")?),
+                "--store-max-bytes" => {
+                    let v = operand(&mut i, "a byte count > 0")?;
+                    let b: u64 = num("--store-max-bytes", &v, "a byte count > 0")?;
+                    if b == 0 {
+                        return Err("--store-max-bytes needs a byte count > 0".to_string());
+                    }
+                    cli.store_max_bytes = Some(b);
+                }
+                "--read-timeout-ms" => {
+                    let v = operand(&mut i, "milliseconds > 0")?;
+                    let t: u64 = num("--read-timeout-ms", &v, "milliseconds > 0")?;
+                    if t == 0 {
+                        return Err("--read-timeout-ms needs milliseconds > 0".to_string());
+                    }
+                    cli.read_timeout_ms = t;
+                }
+                "--memory" => {
+                    let spec = operand(&mut i, "perfect | fixed:LOAD:FETCH | cache[:I:D]")?;
+                    let m = MemoryModel::parse(&spec).map_err(|e| format!("--memory: {e}"))?;
+                    m.validate().map_err(|e| format!("--memory: {e}"))?;
+                    cli.memory = Some(m);
+                }
                 "--grid" => cli.grid = Some(operand(&mut i, "a grid spec (dim=v1,v2;...)")?),
                 "--batch-width" => {
                     let v = operand(&mut i, "a number >= 1")?;
@@ -354,6 +389,57 @@ mod tests {
             assert!(parse(&["sweep", "--batch-width", bad]).is_err(), "{bad}");
         }
         assert!(parse(&["sweep", "--grid"]).is_err());
+    }
+
+    #[test]
+    fn memory_store_and_timeout_flags_parse() {
+        let cli = parse(&["bench", "--memory", "fixed:3:2"]).unwrap();
+        assert_eq!(
+            cli.memory,
+            Some(psb_core::MemoryModel::FixedLatency { load: 3, fetch: 2 })
+        );
+        let cli = parse(&["bench", "--memory", "cache:8x1x2x1x4:64x2x4x1x10"]).unwrap();
+        match cli.memory {
+            Some(psb_core::MemoryModel::Cache { icache, dcache }) => {
+                assert_eq!(icache.unwrap().sets, 8);
+                assert_eq!(dcache.unwrap().sets, 64);
+            }
+            other => panic!("wrong memory model: {other:?}"),
+        }
+        assert_eq!(
+            parse(&["bench", "--memory", "perfect"]).unwrap().memory,
+            Some(psb_core::MemoryModel::Perfect)
+        );
+        // Parse and validation errors both surface with the flag name.
+        for bad in [
+            "slow",
+            "fixed:0:1",
+            "cache:8x1x2:off",
+            "cache:0x1x1x1x1:off",
+        ] {
+            let err = parse(&["bench", "--memory", bad]).expect_err(bad);
+            assert!(err.contains("--memory"), "{bad}: {err}");
+        }
+
+        let cli = parse(&["serve", "--store-max-bytes", "65536"]).unwrap();
+        assert_eq!(cli.store_max_bytes, Some(65_536));
+        for bad in ["0", "-1", "big", ""] {
+            assert!(
+                parse(&["serve", "--store-max-bytes", bad]).is_err(),
+                "{bad}"
+            );
+        }
+
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.read_timeout_ms, 10_000, "default read timeout is 10s");
+        let cli = parse(&["serve", "--read-timeout-ms", "250"]).unwrap();
+        assert_eq!(cli.read_timeout_ms, 250);
+        for bad in ["0", "soon"] {
+            assert!(
+                parse(&["serve", "--read-timeout-ms", bad]).is_err(),
+                "{bad}"
+            );
+        }
     }
 
     #[test]

@@ -112,6 +112,7 @@ impl ToJson for CompileSweep {
                 ("misses", st.misses.to_json()),
                 ("errors", st.errors.to_json()),
                 ("writes", st.writes.to_json()),
+                ("evictions", st.evictions.to_json()),
             ])
         });
         Json::obj(vec![

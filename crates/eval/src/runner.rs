@@ -2,7 +2,7 @@
 //! collect cycle counts, with golden-model cross-checking.
 
 use psb_compile::{compile, ArtifactCache, CompileRequest, ProfileSource};
-use psb_core::{MachineConfig, ShadowMode, VliwResult};
+use psb_core::{MachineConfig, MemoryModel, ShadowMode, VliwResult};
 use psb_isa::Resources;
 use psb_scalar::{RunResult, ScalarConfig, ScalarMachine};
 use psb_sched::{Model, SchedConfig};
@@ -78,6 +78,9 @@ pub struct EvalParams {
     pub jump_penalty: u64,
     /// Store-buffer capacity.
     pub store_buffer: usize,
+    /// Timing model the measured runs execute under ([`MemoryModel::Perfect`]
+    /// reproduces the paper's single-cycle-memory assumption).
+    pub memory: MemoryModel,
     /// Worker threads for experiment sweeps (1 = serial).  Simulator-side
     /// only: results are deterministic and identical for every value, so
     /// this field is deliberately excluded from the JSON serialization.
@@ -98,6 +101,7 @@ impl Default for EvalParams {
             ordered_cond_sets: false,
             jump_penalty: 0,
             store_buffer: 16,
+            memory: MemoryModel::Perfect,
             jobs: 1,
         }
     }
@@ -136,6 +140,7 @@ impl EvalParams {
             },
             taken_jump_penalty: self.jump_penalty,
             store_buffer_size: self.store_buffer,
+            memory: self.memory,
             ..MachineConfig::default()
         }
     }
@@ -154,6 +159,7 @@ impl ToJson for EvalParams {
             ("ordered_cond_sets", self.ordered_cond_sets.to_json()),
             ("jump_penalty", self.jump_penalty.to_json()),
             ("store_buffer", self.store_buffer.to_json()),
+            ("memory", Json::Str(self.memory.to_string())),
         ])
     }
 }
@@ -173,6 +179,14 @@ pub struct ModelResult {
     pub squashed_ops: u64,
     /// Speculative-exception recoveries taken.
     pub recoveries: u64,
+    /// Cycles stalled on instruction fetch (zero under perfect memory).
+    pub stall_ifetch: u64,
+    /// Operand-stall cycles blocked on a D$-missing load.
+    pub stall_load_miss: u64,
+    /// I$ (accesses, misses) over the run.
+    pub icache: (u64, u64),
+    /// D$ (accesses, misses) over the run.
+    pub dcache: (u64, u64),
 }
 
 impl ToJson for ModelResult {
@@ -184,6 +198,12 @@ impl ToJson for ModelResult {
             ("static_ops", self.static_ops.to_json()),
             ("squashed_ops", self.squashed_ops.to_json()),
             ("recoveries", self.recoveries.to_json()),
+            ("stall_ifetch", self.stall_ifetch.to_json()),
+            ("stall_load_miss", self.stall_load_miss.to_json()),
+            ("icache_accesses", self.icache.0.to_json()),
+            ("icache_misses", self.icache.1.to_json()),
+            ("dcache_accesses", self.dcache.0.to_json()),
+            ("dcache_misses", self.dcache.1.to_json()),
         ])
     }
 }
@@ -278,6 +298,10 @@ pub fn run_model(
             static_ops: art.program.static_ops(),
             squashed_ops: res.ops_squashed,
             recoveries: res.recoveries,
+            stall_ifetch: res.stall_ifetch,
+            stall_load_miss: res.stall_load_miss,
+            icache: (res.icache_accesses, res.icache_misses),
+            dcache: (res.dcache_accesses, res.dcache_misses),
         },
         res,
     )

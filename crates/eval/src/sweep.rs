@@ -31,7 +31,9 @@ use crate::json::{Json, ToJson};
 use crate::runner::parallel_map;
 use crate::trace::parse_model;
 use psb_compile::{compile, ArtifactCache, CompileRequest, ProfileSource};
-use psb_core::{CommitScan, MachineConfig, NullSink, ShadowMode, VliwResult};
+use psb_core::{
+    CacheConfig, CommitScan, MachineConfig, MemoryModel, NullSink, ShadowMode, VliwResult,
+};
 use psb_scalar::{ScalarConfig, ScalarMachine};
 use psb_sched::{Model, SchedConfig};
 use psb_telemetry::round_us;
@@ -66,6 +68,22 @@ fn parse_scan(s: &str) -> Option<CommitScan> {
     }
 }
 
+/// The stable report name of a cache axis value: `"off"` or the
+/// `SETSxWAYSxLINExHITxMISS` spec.
+fn cache_axis_name(c: &Option<CacheConfig>) -> String {
+    match c {
+        None => "off".to_string(),
+        Some(c) => c.to_string(),
+    }
+}
+
+fn parse_cache_axis(v: &str) -> Result<Option<CacheConfig>, String> {
+    if v == "off" {
+        return Ok(None);
+    }
+    CacheConfig::parse(v).map(Some)
+}
+
 /// The design-space grid one sweep explores.  The machine dimensions
 /// (width × sb × scan × latency) form the lane set of every
 /// (kernel × model) artifact; their cross product is the sweep's point
@@ -83,11 +101,52 @@ pub struct SweepGrid {
     /// Commit-scan strategies (architecturally identical — their
     /// byte-equal counters are themselves a differential check).
     pub scans: Vec<CommitScan>,
-    /// Load latencies in cycles.
+    /// Load latencies in cycles.  Only meaningful for `off`-cache lanes
+    /// (perfect memory); a lane with any cache takes its load and fetch
+    /// timing from the cache specs instead.
     pub latencies: Vec<u64>,
+    /// Instruction-cache axis: `None` = off (single-cycle fetch), or a
+    /// parameterized cache.
+    pub icaches: Vec<Option<CacheConfig>>,
+    /// Data-cache axis: `None` = off, or a parameterized cache.
+    pub dcaches: Vec<Option<CacheConfig>>,
     /// Maximum lanes per lockstep batch; a grid larger than this runs
     /// in successive batches.
     pub batch_width: usize,
+}
+
+/// One machine-grid lane: the cross product element of the sweep's
+/// machine dimensions, in report order.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LaneAxis {
+    /// Issue width.
+    pub width: usize,
+    /// Store-buffer depth.
+    pub sb: usize,
+    /// Commit-scan strategy.
+    pub scan: CommitScan,
+    /// Load latency (perfect-memory lanes only).
+    pub latency: u64,
+    /// Instruction cache, or `None` for single-cycle fetch.
+    pub icache: Option<CacheConfig>,
+    /// Data cache, or `None` for fixed-latency loads.
+    pub dcache: Option<CacheConfig>,
+}
+
+impl LaneAxis {
+    /// The lane's memory model: perfect when both caches are off (so
+    /// cache-free grids reproduce the paper's fixed-latency timing
+    /// bit-for-bit), the parameterized hierarchy otherwise.
+    pub fn memory(&self) -> MemoryModel {
+        if self.icache.is_none() && self.dcache.is_none() {
+            MemoryModel::Perfect
+        } else {
+            MemoryModel::Cache {
+                icache: self.icache,
+                dcache: self.dcache,
+            }
+        }
+    }
 }
 
 impl SweepGrid {
@@ -100,6 +159,8 @@ impl SweepGrid {
             sb: vec![4, 16],
             scans: vec![CommitScan::Naive, CommitScan::Indexed],
             latencies: vec![2, 4],
+            icaches: vec![None],
+            dcaches: vec![None],
             batch_width: 8,
         }
     }
@@ -117,15 +178,27 @@ impl SweepGrid {
     }
 
     /// The machine-dimension cross product, in fixed nesting order
-    /// (width, then sb, then scan, then latency) — the lane order of
-    /// every batch and the point order of the report.
-    pub fn lane_axes(&self) -> Vec<(usize, usize, CommitScan, u64)> {
+    /// (width, then sb, then scan, then latency, then icache, then
+    /// dcache) — the lane order of every batch and the point order of
+    /// the report.
+    pub fn lane_axes(&self) -> Vec<LaneAxis> {
         let mut axes = Vec::new();
         for &w in &self.widths {
             for &sb in &self.sb {
                 for &scan in &self.scans {
                     for &lat in &self.latencies {
-                        axes.push((w, sb, scan, lat));
+                        for &ic in &self.icaches {
+                            for &dc in &self.dcaches {
+                                axes.push(LaneAxis {
+                                    width: w,
+                                    sb,
+                                    scan,
+                                    latency: lat,
+                                    icache: ic,
+                                    dcache: dc,
+                                });
+                            }
+                        }
                     }
                 }
             }
@@ -159,6 +232,24 @@ impl ToJson for SweepGrid {
                 ),
             ),
             ("latencies", self.latencies.to_json()),
+            (
+                "icaches",
+                Json::Array(
+                    self.icaches
+                        .iter()
+                        .map(|c| cache_axis_name(c).to_json())
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "dcaches",
+                Json::Array(
+                    self.dcaches
+                        .iter()
+                        .map(|c| cache_axis_name(c).to_json())
+                        .collect::<Vec<_>>(),
+                ),
+            ),
             ("batch_width", self.batch_width.to_json()),
         ])
     }
@@ -166,8 +257,18 @@ impl ToJson for SweepGrid {
 
 /// Parses a `--grid` spec on top of `base`, overriding only the named
 /// dimensions.  The spec is `dim=v1,v2[;dim=...]` with dimensions
-/// `kernel`, `model`, `width`, `sb`, `scan`, `latency` and `batch`
+/// `kernel`, `model`, `width`, `sb`, `scan`, `latency`, `icache`,
+/// `dcache` and `batch`
 /// (e.g. `"width=4,8;sb=2,16;scan=indexed;model=all"`).
+///
+/// Numeric dimensions also accept ranges: `lo..hi` enumerates every
+/// value (inclusive) and `lo..hi:pow2` doubles from `lo` while within
+/// `hi` — `sb=1..64:pow2` is `1,2,4,8,16,32,64` and `latency=1..8` is
+/// all eight.  Ranges and plain values mix freely in one list.
+///
+/// The cache dimensions take `off` or a `SETSxWAYSxLINExHITxMISS` spec
+/// (e.g. `dcache=off,64x2x4x1x10`); every icache × dcache combination
+/// becomes a lane.
 ///
 /// # Errors
 ///
@@ -183,16 +284,67 @@ pub fn parse_grid(spec: &str, base: SweepGrid) -> Result<SweepGrid, String> {
         if vals.is_empty() {
             return Err(format!("grid dimension `{dim}` has no values"));
         }
+        /// Expands one list entry: a plain number, `lo..hi`, or
+        /// `lo..hi:pow2`.
+        fn expand(dim: &str, v: &str, min: u64) -> Result<Vec<u64>, String> {
+            let Some((lo, rest)) = v.split_once("..") else {
+                return v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= min)
+                    .map(|n| vec![n])
+                    .ok_or_else(|| format!("grid `{dim}` needs numbers >= {min}, got `{v}`"));
+            };
+            let (hi, pow2) = match rest.split_once(':') {
+                None => (rest, false),
+                Some((h, "pow2")) => (h, true),
+                Some((_, step)) => {
+                    return Err(format!(
+                        "grid `{dim}` range step `{step}` unknown (only `pow2`)"
+                    ))
+                }
+            };
+            let parse = |s: &str| {
+                s.parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= min)
+                    .ok_or_else(|| format!("grid `{dim}` needs numbers >= {min}, got `{s}`"))
+            };
+            let (lo, hi) = (parse(lo)?, parse(hi)?);
+            if lo > hi {
+                return Err(format!("grid `{dim}` range `{v}` is empty (lo > hi)"));
+            }
+            if !pow2 && hi - lo >= 1024 {
+                return Err(format!(
+                    "grid `{dim}` range `{v}` spans {} values; cap is 1024",
+                    hi - lo + 1
+                ));
+            }
+            let mut out = Vec::new();
+            if pow2 {
+                let mut n = lo;
+                while n <= hi {
+                    out.push(n);
+                    match n.checked_mul(2) {
+                        Some(next) => n = next,
+                        None => break,
+                    }
+                }
+            } else {
+                out.extend(lo..=hi);
+            }
+            Ok(out)
+        }
         fn nums<T: TryFrom<u64>>(dim: &str, vals: &[&str], min: u64) -> Result<Vec<T>, String> {
-            vals.iter()
-                .map(|v| {
-                    v.parse::<u64>()
-                        .ok()
-                        .filter(|&n| n >= min)
-                        .and_then(|n| T::try_from(n).ok())
-                        .ok_or_else(|| format!("grid `{dim}` needs numbers >= {min}, got `{v}`"))
-                })
-                .collect()
+            let mut out = Vec::new();
+            for v in vals {
+                for n in expand(dim, v, min)? {
+                    out.push(T::try_from(n).map_err(|_| {
+                        format!("grid `{dim}` value {n} is out of range for the dimension")
+                    })?);
+                }
+            }
+            Ok(out)
         }
         match dim {
             "kernel" => {
@@ -228,6 +380,18 @@ pub fn parse_grid(spec: &str, base: SweepGrid) -> Result<SweepGrid, String> {
                     .collect::<Result<_, _>>()?;
             }
             "latency" => grid.latencies = nums("latency", &vals, 1)?,
+            "icache" => {
+                grid.icaches = vals
+                    .iter()
+                    .map(|v| parse_cache_axis(v).map_err(|e| format!("grid icache `{v}`: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "dcache" => {
+                grid.dcaches = vals
+                    .iter()
+                    .map(|v| parse_cache_axis(v).map_err(|e| format!("grid dcache `{v}`: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
             "batch" => {
                 let b: Vec<usize> = nums("batch", &vals, 1)?;
                 if b.len() != 1 {
@@ -271,6 +435,10 @@ pub struct SweepPoint {
     pub scan: String,
     /// Load latency in cycles.
     pub latency: u64,
+    /// Instruction-cache axis name (`"off"` or the spec).
+    pub icache: String,
+    /// Data-cache axis name (`"off"` or the spec).
+    pub dcache: String,
     /// Total cycles.
     pub cycles: u64,
     /// Words issued.
@@ -285,10 +453,22 @@ pub struct SweepPoint {
     pub stall_operand: u64,
     /// Store-buffer-full stall cycles.
     pub stall_sb_full: u64,
+    /// Instruction-fetch stall cycles.
+    pub stall_ifetch: u64,
+    /// Stall cycles charged to an outstanding data-cache miss.
+    pub stall_load_miss: u64,
+    /// I$ accesses (0 when the icache axis is off).
+    pub icache_accesses: u64,
+    /// I$ misses.
+    pub icache_misses: u64,
+    /// D$ accesses (0 when the dcache axis is off).
+    pub dcache_accesses: u64,
+    /// D$ misses.
+    pub dcache_misses: u64,
 }
 
 /// The deterministic counters compared exactly by [`check_sweep`].
-const POINT_COUNTERS: [&str; 7] = [
+const POINT_COUNTERS: [&str; 13] = [
     "cycles",
     "words_issued",
     "commits",
@@ -296,6 +476,12 @@ const POINT_COUNTERS: [&str; 7] = [
     "recoveries",
     "stall_operand",
     "stall_sb_full",
+    "stall_ifetch",
+    "stall_load_miss",
+    "icache_accesses",
+    "icache_misses",
+    "dcache_accesses",
+    "dcache_misses",
 ];
 
 impl SweepPoint {
@@ -308,6 +494,12 @@ impl SweepPoint {
             "recoveries" => self.recoveries,
             "stall_operand" => self.stall_operand,
             "stall_sb_full" => self.stall_sb_full,
+            "stall_ifetch" => self.stall_ifetch,
+            "stall_load_miss" => self.stall_load_miss,
+            "icache_accesses" => self.icache_accesses,
+            "icache_misses" => self.icache_misses,
+            "dcache_accesses" => self.dcache_accesses,
+            "dcache_misses" => self.dcache_misses,
             _ => unreachable!("unknown sweep counter {field}"),
         }
     }
@@ -322,6 +514,8 @@ impl ToJson for SweepPoint {
             ("sb", self.sb.to_json()),
             ("scan", self.scan.to_json()),
             ("latency", self.latency.to_json()),
+            ("icache", self.icache.to_json()),
+            ("dcache", self.dcache.to_json()),
             ("cycles", self.cycles.to_json()),
             ("words_issued", self.words_issued.to_json()),
             ("commits", self.commits.to_json()),
@@ -329,6 +523,12 @@ impl ToJson for SweepPoint {
             ("recoveries", self.recoveries.to_json()),
             ("stall_operand", self.stall_operand.to_json()),
             ("stall_sb_full", self.stall_sb_full.to_json()),
+            ("stall_ifetch", self.stall_ifetch.to_json()),
+            ("stall_load_miss", self.stall_load_miss.to_json()),
+            ("icache_accesses", self.icache_accesses.to_json()),
+            ("icache_misses", self.icache_misses.to_json()),
+            ("dcache_accesses", self.dcache_accesses.to_json()),
+            ("dcache_misses", self.dcache_misses.to_json()),
         ])
     }
 }
@@ -469,17 +669,18 @@ fn run_unit(kernel: &str, model: Model, grid: &SweepGrid, cache: &ArtifactCache)
     let axes = grid.lane_axes();
     let cfgs: Vec<MachineConfig> = axes
         .iter()
-        .map(|&(w, sb, scan, lat)| MachineConfig {
+        .map(|ax| MachineConfig {
             shadow_mode: if single_shadow {
                 ShadowMode::Single
             } else {
                 ShadowMode::Infinite
             },
             fault_once_addrs: fault_once.clone(),
-            store_buffer_size: sb,
-            commit_scan: scan,
-            load_latency: lat,
-            ..MachineConfig::full_issue(w)
+            store_buffer_size: ax.sb,
+            commit_scan: ax.scan,
+            load_latency: ax.latency,
+            memory: ax.memory(),
+            ..MachineConfig::full_issue(ax.width)
         })
         .collect();
 
@@ -599,13 +800,18 @@ fn run_unit(kernel: &str, model: Model, grid: &SweepGrid, cache: &ArtifactCache)
     // sweep number can never come from a divergent lane.
     let expected = scalar.observable(&program.live_out);
     for (i, (lane, solo)) in lane_results.iter().zip(&solo_results).enumerate() {
-        let (w, sb, scan, lat) = axes[i];
+        let ax = axes[i];
         assert_eq!(
             lane,
             solo,
-            "{kernel}/{model}: lane {i} (width={w} sb={sb} scan={} latency={lat}) \
-             diverged from its solo run",
-            scan_name(scan)
+            "{kernel}/{model}: lane {i} (width={} sb={} scan={} latency={} icache={} \
+             dcache={}) diverged from its solo run",
+            ax.width,
+            ax.sb,
+            scan_name(ax.scan),
+            ax.latency,
+            cache_axis_name(&ax.icache),
+            cache_axis_name(&ax.dcache)
         );
         assert_eq!(
             lane.observable(&program.live_out),
@@ -617,13 +823,15 @@ fn run_unit(kernel: &str, model: Model, grid: &SweepGrid, cache: &ArtifactCache)
     let points = axes
         .iter()
         .zip(&lane_results)
-        .map(|(&(w, sb, scan, lat), res)| SweepPoint {
+        .map(|(ax, res)| SweepPoint {
             kernel: kernel.to_string(),
             model: model.name().to_string(),
-            width: w,
-            sb,
-            scan: scan_name(scan).to_string(),
-            latency: lat,
+            width: ax.width,
+            sb: ax.sb,
+            scan: scan_name(ax.scan).to_string(),
+            latency: ax.latency,
+            icache: cache_axis_name(&ax.icache),
+            dcache: cache_axis_name(&ax.dcache),
             cycles: res.cycles,
             words_issued: res.words_issued,
             commits: res.commits,
@@ -631,6 +839,12 @@ fn run_unit(kernel: &str, model: Model, grid: &SweepGrid, cache: &ArtifactCache)
             recoveries: res.recoveries,
             stall_operand: res.stall_operand,
             stall_sb_full: res.stall_sb_full,
+            stall_ifetch: res.stall_ifetch,
+            stall_load_miss: res.stall_load_miss,
+            icache_accesses: res.icache_accesses,
+            icache_misses: res.icache_misses,
+            dcache_accesses: res.dcache_accesses,
+            dcache_misses: res.dcache_misses,
         })
         .collect();
     SweepArtifact {
@@ -713,7 +927,8 @@ pub fn run_sweep(params: &SweepParams) -> SweepReport {
     report
 }
 
-fn point_key(j: &Json) -> Option<(String, String, i64, i64, String, i64)> {
+#[allow(clippy::type_complexity)]
+fn point_key(j: &Json) -> Option<(String, String, i64, i64, String, i64, String, String)> {
     Some((
         j.get("kernel")?.as_str()?.to_string(),
         j.get("model")?.as_str()?.to_string(),
@@ -721,6 +936,8 @@ fn point_key(j: &Json) -> Option<(String, String, i64, i64, String, i64)> {
         j.get("sb")?.as_i64()?,
         j.get("scan")?.as_str()?.to_string(),
         j.get("latency")?.as_i64()?,
+        j.get("icache")?.as_str()?.to_string(),
+        j.get("dcache")?.as_str()?.to_string(),
     ))
 }
 
@@ -777,8 +994,8 @@ pub fn check_sweep(current: &SweepReport, baseline: &Json, tolerance: f64) -> Be
             continue;
         };
         let label = format!(
-            "{}/{}/w{}/sb{}/{}/lat{}",
-            key.0, key.1, key.2, key.3, key.4, key.5
+            "{}/{}/w{}/sb{}/{}/lat{}/i{}/d{}",
+            key.0, key.1, key.2, key.3, key.4, key.5, key.6, key.7
         );
         let Some(cur) = current.points.iter().find(|p| {
             p.kernel == key.0
@@ -787,6 +1004,8 @@ pub fn check_sweep(current: &SweepReport, baseline: &Json, tolerance: f64) -> Be
                 && p.sb as i64 == key.3
                 && p.scan == key.4
                 && p.latency as i64 == key.5
+                && p.icache == key.6
+                && p.dcache == key.7
         }) else {
             check
                 .failures
@@ -894,6 +1113,8 @@ mod tests {
             sb: vec![4, 16],
             scans: vec![CommitScan::Naive, CommitScan::Indexed],
             latencies: vec![2, 4],
+            icaches: vec![None],
+            dcaches: vec![None],
             batch_width: 3, // deliberately not a divisor of the 8 lanes
         }
     }
@@ -922,6 +1143,33 @@ mod tests {
     }
 
     #[test]
+    fn grid_parse_expands_ranges() {
+        let g = parse_grid("sb=1..64:pow2;latency=1..8", SweepGrid::quick()).unwrap();
+        assert_eq!(g.sb, vec![1, 2, 4, 8, 16, 32, 64]);
+        assert_eq!(g.latencies, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        // Ranges and plain values mix in one list.
+        let g = parse_grid("width=2,4..6", SweepGrid::quick()).unwrap();
+        assert_eq!(g.widths, vec![2, 4, 5, 6]);
+        // A pow2 range keeps its (possibly non-power-of-two) start.
+        let g = parse_grid("sb=3..20:pow2", SweepGrid::quick()).unwrap();
+        assert_eq!(g.sb, vec![3, 6, 12]);
+    }
+
+    #[test]
+    fn grid_parse_reads_cache_axes() {
+        let g = parse_grid(
+            "icache=off,8x1x2x1x4;dcache=64x2x4x1x10",
+            SweepGrid::quick(),
+        )
+        .unwrap();
+        assert_eq!(g.icaches.len(), 2);
+        assert_eq!(g.icaches[0], None);
+        assert_eq!(cache_axis_name(&g.icaches[1]), "8x1x2x1x4");
+        assert_eq!(g.dcaches.len(), 1);
+        assert_eq!(cache_axis_name(&g.dcaches[0]), "64x2x4x1x10");
+    }
+
+    #[test]
     fn grid_parse_rejects_bad_specs() {
         for bad in [
             "frobnicate=1",
@@ -933,6 +1181,11 @@ mod tests {
             "kernel=nope",
             "model=nope",
             "batch=2,4",
+            "sb=8..2",
+            "latency=1..8:fib",
+            "latency=1..9999",
+            "icache=8x1x2",
+            "dcache=0x1x1x1x1",
         ] {
             assert!(parse_grid(bad, SweepGrid::quick()).is_err(), "{bad}");
         }
@@ -942,8 +1195,69 @@ mod tests {
     fn lane_axes_order_is_fixed_and_exhaustive() {
         let axes = tiny_grid().lane_axes();
         assert_eq!(axes.len(), 8);
-        assert_eq!(axes[0], (4, 4, CommitScan::Naive, 2));
-        assert_eq!(axes[7], (4, 16, CommitScan::Indexed, 4));
+        assert_eq!(
+            axes[0],
+            LaneAxis {
+                width: 4,
+                sb: 4,
+                scan: CommitScan::Naive,
+                latency: 2,
+                icache: None,
+                dcache: None,
+            }
+        );
+        assert_eq!(
+            axes[7],
+            LaneAxis {
+                width: 4,
+                sb: 16,
+                scan: CommitScan::Indexed,
+                latency: 4,
+                icache: None,
+                dcache: None,
+            }
+        );
+        assert_eq!(axes[0].memory(), MemoryModel::Perfect);
+        let cached = LaneAxis {
+            dcache: Some(CacheConfig::small()),
+            ..axes[0]
+        };
+        assert!(matches!(cached.memory(), MemoryModel::Cache { .. }));
+    }
+
+    #[test]
+    fn cache_axes_sweep_reports_miss_counters() {
+        let mut grid = tiny_grid();
+        grid.latencies = vec![2];
+        grid.sb = vec![4];
+        grid.scans = vec![CommitScan::Indexed];
+        grid.icaches = vec![None, Some(CacheConfig::parse("8x1x2x1x4").unwrap())];
+        grid.dcaches = vec![None, Some(CacheConfig::parse("4x2x2x1x6").unwrap())];
+        let report = run_sweep(&SweepParams {
+            quick: true,
+            deterministic: true,
+            jobs: 1,
+            grid,
+        });
+        assert_eq!(report.points.len(), 4);
+        let off = &report.points[0];
+        assert_eq!((off.icache.as_str(), off.dcache.as_str()), ("off", "off"));
+        assert_eq!(off.icache_accesses + off.dcache_accesses, 0);
+        let cached = report
+            .points
+            .iter()
+            .find(|p| p.icache != "off" && p.dcache != "off")
+            .expect("fully cached point present");
+        assert!(cached.icache_accesses > 0 && cached.dcache_accesses > 0);
+        assert!(
+            cached.icache_misses > 0,
+            "a tiny icache must miss on a real kernel"
+        );
+        assert!(cached.stall_ifetch > 0, "icache misses must stall fetch");
+        assert!(
+            cached.cycles > off.cycles,
+            "realistic memory cannot be free"
+        );
     }
 
     #[test]

@@ -133,6 +133,14 @@ pub struct RunProfile {
     pub model: String,
     /// Total simulated cycles (including the store-drain tail).
     pub cycles: u64,
+    /// Cycles the front end stalled on instruction fetch (I$ misses).
+    pub stall_ifetch: u64,
+    /// Operand-stall cycles waiting on a D$-missing load.
+    pub stall_load_miss: u64,
+    /// I$ accesses and misses (zero under perfect memory).
+    pub icache: (u64, u64),
+    /// D$ accesses and misses (zero under perfect memory).
+    pub dcache: (u64, u64),
     /// The counters-sink report.
     pub report: ObsReport,
 }
@@ -149,6 +157,10 @@ pub fn collect_profiles(points: &[ObsPoint], params: &EvalParams) -> Vec<RunProf
             workload: p.workload.to_string(),
             model: p.model.name().to_string(),
             cycles: res.cycles,
+            stall_ifetch: res.stall_ifetch,
+            stall_load_miss: res.stall_load_miss,
+            icache: (res.icache_accesses, res.icache_misses),
+            dcache: (res.dcache_accesses, res.dcache_misses),
             report: sink.into_report(),
         }
     })
@@ -328,6 +340,8 @@ impl ToJson for RunProfile {
                     ("stall_operand", p.stall_operand.to_json()),
                     ("stall_sb_full", p.stall_sb_full.to_json()),
                     ("stall_busy", p.stall_busy.to_json()),
+                    ("stall_ifetch", p.stall_ifetch.to_json()),
+                    ("stall_load_miss", p.stall_load_miss.to_json()),
                     ("recoveries", p.recoveries.to_json()),
                 ])
             })
@@ -350,6 +364,12 @@ impl ToJson for RunProfile {
             ("workload", self.workload.to_json()),
             ("model", self.model.to_json()),
             ("cycles", self.cycles.to_json()),
+            ("stall_ifetch", self.stall_ifetch.to_json()),
+            ("stall_load_miss", self.stall_load_miss.to_json()),
+            ("icache_accesses", self.icache.0.to_json()),
+            ("icache_misses", self.icache.1.to_json()),
+            ("dcache_accesses", self.dcache.0.to_json()),
+            ("dcache_misses", self.dcache.1.to_json()),
             ("shadow_occupancy", occupancy_json(&r.shadow_occupancy)),
             ("sb_occupancy", occupancy_json(&r.sb_occupancy)),
             ("unspec_conds", occupancy_json(&r.unspec_conds)),
@@ -424,20 +444,49 @@ pub fn render_profile(profiles: &[RunProfile]) -> String {
             r.unspec_conds.high_water()
         )
         .unwrap();
+        if p.icache.0 + p.dcache.0 > 0 {
+            let rate = |(a, m): (u64, u64)| {
+                if a == 0 {
+                    0.0
+                } else {
+                    100.0 * m as f64 / a as f64
+                }
+            };
+            writeln!(
+                s,
+                "  memory        ifetch stalls={} load-miss stalls={}   \
+                 I$ {}/{} misses ({:.1}%)   D$ {}/{} misses ({:.1}%)",
+                p.stall_ifetch,
+                p.stall_load_miss,
+                p.icache.1,
+                p.icache.0,
+                rate(p.icache),
+                p.dcache.1,
+                p.dcache.0,
+                rate(p.dcache)
+            )
+            .unwrap();
+        }
         render_histogram(&mut s, "lifetime", &r.lifetime);
         render_histogram(&mut s, "recovery", &r.recovery);
         render_histogram(&mut s, "stall-runs", &r.stall_runs);
         let hot = r.hottest_words(5);
         if !hot.is_empty() {
-            writeln!(s, "  hottest words (stall cycles; operand/sb-full/busy):").unwrap();
+            writeln!(
+                s,
+                "  hottest words (stall cycles; operand/sb-full/busy/ifetch/load-miss):"
+            )
+            .unwrap();
             for (w, wp) in hot {
                 writeln!(
                     s,
-                    "    W{w:<5} {:>7} ({}/{}/{}){}",
+                    "    W{w:<5} {:>7} ({}/{}/{}/{}/{}){}",
                     wp.stall_total(),
                     wp.stall_operand,
                     wp.stall_sb_full,
                     wp.stall_busy,
+                    wp.stall_ifetch,
+                    wp.stall_load_miss,
                     if wp.recoveries > 0 {
                         format!("  {} recoveries", wp.recoveries)
                     } else {
@@ -485,6 +534,38 @@ mod tests {
         assert_eq!(pair.len(), 2 * Model::ALL.len());
         assert_eq!(parse_model("region-pred"), Some(Model::RegionPred));
         assert_eq!(parse_model("bogus"), None);
+    }
+
+    #[test]
+    fn cache_model_profiles_attribute_memory_stalls() {
+        use psb_core::{CacheConfig, MemoryModel};
+        let params = EvalParams {
+            size: 96,
+            memory: MemoryModel::Cache {
+                icache: Some(CacheConfig::parse("8x1x2x1x4").unwrap()),
+                dcache: Some(CacheConfig::parse("4x2x2x1x6").unwrap()),
+            },
+            ..EvalParams::default()
+        };
+        let points = obs_points(&["grep".to_string()], &[]);
+        let profiles = collect_profiles(&points, &params);
+        let p = &profiles[0];
+        assert!(p.icache.0 > 0 && p.icache.1 > 0, "I$ must see traffic");
+        assert!(p.stall_ifetch > 0, "I$ misses must stall the front end");
+        // The per-word attribution sums to the aggregate counters.
+        let (wi, wl) = p.report.words.values().fold((0, 0), |(i, l), w| {
+            (i + w.stall_ifetch, l + w.stall_load_miss)
+        });
+        assert_eq!((wi, wl), (p.stall_ifetch, p.stall_load_miss));
+        let text = render_profile(&profiles);
+        assert!(text.contains("memory"), "{text}");
+        assert!(text.contains("I$"), "{text}");
+        let doc = to_json_string(&profiles);
+        assert!(doc.contains("\"icache_misses\""));
+    }
+
+    fn to_json_string(profiles: &[RunProfile]) -> String {
+        Json::Array(profiles.iter().map(ToJson::to_json).collect()).pretty()
     }
 
     #[test]

@@ -129,8 +129,9 @@ fn bench_baseline_matches_the_schema() {
     let doc = text.trim_end();
     assert_json(doc);
     // Document-level schema.
-    assert!(doc.contains("\"schema_version\": 2"), "schema_version");
+    assert!(doc.contains("\"schema_version\": 3"), "schema_version");
     assert!(doc.contains("\"suite\": \"quick\""), "quick suite baseline");
+    assert!(doc.contains("\"memory\": \"perfect\""), "memory model");
     for key in ["\"points\"", "\"totals\"", "\"kernel_suite\""] {
         assert!(doc.contains(key), "missing {key}");
     }
@@ -145,6 +146,12 @@ fn bench_baseline_matches_the_schema() {
         "\"commits\"",
         "\"squashes\"",
         "\"recoveries\"",
+        "\"stall_ifetch\"",
+        "\"stall_load_miss\"",
+        "\"icache_accesses\"",
+        "\"icache_misses\"",
+        "\"dcache_accesses\"",
+        "\"dcache_misses\"",
         "\"host\"",
         "\"profile_seconds\"",
         "\"schedule_seconds\"",

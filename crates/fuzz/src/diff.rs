@@ -12,11 +12,41 @@
 
 use crate::gen::FuzzCase;
 use psb_compile::{compile, ArtifactCache, CompileError, CompileRequest, ProfileSource};
-use psb_core::{Engine, InvariantSink, MachineConfig, ShadowMode};
+use psb_core::{CacheConfig, Engine, InvariantSink, MachineConfig, MemoryModel, ShadowMode};
 use psb_scalar::{ScalarConfig, ScalarMachine};
 use psb_sched::{Model, SchedConfig};
 use std::fmt;
 use std::sync::Arc;
+
+/// The memory-model rotation shared by the differential suites and the
+/// nightly fuzz sweep: perfect memory, a fixed-latency bus, and small
+/// I$+D$ caches (tiny on purpose, so conflict and capacity misses —
+/// not just cold ones — occur on fuzz-sized programs).  The observable
+/// end state is timing-independent, so every rotation step must agree
+/// with the scalar golden model; what rotation buys is coverage of the
+/// stall machinery the models exercise differently.
+pub fn memory_rotation(k: u64) -> MemoryModel {
+    match k % 3 {
+        0 => MemoryModel::Perfect,
+        1 => MemoryModel::FixedLatency { load: 3, fetch: 2 },
+        _ => MemoryModel::Cache {
+            icache: Some(CacheConfig {
+                sets: 8,
+                ways: 1,
+                line_words: 2,
+                hit_latency: 1,
+                miss_latency: 4,
+            }),
+            dcache: Some(CacheConfig {
+                sets: 4,
+                ways: 2,
+                line_words: 2,
+                hit_latency: 1,
+                miss_latency: 6,
+            }),
+        },
+    }
+}
 
 /// Default artifact-cache capacity for fuzzing.  Bounded (unlike the
 /// experiment sweeps) because a long fuzz run visits millions of distinct
@@ -43,6 +73,12 @@ pub struct DiffConfig {
     /// (default: [`Engine::default`]).  The nightly sweep rotates this so
     /// every engine's issue path gets long-run fuzz coverage.
     pub engine: Engine,
+    /// The memory timing model on the VLIW side (default:
+    /// [`MemoryModel::Perfect`]).  The nightly sweep rotates this via
+    /// [`memory_rotation`]; the observable differential is
+    /// timing-independent, so every model must still match the scalar
+    /// golden run.
+    pub memory: MemoryModel,
     /// The artifact cache shared by every case run under this config
     /// (bounded — see [`DiffConfig::default`]).  Cloning the config
     /// shares the cache, so parallel sweep workers deduplicate compiles.
@@ -56,6 +92,7 @@ impl Default for DiffConfig {
             inject_recovery_bug: false,
             max_cycles: None,
             engine: Engine::default(),
+            memory: MemoryModel::Perfect,
             cache: Arc::new(ArtifactCache::with_capacity(FUZZ_CACHE_CAPACITY)),
         }
     }
@@ -184,6 +221,7 @@ pub fn run_case(case: &FuzzCase, cfg: &DiffConfig) -> Result<CaseStats, FuzzFail
             fault_once_addrs: case.fault_once.clone(),
             defer_recovery_exit_commit: cfg.inject_recovery_bug,
             engine: cfg.engine,
+            memory: cfg.memory,
             ..MachineConfig::default()
         };
         if let Some(cap) = cfg.max_cycles {
@@ -246,6 +284,22 @@ mod tests {
             30 * Model::ALL.len() as u64,
             "every (case, model) point is a distinct compile"
         );
+    }
+
+    #[test]
+    fn rotated_memory_models_still_match_the_golden_run() {
+        for k in 1..3 {
+            let cfg = DiffConfig {
+                memory: memory_rotation(k),
+                ..DiffConfig::default()
+            };
+            for seed in 0..10 {
+                let case = gen_case(seed);
+                run_case(&case, &cfg).unwrap_or_else(|f| {
+                    panic!("seed {seed} failed under {}: {f}", memory_rotation(k))
+                });
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,6 @@ mod gen;
 mod shrink;
 
 pub use corpus::{load_corpus, load_repro, scan_corpus, write_repro, CorpusError, CorpusScan};
-pub use diff::{run_case, CaseStats, DiffConfig, FuzzFailure};
+pub use diff::{memory_rotation, run_case, CaseStats, DiffConfig, FuzzFailure};
 pub use gen::{gen_case, FuzzCase, DATA_REGS};
 pub use shrink::{class_of, shrink_case, FailureClass};

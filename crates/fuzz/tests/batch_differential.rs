@@ -17,7 +17,7 @@
 use proptest::prelude::*;
 use psb_compile::{compile_fresh, CompileRequest, CompiledArtifact, ProfileSource};
 use psb_core::{BatchedMachine, CommitScan, Engine, MachineConfig, ShadowMode};
-use psb_fuzz::gen_case;
+use psb_fuzz::{gen_case, memory_rotation};
 use psb_scalar::{ScalarConfig, ScalarMachine};
 use psb_sched::{Model, SchedConfig};
 use std::collections::BTreeSet;
@@ -59,6 +59,10 @@ fn lane_grid(seed: u64, single_shadow: bool, fault_once: &BTreeSet<i64>) -> Vec<
                     CommitScan::Naive
                 },
                 load_latency: 1 + ((seed + i as u64 + j as u64) % 3),
+                // Lanes also rotate the memory model, so batched cache
+                // state (per-lane, inside each lane's machine) is held
+                // byte-equal to solo runs alongside everything else.
+                memory: memory_rotation(seed + i as u64 + j as u64),
                 max_cycles: 100_000,
                 ..MachineConfig::default()
             });

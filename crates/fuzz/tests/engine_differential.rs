@@ -13,8 +13,8 @@
 
 use proptest::prelude::*;
 use psb_compile::{compile_fresh, CompileRequest, CompiledArtifact, ProfileSource};
-use psb_core::{Engine, MachineConfig, ShadowMode, VliwResult};
-use psb_fuzz::gen_case;
+use psb_core::{Engine, MachineConfig, MemoryModel, ShadowMode, VliwResult};
+use psb_fuzz::{gen_case, memory_rotation};
 use psb_scalar::{ScalarConfig, ScalarMachine};
 use psb_sched::{Model, SchedConfig};
 
@@ -24,6 +24,7 @@ fn run_engine(
     single_shadow: bool,
     fault_once: &std::collections::BTreeSet<i64>,
     engine: Engine,
+    memory: MemoryModel,
 ) -> VliwResult {
     let cfg = MachineConfig {
         shadow_mode: if single_shadow {
@@ -34,6 +35,7 @@ fn run_engine(
         fault_once_addrs: fault_once.clone(),
         record_events: true,
         engine,
+        memory,
         ..MachineConfig::default()
     };
     art.run(cfg).expect("engine run succeeds")
@@ -65,19 +67,27 @@ proptest! {
                 sched: sched_cfg,
             })
             .expect("generated case compiles");
-            let legacy = run_engine(&art, single_shadow, &case.fault_once, Engine::Legacy);
+            // Rotate the memory timing model by seed: the three-way
+            // equality must hold under cache misses and fetch stalls,
+            // not just the paper's perfect memory.
+            let memory = memory_rotation(seed);
+            let legacy =
+                run_engine(&art, single_shadow, &case.fault_once, Engine::Legacy, memory);
             let decoded =
-                run_engine(&art, single_shadow, &case.fault_once, Engine::Predecoded);
-            let tabled = run_engine(&art, single_shadow, &case.fault_once, Engine::Tabled);
+                run_engine(&art, single_shadow, &case.fault_once, Engine::Predecoded, memory);
+            let tabled =
+                run_engine(&art, single_shadow, &case.fault_once, Engine::Tabled, memory);
             // VliwResult equality covers cycles, all RunStats counters,
             // final registers, final memory AND the recorded event log.
             prop_assert_eq!(
                 &legacy, &decoded,
-                "legacy/predecoded divergence on seed {} model {}", seed, model
+                "legacy/predecoded divergence on seed {} model {} memory {}",
+                seed, model, memory
             );
             prop_assert_eq!(
                 &legacy, &tabled,
-                "legacy/tabled divergence on seed {} model {}", seed, model
+                "legacy/tabled divergence on seed {} model {} memory {}",
+                seed, model, memory
             );
         }
     }
@@ -111,17 +121,41 @@ fn corpus_cases_are_engine_independent() {
                 sched: sched_cfg,
             })
             .unwrap_or_else(|e| panic!("{name}: {model} failed to compile: {e}"));
-            let legacy = run_engine(&art, single_shadow, &case.fault_once, Engine::Legacy);
-            let decoded = run_engine(&art, single_shadow, &case.fault_once, Engine::Predecoded);
-            let tabled = run_engine(&art, single_shadow, &case.fault_once, Engine::Tabled);
-            assert_eq!(
-                legacy, decoded,
-                "{name}: legacy/predecoded divergence under {model}"
-            );
-            assert_eq!(
-                legacy, tabled,
-                "{name}: legacy/tabled divergence under {model}"
-            );
+            // Every memory model in the rotation: the corpus is the
+            // curated hard-case set, so engine equality must hold on it
+            // under realistic memory too.
+            for k in 0..3 {
+                let memory = memory_rotation(k);
+                let legacy = run_engine(
+                    &art,
+                    single_shadow,
+                    &case.fault_once,
+                    Engine::Legacy,
+                    memory,
+                );
+                let decoded = run_engine(
+                    &art,
+                    single_shadow,
+                    &case.fault_once,
+                    Engine::Predecoded,
+                    memory,
+                );
+                let tabled = run_engine(
+                    &art,
+                    single_shadow,
+                    &case.fault_once,
+                    Engine::Tabled,
+                    memory,
+                );
+                assert_eq!(
+                    legacy, decoded,
+                    "{name}: legacy/predecoded divergence under {model} memory {memory}"
+                );
+                assert_eq!(
+                    legacy, tabled,
+                    "{name}: legacy/tabled divergence under {model} memory {memory}"
+                );
+            }
         }
     }
 }

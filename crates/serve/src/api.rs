@@ -11,7 +11,7 @@ use crate::json::{Json, ToJson};
 use psb_compile::{
     compile_stored, ArtifactCache, ArtifactSource, CompileRequest, DiskStore, ProfileSource,
 };
-use psb_core::{MachineConfig, VliwError};
+use psb_core::{MachineConfig, MemoryModel, VliwError};
 use psb_isa::{parse_program, ScalarProgram};
 use psb_scalar::{RunError, RunResult, ScalarConfig, ScalarMachine};
 use psb_sched::{Model, SchedConfig};
@@ -45,6 +45,9 @@ pub struct SimRequest {
     pub max_cycles: Option<u64>,
     /// Whether to return a Chrome-trace timeline of the request.
     pub trace: bool,
+    /// Timing model the simulation runs under.  Never part of the
+    /// compile cache key — artifacts are timing-model independent.
+    pub memory: MemoryModel,
 }
 
 /// Why a request was refused, mapped onto a status code by the server.
@@ -123,6 +126,38 @@ fn get_u64(obj: &Json, key: &str, default: u64) -> Result<u64, ApiError> {
     }
 }
 
+/// Decodes the optional `"memory"` field: a spec string
+/// (`"perfect"`, `"fixed:LOAD:FETCH"`, `"cache[:I:D]"`) or an object
+/// `{"icache": SPEC|"off", "dcache": SPEC|"off"}` naming a cache model
+/// side by side.  Absent means [`MemoryModel::Perfect`] — the
+/// pre-refactor timing.
+fn parse_memory(v: &Json) -> Result<MemoryModel, ApiError> {
+    let model = match v.get("memory") {
+        None => return Ok(MemoryModel::default()),
+        Some(Json::Str(spec)) => {
+            MemoryModel::parse(spec).map_err(|e| bad(format!("'memory': {e}")))?
+        }
+        Some(obj @ Json::Object(_)) => {
+            let side = |key: &str| -> Result<String, ApiError> {
+                match obj.get(key) {
+                    None => Ok("off".to_string()),
+                    Some(Json::Str(s)) => Ok(s.clone()),
+                    Some(_) => Err(bad(format!(
+                        "'memory.{key}' must be a cache spec string or \"off\""
+                    ))),
+                }
+            };
+            let spec = format!("cache:{}:{}", side("icache")?, side("dcache")?);
+            MemoryModel::parse(&spec).map_err(|e| bad(format!("'memory': {e}")))?
+        }
+        Some(_) => return Err(bad("'memory' must be a spec string or an object")),
+    };
+    model
+        .validate()
+        .map_err(|e| bad(format!("'memory': {e}")))?;
+    Ok(model)
+}
+
 impl SimRequest {
     /// Decodes a request body.
     ///
@@ -177,6 +212,7 @@ impl SimRequest {
             eval_seed: get_u64(v, "eval_seed", 1234)?,
             max_cycles,
             trace: matches!(v.get("trace"), Some(Json::Bool(true))),
+            memory: parse_memory(v)?,
         })
     }
 
@@ -307,6 +343,7 @@ pub fn handle_run<T: Telemetry>(
             count_cache_outcome(tel, source);
             let cfg = MachineConfig {
                 max_cycles: budget,
+                memory: req.memory,
                 ..MachineConfig::default()
             };
             let res = art.run(cfg).map_err(|e| match e {
@@ -337,6 +374,10 @@ pub fn handle_run<T: Telemetry>(
                     ("static_ops", art.program.static_ops().to_json()),
                     ("squashed_ops", (res.ops_squashed as i64).to_json()),
                     ("recoveries", (res.recoveries as i64).to_json()),
+                    ("stall_ifetch", (res.stall_ifetch as i64).to_json()),
+                    ("stall_load_miss", (res.stall_load_miss as i64).to_json()),
+                    ("icache_misses", (res.icache_misses as i64).to_json()),
+                    ("dcache_misses", (res.dcache_misses as i64).to_json()),
                 ]),
             })
         },
@@ -353,6 +394,7 @@ pub fn handle_run<T: Telemetry>(
         ("train_seed", (req.train_seed as i64).to_json()),
         ("eval_seed", (req.eval_seed as i64).to_json()),
         ("budget", (budget as i64).to_json()),
+        ("memory", Json::Str(req.memory.to_string())),
         ("scalar_cycles", (scalar.cycles as i64).to_json()),
         ("models", Json::Array(models)),
     ]))
@@ -465,6 +507,69 @@ mod tests {
             assert_eq!(err.status(), 400, "{body}");
             assert!(err.message().contains(needle), "{body}: {}", err.message());
         }
+    }
+
+    #[test]
+    fn memory_field_decodes_specs_objects_and_rejects_bad_ones() {
+        let req = decode(r#"{"workload": "grep"}"#).unwrap();
+        assert_eq!(req.memory, MemoryModel::Perfect);
+        let req = decode(r#"{"workload": "grep", "memory": "fixed:3:2"}"#).unwrap();
+        assert_eq!(req.memory, MemoryModel::FixedLatency { load: 3, fetch: 2 });
+        let req = decode(
+            r#"{"workload": "grep",
+                "memory": {"icache": "8x1x2x1x4", "dcache": "4x2x2x1x6"}}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            req.memory,
+            MemoryModel::Cache {
+                icache: Some(_),
+                dcache: Some(_)
+            }
+        ));
+        let req = decode(r#"{"workload": "grep", "memory": {"dcache": "64x2x4x1x10"}}"#).unwrap();
+        assert!(matches!(
+            req.memory,
+            MemoryModel::Cache {
+                icache: None,
+                dcache: Some(_)
+            }
+        ));
+        for (body, needle) in [
+            (r#"{"workload": "grep", "memory": "slow"}"#, "'memory'"),
+            (r#"{"workload": "grep", "memory": 7}"#, "'memory'"),
+            (
+                r#"{"workload": "grep", "memory": {"icache": 3}}"#,
+                "'memory.icache'",
+            ),
+            (
+                r#"{"workload": "grep", "memory": {"dcache": "0x1x1x1x1"}}"#,
+                "'memory'",
+            ),
+        ] {
+            let err = decode(body).expect_err(body);
+            assert_eq!(err.status(), 400, "{body}");
+            assert!(err.message().contains(needle), "{body}: {}", err.message());
+        }
+    }
+
+    #[test]
+    fn run_under_a_cache_model_reports_misses_and_matches_golden() {
+        let cache = ArtifactCache::new();
+        let req = decode(
+            r#"{"workload": "grep", "size": 96, "models": ["region-pred"],
+                "memory": {"icache": "8x1x2x1x4", "dcache": "4x2x2x1x6"}}"#,
+        )
+        .unwrap();
+        let out = handle_run(&req, &cache, None, None, 1, &NullTelemetry).unwrap();
+        assert_eq!(
+            out.get("memory").and_then(|m| m.as_str()),
+            Some("cache:8x1x2x1x4:4x2x2x1x6")
+        );
+        let models = out.get("models").and_then(|m| m.as_array()).unwrap();
+        let m = &models[0];
+        assert!(m.get("icache_misses").and_then(|v| v.as_i64()).unwrap() > 0);
+        assert!(m.get("stall_ifetch").and_then(|v| v.as_i64()).unwrap() > 0);
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub enum HttpError {
     /// The peer closed the connection before sending a request line.
     /// Normal end of a keep-alive connection, not a protocol error.
     Closed,
+    /// The socket's read timeout elapsed mid-request (a stalled or
+    /// silent client on a keep-alive connection).  Kept distinct from
+    /// [`HttpError::Io`] so the server can close without writing an
+    /// error response nobody is reading.
+    Timeout,
     /// Socket-level failure (message of the underlying `io::Error`).
     Io(String),
     /// The request line was not `METHOD target HTTP/1.x`.
@@ -43,6 +48,7 @@ impl fmt::Display for HttpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Timeout => write!(f, "read timed out"),
             HttpError::Io(m) => write!(f, "i/o error: {m}"),
             HttpError::BadRequestLine(l) => write!(f, "malformed request line: {l:?}"),
             HttpError::BadHeader(l) => write!(f, "malformed header: {l:?}"),
@@ -60,7 +66,12 @@ impl std::error::Error for HttpError {}
 
 impl From<io::Error> for HttpError {
     fn from(e: io::Error) -> HttpError {
-        HttpError::Io(e.to_string())
+        match e.kind() {
+            // Both kinds occur for an elapsed `set_read_timeout`,
+            // platform-dependently.
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+            _ => HttpError::Io(e.to_string()),
+        }
     }
 }
 
@@ -183,7 +194,7 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
         if e.kind() == io::ErrorKind::UnexpectedEof {
             HttpError::TruncatedBody
         } else {
-            HttpError::Io(e.to_string())
+            HttpError::from(e)
         }
     })?;
     Ok(Request { body, ..req })
@@ -318,7 +329,7 @@ pub fn read_response<R: BufRead>(r: &mut R) -> Result<Response, HttpError> {
         if e.kind() == io::ErrorKind::UnexpectedEof {
             HttpError::TruncatedBody
         } else {
-            HttpError::Io(e.to_string())
+            HttpError::from(e)
         }
     })?;
     Ok(Response {

@@ -44,6 +44,13 @@ pub struct ServeConfig {
     pub cycle_budget: Option<u64>,
     /// On-disk artifact store root (`None` = memory-only caching).
     pub store: Option<PathBuf>,
+    /// Size cap on the on-disk store in bytes; past it, saves evict
+    /// oldest-used artifacts (`--store-max-bytes`; `None` = unbounded).
+    pub store_max_bytes: Option<u64>,
+    /// Keep-alive read timeout in milliseconds (`--read-timeout-ms`).
+    /// A client that connects and then stalls mid-request holds a
+    /// worker for at most this long before the connection is dropped.
+    pub read_timeout_ms: u64,
     /// Deterministic mode: zero every wall-derived value in `/metrics`
     /// and traces so responses are byte-identical at any `jobs`.
     pub deterministic: bool,
@@ -57,6 +64,8 @@ impl Default for ServeConfig {
             queue_depth: 64,
             cycle_budget: None,
             store: None,
+            store_max_bytes: None,
+            read_timeout_ms: 10_000,
             deterministic: false,
         }
     }
@@ -229,6 +238,7 @@ impl ServerState {
                 ("misses", st.misses.to_json()),
                 ("errors", st.errors.to_json()),
                 ("writes", st.writes.to_json()),
+                ("evictions", st.evictions.to_json()),
             ])
         });
         let cache = self.cache.stats();
@@ -295,9 +305,10 @@ pub fn serve(config: ServeConfig) -> Result<ServeHandle, String> {
         .map_err(|e| format!("cannot read bound address: {e}"))?;
     let store = match &config.store {
         None => None,
-        Some(root) => {
-            Some(DiskStore::open(root).map_err(|e| format!("cannot open artifact store: {e}"))?)
-        }
+        Some(root) => Some(
+            DiskStore::open_with_limit(root, config.store_max_bytes)
+                .map_err(|e| format!("cannot open artifact store: {e}"))?,
+        ),
     };
     let jobs = config.jobs.max(1);
     let state = Arc::new(ServerState {
@@ -395,6 +406,13 @@ fn worker_loop(state: &ServerState) {
 
 /// Runs the keep-alive request loop on one connection.
 fn handle_connection(state: &ServerState, stream: TcpStream) {
+    // A stalled client (connected but silent, or dribbling a partial
+    // request) must not pin this worker forever: every read waits at
+    // most the configured timeout, after which the connection is
+    // dropped without a response (nobody is reading one).
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(
+        state.config.read_timeout_ms.max(1),
+    )));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -404,6 +422,10 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         let req = match read_request(&mut reader) {
             Ok(r) => r,
             Err(HttpError::Closed) => return,
+            Err(HttpError::Timeout) => {
+                state.registry.counter(names::SERVE_READ_TIMEOUTS, 1);
+                return;
+            }
             Err(e) => {
                 let status = match e {
                     HttpError::BodyTooLarge(_) | HttpError::HeadTooLarge => 413,

@@ -325,6 +325,60 @@ fn queue_saturation_rejects_inline_with_retry_after() {
 }
 
 #[test]
+fn stalled_clients_are_dropped_after_the_read_timeout() {
+    let handle = boot(ServeConfig {
+        jobs: 1,
+        read_timeout_ms: 150,
+        deterministic: true,
+        ..ServeConfig::default()
+    });
+    // A client that connects and never sends a byte would pin the single
+    // worker forever without the timeout.
+    let stalled = TcpStream::connect(handle.addr()).expect("stalled connects");
+    let mut reader = BufReader::new(stalled.try_clone().expect("clone"));
+    // The server must close the connection silently (EOF, no response).
+    let got = read_response(&mut reader);
+    assert!(got.is_err(), "expected a dropped connection, got {got:?}");
+    drop(stalled);
+    // The worker is free again: ordinary service resumes.
+    assert_eq!(call(&handle, "GET", "/healthz", b"").status, 200);
+    let metrics = body_json(&call(&handle, "GET", "/metrics", b""));
+    assert_eq!(counter(&metrics, "serve.read_timeouts"), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn cache_memory_model_requests_run_and_report_misses() {
+    let handle = boot(ServeConfig {
+        deterministic: true,
+        ..ServeConfig::default()
+    });
+    let body = b"{\"workload\": \"grep\", \"models\": [\"region-pred\"], \"size\": 96, \
+                  \"memory\": {\"icache\": \"8x1x2x1x4\", \"dcache\": \"4x2x2x1x6\"}}";
+    let resp = call(&handle, "POST", "/run", body);
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let doc = body_json(&resp);
+    assert_eq!(
+        doc.get("memory").and_then(Json::as_str),
+        Some("cache:8x1x2x1x4:4x2x2x1x6")
+    );
+    let m = &doc.get("models").and_then(Json::as_array).expect("models")[0];
+    assert!(m.get("icache_misses").and_then(Json::as_i64).unwrap() > 0);
+    assert!(m.get("stall_ifetch").and_then(Json::as_i64).unwrap() > 0);
+
+    // A bad spec is a 400, not a worker panic.
+    let bad = call(
+        &handle,
+        "POST",
+        "/run",
+        b"{\"workload\": \"grep\", \"memory\": \"slow\"}",
+    );
+    assert_eq!(bad.status, 400);
+    assert!(String::from_utf8_lossy(&bad.body).contains("'memory'"));
+    handle.shutdown();
+}
+
+#[test]
 fn disk_store_survives_a_server_restart() {
     let dir = scratch("restart");
     let config = ServeConfig {

@@ -43,6 +43,10 @@ pub const SERVE_QUEUE_WAIT_NS: &str = "serve.queue_wait_ns";
 /// Connections waiting in the accept queue, sampled at enqueue (host).
 pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 
+/// Keep-alive connections dropped because a read timed out (a stalled
+/// or silent client).
+pub const SERVE_READ_TIMEOUTS: &str = "serve.read_timeouts";
+
 /// Artifacts served from the on-disk store.
 pub const STORE_HITS: &str = "store.hits";
 
@@ -55,6 +59,9 @@ pub const STORE_ERRORS: &str = "store.errors";
 
 /// Artifacts persisted to the store.
 pub const STORE_WRITES: &str = "store.writes";
+
+/// Artifacts deleted from the store to stay under its size cap.
+pub const STORE_EVICTIONS: &str = "store.evictions";
 
 /// Wall time of a successful store load (host; nanoseconds).
 pub const STORE_LOAD_NS: &str = "store.load_ns";
